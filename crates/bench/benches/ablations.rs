@@ -1,0 +1,88 @@
+//! Ablation benches over the design choices DESIGN.md calls out: VC count
+//! and buffer depth sensitivity of the router (the mechanism behind the
+//! +B layouts), and the cost of the dual-lane (flit-combining) switch
+//! allocator versus single-lane links.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use heteronoc::noc::config::{LinkWidths, NetworkConfig, RouterCfg};
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc::noc::topology::TopologyKind;
+use heteronoc::noc::types::Bits;
+
+fn homo(vcs: usize, depth: usize, width: u32) -> NetworkConfig {
+    NetworkConfig::homogeneous(
+        TopologyKind::Mesh { width: 8, height: 8 },
+        RouterCfg {
+            vcs_per_port: vcs,
+            buffer_depth: depth,
+        },
+        Bits(width),
+        2.2,
+    )
+}
+
+fn run(cfg: NetworkConfig) -> u64 {
+    let net = Network::new(cfg).expect("valid");
+    let out = run_open_loop(
+        net,
+        &mut UniformRandom,
+        SimParams {
+            injection_rate: 0.05,
+            warmup_packets: 100,
+            measure_packets: 1_500,
+            max_cycles: 200_000,
+            seed: 4,
+            process: InjectionProcess::Bernoulli,
+        },
+    );
+    out.stats.latency.total
+}
+
+fn bench_vc_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vc_count_ablation");
+    g.sample_size(10);
+    for vcs in [2usize, 3, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(vcs), &vcs, |b, &vcs| {
+            b.iter(|| black_box(run(homo(vcs, 5, 192))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_depth_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_depth_ablation");
+    g.sample_size(10);
+    for depth in [3usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| black_box(run(homo(3, depth, 192))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dual_lane_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dual_lane_allocator");
+    g.sample_size(10);
+    // Single-lane: 128b links; dual-lane: 256b links, same 128b flits.
+    for (name, link) in [("single_128b", 128u32), ("dual_256b", 256)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = homo(3, 5, 128);
+                cfg.link_widths = LinkWidths::Uniform(Bits(link));
+                black_box(run(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vc_sensitivity,
+    bench_depth_sensitivity,
+    bench_dual_lane_allocator
+);
+criterion_main!(benches);

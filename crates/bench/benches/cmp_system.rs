@@ -1,0 +1,70 @@
+//! Criterion benches over the CMP-system kernels (behind Figs. 10-14):
+//! full-system ticks, the coherence path, and the closed-loop
+//! memory-controller experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
+use heteronoc::traffic::TraceSource;
+use heteronoc::{mesh_config, Layout};
+use heteronoc_cmp::{corners4, diamond16, run_closed_loop, CmpConfig, CmpSystem, CoreParams};
+
+fn traces(bench: Benchmark, refs: u64) -> Vec<Box<dyn TraceSource + Send>> {
+    (0..64)
+        .map(|t| Box::new(SyntheticWorkload::new(bench, t, 1, refs)) as Box<dyn TraceSource + Send>)
+        .collect()
+}
+
+fn bench_cmp_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cmp_full_run_150refs");
+    g.sample_size(10);
+    for layout in [Layout::Baseline, Layout::DiagonalBL] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(layout.name()),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    let cfg = CmpConfig::paper_defaults(mesh_config(layout));
+                    let mut sys = CmpSystem::new(
+                        cfg,
+                        vec![CoreParams::OUT_OF_ORDER; 64],
+                        traces(Benchmark::SpecJbb, 150),
+                    );
+                    sys.prewarm(traces(Benchmark::SpecJbb, 150));
+                    sys.run(5_000_000);
+                    assert!(sys.finished());
+                    black_box(sys.now())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("closed_loop_500reqs");
+    g.sample_size(10);
+    for (name, mcs) in [
+        ("corners4", corners4(8, 8)),
+        ("diamond16", diamond16(8, 8)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mcs, |b, mcs| {
+            b.iter(|| {
+                let stats = run_closed_loop(
+                    mesh_config(&Layout::Baseline),
+                    mcs,
+                    8,
+                    0,
+                    500,
+                    9,
+                );
+                black_box(stats.round_trip.mean())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cmp_run, bench_closed_loop);
+criterion_main!(benches);

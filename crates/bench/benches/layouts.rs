@@ -1,0 +1,109 @@
+//! Criterion benches comparing the seven network layouts on identical
+//! uniform-random batches — the per-configuration kernel behind Fig. 7 —
+//! plus the topology builders and routing kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::packet::PacketClass;
+use heteronoc::noc::routing::RoutingKind;
+use heteronoc::noc::topology::TopologyKind;
+use heteronoc::noc::types::{Bits, NodeId};
+use heteronoc::{mesh_config, Layout};
+
+fn bench_layout_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout_batch_delivery");
+    g.sample_size(10);
+    for layout in Layout::all_seven() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(layout.name()),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    let mut net = Network::new(mesh_config(layout)).expect("valid");
+                    for s in 0..64usize {
+                        for k in 1..4usize {
+                            net.enqueue(
+                                NodeId(s),
+                                NodeId((s + k * 13) % 64),
+                                Bits(1024),
+                                PacketClass::Data,
+                                0,
+                            );
+                        }
+                    }
+                    let mut steps = 0u64;
+                    while net.in_flight() > 0 {
+                        net.step();
+                        steps += 1;
+                        assert!(steps < 100_000);
+                    }
+                    black_box(steps)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_topology_builders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    g.sample_size(20);
+    let kinds = [
+        ("mesh8x8", TopologyKind::Mesh { width: 8, height: 8 }),
+        ("torus8x8", TopologyKind::Torus { width: 8, height: 8 }),
+        (
+            "cmesh4x4c4",
+            TopologyKind::CMesh {
+                width: 4,
+                height: 4,
+                concentration: 4,
+            },
+        ),
+        (
+            "fbfly4x4c4",
+            TopologyKind::FlattenedButterfly {
+                width: 4,
+                height: 4,
+                concentration: 4,
+            },
+        ),
+    ];
+    for (name, kind) in kinds {
+        g.bench_function(name, |b| b.iter(|| black_box(kind.build().num_links())));
+    }
+    g.finish();
+}
+
+fn bench_routing_kernel(c: &mut Criterion) {
+    let g8 = TopologyKind::Mesh { width: 8, height: 8 }.build();
+    let routing = RoutingKind::DimensionOrder;
+    c.bench_function("xy_route_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in 0..64 {
+                for d in 0..64 {
+                    if s == d {
+                        continue;
+                    }
+                    let cur = g8.attachment(NodeId(s)).router;
+                    if let Some(rc) =
+                        routing.route(&g8, cur, NodeId(s), NodeId(d), false, false)
+                    {
+                        acc += rc.port.index();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_layout_batch,
+    bench_topology_builders,
+    bench_routing_kernel
+);
+criterion_main!(benches);

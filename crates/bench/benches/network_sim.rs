@@ -1,0 +1,78 @@
+//! Criterion benches over the network-simulation kernels: cycle throughput
+//! and end-to-end packet delivery for the homogeneous baseline and the best
+//! HeteroNoC layout (the kernels behind Figs. 1, 7, 8, 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::packet::PacketClass;
+use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc::noc::types::{Bits, NodeId};
+use heteronoc::{mesh_config, Layout};
+
+fn bench_step_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_step");
+    g.sample_size(10);
+    for layout in [Layout::Baseline, Layout::DiagonalBL] {
+        g.bench_with_input(
+            BenchmarkId::new("1k_cycles_ur", layout.name()),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    let mut net = Network::new(mesh_config(layout)).expect("valid");
+                    // Steady traffic: refill source queues periodically.
+                    for cycle in 0..1_000u64 {
+                        if cycle % 10 == 0 {
+                            for n in 0..64 {
+                                net.enqueue(
+                                    NodeId(n),
+                                    NodeId((n * 31 + 17) % 64),
+                                    Bits(1024),
+                                    PacketClass::Data,
+                                    0,
+                                );
+                            }
+                        }
+                        net.step();
+                    }
+                    black_box(net.in_flight())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_open_loop_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("open_loop");
+    g.sample_size(10);
+    for layout in [Layout::Baseline, Layout::DiagonalBL] {
+        g.bench_with_input(
+            BenchmarkId::new("2k_packets_ur", layout.name()),
+            &layout,
+            |b, layout| {
+                b.iter(|| {
+                    let net = Network::new(mesh_config(layout)).expect("valid");
+                    let out = run_open_loop(
+                        net,
+                        &mut UniformRandom,
+                        SimParams {
+                            injection_rate: 0.02,
+                            warmup_packets: 100,
+                            measure_packets: 2_000,
+                            max_cycles: 300_000,
+                            seed: 1,
+                            process: InjectionProcess::Bernoulli,
+                        },
+                    );
+                    black_box(out.stats.latency.total)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step_throughput, bench_open_loop_batch);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs every experiment binary in sequence (each also writes its own
+//! `results/<name>.txt`). Set `HETERONOC_FULL=1` for paper-scale runs.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1_router_costs",
+    "fig01_mesh_utilization",
+    "fig02_other_topologies",
+    "fig07_ur_traffic",
+    "fig08_breakdowns",
+    "fig09_nn_traffic",
+    "extra_patterns",
+    "stat_combining",
+    "dse_4x4",
+    "dse_8x8_heuristic",
+    "fig11_applications",
+    "fig10_torus",
+    "fig13_memctrl",
+    "fig14_asymmetric",
+    "ablation_conditions",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("=== {name} ===");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if !status.success() {
+            eprintln!("!!! {name} failed with {status}");
+            failed.push(*name);
+        }
+        println!();
+    }
+    if failed.is_empty() {
+        println!("all experiments completed; see results/");
+    } else {
+        eprintln!("failed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

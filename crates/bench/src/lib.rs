@@ -1,0 +1,242 @@
+//! Shared experiment harness for the HeteroNoC reproduction.
+//!
+//! Each table/figure of the paper has a binary in `src/bin/` built on these
+//! utilities: load sweeps over network layouts, saturation detection, power
+//! evaluation and tabular output. Binaries print the figure's rows/series
+//! to stdout and mirror them into `results/<name>.txt`.
+//!
+//! Runs default to a *quick* scale (fewer measured packets than the paper's
+//! 100k) so the whole suite finishes in minutes on one core; set
+//! `HETERONOC_FULL=1` for paper-scale measurement batches.
+
+pub mod plot;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, Traffic};
+use heteronoc::noc::stats::NetStats;
+use heteronoc::power::NetworkPower;
+use heteronoc::{mesh_config, Layout};
+
+/// True when `HETERONOC_FULL=1`: run paper-scale measurement batches.
+pub fn full_scale() -> bool {
+    std::env::var("HETERONOC_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Measurement batch size (packets): 100k at full scale (the paper's §4),
+/// 15k quick.
+pub fn measure_packets() -> u64 {
+    if full_scale() {
+        100_000
+    } else {
+        15_000
+    }
+}
+
+/// Default simulation parameters at `rate` packets/node/cycle.
+pub fn default_params(rate: f64, seed: u64) -> SimParams {
+    SimParams {
+        injection_rate: rate,
+        warmup_packets: 1_000,
+        measure_packets: measure_packets(),
+        max_cycles: 3_000_000,
+        seed,
+        process: InjectionProcess::Bernoulli,
+    }
+}
+
+/// One measured load point of a sweep.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// Offered load in packets/node/cycle.
+    pub rate: f64,
+    /// Mean packet latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Accepted throughput in packets/node/cycle.
+    pub throughput: f64,
+    /// Network power in watts (activity-based).
+    pub power_w: f64,
+    /// Whether the run saturated.
+    pub saturated: bool,
+    /// Raw statistics.
+    pub stats: NetStats,
+}
+
+/// Sweeps `layout` across `rates` with fresh traffic from `traffic_fn`.
+pub fn sweep_layout<F>(layout: &Layout, rates: &[f64], seed: u64, mut traffic_fn: F) -> Vec<LoadPoint>
+where
+    F: FnMut() -> Box<dyn Traffic>,
+{
+    let power = NetworkPower::paper_calibrated();
+    rates
+        .iter()
+        .map(|&rate| {
+            let cfg = mesh_config(layout);
+            let graph = cfg.build_graph();
+            let net = Network::new(cfg.clone()).expect("layout config is valid");
+            let mut traffic = traffic_fn();
+            let out = run_open_loop(net, traffic.as_mut(), default_params(rate, seed));
+            let power_w = power.evaluate(&cfg, &graph, &out.stats).total_w();
+            LoadPoint {
+                rate,
+                latency_ns: out.latency_ns(),
+                throughput: out.stats.throughput_ppc(graph.num_nodes()),
+                power_w,
+                saturated: out.saturated,
+                stats: out.stats,
+            }
+        })
+        .collect()
+}
+
+/// Zero-load latency estimate: the latency of the lowest load point.
+pub fn zero_load_latency_ns(points: &[LoadPoint]) -> f64 {
+    points
+        .iter()
+        .filter(|p| !p.saturated)
+        .map(|p| p.latency_ns)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Saturation throughput: the highest accepted throughput among points whose
+/// latency stays below `3x` the zero-load latency (a standard operational
+/// definition of the saturation point).
+pub fn saturation_throughput(points: &[LoadPoint]) -> f64 {
+    let zl = zero_load_latency_ns(points);
+    points
+        .iter()
+        .filter(|p| !p.saturated && p.latency_ns <= 3.0 * zl)
+        .map(|p| p.throughput)
+        .fold(0.0, f64::max)
+}
+
+/// Mean latency over the unsaturated region (the "average latency" the
+/// paper summarizes per configuration in Figs. 7b/9b).
+pub fn mean_unsaturated_latency_ns(points: &[LoadPoint]) -> f64 {
+    let zl = zero_load_latency_ns(points);
+    let sel: Vec<f64> = points
+        .iter()
+        .filter(|p| !p.saturated && p.latency_ns <= 3.0 * zl)
+        .map(|p| p.latency_ns)
+        .collect();
+    if sel.is_empty() {
+        f64::NAN
+    } else {
+        sel.iter().sum::<f64>() / sel.len() as f64
+    }
+}
+
+/// Mean power over the unsaturated region.
+pub fn mean_unsaturated_power_w(points: &[LoadPoint]) -> f64 {
+    let zl = zero_load_latency_ns(points);
+    let sel: Vec<f64> = points
+        .iter()
+        .filter(|p| !p.saturated && p.latency_ns <= 3.0 * zl)
+        .map(|p| p.power_w)
+        .collect();
+    if sel.is_empty() {
+        f64::NAN
+    } else {
+        sel.iter().sum::<f64>() / sel.len() as f64
+    }
+}
+
+/// Percentage improvement of `new` over `base` where smaller is better.
+pub fn pct_reduction(base: f64, new: f64) -> f64 {
+    100.0 * (base - new) / base
+}
+
+/// Percentage improvement of `new` over `base` where bigger is better.
+pub fn pct_gain(base: f64, new: f64) -> f64 {
+    100.0 * (new - base) / base
+}
+
+/// Output sink that tees stdout into `results/<name>.txt`.
+#[derive(Debug)]
+pub struct Report {
+    file: fs::File,
+}
+
+impl Report {
+    /// Creates `results/<name>.txt` (directory created on demand).
+    pub fn new(name: &str) -> Report {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results dir");
+        let file = fs::File::create(dir.join(format!("{name}.txt"))).expect("create report");
+        Report { file }
+    }
+
+    /// Writes a line to stdout and the report file.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        println!("{}", s.as_ref());
+        writeln!(self.file, "{}", s.as_ref()).expect("write report");
+    }
+}
+
+/// The `results/` directory at the workspace root (or cwd fallback).
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    // Walk up to the workspace root (the directory containing Cargo.toml
+    // with [workspace]).
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(s) = fs::read_to_string(&manifest) {
+                if s.contains("[workspace]") {
+                    return dir.join("results");
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteronoc::noc::sim::UniformRandom;
+
+    #[test]
+    fn pct_helpers() {
+        assert!((pct_reduction(10.0, 8.0) - 20.0).abs() < 1e-9);
+        assert!((pct_gain(10.0, 12.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_produces_points() {
+        let pts = sweep_layout(&Layout::Baseline, &[0.004], 1, || {
+            Box::new(UniformRandom)
+        });
+        // Quick smoke test only (full sweeps run in the binaries).
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].latency_ns > 0.0);
+        assert!(pts[0].power_w > 0.0);
+    }
+
+    #[test]
+    fn saturation_metrics_on_synthetic_points() {
+        let mk = |rate: f64, lat: f64, thr: f64, sat: bool| LoadPoint {
+            rate,
+            latency_ns: lat,
+            throughput: thr,
+            power_w: 10.0,
+            saturated: sat,
+            stats: NetStats::default(),
+        };
+        let pts = vec![
+            mk(0.01, 10.0, 0.01, false),
+            mk(0.02, 12.0, 0.02, false),
+            mk(0.04, 25.0, 0.04, false),
+            mk(0.06, 80.0, 0.05, false),
+            mk(0.08, 500.0, 0.05, true),
+        ];
+        assert!((zero_load_latency_ns(&pts) - 10.0).abs() < 1e-9);
+        // 3x zero-load = 30ns: the 0.04 point is the saturation point.
+        assert!((saturation_throughput(&pts) - 0.04).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tiny dependency-free flag parser for the CLI: `--key value` and
+//! `--flag` pairs after a subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    opts: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// # Errors
+    /// Returns a message for a dangling `--key` without a value when the
+    /// key is not a known boolean flag, or for stray positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = items.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.opts.insert(key.to_owned(), v);
+                    }
+                    _ => out.flags.push(key.to_owned()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option by key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
+    /// Parsed option with a default.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    /// Comma-separated list option.
+    ///
+    /// # Errors
+    /// Returns a message when any element fails to parse.
+    pub fn get_list<T: std::str::FromStr>(&self, key: &str) -> Result<Option<Vec<T>>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .map_err(|_| format!("invalid element '{x}' in --{key}"))
+                })
+                .collect::<Result<Vec<T>, String>>()
+                .map(Some),
+        }
+    }
+
+    /// Whether a boolean `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parses")
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("sweep --layout diagonal-bl --rates 0.01,0.02 --full");
+        assert_eq!(a.command.as_deref(), Some("sweep"));
+        assert_eq!(a.get("layout"), Some("diagonal-bl"));
+        assert_eq!(
+            a.get_list::<f64>("rates").unwrap(),
+            Some(vec![0.01, 0.02])
+        );
+        assert!(a.flag("full"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = parse("audit");
+        assert_eq!(a.get_or("packets", 500u64).unwrap(), 500);
+        let a = parse("x --packets nope");
+        assert!(a.get_or("packets", 1u64).is_err());
+        assert!(Args::parse(vec!["a".into(), "b".into()]).is_err());
+    }
+}

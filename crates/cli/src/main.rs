@@ -1,0 +1,255 @@
+//! `heteronoc` — command-line front end for the HeteroNoC simulator.
+//!
+//! ```text
+//! heteronoc sweep   --layout diagonal-bl --pattern ur --rates 0.01,0.02,0.04
+//! heteronoc compare --pattern transpose --rate 0.02
+//! heteronoc audit
+//! heteronoc heatmap --rate 0.05
+//! heteronoc cmp     --layout baseline --workload sap --refs 1500
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, Traffic};
+use heteronoc::power::NetworkPower;
+use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
+use heteronoc::traffic::{
+    BitComplement, BitReverse, NearestNeighbor, Shuffle, Tornado, Transpose, UniformRandom,
+};
+use heteronoc::{audit_mesh_layout, mesh_config, Layout};
+
+use args::Args;
+
+const USAGE: &str = "\
+heteronoc — HeteroNoC (ISCA'11) network simulator
+
+USAGE: heteronoc <command> [options]
+
+COMMANDS
+  sweep      load sweep of one layout
+               --layout <name>      (default diagonal-bl)
+               --pattern <name>     ur|nn|transpose|bit-complement|bit-reverse|tornado|shuffle
+               --rates a,b,c        packets/node/cycle (default 0.01,0.02,0.03,0.04,0.05)
+               --packets N          measured packets per point (default 5000)
+               --seed N             RNG seed (default 42)
+  compare    all seven layouts at one load point
+               --pattern, --rate, --packets, --seed as above
+  audit      resource audit of every layout (Table 1 accounting)
+  heatmap    ASCII buffer-utilization heat-map of the baseline mesh
+               --rate, --packets, --seed as above
+  cmp        full 64-tile CMP run
+               --layout <name>, --workload <name>, --refs N (default 1000)
+
+LAYOUTS  baseline, center-b, row25-b, diagonal-b, center-bl, row25-bl, diagonal-bl
+WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
+          streamcluster, libquantum
+";
+
+fn layout_by_name(name: &str) -> Result<Layout, String> {
+    name.parse().map_err(|e: heteronoc::layout::ParseLayoutError| e.to_string())
+}
+
+fn pattern_by_name(name: &str) -> Result<Box<dyn Traffic>, String> {
+    Ok(match name {
+        "ur" | "uniform" => Box::new(UniformRandom),
+        "nn" | "nearest-neighbor" => Box::new(NearestNeighbor::new(8, 8)),
+        "transpose" => Box::new(Transpose::new(8)),
+        "bit-complement" => Box::new(BitComplement),
+        "bit-reverse" => Box::new(BitReverse),
+        "tornado" => Box::new(Tornado::new(8, 8)),
+        "shuffle" => Box::new(Shuffle),
+        other => return Err(format!("unknown pattern '{other}' (see --help)")),
+    })
+}
+
+fn workload_by_name(name: &str) -> Result<Benchmark, String> {
+    Ok(match name {
+        "sap" => Benchmark::Sap,
+        "specjbb" => Benchmark::SpecJbb,
+        "tpcc" | "tpc-c" => Benchmark::TpcC,
+        "sjas" => Benchmark::Sjas,
+        "ferret" => Benchmark::Ferret,
+        "facesim" => Benchmark::Facesim,
+        "vips" => Benchmark::Vips,
+        "canneal" => Benchmark::Canneal,
+        "dedup" => Benchmark::Dedup,
+        "streamcluster" => Benchmark::StreamCluster,
+        "libquantum" => Benchmark::Libquantum,
+        other => return Err(format!("unknown workload '{other}' (see --help)")),
+    })
+}
+
+fn params(rate: f64, packets: u64, seed: u64) -> SimParams {
+    SimParams {
+        injection_rate: rate,
+        warmup_packets: (packets / 10).max(100),
+        measure_packets: packets,
+        max_cycles: 5_000_000,
+        seed,
+        process: InjectionProcess::Bernoulli,
+    }
+}
+
+fn point(layout: &Layout, pattern: &str, rate: f64, packets: u64, seed: u64) -> Result<String, String> {
+    let cfg = mesh_config(layout);
+    let graph = cfg.build_graph();
+    let net = Network::new(cfg.clone()).map_err(|e| e.to_string())?;
+    let mut traffic = pattern_by_name(pattern)?;
+    let out = run_open_loop(net, traffic.as_mut(), params(rate, packets, seed));
+    let power = NetworkPower::paper_calibrated()
+        .evaluate(&cfg, &graph, &out.stats)
+        .total_w();
+    Ok(if out.saturated {
+        format!("{rate:<8.4}{:>12}{:>14.4}{:>10.1} W", "sat", out.stats.throughput_ppc(64), power)
+    } else {
+        format!(
+            "{rate:<8.4}{:>9.2} ns{:>14.4}{:>10.1} W",
+            out.latency_ns(),
+            out.stats.throughput_ppc(64),
+            power
+        )
+    })
+}
+
+fn cmd_sweep(a: &Args) -> Result<(), String> {
+    let layout = layout_by_name(a.get("layout").unwrap_or("diagonal-bl"))?;
+    let pattern = a.get("pattern").unwrap_or("ur").to_owned();
+    let rates = a
+        .get_list::<f64>("rates")?
+        .unwrap_or_else(|| vec![0.01, 0.02, 0.03, 0.04, 0.05]);
+    let packets = a.get_or("packets", 5_000u64)?;
+    let seed = a.get_or("seed", 42u64)?;
+    println!("layout {} · pattern {pattern} · {packets} packets/point", layout.name());
+    println!("{:<8}{:>12}{:>14}{:>12}", "rate", "latency", "throughput", "power");
+    for rate in rates {
+        println!("{}", point(&layout, &pattern, rate, packets, seed)?);
+    }
+    Ok(())
+}
+
+fn cmd_compare(a: &Args) -> Result<(), String> {
+    let pattern = a.get("pattern").unwrap_or("ur").to_owned();
+    let rate = a.get_or("rate", 0.03f64)?;
+    let packets = a.get_or("packets", 5_000u64)?;
+    let seed = a.get_or("seed", 42u64)?;
+    println!("pattern {pattern} @ {rate} packets/node/cycle");
+    println!("{:<14}{:>12}{:>14}{:>12}", "layout", "latency", "throughput", "power");
+    for layout in Layout::all_seven() {
+        let row = point(&layout, &pattern, rate, packets, seed)?;
+        // Drop the duplicated rate column for the comparison view.
+        println!("{:<14}{}", layout.name(), &row[8..]);
+    }
+    Ok(())
+}
+
+fn cmd_audit() -> Result<(), String> {
+    println!(
+        "{:<14}{:>8}{:>14}{:>18}{:>12}{:>10}",
+        "layout", "VCs", "buffer bits", "bisection bits", "area mm2", "budget"
+    );
+    for layout in Layout::all_seven() {
+        let audit = audit_mesh_layout(&layout);
+        println!(
+            "{:<14}{:>8}{:>14}{:>13} /{:<4}{:>10.2}{:>10}",
+            audit.layout,
+            audit.total_vcs,
+            audit.buffer_bits,
+            audit.bisection_bits,
+            audit.baseline_bisection_bits,
+            audit.router_area_mm2,
+            if audit.power_budget_ok { "ok" } else { "OVER" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_heatmap(a: &Args) -> Result<(), String> {
+    let rate = a.get_or("rate", 0.05f64)?;
+    let packets = a.get_or("packets", 8_000u64)?;
+    let seed = a.get_or("seed", 42u64)?;
+    let net = Network::new(mesh_config(&Layout::Baseline)).map_err(|e| e.to_string())?;
+    let out = run_open_loop(net, &mut UniformRandom, params(rate, packets, seed));
+    println!("baseline 8x8 mesh, UR @ {rate}: buffer (VC) utilization [%]");
+    for y in 0..8 {
+        let row: Vec<String> = (0..8)
+            .map(|x| format!("{:5.1}", 100.0 * out.stats.vc_utilization(y * 8 + x)))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_cmp(a: &Args) -> Result<(), String> {
+    use heteronoc::traffic::TraceSource;
+    use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
+
+    let layout = layout_by_name(a.get("layout").unwrap_or("baseline"))?;
+    let bench = workload_by_name(a.get("workload").unwrap_or("specjbb"))?;
+    let refs = a.get_or("refs", 1_000u64)?;
+    let seed = a.get_or("seed", 42u64)?;
+    let net_cfg = mesh_config(&layout);
+    let freq = net_cfg.frequency_ghz;
+    let graph = net_cfg.build_graph();
+    let cfg = CmpConfig::paper_defaults(net_cfg.clone());
+    let mk = || -> Vec<Box<dyn TraceSource + Send>> {
+        (0..64)
+            .map(|t| {
+                Box::new(SyntheticWorkload::new(bench, t, seed, refs))
+                    as Box<dyn TraceSource + Send>
+            })
+            .collect()
+    };
+    let mut sys = CmpSystem::new(cfg, vec![CoreParams::OUT_OF_ORDER; 64], mk());
+    sys.prewarm(mk());
+    let cycles = sys.run(50_000_000);
+    if !sys.finished() {
+        return Err("system did not drain within the cycle limit".into());
+    }
+    let ipcs = sys.ipcs();
+    let ipc = ipcs.iter().sum::<f64>() / 64.0;
+    let stats = sys.network().stats();
+    let power = NetworkPower::paper_calibrated()
+        .evaluate(&net_cfg, &graph, stats)
+        .total_w();
+    println!("layout {} · workload {bench} · {refs} refs/core", layout.name());
+    println!("  cycles            {cycles}");
+    println!("  mean IPC          {ipc:.3}");
+    println!("  network latency   {:.2} ns", stats.mean_latency_ns(freq));
+    println!("  network power     {power:.1} W");
+    println!("  packets           {}", stats.packets_retired);
+    println!("  memory reads      {}", sys.stats().mem_reads);
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let a = Args::parse(std::env::args().skip(1))?;
+    if a.flag("help") || a.command.as_deref() == Some("help") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    match a.command.as_deref() {
+        Some("sweep") => cmd_sweep(&a),
+        Some("compare") => cmd_compare(&a),
+        Some("audit") => cmd_audit(),
+        Some("heatmap") => cmd_heatmap(&a),
+        Some("cmp") => cmd_cmp(&a),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

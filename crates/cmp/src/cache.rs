@@ -1,0 +1,212 @@
+//! Set-associative cache with true-LRU replacement, generic over per-line
+//! metadata (MESI state for L1s, a dirty bit for L2 banks).
+
+use std::collections::VecDeque;
+
+/// A set-associative cache of block numbers with per-line metadata `T`.
+#[derive(Clone, Debug)]
+pub struct Cache<T> {
+    sets: Vec<VecDeque<Line<T>>>,
+    ways: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Line<T> {
+    block: u64,
+    meta: T,
+}
+
+impl<T> Cache<T> {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "associativity must be non-zero");
+        Self {
+            sets: (0..sets).map(|_| VecDeque::with_capacity(ways)).collect(),
+            ways,
+        }
+    }
+
+    /// Builds a cache from a geometry: `capacity_bytes / block_bytes /
+    /// ways` sets.
+    ///
+    /// # Examples
+    /// ```
+    /// // The paper's L1: 32 KB, 4-way, 128 B blocks -> 64 sets.
+    /// let c: heteronoc_cmp::cache::Cache<()> =
+    ///     heteronoc_cmp::cache::Cache::with_geometry(32 * 1024, 128, 4);
+    /// assert_eq!(c.num_sets(), 64);
+    /// ```
+    pub fn with_geometry(capacity_bytes: usize, block_bytes: usize, ways: usize) -> Self {
+        let sets = capacity_bytes / block_bytes / ways;
+        Self::new(sets.max(1), ways)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `block`, promoting it to MRU on hit.
+    pub fn get_mut(&mut self, block: u64) -> Option<&mut T> {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        let idx = set.iter().position(|l| l.block == block)?;
+        let line = set.remove(idx).expect("index valid");
+        set.push_back(line);
+        set.back_mut().map(|l| &mut l.meta)
+    }
+
+    /// Looks up `block` without touching LRU order.
+    pub fn peek(&self, block: u64) -> Option<&T> {
+        let s = self.set_of(block);
+        self.sets[s]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| &l.meta)
+    }
+
+    /// True when the block is resident.
+    pub fn contains(&self, block: u64) -> bool {
+        self.peek(block).is_some()
+    }
+
+    /// Inserts `block` as MRU, evicting the LRU line of the set if full.
+    /// Returns the evicted `(block, meta)` if any.
+    ///
+    /// # Panics
+    /// Panics if the block is already resident (use [`Cache::get_mut`] to
+    /// update an existing line).
+    pub fn insert(&mut self, block: u64, meta: T) -> Option<(u64, T)> {
+        assert!(!self.contains(block), "block {block} already resident");
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        let evicted = if set.len() == self.ways {
+            set.pop_front().map(|l| (l.block, l.meta))
+        } else {
+            None
+        };
+        set.push_back(Line { block, meta });
+        evicted
+    }
+
+    /// Removes `block` if resident, returning its metadata.
+    pub fn invalidate(&mut self, block: u64) -> Option<T> {
+        let s = self.set_of(block);
+        let set = &mut self.sets[s];
+        let idx = set.iter().position(|l| l.block == block)?;
+        set.remove(idx).map(|l| l.meta)
+    }
+
+    /// The block that would be evicted if `block` were inserted now.
+    pub fn eviction_candidate(&self, block: u64) -> Option<u64> {
+        let s = self.set_of(block);
+        let set = &self.sets[s];
+        if set.len() == self.ways {
+            set.front().map(|l| l.block)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over all resident `(block, &meta)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.sets.iter().flatten().map(|l| (l.block, &l.meta))
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c: Cache<u32> = Cache::new(4, 2);
+        assert!(c.insert(8, 1).is_none());
+        assert!(c.contains(8));
+        assert_eq!(c.get_mut(8), Some(&mut 1));
+        assert!(!c.contains(12)); // same set, different block
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: Cache<&str> = Cache::new(1, 2);
+        c.insert(0, "a");
+        c.insert(1, "b");
+        // Touch 0 so 1 becomes LRU.
+        c.get_mut(0);
+        let evicted = c.insert(2, "c").expect("set full");
+        assert_eq!(evicted, (1, "b"));
+        assert!(c.contains(0) && c.contains(2));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c: Cache<()> = Cache::new(1, 2);
+        c.insert(0, ());
+        c.insert(1, ());
+        c.peek(0);
+        let evicted = c.insert(2, ()).expect("full");
+        assert_eq!(evicted.0, 0, "peek must not promote block 0");
+    }
+
+    #[test]
+    fn invalidate_frees_way() {
+        let mut c: Cache<u8> = Cache::new(1, 1);
+        c.insert(5, 9);
+        assert_eq!(c.invalidate(5), Some(9));
+        assert!(c.insert(6, 1).is_none());
+        assert_eq!(c.invalidate(5), None);
+    }
+
+    #[test]
+    fn eviction_candidate_matches_insert() {
+        let mut c: Cache<()> = Cache::new(2, 2);
+        c.insert(0, ());
+        c.insert(2, ());
+        assert_eq!(c.eviction_candidate(4), Some(0));
+        assert_eq!(c.eviction_candidate(1), None); // other set not full
+        let ev = c.insert(4, ()).unwrap();
+        assert_eq!(ev.0, 0);
+    }
+
+    #[test]
+    fn geometry_paper_configs() {
+        // L1: 32KB / 128B / 4-way = 64 sets; L2 bank: 1MB / 128B / 16-way
+        // = 512 sets.
+        let l1: Cache<()> = Cache::with_geometry(32 * 1024, 128, 4);
+        assert_eq!(l1.num_sets(), 64);
+        let l2: Cache<()> = Cache::with_geometry(1024 * 1024, 128, 16);
+        assert_eq!(l2.num_sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut c: Cache<()> = Cache::new(2, 2);
+        c.insert(3, ());
+        c.insert(3, ());
+    }
+}

@@ -1,0 +1,288 @@
+//! Memory controllers: placements (baseline corners, and the diamond /
+//! diagonal layouts of Abts et al. co-evaluated in §6), the DRAM timing
+//! model, and the closed-loop uniform-random request-response experiment of
+//! Fig. 13.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use heteronoc_noc::config::NetworkConfig;
+use heteronoc_noc::network::Network;
+use heteronoc_noc::packet::PacketClass;
+use heteronoc_noc::types::{Cycle, NodeId};
+
+use crate::metrics::Welford;
+use crate::msg::{CONTROL_BITS, DATA_BITS};
+
+/// The baseline placement: 4 controllers at the mesh corners (Table 2).
+pub fn corners4(width: usize, height: usize) -> Vec<NodeId> {
+    vec![
+        NodeId(0),
+        NodeId(width - 1),
+        NodeId((height - 1) * width),
+        NodeId(height * width - 1),
+    ]
+}
+
+/// The diamond placement of Abts et al. (16 controllers on 8x8): diagonal
+/// stripes `(x + y) % 4 == 3`, giving two controllers per row and per
+/// column, uniformly and symmetrically distributed.
+pub fn diamond16(width: usize, height: usize) -> Vec<NodeId> {
+    (0..height)
+        .flat_map(|y| (0..width).map(move |x| (x, y)))
+        .filter(|&(x, y)| (x + y) % 4 == 3)
+        .map(|(x, y)| NodeId(y * width + x))
+        .collect()
+}
+
+/// The diagonal placement: 16 controllers on both grid diagonals —
+/// co-located with the Diagonal+BL big routers (§6: "the memory controllers
+/// are attached to big routers").
+pub fn diagonal16(side: usize) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = (0..side)
+        .flat_map(|i| [NodeId(i * side + i), NodeId(i * side + side - 1 - i)])
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// DRAM + controller timing model: fixed access latency with a bounded
+/// number of in-service requests (extra requests queue).
+#[derive(Clone, Debug)]
+pub struct MemCtrl {
+    latency: Cycle,
+    concurrent: usize,
+    active: Vec<(Cycle, u64)>,
+    queue: VecDeque<u64>,
+}
+
+impl MemCtrl {
+    /// Controller with the given DRAM `latency` and in-service capacity.
+    pub fn new(latency: Cycle, concurrent: usize) -> Self {
+        Self {
+            latency,
+            concurrent: concurrent.max(1),
+            active: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Accepts a request identified by the opaque `token`.
+    pub fn request(&mut self, now: Cycle, token: u64) {
+        if self.active.len() < self.concurrent {
+            self.active.push((now + self.latency, token));
+        } else {
+            self.queue.push_back(token);
+        }
+    }
+
+    /// Returns the tokens whose service completes at or before `now`.
+    pub fn completed(&mut self, now: Cycle) -> Vec<u64> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].0 <= now {
+                done.push(self.active.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+        while self.active.len() < self.concurrent {
+            match self.queue.pop_front() {
+                Some(tok) => self.active.push((now + self.latency, tok)),
+                None => break,
+            }
+        }
+        done
+    }
+
+    /// Requests currently queued or in service.
+    pub fn pending(&self) -> usize {
+        self.active.len() + self.queue.len()
+    }
+}
+
+/// Result of the closed-loop request-response experiment.
+#[derive(Clone, Debug)]
+pub struct ClosedLoopStats {
+    /// Round-trip latency (request generation to response ejection) in
+    /// network cycles.
+    pub round_trip: Welford,
+    /// One-way request latency (generation to controller ejection).
+    pub request_leg: Welford,
+    /// Requests completed.
+    pub completed: u64,
+    /// Cycles simulated.
+    pub cycles: Cycle,
+}
+
+/// Runs the §6 closed-loop uniform-random experiment: every non-controller
+/// node keeps up to `mshrs` requests outstanding to uniformly chosen memory
+/// controllers; controllers reply with a cache-line data packet after
+/// `dram_latency` network cycles. Measures round-trip and request-leg
+/// latency over `measure` completed requests (after warming up with a
+/// quarter as many).
+pub fn run_closed_loop(
+    cfg: NetworkConfig,
+    mcs: &[NodeId],
+    mshrs: usize,
+    dram_latency: Cycle,
+    measure: u64,
+    seed: u64,
+) -> ClosedLoopStats {
+    let mut net = Network::new(cfg).expect("valid network config");
+    let n = net.graph().num_nodes();
+    let is_mc: Vec<bool> = {
+        let mut v = vec![false; n];
+        for m in mcs {
+            v[m.index()] = true;
+        }
+        v
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outstanding = vec![0usize; n];
+    let mut birth: Vec<std::collections::HashMap<u64, Cycle>> =
+        vec![std::collections::HashMap::new(); n];
+    let mut ctrls: Vec<MemCtrl> = (0..n).map(|_| MemCtrl::new(dram_latency, 16)).collect();
+    let mut round_trip = Welford::new();
+    let mut request_leg = Welford::new();
+    let mut completed = 0u64;
+    let warmup = measure / 4;
+    let mut req_id = 0u64;
+
+    while completed < warmup + measure && net.now() < 4_000_000 {
+        let now = net.now();
+        // Inject new requests greedily up to the MSHR limit.
+        for node in 0..n {
+            if is_mc[node] {
+                continue;
+            }
+            while outstanding[node] < mshrs {
+                let mc = mcs[rng.random_range(0..mcs.len())];
+                let tag = req_id;
+                req_id += 1;
+                net.enqueue(NodeId(node), mc, CONTROL_BITS, PacketClass::Control, tag);
+                birth[node].insert(tag, now);
+                outstanding[node] += 1;
+            }
+        }
+        net.step();
+        // Controller completions -> responses.
+        for (m, ctrl) in ctrls.iter_mut().enumerate() {
+            if !is_mc[m] {
+                continue;
+            }
+            for token in ctrl.completed(net.now()) {
+                let node = (token >> 40) as usize;
+                let tag = token & ((1 << 40) - 1);
+                net.enqueue(NodeId(m), NodeId(node), DATA_BITS, PacketClass::Data, tag);
+            }
+        }
+        for d in net.drain_delivered() {
+            let dst = d.packet.dst.index();
+            if is_mc[dst] {
+                // Request arrived at a controller.
+                let src = d.packet.src.index();
+                if completed >= warmup {
+                    request_leg.add((d.retire - d.packet.birth) as f64);
+                }
+                ctrls[dst].request(d.retire, ((src as u64) << 40) | d.packet.tag);
+            } else {
+                // Response back at the core.
+                let t0 = birth[dst].remove(&d.packet.tag).expect("known request");
+                outstanding[dst] -= 1;
+                if completed >= warmup {
+                    round_trip.add((d.retire - t0) as f64);
+                }
+                completed += 1;
+            }
+        }
+    }
+    ClosedLoopStats {
+        round_trip,
+        request_leg,
+        completed: completed.saturating_sub(warmup),
+        cycles: net.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteronoc_noc::config::{NetworkConfig, RouterCfg};
+    use heteronoc_noc::topology::TopologyKind;
+    use heteronoc_noc::types::Bits;
+
+    #[test]
+    fn placements_have_expected_sizes() {
+        assert_eq!(corners4(8, 8), vec![NodeId(0), NodeId(7), NodeId(56), NodeId(63)]);
+        let d = diamond16(8, 8);
+        assert_eq!(d.len(), 16);
+        // Two per row and per column.
+        for k in 0..8 {
+            assert_eq!(d.iter().filter(|n| n.index() / 8 == k).count(), 2, "row {k}");
+            assert_eq!(d.iter().filter(|n| n.index() % 8 == k).count(), 2, "col {k}");
+        }
+        let g = diagonal16(8);
+        assert_eq!(g.len(), 16);
+        assert!(g.contains(&NodeId(0)) && g.contains(&NodeId(63)));
+    }
+
+    #[test]
+    fn memctrl_respects_concurrency_and_latency() {
+        let mut mc = MemCtrl::new(100, 2);
+        mc.request(0, 1);
+        mc.request(0, 2);
+        mc.request(0, 3); // queued
+        assert_eq!(mc.pending(), 3);
+        assert!(mc.completed(99).is_empty());
+        let mut done = mc.completed(100);
+        done.sort_unstable();
+        assert_eq!(done, vec![1, 2]);
+        // Token 3 started service at 100.
+        assert!(mc.completed(150).is_empty());
+        assert_eq!(mc.completed(200), vec![3]);
+        assert_eq!(mc.pending(), 0);
+    }
+
+    #[test]
+    fn closed_loop_completes_and_measures() {
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 4,
+                height: 4,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        let stats = run_closed_loop(cfg, &corners4(4, 4), 4, 50, 500, 1);
+        assert!(stats.completed >= 500);
+        assert!(stats.round_trip.mean() > 50.0, "round trip includes DRAM");
+        assert!(stats.request_leg.mean() > 4.0);
+        assert!(stats.request_leg.mean() < stats.round_trip.mean());
+        assert!(stats.round_trip.stddev() >= 0.0);
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic() {
+        let cfg = || {
+            NetworkConfig::homogeneous(
+                TopologyKind::Mesh {
+                    width: 4,
+                    height: 4,
+                },
+                RouterCfg::BASELINE,
+                Bits(192),
+                2.2,
+            )
+        };
+        let a = run_closed_loop(cfg(), &corners4(4, 4), 2, 10, 200, 7);
+        let b = run_closed_loop(cfg(), &corners4(4, 4), 2, 10, 200, 7);
+        assert_eq!(a.round_trip.mean(), b.round_trip.mean());
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

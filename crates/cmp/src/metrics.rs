@@ -1,0 +1,149 @@
+//! Performance metrics: streaming mean/variance, IPC aggregation and the
+//! multi-program speedup metrics of §7 (Eyerman & Eeckhout).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Samples accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 with fewer than 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean; 0 when the mean is 0).
+    pub fn cov(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev() / self.mean
+        }
+    }
+}
+
+/// Weighted speedup of a multi-program mix: `Σᵢ IPCᵢ_shared / IPCᵢ_alone`
+/// normalized by the thread count (so 1.0 = no interference).
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or an alone-IPC is
+/// not positive.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "IPC vectors must align");
+    assert!(!shared.is_empty(), "need at least one thread");
+    let sum: f64 = shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum();
+    sum / shared.len() as f64
+}
+
+/// Harmonic mean of per-thread speedups — balances performance and
+/// fairness (§7).
+///
+/// # Panics
+/// Same conditions as [`weighted_speedup`], plus any zero shared-IPC.
+pub fn harmonic_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "IPC vectors must align");
+    assert!(!shared.is_empty(), "need at least one thread");
+    let denom: f64 = shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            assert!(s > 0.0, "shared IPC must be positive");
+            a / s
+        })
+        .sum();
+    shared.len() as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+        assert!((w.cov() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_edge_cases() {
+        let mut w = Welford::new();
+        assert_eq!(w.stddev(), 0.0);
+        assert_eq!(w.mean(), 0.0);
+        w.add(3.0);
+        assert_eq!(w.stddev(), 0.0);
+        assert_eq!(w.mean(), 3.0);
+    }
+
+    #[test]
+    fn speedups_identity_when_no_interference() {
+        let ipc = [1.0, 2.0, 0.5];
+        assert!((weighted_speedup(&ipc, &ipc) - 1.0).abs() < 1e-12);
+        assert!((harmonic_speedup(&ipc, &ipc) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_punishes_imbalance() {
+        let alone = [1.0, 1.0];
+        let balanced = [0.5, 0.5];
+        let skewed = [0.9, 0.1];
+        // Same weighted speedup...
+        assert!(
+            (weighted_speedup(&balanced, &alone) - weighted_speedup(&skewed, &alone)).abs()
+                < 1e-12
+        );
+        // ...but harmonic prefers the fair mix.
+        assert!(harmonic_speedup(&balanced, &alone) > harmonic_speedup(&skewed, &alone));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn speedup_length_mismatch_panics() {
+        let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

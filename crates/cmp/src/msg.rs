@@ -1,0 +1,187 @@
+//! Coherence and memory messages, and their encoding into network packets.
+//!
+//! All protocol traffic travels through the NoC as either 1-flit control
+//! packets (requests, forwards, invalidations, acks) or cache-line data
+//! packets (1024 bits, §4). A message is encoded losslessly into the
+//! packet's `tag` so the simulator needs no side tables.
+
+use serde::{Deserialize, Serialize};
+
+use heteronoc_noc::types::Bits;
+
+/// Size of a control/address packet (one flit in every configuration).
+pub const CONTROL_BITS: Bits = Bits(64);
+
+/// Size of a cache-line data packet.
+pub const DATA_BITS: Bits = Bits(1024);
+
+/// Protocol message kinds (directory MESI, plus the memory interface).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MsgKind {
+    /// L1 read request to the home bank.
+    GetS = 0,
+    /// L1 write (ownership) request to the home bank.
+    GetM = 1,
+    /// Dirty eviction writeback from an L1 owner to the home bank.
+    PutM = 2,
+    /// Home asks the owner to downgrade to S and write back.
+    FwdS = 3,
+    /// Home asks the owner to invalidate and write back.
+    FwdM = 4,
+    /// Home invalidates a sharer.
+    Inv = 5,
+    /// Sharer acknowledges an invalidation to the home.
+    InvAck = 6,
+    /// Home grants shared data.
+    DataS = 7,
+    /// Home grants exclusive (clean) data — MESI E state.
+    DataE = 8,
+    /// Home grants modifiable data.
+    DataM = 9,
+    /// Owner writes data back to the home in response to a forward.
+    WbData = 10,
+    /// Home requests a line from a memory controller.
+    MemRead = 11,
+    /// Home writes an evicted dirty line to memory (fire and forget).
+    MemWrite = 12,
+    /// Memory controller returns a line to the home.
+    MemData = 13,
+}
+
+impl MsgKind {
+    /// True for messages that carry a full cache line.
+    pub fn is_data(self) -> bool {
+        matches!(
+            self,
+            MsgKind::PutM
+                | MsgKind::DataS
+                | MsgKind::DataE
+                | MsgKind::DataM
+                | MsgKind::WbData
+                | MsgKind::MemWrite
+                | MsgKind::MemData
+        )
+    }
+
+    /// Packet payload size for this message.
+    pub fn packet_bits(self) -> Bits {
+        if self.is_data() {
+            DATA_BITS
+        } else {
+            CONTROL_BITS
+        }
+    }
+
+    fn from_u8(v: u8) -> MsgKind {
+        match v {
+            0 => MsgKind::GetS,
+            1 => MsgKind::GetM,
+            2 => MsgKind::PutM,
+            3 => MsgKind::FwdS,
+            4 => MsgKind::FwdM,
+            5 => MsgKind::Inv,
+            6 => MsgKind::InvAck,
+            7 => MsgKind::DataS,
+            8 => MsgKind::DataE,
+            9 => MsgKind::DataM,
+            10 => MsgKind::WbData,
+            11 => MsgKind::MemRead,
+            12 => MsgKind::MemWrite,
+            13 => MsgKind::MemData,
+            _ => panic!("invalid message kind {v}"),
+        }
+    }
+}
+
+/// A protocol message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Msg {
+    /// Message kind.
+    pub kind: MsgKind,
+    /// Cache-block number (byte address / block size).
+    pub block: u64,
+    /// The core/node on whose behalf the transaction runs (the original
+    /// requester), used to route the eventual data reply.
+    pub requester: u16,
+    /// True when the transaction was serviced by a memory controller
+    /// (set on data replies; used for round-trip statistics, Fig. 13).
+    pub from_memory: bool,
+}
+
+impl Msg {
+    /// Creates a message.
+    pub fn new(kind: MsgKind, block: u64, requester: usize) -> Msg {
+        Msg {
+            kind,
+            block,
+            requester: requester as u16,
+            from_memory: false,
+        }
+    }
+
+    /// Marks the transaction as memory-serviced.
+    pub fn with_memory_flag(mut self, from_memory: bool) -> Msg {
+        self.from_memory = from_memory;
+        self
+    }
+
+    /// Encodes into a packet tag: `kind(4) | requester(12) | block(47) |
+    /// from_memory(1)`.
+    ///
+    /// # Panics
+    /// Panics if the block number exceeds 47 bits or the requester 12 bits.
+    pub fn encode(self) -> u64 {
+        assert!(self.block < (1 << 47), "block number too large");
+        assert!(self.requester < (1 << 12), "requester id too large");
+        (self.kind as u64)
+            | (u64::from(self.requester) << 4)
+            | (self.block << 16)
+            | (u64::from(self.from_memory) << 63)
+    }
+
+    /// Decodes a packet tag produced by [`Msg::encode`].
+    pub fn decode(tag: u64) -> Msg {
+        Msg {
+            kind: MsgKind::from_u8((tag & 0xF) as u8),
+            requester: ((tag >> 4) & 0xFFF) as u16,
+            block: (tag >> 16) & ((1 << 47) - 1),
+            from_memory: tag >> 63 == 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for k in 0..14u8 {
+            let kind = MsgKind::from_u8(k);
+            let m = Msg::new(kind, 0x12_3456_789A, 1023).with_memory_flag(k % 2 == 0);
+            let back = Msg::decode(m.encode());
+            assert_eq!(back, m, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn data_sizes() {
+        assert_eq!(MsgKind::GetS.packet_bits(), Bits(64));
+        assert_eq!(MsgKind::DataM.packet_bits(), Bits(1024));
+        assert!(MsgKind::MemData.is_data());
+        assert!(!MsgKind::InvAck.is_data());
+        // 1-flit control in both flit widths (64 <= 128 <= 192).
+        assert_eq!(CONTROL_BITS.flits(Bits(192)), 1);
+        assert_eq!(CONTROL_BITS.flits(Bits(128)), 1);
+        // Data: 6 flits at 192b, 8 at 128b (§4).
+        assert_eq!(DATA_BITS.flits(Bits(192)), 6);
+        assert_eq!(DATA_BITS.flits(Bits(128)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "block number too large")]
+    fn encode_rejects_huge_blocks() {
+        let _ = Msg::new(MsgKind::GetS, 1 << 47, 0).encode();
+    }
+}

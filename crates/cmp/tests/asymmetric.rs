@@ -1,0 +1,138 @@
+//! Behavioural tests of the asymmetric-CMP machinery (§7): expedited
+//! packet classes, table routing through the network, and the speedup
+//! metrics plumbing.
+
+use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams, MemParams};
+use heteronoc_noc::config::NetworkConfig;
+use heteronoc_noc::routing::{RouteTable, RoutingKind};
+use heteronoc_noc::topology::TopologyKind;
+use heteronoc_noc::types::{Bits, NodeId, RouterId};
+use heteronoc_traffic::trace::{MemOp, TraceRecord, TraceSource, VecTrace};
+
+fn base_net() -> NetworkConfig {
+    NetworkConfig::homogeneous(
+        TopologyKind::Mesh {
+            width: 4,
+            height: 4,
+        },
+        heteronoc_noc::config::RouterCfg::BASELINE,
+        Bits(192),
+        2.2,
+    )
+}
+
+fn table_net() -> NetworkConfig {
+    let mut cfg = base_net();
+    let graph = cfg.build_graph();
+    cfg.routing = RoutingKind::TableXy(RouteTable::for_hubs(
+        &graph,
+        &[RouterId(0), RouterId(15)],
+    ));
+    cfg
+}
+
+fn traces(active: &[(usize, u64)]) -> Vec<Box<dyn TraceSource + Send>> {
+    (0..16)
+        .map(|i| {
+            let recs: Vec<TraceRecord> = active
+                .iter()
+                .filter(|&&(c, _)| c == i)
+                .flat_map(|&(_, n)| {
+                    (0..n).map(move |k| TraceRecord {
+                        gap: 2,
+                        op: if k % 4 == 0 { MemOp::Store } else { MemOp::Load },
+                        addr: 0x10_0000 + (i as u64 * 4096 + k) * 128,
+                    })
+                })
+                .collect();
+            Box::new(VecTrace::new(recs)) as Box<dyn TraceSource + Send>
+        })
+        .collect()
+}
+
+fn mixed_params() -> Vec<CoreParams> {
+    (0..16)
+        .map(|i| {
+            if i == 0 || i == 15 {
+                CoreParams::OUT_OF_ORDER
+            } else {
+                CoreParams::IN_ORDER
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn expedited_nodes_mark_their_traffic() {
+    let mut cfg = CmpConfig {
+        net: table_net(),
+        mem: MemParams {
+            dram_latency: 30,
+            ..MemParams::default()
+        },
+        mc_nodes: heteronoc_cmp::corners4(4, 4),
+        core_clock_ghz: 2.2,
+        expedited_nodes: vec![NodeId(0), NodeId(15)],
+    };
+    cfg.mem.l1_mshrs = 8;
+    let active: Vec<(usize, u64)> = (0..16).map(|c| (c, 40)).collect();
+    let mut sys = CmpSystem::new(cfg, mixed_params(), traces(&active));
+    sys.run(5_000_000);
+    assert!(sys.finished(), "asymmetric table-routed CMP must drain");
+    let stats = sys.network().stats();
+    // Expedited class traffic exists (requests from/to nodes 0 and 15).
+    assert!(
+        stats.latency_by_class[2].count > 0,
+        "expedited packets must flow"
+    );
+    // Regular classes flow too.
+    assert!(stats.latency_by_class[0].count + stats.latency_by_class[1].count > 0);
+}
+
+#[test]
+fn table_routing_matches_xy_commit_counts() {
+    // The routing policy must not change *what* executes, only timing.
+    let active: Vec<(usize, u64)> = (0..16).map(|c| (c, 30)).collect();
+    let run = |net: NetworkConfig, expedited: Vec<NodeId>| {
+        let cfg = CmpConfig {
+            net,
+            mem: MemParams {
+                dram_latency: 30,
+                ..MemParams::default()
+            },
+            mc_nodes: heteronoc_cmp::corners4(4, 4),
+            core_clock_ghz: 2.2,
+            expedited_nodes: expedited,
+        };
+        let mut sys = CmpSystem::new(cfg, mixed_params(), traces(&active));
+        sys.run(5_000_000);
+        assert!(sys.finished());
+        sys.committed()
+    };
+    let xy = run(base_net(), vec![]);
+    let table = run(table_net(), vec![NodeId(0), NodeId(15)]);
+    assert_eq!(xy, table, "same instructions commit under both routings");
+}
+
+#[test]
+fn in_order_cores_never_exceed_scalar_ipc() {
+    let active: Vec<(usize, u64)> = (1..15).map(|c| (c, 60)).collect();
+    let cfg = CmpConfig {
+        net: base_net(),
+        mem: MemParams {
+            dram_latency: 20,
+            ..MemParams::default()
+        },
+        mc_nodes: heteronoc_cmp::corners4(4, 4),
+        core_clock_ghz: 2.2,
+        expedited_nodes: vec![],
+    };
+    let mut sys = CmpSystem::new(cfg, mixed_params(), traces(&active));
+    sys.run(5_000_000);
+    assert!(sys.finished());
+    for (i, ipc) in sys.ipcs().iter().enumerate() {
+        if (1..15).contains(&i) {
+            assert!(*ipc <= 1.01, "in-order core {i} IPC {ipc}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Coherence-protocol behaviour tests exercising the directory MESI state
+//! machine through the full system (network included).
+
+use heteronoc_cmp::{corners4, CmpConfig, CmpSystem, CoreParams, MemParams};
+use heteronoc_noc::config::{NetworkConfig, RouterCfg};
+use heteronoc_noc::topology::TopologyKind;
+use heteronoc_noc::types::Bits;
+use heteronoc_traffic::trace::{MemOp, TraceRecord, TraceSource, VecTrace};
+
+fn net4() -> NetworkConfig {
+    NetworkConfig::homogeneous(
+        TopologyKind::Mesh {
+            width: 4,
+            height: 4,
+        },
+        RouterCfg::BASELINE,
+        Bits(192),
+        2.2,
+    )
+}
+
+fn cfg() -> CmpConfig {
+    CmpConfig {
+        net: net4(),
+        mem: MemParams {
+            dram_latency: 40,
+            ..MemParams::default()
+        },
+        mc_nodes: corners4(4, 4),
+        core_clock_ghz: 2.2,
+        expedited_nodes: Vec::new(),
+    }
+}
+
+fn rec(gap: u32, op: MemOp, addr: u64) -> TraceRecord {
+    TraceRecord { gap, op, addr }
+}
+
+fn system(per_core: Vec<Vec<TraceRecord>>) -> CmpSystem {
+    let traces: Vec<Box<dyn TraceSource + Send>> = per_core
+        .into_iter()
+        .map(|v| Box::new(VecTrace::new(v)) as Box<dyn TraceSource + Send>)
+        .collect();
+    CmpSystem::new(cfg(), vec![CoreParams::OUT_OF_ORDER; 16], traces)
+}
+
+fn run(sys: &mut CmpSystem) {
+    sys.run(5_000_000);
+    assert!(sys.finished(), "system must drain");
+}
+
+#[test]
+fn dirty_l1_eviction_writes_back_and_reloads_from_l2() {
+    // Store 1500 distinct blocks (L1 holds 256) then reload them: the
+    // reload must be served by the L2 (dirty copies written back), not by
+    // extra DRAM reads.
+    let blocks: Vec<u64> = (0..1500u64).map(|i| 0x40_0000 + i * 128).collect();
+    let mut t = Vec::new();
+    for &b in &blocks {
+        t.push(rec(0, MemOp::Store, b));
+    }
+    for &b in &blocks {
+        t.push(rec(0, MemOp::Load, b));
+    }
+    let mut per_core = vec![Vec::new(); 16];
+    per_core[5] = t;
+    let mut sys = system(per_core);
+    run(&mut sys);
+    assert_eq!(sys.committed()[5], 3000);
+    // Exactly one DRAM fetch per distinct block, reloads L2-served.
+    assert_eq!(sys.stats().mem_reads, 1500);
+}
+
+#[test]
+fn l2_capacity_evictions_write_dirty_lines_to_memory() {
+    // One bank holds 8192 lines; all blocks homed at bank 0 means block %
+    // 16 == 0. Write far more than one bank's capacity of such blocks.
+    let n = 12_000u64;
+    let mut t = Vec::new();
+    for i in 0..n {
+        t.push(rec(0, MemOp::Store, (i * 16) * 128)); // home bank 0
+    }
+    let mut per_core = vec![Vec::new(); 16];
+    per_core[0] = t;
+    let mut sys = system(per_core);
+    sys.run(30_000_000);
+    assert!(sys.finished());
+    assert!(
+        sys.stats().mem_writes > 0,
+        "L2 overflow of dirty lines must produce memory writebacks"
+    );
+}
+
+#[test]
+fn producer_consumer_ping_pong() {
+    // Cores 2 and 10 alternately write the same block with gaps: ownership
+    // must migrate back and forth through forwards, never deadlocking.
+    let block = 0x7_0000u64;
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for _ in 0..40 {
+        a.push(rec(120, MemOp::Store, block));
+        b.push(rec(120, MemOp::Store, block));
+    }
+    let mut per_core = vec![Vec::new(); 16];
+    per_core[2] = a;
+    per_core[10] = b;
+    let mut sys = system(per_core);
+    run(&mut sys);
+    // Only the very first access can reach DRAM.
+    assert_eq!(sys.stats().mem_reads, 1);
+}
+
+#[test]
+fn wide_sharing_then_write_invalidates_all_readers() {
+    // 15 cores read one block, then core 15 writes it, then all read again:
+    // the second read round must re-fetch (via the owner), not from DRAM.
+    let block = 0x9_0000u64;
+    let mut per_core: Vec<Vec<TraceRecord>> = (0..15)
+        .map(|_| vec![rec(0, MemOp::Load, block), rec(3000, MemOp::Load, block)])
+        .collect();
+    per_core.push(vec![rec(1000, MemOp::Store, block)]);
+    let mut sys = system(per_core);
+    run(&mut sys);
+    assert_eq!(sys.stats().mem_reads, 1, "one cold fetch only");
+    for c in 0..15 {
+        assert_eq!(sys.committed()[c], 3002);
+    }
+}
+
+#[test]
+fn mshr_limit_throttles_but_preserves_correctness() {
+    // 64 independent miss addresses issued back-to-back against 16 MSHRs.
+    let mut t = Vec::new();
+    for i in 0..64u64 {
+        t.push(rec(0, MemOp::Load, 0xB_0000 + i * 128));
+    }
+    let mut per_core = vec![Vec::new(); 16];
+    per_core[7] = t;
+    let mut sys = system(per_core);
+    run(&mut sys);
+    assert_eq!(sys.committed()[7], 64);
+    assert_eq!(sys.stats().mem_reads, 64);
+}
+
+#[test]
+fn read_after_remote_write_sees_forwarded_data_path() {
+    // Core 1 writes; later core 9 reads the same block: the directory must
+    // forward from core 1 (owner), producing zero additional DRAM reads.
+    let block = 0xC_0000u64;
+    let mut per_core = vec![Vec::new(); 16];
+    per_core[1] = vec![rec(0, MemOp::Store, block)];
+    per_core[9] = vec![rec(2000, MemOp::Load, block)];
+    let mut sys = system(per_core);
+    run(&mut sys);
+    assert_eq!(sys.stats().mem_reads, 1);
+    assert_eq!(sys.committed()[9], 2001);
+}
+
+#[test]
+fn store_to_shared_line_upgrades_without_memory() {
+    let block = 0xD_0000u64;
+    let mut per_core = vec![Vec::new(); 16];
+    // Load then (after a long gap) store on the same core: E-state silent
+    // upgrade — exactly one memory read.
+    per_core[4] = vec![rec(0, MemOp::Load, block), rec(2000, MemOp::Store, block)];
+    let mut sys = system(per_core);
+    run(&mut sys);
+    assert_eq!(sys.stats().mem_reads, 1);
+}

@@ -1,0 +1,358 @@
+//! Design-space exploration (paper §2, footnote 4).
+//!
+//! The authors enumerated *all* placements of big routers on a 4x4 network
+//! for three small/big splits — 1820, 8008 and 12870 raw configurations —
+//! and extrapolated the winners to 8x8. This module reproduces that search:
+//! exhaustive enumeration of `k`-big-router placements, symmetry reduction
+//! under the dihedral group D4 (rotations/reflections of the square grid,
+//! which leave the mesh and uniform traffic invariant), and a pluggable
+//! evaluation hook scored by short simulations.
+
+use std::collections::HashSet;
+
+use heteronoc_noc::types::RouterId;
+
+use crate::layout::Placement;
+
+/// Number of `k`-subsets of an `n`-element set (`C(n, k)`), the raw
+/// placement count before symmetry reduction.
+///
+/// # Examples
+/// ```
+/// use heteronoc::dse::binomial;
+/// // The paper's three 4x4 splits.
+/// assert_eq!(binomial(16, 4), 1_820);
+/// assert_eq!(binomial(16, 6), 8_008);
+/// assert_eq!(binomial(16, 8), 12_870);
+/// ```
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+/// The eight symmetries of a square grid (identity, three rotations, four
+/// reflections), applied to a bitmask of an `s x s` grid.
+fn d4_images(mask: u32, s: usize) -> [u32; 8] {
+    let at = |m: u32, x: usize, y: usize| (m >> (y * s + x)) & 1;
+    let mut out = [0u32; 8];
+    for (t, img) in out.iter_mut().enumerate() {
+        let mut m = 0u32;
+        for y in 0..s {
+            for x in 0..s {
+                // Transform destination (x, y) back to source coordinates.
+                let (sx, sy) = match t {
+                    0 => (x, y),                     // identity
+                    1 => (y, s - 1 - x),             // rotate 90
+                    2 => (s - 1 - x, s - 1 - y),     // rotate 180
+                    3 => (s - 1 - y, x),             // rotate 270
+                    4 => (s - 1 - x, y),             // mirror x
+                    5 => (x, s - 1 - y),             // mirror y
+                    6 => (y, x),                     // transpose
+                    _ => (s - 1 - y, s - 1 - x),     // anti-transpose
+                };
+                if at(mask, sx, sy) == 1 {
+                    m |= 1 << (y * s + x);
+                }
+            }
+        }
+        *img = m;
+    }
+    out
+}
+
+/// Canonical representative of a placement's D4 orbit (the minimum bitmask
+/// over all eight symmetries).
+pub fn canonical_mask(mask: u32, side: usize) -> u32 {
+    *d4_images(mask, side).iter().min().expect("eight images")
+}
+
+/// Enumerates all placements of `k` big routers on a `side x side` grid,
+/// reduced to one representative per D4 symmetry class.
+///
+/// # Panics
+/// Panics if the grid has more than 25 routers (bitmask-limited; the
+/// paper's exhaustive search is 4x4 for exactly this blow-up reason).
+pub fn enumerate_canonical(side: usize, k: usize) -> Vec<Placement> {
+    let n = side * side;
+    assert!(n <= 25, "exhaustive enumeration is limited to small grids");
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    // Iterate k-subsets via combination unranking (lexicographic masks).
+    let mut comb: Vec<usize> = (0..k).collect();
+    loop {
+        let mask: u32 = comb.iter().map(|&i| 1u32 << i).sum();
+        let canon = canonical_mask(mask, side);
+        if seen.insert(canon) {
+            let big: Vec<RouterId> = (0..n)
+                .filter(|&i| canon & (1 << i) != 0)
+                .map(RouterId)
+                .collect();
+            out.push(Placement::from_big_routers(side, side, &big));
+        }
+        // Next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if comb[i] != i + n - k {
+                comb[i] += 1;
+                for j in i + 1..k {
+                    comb[j] = comb[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Total raw placements covered by a canonical enumeration (Σ orbit sizes);
+/// must equal `C(n, k)`.
+pub fn orbit_total(side: usize, canonical: &[Placement]) -> u64 {
+    canonical
+        .iter()
+        .map(|p| {
+            let mask: u32 = p
+                .big_routers()
+                .map(|r| 1u32 << r.index())
+                .sum();
+            let images = d4_images(mask, side);
+            let distinct: HashSet<u32> = images.iter().copied().collect();
+            distinct.len() as u64
+        })
+        .sum()
+}
+
+/// A scored placement from a design-space sweep.
+#[derive(Clone, Debug)]
+pub struct ScoredPlacement {
+    /// The placement.
+    pub placement: Placement,
+    /// Evaluation score (lower is better; typically mean latency).
+    pub score: f64,
+}
+
+/// Evaluates every canonical placement with `eval` and returns them sorted
+/// best-first. `eval` receives each placement and returns a score (lower is
+/// better; e.g. mean packet latency from a short simulation).
+pub fn sweep<F: FnMut(&Placement) -> f64>(
+    side: usize,
+    k: usize,
+    mut eval: F,
+) -> Vec<ScoredPlacement> {
+    let mut scored: Vec<ScoredPlacement> = enumerate_canonical(side, k)
+        .into_iter()
+        .map(|placement| {
+            let score = eval(&placement);
+            ScoredPlacement { placement, score }
+        })
+        .collect();
+    scored.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite scores"));
+    scored
+}
+
+/// Stochastic local search for big-router placements on grids too large to
+/// enumerate (the paper notes C(64,48) ≈ 4.89·10¹⁴ makes exhaustive 8x8
+/// search infeasible and extrapolates from 4x4 instead — this explores the
+/// 8x8 space directly).
+///
+/// Starts from `start` (e.g. the diagonal layout, or a random placement)
+/// and repeatedly proposes swapping one big router with one small router,
+/// accepting improvements always and regressions with a geometrically
+/// cooled Metropolis probability. Deterministic per seed.
+pub fn anneal<F: FnMut(&Placement) -> f64>(
+    start: Placement,
+    iterations: usize,
+    seed: u64,
+    mut eval: F,
+) -> ScoredPlacement {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = start.width() * start.height();
+    let mut cur = start;
+    let mut cur_score = eval(&cur);
+    let mut best = cur.clone();
+    let mut best_score = cur_score;
+    // Initial temperature relative to the starting score; cools to ~1% of
+    // it over the run.
+    let t0 = (cur_score * 0.1).max(1e-6);
+    for it in 0..iterations {
+        let temp = t0 * (0.01f64).powf(it as f64 / iterations.max(1) as f64);
+        // Propose a swap.
+        let bigs: Vec<RouterId> = cur.big_routers().collect();
+        if bigs.is_empty() || bigs.len() == n {
+            break; // nothing to swap
+        }
+        let smalls: Vec<usize> = (0..n)
+            .filter(|&i| !cur.is_big(RouterId(i)))
+            .collect();
+        let b = bigs[rng.random_range(0..bigs.len())];
+        let s = smalls[rng.random_range(0..smalls.len())];
+        let mut next_big: Vec<RouterId> = bigs.iter().copied().filter(|&r| r != b).collect();
+        next_big.push(RouterId(s));
+        let cand = Placement::from_big_routers(cur.width(), cur.height(), &next_big);
+        let cand_score = eval(&cand);
+        let accept = cand_score <= cur_score
+            || rng.random::<f64>() < (-(cand_score - cur_score) / temp).exp();
+        if accept {
+            cur = cand;
+            cur_score = cand_score;
+            if cur_score < best_score {
+                best = cur.clone();
+                best_score = cur_score;
+            }
+        }
+    }
+    ScoredPlacement {
+        placement: best,
+        score: best_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_paper_counts() {
+        assert_eq!(binomial(16, 4), 1_820);
+        assert_eq!(binomial(16, 6), 8_008);
+        assert_eq!(binomial(16, 8), 12_870);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(4, 6), 0);
+    }
+
+    #[test]
+    fn paper_extrapolation_count_is_infeasible() {
+        // "the number of ways to place 48 small and 16 big routers in a 64
+        // node network is C(64,48) = 4.89E+14".
+        fn binomial_f(n: u64, k: u64) -> f64 {
+            (0..k.min(n - k)).fold(1.0, |acc, i| acc * (n - i) as f64 / (i + 1) as f64)
+        }
+        let c = binomial_f(64, 48);
+        assert!((c / 4.89e14 - 1.0).abs() < 0.01, "C(64,48) = {c:e}");
+    }
+
+    #[test]
+    fn canonical_orbits_cover_all_raw_placements() {
+        for k in [2usize, 4] {
+            let canon = enumerate_canonical(4, k);
+            assert_eq!(
+                orbit_total(4, &canon),
+                binomial(16, k as u64),
+                "k={k}: orbits must partition the raw placements"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_reduction_shrinks_the_space() {
+        let canon = enumerate_canonical(4, 4);
+        // 1820 raw -> a bit over 1820/8 orbits (some are symmetric).
+        assert!(canon.len() >= 1820 / 8);
+        assert!(canon.len() < 1820 / 4);
+        for p in &canon {
+            assert_eq!(p.num_big(), 4);
+        }
+    }
+
+    #[test]
+    fn canonical_mask_is_invariant_under_d4() {
+        let m = 0b0000_0000_0010_0001u32; // routers 0 and 5 on 4x4
+        let c = canonical_mask(m, 4);
+        for img in d4_images(m, 4) {
+            assert_eq!(canonical_mask(img, 4), c);
+        }
+    }
+
+    #[test]
+    fn d4_identity_and_rotation_orders() {
+        let m = 0b1010_0101_0011_1100u32;
+        let imgs = d4_images(m, 4);
+        assert_eq!(imgs[0], m);
+        // Rotating twice by 90 equals rotating by 180.
+        let r90 = imgs[1];
+        let r90_again = d4_images(r90, 4)[1];
+        assert_eq!(r90_again, imgs[2]);
+        // All transforms preserve popcount.
+        for img in imgs {
+            assert_eq!(img.count_ones(), m.count_ones());
+        }
+    }
+
+    #[test]
+    fn anneal_finds_the_toy_optimum() {
+        // Toy objective: big routers should hug the centre of a 6x6 grid.
+        let centre_dist = |p: &Placement| -> f64 {
+            p.big_coords()
+                .map(|c| {
+                    let dx = c.x as f64 - 2.5;
+                    let dy = c.y as f64 - 2.5;
+                    dx * dx + dy * dy
+                })
+                .sum()
+        };
+        // Start from the worst corner-heavy placement.
+        let start = Placement::from_big_routers(
+            6,
+            6,
+            &[RouterId(0), RouterId(5), RouterId(30), RouterId(35)],
+        );
+        let start_score = centre_dist(&start);
+        let best = anneal(start, 600, 9, centre_dist);
+        let optimal = centre_dist(&Placement::center(6, 6, 4));
+        assert!(best.score < start_score, "must improve on the start");
+        assert!(
+            (best.score - optimal).abs() < 1e-9,
+            "anneal score {} vs optimal {optimal}",
+            best.score
+        );
+        assert_eq!(best.placement.num_big(), 4, "swap moves preserve the split");
+    }
+
+    #[test]
+    fn anneal_is_deterministic_per_seed() {
+        let obj = |p: &Placement| -> f64 {
+            p.big_routers().map(|r| r.index() as f64).sum()
+        };
+        let start = Placement::diagonals(4, 4);
+        let a = anneal(start.clone(), 100, 3, obj);
+        let b = anneal(start, 100, 3, obj);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn sweep_orders_by_score() {
+        // Toy score: prefer placements whose big routers hug the centre.
+        let scored = sweep(4, 2, |p| {
+            p.big_coords()
+                .map(|c| {
+                    let dx = c.x as f64 - 1.5;
+                    let dy = c.y as f64 - 1.5;
+                    dx * dx + dy * dy
+                })
+                .sum()
+        });
+        assert!(!scored.is_empty());
+        for w in scored.windows(2) {
+            assert!(w[0].score <= w[1].score);
+        }
+        // Best 2-router placement: both in the central 2x2 block.
+        let best = &scored[0].placement;
+        for c in best.big_coords() {
+            assert!((1..=2).contains(&c.x) && (1..=2).contains(&c.y));
+        }
+    }
+}

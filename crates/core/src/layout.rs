@@ -1,0 +1,385 @@
+//! Big-router placements and the paper's six HeteroNoC layouts (Fig. 3).
+
+use serde::{Deserialize, Serialize};
+
+use heteronoc_noc::types::{Coord, RouterId};
+
+/// A set of big-router positions on a `width x height` grid.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Placement {
+    width: usize,
+    height: usize,
+    big: Vec<bool>,
+}
+
+impl Placement {
+    /// Empty placement (all routers small/baseline).
+    pub fn empty(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid must be non-empty");
+        Self {
+            width,
+            height,
+            big: vec![false; width * height],
+        }
+    }
+
+    /// Placement from an explicit big-router list.
+    ///
+    /// # Panics
+    /// Panics if any router index is out of range.
+    pub fn from_big_routers(width: usize, height: usize, big: &[RouterId]) -> Self {
+        let mut p = Self::empty(width, height);
+        for r in big {
+            assert!(r.index() < width * height, "router {r} out of range");
+            p.big[r.index()] = true;
+        }
+        p
+    }
+
+    /// The `count` routers closest to the grid centre (Euclidean distance,
+    /// ties broken by index) — the Center layouts of Fig. 3 (b)/(e). For an
+    /// 8x8 grid and `count = 16` this is exactly the central 4x4 block.
+    pub fn center(width: usize, height: usize, count: usize) -> Self {
+        assert!(count <= width * height, "count exceeds grid size");
+        let cx = (width as f64 - 1.0) / 2.0;
+        let cy = (height as f64 - 1.0) / 2.0;
+        let mut order: Vec<usize> = (0..width * height).collect();
+        order.sort_by(|&a, &b| {
+            let d = |i: usize| {
+                let x = (i % width) as f64 - cx;
+                let y = (i / width) as f64 - cy;
+                x * x + y * y
+            };
+            d(a).partial_cmp(&d(b)).unwrap().then(a.cmp(&b))
+        });
+        let mut p = Self::empty(width, height);
+        for &i in order.iter().take(count) {
+            p.big[i] = true;
+        }
+        p
+    }
+
+    /// All routers of the given rows — Row2_5 of Fig. 3 (c)/(f) uses rows
+    /// 1 and 4 (the paper's "second and fifth row", 1-indexed).
+    pub fn rows(width: usize, height: usize, rows: &[usize]) -> Self {
+        let mut p = Self::empty(width, height);
+        for &r in rows {
+            assert!(r < height, "row {r} out of range");
+            for x in 0..width {
+                p.big[r * width + x] = true;
+            }
+        }
+        p
+    }
+
+    /// Both grid diagonals — Diagonal of Fig. 3 (d)/(g). On an 8x8 grid
+    /// this marks 16 routers (the diagonals do not intersect for even
+    /// sides).
+    pub fn diagonals(width: usize, height: usize) -> Self {
+        assert_eq!(width, height, "diagonal placement needs a square grid");
+        let mut p = Self::empty(width, height);
+        for i in 0..width {
+            p.big[i * width + i] = true;
+            p.big[i * width + (width - 1 - i)] = true;
+        }
+        p
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Whether `router` is big.
+    pub fn is_big(&self, router: RouterId) -> bool {
+        self.big[router.index()]
+    }
+
+    /// Big-router mask indexed by router.
+    pub fn mask(&self) -> &[bool] {
+        &self.big
+    }
+
+    /// Number of big routers.
+    pub fn num_big(&self) -> usize {
+        self.big.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of small routers.
+    pub fn num_small(&self) -> usize {
+        self.big.len() - self.num_big()
+    }
+
+    /// Iterates over the big routers.
+    pub fn big_routers(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.big
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(RouterId(i)))
+    }
+
+    /// Coordinates of the big routers.
+    pub fn big_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        let w = self.width;
+        self.big_routers().map(move |r| Coord::new(r.index() % w, r.index() / w))
+    }
+}
+
+/// The network layouts evaluated in the paper (Fig. 3), plus custom
+/// placements for design-space exploration.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Layout {
+    /// Homogeneous baseline (Fig. 3a).
+    Baseline,
+    /// Center placement, buffer-only redistribution (Fig. 3b).
+    CenterB,
+    /// Rows 2 & 5 placement, buffer-only redistribution (Fig. 3c).
+    Row25B,
+    /// Diagonal placement, buffer-only redistribution (Fig. 3d).
+    DiagonalB,
+    /// Center placement, buffer + link redistribution (Fig. 3e).
+    CenterBL,
+    /// Rows 2 & 5 placement, buffer + link redistribution (Fig. 3f).
+    Row25BL,
+    /// Diagonal placement, buffer + link redistribution (Fig. 3g) — the
+    /// paper's best configuration.
+    DiagonalBL,
+    /// Arbitrary placement for design-space exploration.
+    Custom {
+        /// Big-router positions.
+        placement: Placement,
+        /// True for combined buffer + link redistribution (`+BL`).
+        links: bool,
+        /// Display name.
+        name: String,
+    },
+}
+
+impl Layout {
+    /// The six heterogeneous layouts of Fig. 3 (b)-(g).
+    pub fn all_heterogeneous() -> [Layout; 6] {
+        [
+            Layout::CenterB,
+            Layout::Row25B,
+            Layout::DiagonalB,
+            Layout::CenterBL,
+            Layout::Row25BL,
+            Layout::DiagonalBL,
+        ]
+    }
+
+    /// Baseline plus the six heterogeneous layouts (the paper's seven
+    /// evaluated configurations).
+    pub fn all_seven() -> [Layout; 7] {
+        [
+            Layout::Baseline,
+            Layout::CenterB,
+            Layout::Row25B,
+            Layout::DiagonalB,
+            Layout::CenterBL,
+            Layout::Row25BL,
+            Layout::DiagonalBL,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &str {
+        match self {
+            Layout::Baseline => "Baseline",
+            Layout::CenterB => "Center+B",
+            Layout::Row25B => "Row2_5+B",
+            Layout::DiagonalB => "Diagonal+B",
+            Layout::CenterBL => "Center+BL",
+            Layout::Row25BL => "Row2_5+BL",
+            Layout::DiagonalBL => "Diagonal+BL",
+            Layout::Custom { name, .. } => name,
+        }
+    }
+
+    /// Whether this layout redistributes link width too (`+BL`).
+    pub fn redistributes_links(&self) -> bool {
+        match self {
+            Layout::Baseline | Layout::CenterB | Layout::Row25B | Layout::DiagonalB => false,
+            Layout::CenterBL | Layout::Row25BL | Layout::DiagonalBL => true,
+            Layout::Custom { links, .. } => *links,
+        }
+    }
+
+    /// Big-router placement on a `width x height` grid (empty for the
+    /// baseline). The paper's layouts use `2·N` big routers on an `N x N`
+    /// grid.
+    pub fn placement(&self, width: usize, height: usize) -> Placement {
+        match self {
+            Layout::Baseline => Placement::empty(width, height),
+            Layout::CenterB | Layout::CenterBL => Placement::center(width, height, 2 * width),
+            Layout::Row25B | Layout::Row25BL => {
+                // The paper's "second and fifth row" (0-indexed rows 1 and
+                // 4 on the 8x8 grid); generalized as row 1 and row height/2.
+                Placement::rows(width, height, &[1, height / 2])
+            }
+            Layout::DiagonalB | Layout::DiagonalBL => Placement::diagonals(width, height),
+            Layout::Custom { placement, .. } => {
+                assert_eq!(placement.width(), width, "placement width mismatch");
+                assert_eq!(placement.height(), height, "placement height mismatch");
+                placement.clone()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Layout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a layout name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLayoutError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown layout '{}' (expected one of: baseline, center-b, row25-b, \
+             diagonal-b, center-bl, row25-bl, diagonal-bl)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+impl std::str::FromStr for Layout {
+    type Err = ParseLayoutError;
+
+    /// Parses the CLI-style kebab-case names (`diagonal-bl`) and the
+    /// paper-style figure names (`Diagonal+BL`), case-insensitively.
+    fn from_str(s: &str) -> Result<Layout, ParseLayoutError> {
+        let norm: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Ok(match norm.as_str() {
+            "baseline" => Layout::Baseline,
+            "centerb" => Layout::CenterB,
+            "row25b" | "row2_5b" => Layout::Row25B,
+            "diagonalb" => Layout::DiagonalB,
+            "centerbl" => Layout::CenterBL,
+            "row25bl" => Layout::Row25BL,
+            "diagonalbl" => Layout::DiagonalBL,
+            _ => {
+                return Err(ParseLayoutError {
+                    input: s.to_owned(),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_16_is_central_block() {
+        let p = Placement::center(8, 8, 16);
+        assert_eq!(p.num_big(), 16);
+        for y in 0..8 {
+            for x in 0..8 {
+                let expect = (2..6).contains(&x) && (2..6).contains(&y);
+                assert_eq!(
+                    p.is_big(RouterId(y * 8 + x)),
+                    expect,
+                    "router ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rows_2_5_paper_layout() {
+        let l = Layout::Row25B.placement(8, 8);
+        assert_eq!(l.num_big(), 16);
+        for x in 0..8 {
+            assert!(l.is_big(RouterId(8 + x)), "row 1 col {x}");
+            assert!(l.is_big(RouterId(4 * 8 + x)), "row 4 col {x}");
+        }
+    }
+
+    #[test]
+    fn diagonals_cover_16_routers() {
+        let p = Placement::diagonals(8, 8);
+        assert_eq!(p.num_big(), 16);
+        assert_eq!(p.num_small(), 48);
+        for i in 0..8 {
+            assert!(p.is_big(RouterId(i * 8 + i)));
+            assert!(p.is_big(RouterId(i * 8 + 7 - i)));
+        }
+        // Big routers in every row and every column (§2: "placing a few big
+        // routers in each row and column helps most flows use them").
+        for k in 0..8 {
+            assert!((0..8).any(|x| p.is_big(RouterId(k * 8 + x))), "row {k}");
+            assert!((0..8).any(|y| p.is_big(RouterId(y * 8 + k))), "col {k}");
+        }
+    }
+
+    #[test]
+    fn all_paper_layouts_have_2n_big_routers() {
+        for l in Layout::all_heterogeneous() {
+            assert_eq!(l.placement(8, 8).num_big(), 16, "{l}");
+        }
+        assert_eq!(Layout::Baseline.placement(8, 8).num_big(), 0);
+    }
+
+    #[test]
+    fn bl_flags() {
+        assert!(!Layout::CenterB.redistributes_links());
+        assert!(Layout::DiagonalBL.redistributes_links());
+        assert!(!Layout::Baseline.redistributes_links());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Layout::DiagonalBL.name(), "Diagonal+BL");
+        assert_eq!(Layout::Row25B.to_string(), "Row2_5+B");
+    }
+
+    #[test]
+    fn custom_placement_roundtrip() {
+        let p = Placement::from_big_routers(4, 4, &[RouterId(0), RouterId(5)]);
+        let l = Layout::Custom {
+            placement: p.clone(),
+            links: true,
+            name: "test".into(),
+        };
+        assert_eq!(l.placement(4, 4), p);
+        assert_eq!(p.big_routers().collect::<Vec<_>>(), vec![RouterId(0), RouterId(5)]);
+    }
+
+    #[test]
+    fn parses_cli_and_paper_names() {
+        assert_eq!("diagonal-bl".parse::<Layout>().unwrap(), Layout::DiagonalBL);
+        assert_eq!("Diagonal+BL".parse::<Layout>().unwrap(), Layout::DiagonalBL);
+        assert_eq!("Row2_5+B".parse::<Layout>().unwrap(), Layout::Row25B);
+        assert_eq!("BASELINE".parse::<Layout>().unwrap(), Layout::Baseline);
+        let e = "bogus".parse::<Layout>().unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn odd_grid_diagonals_overlap_at_center() {
+        let p = Placement::diagonals(5, 5);
+        // 5 + 5 - 1 (shared centre).
+        assert_eq!(p.num_big(), 9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Resource accounting for HeteroNoC designs (§2, Table 1): VC
+//! conservation, buffer-bit reduction, the power-budget inequality, area
+//! totals and the bisection-bandwidth audit.
+
+use serde::{Deserialize, Serialize};
+
+use heteronoc_noc::config::NetworkConfig;
+use heteronoc_noc::topology::TopologyGraph;
+use heteronoc_power::table1;
+
+use crate::layout::{Layout, Placement};
+
+/// Resource audit of one layout against the homogeneous baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceAudit {
+    /// Layout name.
+    pub layout: String,
+    /// Σ VCs per port over all routers (conserved across layouts).
+    pub total_vcs: usize,
+    /// Total buffer storage in bits (network-level Table 1 accounting).
+    pub buffer_bits: u64,
+    /// Buffer bits of the equivalent homogeneous baseline.
+    pub baseline_buffer_bits: u64,
+    /// Sum of link widths crossing the horizontal bisection (one
+    /// direction), in bits.
+    pub bisection_bits: u64,
+    /// Baseline bisection width in bits.
+    pub baseline_bisection_bits: u64,
+    /// Total router area in mm² (Table 1 per-class areas).
+    pub router_area_mm2: f64,
+    /// Baseline router area in mm².
+    pub baseline_area_mm2: f64,
+    /// Whether the §2 power-budget inequality holds for the placement.
+    pub power_budget_ok: bool,
+}
+
+impl ResourceAudit {
+    /// Buffer-bit reduction relative to the baseline (positive = fewer).
+    pub fn buffer_reduction(&self) -> f64 {
+        1.0 - self.buffer_bits as f64 / self.baseline_buffer_bits as f64
+    }
+
+    /// True when the bisection width does not exceed the baseline's
+    /// (the paper's constant-bisection constraint, satisfied as `<=`; see
+    /// DESIGN.md §5 for the diagonal-cut discussion).
+    pub fn bisection_within_budget(&self) -> bool {
+        self.bisection_bits <= self.baseline_bisection_bits
+    }
+}
+
+/// Audits `layout` on the paper's 8x8 mesh.
+pub fn audit_mesh_layout(layout: &Layout) -> ResourceAudit {
+    let cfg = crate::netgen::mesh_config(layout);
+    let graph = cfg.build_graph();
+    let baseline = crate::netgen::mesh_config(&Layout::Baseline);
+    audit(layout, &cfg, &graph, &baseline)
+}
+
+/// Audits an arbitrary configuration against a baseline configuration on
+/// the same topology.
+pub fn audit(
+    layout: &Layout,
+    cfg: &NetworkConfig,
+    graph: &TopologyGraph,
+    baseline: &NetworkConfig,
+) -> ResourceAudit {
+    let (w, h) = graph.grid_dims();
+    let placement = layout.placement(w, h);
+    let nb = placement.num_big();
+    let ns = placement.num_small();
+    let area = match layout {
+        Layout::Baseline => graph.num_routers() as f64 * table1::BASELINE.area_mm2,
+        _ => ns as f64 * table1::SMALL.area_mm2 + nb as f64 * table1::BIG.area_mm2,
+    };
+    ResourceAudit {
+        layout: layout.name().to_owned(),
+        total_vcs: cfg.routers.iter().map(|r| r.vcs_per_port).sum(),
+        buffer_bits: network_buffer_bits(layout, graph.num_routers()),
+        baseline_buffer_bits: table1::buffer_bits(graph.num_routers() as u64, &table1::BASELINE),
+        bisection_bits: cfg.bisection_bits(graph),
+        baseline_bisection_bits: baseline.bisection_bits(graph),
+        router_area_mm2: area,
+        baseline_area_mm2: graph.num_routers() as f64 * table1::BASELINE.area_mm2,
+        power_budget_ok: power_budget_ok(&placement),
+    }
+}
+
+/// Table 1's network-level buffer-bit accounting for a layout (5-port
+/// routers, as the paper counts). Buffer-only (`+B`) layouts keep 192-bit
+/// entries, so their total bits equal the baseline's (VCs are conserved);
+/// only the `+BL` layouts realize the 33% bit reduction by shrinking
+/// entries to 128 bits.
+pub fn network_buffer_bits(layout: &Layout, num_routers: usize) -> u64 {
+    match layout {
+        Layout::Baseline => table1::buffer_bits(num_routers as u64, &table1::BASELINE),
+        _ if !layout.redistributes_links() => {
+            // Same number of VC buffer entries at the baseline entry width.
+            table1::buffer_bits(num_routers as u64, &table1::BASELINE)
+        }
+        _ => {
+            // Works for any placement size; the paper's 48/16 split is the
+            // special case.
+            let side = (num_routers as f64).sqrt() as usize;
+            let p = layout.placement(side, side);
+            table1::buffer_bits(p.num_small() as u64, &table1::SMALL)
+                + table1::buffer_bits(p.num_big() as u64, &table1::BIG)
+        }
+    }
+}
+
+/// The §2 power-budget inequality for a placement:
+/// `P_base·n ≥ P_small·ns + P_big·nb` at the 50% activity profiles.
+pub fn power_budget_ok(placement: &Placement) -> bool {
+    let n = (placement.num_big() + placement.num_small()) as f64;
+    let budget = table1::BASELINE.power_w * n;
+    let used = table1::SMALL.power_w * placement.num_small() as f64
+        + table1::BIG.power_w * placement.num_big() as f64;
+    used <= budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_bl_audit_matches_table1() {
+        let a = audit_mesh_layout(&Layout::DiagonalBL);
+        assert_eq!(a.total_vcs, 192);
+        assert_eq!(a.buffer_bits, 614_400);
+        assert_eq!(a.baseline_buffer_bits, 921_600);
+        assert!((a.buffer_reduction() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(a.power_budget_ok);
+        assert!((a.router_area_mm2 - 18.08).abs() < 1e-9);
+        assert!((a.baseline_area_mm2 - 18.56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_audit_is_identity() {
+        let a = audit_mesh_layout(&Layout::Baseline);
+        assert_eq!(a.buffer_bits, a.baseline_buffer_bits);
+        assert_eq!(a.bisection_bits, a.baseline_bisection_bits);
+        assert_eq!(a.bisection_bits, 8 * 192);
+    }
+
+    #[test]
+    fn plus_b_layouts_keep_baseline_bisection() {
+        for l in [Layout::CenterB, Layout::Row25B, Layout::DiagonalB] {
+            let a = audit_mesh_layout(&l);
+            assert_eq!(a.bisection_bits, 8 * 192, "{l}");
+            // +B does not reduce buffer *bits* (entries stay 192b); the
+            // paper's 33% figure applies to the +BL networks.
+            assert_eq!(a.total_vcs, 192);
+            assert_eq!(a.buffer_bits, 921_600, "{l}");
+        }
+    }
+
+    #[test]
+    fn center_and_diagonal_bl_stay_within_bisection_budget() {
+        // Center+BL meets the paper's 4-wide + 4-narrow formula exactly;
+        // Diagonal+BL is under budget. Row2_5+BL exceeds the *horizontal*
+        // cut (all 8 vertical channels touch row 4's big routers) while
+        // meeting the vertical cut — see `row25_bl_bisection_exact`.
+        let a = audit_mesh_layout(&Layout::CenterBL);
+        assert_eq!(a.bisection_bits, 4 * 256 + 4 * 128);
+        assert!(a.bisection_within_budget());
+        let a = audit_mesh_layout(&Layout::DiagonalBL);
+        assert!(a.bisection_within_budget());
+    }
+
+    #[test]
+    fn row25_bl_bisection_exact() {
+        // Rows 1 and 4: the horizontal cut (rows 3|4) crosses 8 vertical
+        // channels, every one incident to a big router in row 4 -> all
+        // wide: 8 * 256 = 2048 > 1536! Row2_5 trades bisection for hop
+        // distance... verify the actual number so the audit is pinned.
+        let a = audit_mesh_layout(&Layout::Row25BL);
+        assert_eq!(a.bisection_bits, 8 * 256);
+        assert!(!a.bisection_within_budget());
+    }
+
+    #[test]
+    fn diagonal_bl_bisection_exact() {
+        // Columns 3 and 4 touch big routers across the cut (diagonal and
+        // anti-diagonal meet there); the other 6 channels are narrow:
+        // 2*256 + 6*128 = 1280 <= 1536.
+        let a = audit_mesh_layout(&Layout::DiagonalBL);
+        assert_eq!(a.bisection_bits, 2 * 256 + 6 * 128);
+    }
+
+    #[test]
+    fn power_budget_respects_minimum_small_count() {
+        // 38 small is the §2 minimum for 8x8.
+        let p = Placement::center(8, 8, 64 - 38);
+        assert!(power_budget_ok(&p));
+        let p = Placement::center(8, 8, 64 - 37);
+        assert!(!power_budget_ok(&p));
+    }
+}

@@ -1,0 +1,94 @@
+//! The two (plus baseline) router classes of the HeteroNoC design (§2,
+//! Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use heteronoc_noc::config::RouterCfg;
+use heteronoc_noc::types::Bits;
+use heteronoc_power::table1::{self, RouterDesignPoint};
+
+/// Router class in a HeteroNoC layout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RouterClass {
+    /// Homogeneous baseline router: 3 VCs/PC, 192b datapath.
+    Baseline,
+    /// Small power-efficient router: 2 VCs/PC, 128b datapath.
+    Small,
+    /// Big high-performance router: 6 VCs/PC, 256b datapath.
+    Big,
+}
+
+impl RouterClass {
+    /// Buffer organization for the network simulator.
+    pub fn router_cfg(self) -> RouterCfg {
+        match self {
+            RouterClass::Baseline => RouterCfg::BASELINE,
+            RouterClass::Small => RouterCfg::SMALL,
+            RouterClass::Big => RouterCfg::BIG,
+        }
+    }
+
+    /// Datapath (crossbar / link) width of this class in the combined
+    /// buffer+link redistribution design.
+    pub fn width(self) -> Bits {
+        Bits(self.design_point().width_bits)
+    }
+
+    /// The Table 1 design point (power/area/frequency).
+    pub fn design_point(self) -> &'static RouterDesignPoint {
+        match self {
+            RouterClass::Baseline => &table1::BASELINE,
+            RouterClass::Small => &table1::SMALL,
+            RouterClass::Big => &table1::BIG,
+        }
+    }
+
+    /// Maximum operating frequency in GHz (§3.4).
+    pub fn freq_ghz(self) -> f64 {
+        self.design_point().freq_ghz
+    }
+}
+
+impl std::fmt::Display for RouterClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.design_point().name)
+    }
+}
+
+/// Worst-case network frequency of a heterogeneous network (the big
+/// routers', §3.4: "we consider the heterogeneous network to be operated at
+/// the worst case operating frequency").
+pub fn heteronoc_frequency_ghz() -> f64 {
+    RouterClass::Big.freq_ghz()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parameters_match_table1() {
+        assert_eq!(RouterClass::Baseline.router_cfg().vcs_per_port, 3);
+        assert_eq!(RouterClass::Small.router_cfg().vcs_per_port, 2);
+        assert_eq!(RouterClass::Big.router_cfg().vcs_per_port, 6);
+        assert_eq!(RouterClass::Baseline.width(), Bits(192));
+        assert_eq!(RouterClass::Small.width(), Bits(128));
+        assert_eq!(RouterClass::Big.width(), Bits(256));
+        for c in [RouterClass::Baseline, RouterClass::Small, RouterClass::Big] {
+            assert_eq!(c.router_cfg().buffer_depth, 5);
+        }
+    }
+
+    #[test]
+    fn worst_case_frequency_is_big_router() {
+        assert_eq!(heteronoc_frequency_ghz(), 2.07);
+        assert!(heteronoc_frequency_ghz() < RouterClass::Baseline.freq_ghz());
+        assert!(RouterClass::Small.freq_ghz() > RouterClass::Baseline.freq_ghz());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RouterClass::Small.to_string(), "small");
+        assert_eq!(RouterClass::Big.to_string(), "big");
+    }
+}

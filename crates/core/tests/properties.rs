@@ -1,0 +1,94 @@
+//! Property-based tests of the HeteroNoC design layer: placements, layout
+//! generation and resource accounting.
+
+use proptest::prelude::*;
+
+use heteronoc::dse::{binomial, canonical_mask, enumerate_canonical};
+use heteronoc::noc::network::Network;
+use heteronoc::noc::types::RouterId;
+use heteronoc::{network_config, Layout, Placement};
+use heteronoc_noc::topology::TopologyKind;
+
+proptest! {
+    /// Center placements pick exactly `count` routers and satisfy the
+    /// defining property: every selected router is at most as far from the
+    /// grid centre as every unselected one (ties may split a shell, broken
+    /// deterministically by index).
+    #[test]
+    fn center_placement_is_distance_optimal(side in 2usize..9, frac in 1usize..4) {
+        let side = side * 2; // even grids
+        let count = (side * side * frac / 8).max(4) & !3;
+        prop_assume!(count > 0 && count <= side * side);
+        let p = Placement::center(side, side, count);
+        prop_assert_eq!(p.num_big(), count);
+        let c = (side as f64 - 1.0) / 2.0;
+        let d2 = |r: usize| {
+            let x = (r % side) as f64 - c;
+            let y = (r / side) as f64 - c;
+            x * x + y * y
+        };
+        let max_in = (0..side * side)
+            .filter(|&r| p.is_big(RouterId(r)))
+            .map(d2)
+            .fold(0.0f64, f64::max);
+        let min_out = (0..side * side)
+            .filter(|&r| !p.is_big(RouterId(r)))
+            .map(d2)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            max_in <= min_out + 1e-9,
+            "selected max d2 {max_in} exceeds unselected min d2 {min_out}"
+        );
+    }
+
+    /// Diagonal placements cover every row and column with >= 1 big router
+    /// and count 2n (even n) or 2n-1 (odd n).
+    #[test]
+    fn diagonal_placement_structure(n in 2usize..12) {
+        let p = Placement::diagonals(n, n);
+        let expect = if n % 2 == 0 { 2 * n } else { 2 * n - 1 };
+        prop_assert_eq!(p.num_big(), expect);
+        for k in 0..n {
+            prop_assert!((0..n).any(|x| p.is_big(RouterId(k * n + x))), "row {k}");
+            prop_assert!((0..n).any(|y| p.is_big(RouterId(y * n + k))), "col {k}");
+        }
+    }
+
+    /// Any placement-derived custom +BL layout yields a valid network and
+    /// conserves the VC identity: sum = 2*small + 6*big.
+    #[test]
+    fn custom_layouts_always_build(bits in prop::collection::vec(any::<bool>(), 16)) {
+        let big: Vec<RouterId> = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| RouterId(i))
+            .collect();
+        let placement = Placement::from_big_routers(4, 4, &big);
+        let layout = Layout::Custom {
+            placement: placement.clone(),
+            links: true,
+            name: "prop".into(),
+        };
+        let cfg = network_config(&layout, TopologyKind::Mesh { width: 4, height: 4 });
+        let total: usize = cfg.routers.iter().map(|r| r.vcs_per_port).sum();
+        prop_assert_eq!(total, 2 * placement.num_small() + 6 * placement.num_big());
+        prop_assert!(Network::new(cfg).is_ok());
+    }
+
+    /// Canonicalization is idempotent and invariant within an orbit.
+    #[test]
+    fn canonical_mask_idempotent(mask in 0u32..65536) {
+        let c = canonical_mask(mask, 4);
+        prop_assert_eq!(canonical_mask(c, 4), c);
+        prop_assert!(c <= mask);
+    }
+
+    /// Orbit enumeration covers the full space: sizes sum to C(16, k).
+    #[test]
+    fn enumeration_is_complete(k in 1usize..5) {
+        let canon = enumerate_canonical(4, k);
+        let total = heteronoc::dse::orbit_total(4, &canon);
+        prop_assert_eq!(total, binomial(16, k as u64));
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for network configuration validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reason a [`crate::config::NetworkConfig`] failed validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The per-router configuration list does not match the topology's
+    /// router count.
+    RouterCountMismatch {
+        /// Routers in the topology.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// A router was configured with zero virtual channels.
+    ZeroVcs {
+        /// The offending router index.
+        router: usize,
+    },
+    /// A router was configured with a zero-depth buffer.
+    ZeroBufferDepth {
+        /// The offending router index.
+        router: usize,
+    },
+    /// The global flit width is zero.
+    ZeroFlitWidth,
+    /// A link is narrower than the flit width, or not a whole multiple of it.
+    BadLinkWidth {
+        /// The offending link index.
+        link: usize,
+        /// Its configured width in bits.
+        width: u32,
+        /// The global flit width in bits.
+        flit_width: u32,
+    },
+    /// Torus routing needs at least 2 VCs per port for dateline classes.
+    TorusNeedsTwoVcs {
+        /// The offending router index.
+        router: usize,
+    },
+    /// Table routing is enabled but a router has fewer than 2 VCs
+    /// (one escape VC must remain available).
+    TableNeedsEscapeVc {
+        /// The offending router index.
+        router: usize,
+    },
+    /// The configured frequency is not positive and finite.
+    BadFrequency {
+        /// The rejected value in GHz.
+        ghz: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::RouterCountMismatch { expected, got } => write!(
+                f,
+                "router config count {got} does not match topology router count {expected}"
+            ),
+            ConfigError::ZeroVcs { router } => {
+                write!(f, "router {router} configured with zero virtual channels")
+            }
+            ConfigError::ZeroBufferDepth { router } => {
+                write!(f, "router {router} configured with zero buffer depth")
+            }
+            ConfigError::ZeroFlitWidth => write!(f, "flit width must be non-zero"),
+            ConfigError::BadLinkWidth {
+                link,
+                width,
+                flit_width,
+            } => write!(
+                f,
+                "link {link} width {width}b is not a positive multiple of the flit width {flit_width}b"
+            ),
+            ConfigError::TorusNeedsTwoVcs { router } => write!(
+                f,
+                "torus dateline routing requires at least 2 VCs per port (router {router})"
+            ),
+            ConfigError::TableNeedsEscapeVc { router } => write!(
+                f,
+                "table routing requires at least 2 VCs per port for the escape class (router {router})"
+            ),
+            ConfigError::BadFrequency { ghz } => {
+                write!(f, "network frequency {ghz} GHz is not positive and finite")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_reason() {
+        let e = ConfigError::ZeroVcs { router: 3 };
+        assert!(e.to_string().contains("router 3"));
+        let e = ConfigError::BadLinkWidth {
+            link: 1,
+            width: 100,
+            flit_width: 192,
+        };
+        assert!(e.to_string().contains("100b"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(ConfigError::ZeroFlitWidth);
+    }
+}

@@ -1,0 +1,61 @@
+//! # heteronoc-noc — a cycle-accurate on-chip-network simulator
+//!
+//! This crate is the network substrate of the HeteroNoC (ISCA 2011)
+//! reproduction: a wormhole-switched, virtual-channel, credit-flow-controlled
+//! network-on-chip simulator with a two-stage router pipeline, supporting
+//! *heterogeneous* per-router buffer organizations and per-link widths —
+//! including the paper's dual-flit transmission over wide links.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use heteronoc_noc::config::NetworkConfig;
+//! use heteronoc_noc::network::Network;
+//! use heteronoc_noc::sim::{run_open_loop, SimParams, UniformRandom};
+//!
+//! # fn main() -> Result<(), heteronoc_noc::error::ConfigError> {
+//! let net = Network::new(NetworkConfig::paper_baseline())?;
+//! let params = SimParams {
+//!     injection_rate: 0.01,
+//!     warmup_packets: 100,
+//!     measure_packets: 1_000,
+//!     ..SimParams::default()
+//! };
+//! let out = run_open_loop(net, &mut UniformRandom, params);
+//! println!(
+//!     "latency {:.1} ns, throughput {:.4} packets/node/cycle",
+//!     out.latency_ns(),
+//!     out.throughput(64),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`topology`] — mesh, torus, concentrated mesh, flattened butterfly;
+//! * [`routing`] — X-Y dimension order, torus datelines, table routing with
+//!   escape VCs;
+//! * [`config`] — per-router/per-link heterogeneous configuration;
+//! * [`network`] — the cycle-accurate engine;
+//! * [`sim`] — the open-loop synthetic-traffic driver;
+//! * [`stats`] — latency decomposition, utilizations, power-model events.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod network;
+pub mod packet;
+pub mod router;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod types;
+
+pub use config::{NetworkConfig, NetworkConfigBuilder, RouterCfg};
+pub use network::{Delivered, Diagnostics, Network};
+pub use packet::{Flit, Packet, PacketClass};
+pub use types::{Bits, Coord, Cycle, NodeId, PacketId, PortId, RouterId, VcId};

@@ -1,0 +1,1260 @@
+//! The cycle-accurate network simulation engine.
+//!
+//! [`Network`] owns the elaborated topology, all router and source-queue
+//! state, and advances in lock-step cycles via [`Network::step`]. Clients
+//! inject packets with [`Network::enqueue`] and collect completions with
+//! [`Network::drain_delivered`]; the open-loop synthetic-traffic driver in
+//! [`crate::sim`] and the CMP simulator are both built on this interface.
+//!
+//! # Timing model
+//!
+//! Two-stage router pipeline plus one cycle of link traversal:
+//!
+//! * cycle *t*: flit written into an input VC (buffer write; head flits do
+//!   route computation and bid for VC allocation the same cycle),
+//! * cycle *t+1* (earliest): two-phase switch allocation and switch
+//!   traversal,
+//! * cycle *t+2*: link traversal; the flit is written into the downstream
+//!   buffer at *t+3* relative to its own buffer write... measured from the
+//!   winning SA cycle `c`, the downstream buffer write happens at `c+2` and
+//!   the credit returns upstream at `c+1`.
+//!
+//! A contention-free hop therefore costs 3 cycles buffer-to-buffer, which is
+//! the reference used by [`Network::ideal_latency`].
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::config::{lanes, NetworkConfig};
+use crate::error::ConfigError;
+use crate::packet::{Flit, Packet, PacketClass};
+use crate::router::arbiter::RrArbiter;
+use crate::router::{InputVc, OutputPort, OutputTarget, OutputVc, RouterState};
+use crate::routing::{RouteChoice, RoutingKind, VcClass};
+use crate::stats::{NetStats, PacketRecord};
+use crate::topology::{PortKind, TopologyGraph};
+use crate::types::{Bits, Cycle, NodeId, PacketId, PortId, RouterId, VcId};
+
+/// Point-in-time liveness snapshot (see [`Network::diagnostics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    /// Packets queued or flying.
+    pub in_flight: usize,
+    /// Packets still waiting in source queues.
+    pub source_queued: usize,
+    /// Flits resident in router buffers.
+    pub buffered_flits: u32,
+    /// Age (cycles) of the oldest unfinished packet.
+    pub oldest_packet_age: Cycle,
+    /// Longest time any head flit has been waiting without moving —
+    /// a growing value across successive snapshots indicates a stall.
+    pub max_head_wait: u32,
+}
+
+/// A packet that completed delivery (tail flit ejected).
+#[derive(Clone, Copy, Debug)]
+pub struct Delivered {
+    /// The original packet (including the client `tag`).
+    pub packet: Packet,
+    /// Cycle the head flit left the source node.
+    pub inject: Cycle,
+    /// Cycle the tail flit was ejected at the destination.
+    pub retire: Cycle,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Upstream {
+    Router(RouterId, PortId),
+    Node(NodeId),
+}
+
+#[derive(Clone, Debug)]
+enum Event {
+    FlitArrive {
+        router: RouterId,
+        port: PortId,
+        vc: VcId,
+        flit: Flit,
+    },
+    Credit {
+        up: Upstream,
+        vc: VcId,
+    },
+    Retire {
+        flit: Flit,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct PacketMeta {
+    packet: Packet,
+    inject: Cycle,
+    received: u32,
+    total: u32,
+    measured: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Sending {
+    vc: VcId,
+    flits: VecDeque<Flit>,
+}
+
+#[derive(Clone, Debug)]
+struct NodeState {
+    router: RouterId,
+    port: PortId,
+    lanes: usize,
+    queue: VecDeque<Packet>,
+    sending: Option<Sending>,
+    /// Node-side view of the router's local-input VCs.
+    vcs: Vec<OutputVc>,
+    rr_vc: RrArbiter,
+}
+
+/// Maximum event-schedule horizon (flit arrivals at +2 are the farthest).
+const WHEEL: usize = 3;
+
+/// The simulated network.
+pub struct Network {
+    cfg: NetworkConfig,
+    graph: TopologyGraph,
+    link_lanes: Vec<usize>,
+    link_wide: Vec<bool>,
+    routers: Vec<RouterState>,
+    nodes: Vec<NodeState>,
+    now: Cycle,
+    wheel: [Vec<Event>; WHEEL],
+    in_flight: HashMap<PacketId, PacketMeta>,
+    next_packet: usize,
+    measuring: bool,
+    record_packets: bool,
+    stats: NetStats,
+    delivered: Vec<Delivered>,
+    // Scratch buffers reused across cycles to avoid per-cycle allocation.
+    scratch_winners: Vec<(PortId, VcId)>,
+}
+
+impl Network {
+    /// Builds a network from `cfg`.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] when the configuration fails
+    /// [`NetworkConfig::validate`].
+    pub fn new(cfg: NetworkConfig) -> Result<Self, ConfigError> {
+        let graph = cfg.build_graph();
+        cfg.validate(&graph)?;
+        let widths = cfg.link_widths.resolve(&graph);
+        let link_lanes: Vec<usize> = widths
+            .iter()
+            .map(|w| lanes(*w, cfg.flit_width))
+            .collect();
+        let link_wide: Vec<bool> = link_lanes.iter().map(|&l| l > 1).collect();
+
+        let mut routers = Vec::with_capacity(graph.num_routers());
+        let mut slots = Vec::with_capacity(graph.num_routers());
+        for (r, rd) in graph.routers().iter().enumerate() {
+            let rc = cfg.routers[r];
+            let local_lanes = lanes(cfg.local_width(r), cfg.flit_width);
+            let inputs: Vec<Vec<InputVc>> = rd
+                .ports
+                .iter()
+                .map(|_| (0..rc.vcs_per_port).map(|_| InputVc::default()).collect())
+                .collect();
+            let outputs: Vec<OutputPort> = rd
+                .ports
+                .iter()
+                .map(|p| match p.kind {
+                    PortKind::Local { node } => OutputPort {
+                        target: OutputTarget::Sink { node },
+                        lanes: local_lanes,
+                        vcs: Vec::new(),
+                        va_arb: RrArbiter::new(),
+                        sa_primary: RrArbiter::new(),
+                        sa_secondary: RrArbiter::new(),
+                    },
+                    PortKind::Link { to, out, .. } => {
+                        let down = cfg.routers[to.index()];
+                        let dl = graph.links()[out.index()];
+                        OutputPort {
+                            target: OutputTarget::Channel {
+                                link: out,
+                                dst: to,
+                                dst_port: dl.dst_port,
+                            },
+                            lanes: link_lanes[out.index()],
+                            vcs: vec![
+                                OutputVc {
+                                    owner: None,
+                                    credits: down.buffer_depth as u32,
+                                };
+                                down.vcs_per_port
+                            ],
+                            va_arb: RrArbiter::new(),
+                            sa_primary: RrArbiter::new(),
+                            sa_secondary: RrArbiter::new(),
+                        }
+                    }
+                })
+                .collect();
+            let capacity =
+                (rd.ports.len() * rc.vcs_per_port * rc.buffer_depth) as u32;
+            slots.push(capacity);
+            routers.push(RouterState {
+                inputs,
+                outputs,
+                sa_stage1: rd.ports.iter().map(|_| RrArbiter::new()).collect(),
+                occupancy: 0,
+                capacity,
+                busy_vcs: 0,
+                total_vcs: (rd.ports.len() * rc.vcs_per_port) as u32,
+            });
+        }
+
+        let nodes: Vec<NodeState> = graph
+            .nodes()
+            .iter()
+            .map(|at| {
+                let r = at.router.index();
+                NodeState {
+                    router: at.router,
+                    port: at.port,
+                    lanes: lanes(cfg.local_width(r), cfg.flit_width),
+                    queue: VecDeque::new(),
+                    sending: None,
+                    vcs: vec![
+                        OutputVc {
+                            owner: None,
+                            credits: cfg.routers[r].buffer_depth as u32,
+                        };
+                        cfg.routers[r].vcs_per_port
+                    ],
+                    rr_vc: RrArbiter::new(),
+                }
+            })
+            .collect();
+
+        let vc_counts: Vec<u32> = routers.iter().map(|r| r.total_vcs).collect();
+        let stats = NetStats::new(graph.num_routers(), graph.num_links(), slots, vc_counts);
+        Ok(Self {
+            cfg,
+            graph,
+            link_lanes,
+            link_wide,
+            routers,
+            nodes,
+            now: 0,
+            wheel: [Vec::new(), Vec::new(), Vec::new()],
+            in_flight: HashMap::new(),
+            next_packet: 0,
+            measuring: false,
+            record_packets: false,
+            stats,
+            delivered: Vec::new(),
+            scratch_winners: Vec::with_capacity(4),
+        })
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The elaborated topology.
+    pub fn graph(&self) -> &TopologyGraph {
+        &self.graph
+    }
+
+    /// The configuration the network was built from.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Which links are wide (more than one flit lane).
+    pub fn wide_links(&self) -> &[bool] {
+        &self.link_wide
+    }
+
+    /// Lanes of each link.
+    pub fn link_lanes(&self) -> &[usize] {
+        &self.link_lanes
+    }
+
+    /// Starts/stops statistics accumulation (packets born while measuring
+    /// are latency-tracked; cycle counters only advance while measuring).
+    pub fn set_measuring(&mut self, on: bool) {
+        self.measuring = on;
+    }
+
+    /// Enables per-packet [`PacketRecord`]s in [`NetStats::records`].
+    pub fn set_record_packets(&mut self, on: bool) {
+        self.record_packets = on;
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Packets currently queued or flying.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Length of `node`'s source queue (packets not yet fully injected).
+    pub fn source_queue_len(&self, node: NodeId) -> usize {
+        let n = &self.nodes[node.index()];
+        n.queue.len() + usize::from(n.sending.is_some())
+    }
+
+    /// Takes all completions since the previous call.
+    pub fn drain_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Liveness/debug snapshot of the network state: useful as a watchdog
+    /// when a client loop suspects a stall ("is the network making
+    /// progress, and where is it stuck?").
+    pub fn diagnostics(&self) -> Diagnostics {
+        let queued: usize = self.nodes.iter().map(|n| n.queue.len()).sum();
+        let occupancy: u32 = self.routers.iter().map(|r| r.occupancy).sum();
+        let oldest_packet_age = self
+            .in_flight
+            .values()
+            .map(|m| self.now.saturating_sub(m.packet.birth))
+            .max()
+            .unwrap_or(0);
+        let max_head_wait = self
+            .routers
+            .iter()
+            .flat_map(|r| r.inputs.iter().flatten())
+            .map(|vc| vc.head_wait)
+            .max()
+            .unwrap_or(0);
+        Diagnostics {
+            in_flight: self.in_flight.len(),
+            source_queued: queued,
+            buffered_flits: occupancy,
+            oldest_packet_age,
+            max_head_wait,
+        }
+    }
+
+    /// Enqueues a packet at `src`'s source queue; returns its id.
+    ///
+    /// The source queue is unbounded (clients model finite request windows
+    /// themselves, e.g. via MSHR counts).
+    ///
+    /// # Panics
+    /// Panics if `src` or `dst` is out of range or `size` is zero.
+    pub fn enqueue(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        size: Bits,
+        class: PacketClass,
+        tag: u64,
+    ) -> PacketId {
+        assert!(src.index() < self.nodes.len(), "src out of range");
+        assert!(dst.index() < self.nodes.len(), "dst out of range");
+        assert!(size.get() > 0, "packet size must be non-zero");
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let packet = Packet {
+            id,
+            src,
+            dst,
+            size,
+            class,
+            tag,
+            birth: self.now,
+        };
+        let total = size.flits(self.cfg.flit_width);
+        self.in_flight.insert(
+            id,
+            PacketMeta {
+                packet,
+                inject: self.now,
+                received: 0,
+                total,
+                measured: self.measuring,
+            },
+        );
+        if self.measuring {
+            self.stats.packets_offered += 1;
+        }
+        self.nodes[src.index()].queue.push_back(packet);
+        id
+    }
+
+    /// Contention-free reference latency in cycles for a `flits`-flit packet
+    /// from `src` to `dst`: `3·hops + 4 + ceil((flits-1)/b)` where `b` is
+    /// the bottleneck lane count along the dimension-order path (including
+    /// the injection and ejection ports).
+    pub fn ideal_latency(&self, src: NodeId, dst: NodeId, flits: u32) -> u64 {
+        let hops = self.graph.route_hops(src, dst) as u64;
+        let b = self.path_min_lanes(src, dst).max(1) as u64;
+        3 * hops + 4 + (u64::from(flits) - 1).div_ceil(b)
+    }
+
+    fn path_min_lanes(&self, src: NodeId, dst: NodeId) -> usize {
+        let src_at = self.graph.attachment(src);
+        let dst_at = self.graph.attachment(dst);
+        let mut min = self.nodes[src.index()]
+            .lanes
+            .min(self.routers[dst_at.router.index()].outputs[dst_at.port.index()].lanes);
+        let mut cur = src_at.router;
+        let routing = RoutingKind::DimensionOrder;
+        while cur != dst_at.router {
+            let rc = routing
+                .route(&self.graph, cur, src, dst, false, false)
+                .expect("not at destination");
+            let out = self.graph.out_link(cur, rc.port).expect("channel port");
+            min = min.min(self.link_lanes[out.index()]);
+            cur = match self.graph.router(cur).ports[rc.port.index()].kind {
+                PortKind::Link { to, .. } => to,
+                PortKind::Local { .. } => unreachable!("route() returns link ports"),
+            };
+        }
+        min
+    }
+
+    fn schedule(&mut self, delay: u64, ev: Event) {
+        debug_assert!(delay >= 1 && (delay as usize) < WHEEL + 1);
+        let idx = ((self.now + delay) % WHEEL as u64) as usize;
+        self.wheel[idx].push(ev);
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let idx = (self.now % WHEEL as u64) as usize;
+        let events = std::mem::take(&mut self.wheel[idx]);
+        for ev in events {
+            self.deliver(ev);
+        }
+        for n in 0..self.nodes.len() {
+            self.node_inject(n);
+        }
+        // Routers holding no flits have nothing to route, allocate or
+        // traverse — skipping them keeps low-load cycles cheap.
+        for r in 0..self.routers.len() {
+            if self.routers[r].occupancy > 0 {
+                self.rc_and_va(r);
+            }
+        }
+        for r in 0..self.routers.len() {
+            if self.routers[r].occupancy > 0 {
+                self.switch_alloc(r);
+            }
+        }
+        if self.measuring {
+            self.stats.cycles += 1;
+            for (i, r) in self.routers.iter().enumerate() {
+                self.stats.buffer_occ_integral[i] += u64::from(r.occupancy);
+                self.stats.vc_busy_integral[i] += u64::from(r.busy_vcs);
+            }
+        }
+        self.now += 1;
+    }
+
+    fn deliver(&mut self, ev: Event) {
+        match ev {
+            Event::FlitArrive {
+                router,
+                port,
+                vc,
+                mut flit,
+            } => {
+                flit.buffered = self.now;
+                let r = &mut self.routers[router.index()];
+                if r.inputs[port.index()][vc.index()].fifo.is_empty() {
+                    r.busy_vcs += 1;
+                }
+                r.inputs[port.index()][vc.index()].fifo.push_back(flit);
+                r.occupancy += 1;
+                debug_assert!(
+                    r.inputs[port.index()][vc.index()].fifo.len()
+                        <= self.cfg.routers[router.index()].buffer_depth,
+                    "buffer overflow at {router} {port} {vc}: credit protocol violated"
+                );
+                if self.measuring {
+                    self.stats.routers[router.index()].buffer_writes += 1;
+                }
+            }
+            Event::Credit { up, vc } => match up {
+                Upstream::Router(r, p) => {
+                    self.routers[r.index()].outputs[p.index()].vcs[vc.index()].credits += 1;
+                }
+                Upstream::Node(n) => {
+                    self.nodes[n.index()].vcs[vc.index()].credits += 1;
+                }
+            },
+            Event::Retire { flit } => self.retire_flit(flit),
+        }
+    }
+
+    fn retire_flit(&mut self, flit: Flit) {
+        let meta = self
+            .in_flight
+            .get_mut(&flit.packet)
+            .expect("retired flit of unknown packet");
+        meta.received += 1;
+        debug_assert!(meta.received <= meta.total);
+        if meta.measured && self.measuring {
+            self.stats.flits_retired += 1;
+        }
+        if meta.received == meta.total {
+            let meta = self.in_flight.remove(&flit.packet).expect("present");
+            let rec = PacketRecord {
+                src: meta.packet.src,
+                dst: meta.packet.dst,
+                birth: meta.packet.birth,
+                inject: meta.inject,
+                retire: self.now,
+                flits: meta.total,
+                ideal: self.ideal_latency(meta.packet.src, meta.packet.dst, meta.total),
+                class: meta.packet.class,
+            };
+            if meta.measured {
+                self.stats.packets_retired += 1;
+                self.stats.latency.add(&rec);
+                self.stats.latency_by_class[NetStats::class_index(rec.class)].add(&rec);
+                self.stats.latency_hist.add(rec.total());
+                if self.record_packets {
+                    self.stats.records.push(rec);
+                }
+            }
+            self.delivered.push(Delivered {
+                packet: meta.packet,
+                inject: meta.inject,
+                retire: self.now,
+            });
+        }
+    }
+
+    /// Class a packet may occupy at its source router's local input port.
+    fn injection_class(&self, class: PacketClass) -> VcClass {
+        if self.cfg.routing.reserves_escape_vc() {
+            VcClass::NonEscape
+        } else {
+            let _ = class;
+            VcClass::Any
+        }
+    }
+
+    fn node_inject(&mut self, n: usize) {
+        // Start a new packet if idle.
+        if self.nodes[n].sending.is_none() && !self.nodes[n].queue.is_empty() {
+            let class = self.injection_class(self.nodes[n].queue[0].class);
+            let node = &mut self.nodes[n];
+            let vccount = node.vcs.len();
+            let (lo, hi) = class.range(vccount);
+            let pick = node.rr_vc.grant(vccount, |v| {
+                (lo..hi).contains(&v) && node.vcs[v].owner.is_none() && node.vcs[v].credits > 0
+            });
+            if let Some(v) = pick {
+                let packet = node.queue.pop_front().expect("non-empty");
+                node.vcs[v].owner = Some((PortId(0), VcId(0))); // occupied marker
+                let flits = Flit::fragment(&packet, self.cfg.flit_width, self.now);
+                node.sending = Some(Sending {
+                    vc: VcId(v),
+                    flits: flits.into(),
+                });
+                if let Some(meta) = self.in_flight.get_mut(&packet.id) {
+                    meta.inject = self.now;
+                }
+            }
+        }
+        // Send flits of the in-progress packet.
+        let node = &mut self.nodes[n];
+        let Some(sending) = node.sending.as_mut() else {
+            return;
+        };
+        let vc = sending.vc;
+        let mut sent = 0;
+        let mut events: Vec<Event> = Vec::new();
+        while sent < node.lanes
+            && !sending.flits.is_empty()
+            && node.vcs[vc.index()].credits > 0
+        {
+            let flit = sending.flits.pop_front().expect("non-empty");
+            node.vcs[vc.index()].credits -= 1;
+            events.push(Event::FlitArrive {
+                router: node.router,
+                port: node.port,
+                vc,
+                flit,
+            });
+            sent += 1;
+        }
+        let done = sending.flits.is_empty();
+        if done {
+            node.vcs[vc.index()].owner = None;
+            node.sending = None;
+        }
+        for ev in events {
+            self.schedule(1, ev);
+        }
+    }
+
+    fn rc_and_va(&mut self, r: usize) {
+        let router_id = RouterId(r);
+        let vcs_per_port = self.cfg.routers[r].vcs_per_port;
+        let reserves_escape = self.cfg.routing.reserves_escape_vc();
+        let escape_timeout = self.cfg.escape_timeout;
+
+        // --- Route computation & escape diversion -----------------------
+        let nports = self.routers[r].inputs.len();
+        for p in 0..nports {
+            for v in 0..vcs_per_port {
+                let (is_head, src, dst, class, has_route, _has_grant, sent, wait) = {
+                    let vc = &self.routers[r].inputs[p][v];
+                    match vc.fifo.front() {
+                        Some(f) if f.kind.is_head() || vc.route.is_some() => (
+                            f.kind.is_head(),
+                            f.src,
+                            f.dst,
+                            f.class,
+                            vc.route.is_some(),
+                            vc.out_vc.is_some(),
+                            vc.sent_on_grant,
+                            vc.head_wait,
+                        ),
+                        _ => continue,
+                    }
+                };
+                if !is_head && has_route {
+                    continue; // body/tail in progress
+                }
+                let expedited = class == PacketClass::Expedited;
+                let in_escape = reserves_escape && v == vcs_per_port - 1;
+                if !has_route {
+                    match self.cfg.routing.route(
+                        &self.graph,
+                        router_id,
+                        src,
+                        dst,
+                        expedited,
+                        in_escape,
+                    ) {
+                        Some(rc) => {
+                            self.routers[r].inputs[p][v].route = Some(rc);
+                        }
+                        None => {
+                            // At destination router: eject through the local
+                            // port of dst. No downstream VC needed.
+                            let at = self.graph.attachment(dst);
+                            debug_assert_eq!(at.router, router_id);
+                            let vc = &mut self.routers[r].inputs[p][v];
+                            vc.route = Some(RouteChoice {
+                                port: at.port,
+                                class: VcClass::Any,
+                            });
+                            vc.out_vc = Some(VcId(0)); // sink: dummy grant
+                        }
+                    }
+                } else if expedited
+                    && !in_escape
+                    && reserves_escape
+                    && wait > escape_timeout
+                    && sent == 0
+                {
+                    // Divert a stuck expedited head to the escape network.
+                    if let Some(esc) =
+                        self.cfg.routing.escape_route(&self.graph, router_id, src, dst)
+                    {
+                        // Rescind any unused normal grant.
+                        let old = {
+                            let vc = &self.routers[r].inputs[p][v];
+                            vc.route.map(|rt| (rt.port, vc.out_vc))
+                        };
+                        if let Some((old_port, Some(old_vc))) = old {
+                            if !matches!(
+                                self.routers[r].outputs[old_port.index()].target,
+                                OutputTarget::Sink { .. }
+                            ) {
+                                self.routers[r].outputs[old_port.index()].vcs
+                                    [old_vc.index()]
+                                .owner = None;
+                            }
+                        }
+                        let vc = &mut self.routers[r].inputs[p][v];
+                        vc.route = Some(esc);
+                        vc.out_vc = None;
+                        vc.in_escape_grant = true;
+                        vc.head_wait = 0;
+                    }
+                }
+                // Age heads that have not moved yet.
+                let vc = &mut self.routers[r].inputs[p][v];
+                if vc.fifo.front().is_some_and(|f| f.kind.is_head()) && vc.sent_on_grant == 0 {
+                    vc.head_wait = vc.head_wait.saturating_add(1);
+                }
+            }
+        }
+
+        // --- VC allocation ----------------------------------------------
+        // Separable output-side allocation: each output port grants free
+        // downstream VCs to requesting heads in round-robin order.
+        let nout = self.routers[r].outputs.len();
+        for o in 0..nout {
+            if self.routers[r].outputs[o].vcs.is_empty() {
+                continue; // sink: no VA needed
+            }
+            let flat = nports * vcs_per_port;
+            debug_assert!(flat <= 128, "flat input-VC index must fit the skip mask");
+            // Requesters whose VC class had no free VC this cycle: skipped
+            // (not granted, pointer not advanced) so that requesters of
+            // other classes behind them are still served.
+            let mut skipped = 0u128;
+            loop {
+                // Find next requester (head with route to `o`, no grant).
+                let req = {
+                    let router = &self.routers[r];
+                    router.outputs[o].va_arb.peek(flat, |i| {
+                        if skipped & (1u128 << i) != 0 {
+                            return false;
+                        }
+                        let (p, v) = (i / vcs_per_port, i % vcs_per_port);
+                        let vc = &router.inputs[p][v];
+                        vc.out_vc.is_none()
+                            && vc.route.is_some_and(|rt| rt.port.index() == o)
+                            && vc.fifo.front().is_some_and(|f| f.kind.is_head())
+                    })
+                };
+                let Some(i) = req else { break };
+                let (p, v) = (i / vcs_per_port, i % vcs_per_port);
+                let class = self.routers[r].inputs[p][v]
+                    .route
+                    .expect("requester has route")
+                    .class;
+                let down_vcs = self.routers[r].outputs[o].vcs.len();
+                let (lo, hi) = class.range(down_vcs);
+                let free = (lo..hi)
+                    .find(|&dv| self.routers[r].outputs[o].vcs[dv].owner.is_none());
+                let Some(dv) = free else {
+                    skipped |= 1u128 << i;
+                    continue;
+                };
+                {
+                    let router = &mut self.routers[r];
+                    router.outputs[o].vcs[dv].owner = Some((PortId(p), VcId(v)));
+                    router.inputs[p][v].out_vc = Some(VcId(dv));
+                    router.outputs[o].va_arb.advance_past(i, flat);
+                }
+                if self.measuring {
+                    self.stats.routers[r].va_grants += 1;
+                }
+            }
+        }
+    }
+
+    /// True when input VC `(p, v)` of router `r` can send its front flit.
+    fn sa_eligible(&self, r: usize, p: usize, v: usize) -> Option<PortId> {
+        let vc = &self.routers[r].inputs[p][v];
+        let f = vc.fifo.front()?;
+        if f.buffered >= self.now {
+            return None; // still in stage 1
+        }
+        let route = vc.route?;
+        let ovc = vc.out_vc?;
+        let out = &self.routers[r].outputs[route.port.index()];
+        match out.target {
+            OutputTarget::Sink { .. } => Some(route.port),
+            OutputTarget::Channel { .. } => {
+                if out.vcs[ovc.index()].credits >= 1 {
+                    Some(route.port)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether `(p, v)` can supply a *second* flit this cycle (same-packet
+    /// back-to-back pair over a wide link; needs two credits).
+    fn sa_pair_eligible(&self, r: usize, p: usize, v: usize) -> bool {
+        let vc = &self.routers[r].inputs[p][v];
+        let (Some(f0), Some(f1)) = (vc.fifo.front(), vc.fifo.get(1)) else {
+            return false;
+        };
+        if f0.kind.is_tail() || f1.packet != f0.packet || f1.buffered >= self.now {
+            return false;
+        }
+        let Some(route) = vc.route else { return false };
+        let Some(ovc) = vc.out_vc else { return false };
+        let out = &self.routers[r].outputs[route.port.index()];
+        match out.target {
+            OutputTarget::Sink { .. } => true,
+            OutputTarget::Channel { .. } => out.vcs[ovc.index()].credits >= 2,
+        }
+    }
+
+    fn switch_alloc(&mut self, r: usize) {
+        let nports = self.routers[r].inputs.len();
+        let vcs_per_port = self.cfg.routers[r].vcs_per_port;
+
+        // Stage 1: one nomination per input port (plus a possible pair).
+        // primary[p] = (vc, out_port); pair[p] = true when the nominated VC
+        // can also supply its next same-packet flit.
+        let mut primary: Vec<Option<(usize, PortId)>> = vec![None; nports];
+        let mut pair: Vec<bool> = vec![false; nports];
+        let mut alt: Vec<Option<usize>> = vec![None; nports]; // second VC, same out port
+        for p in 0..nports {
+            let nominated = self.routers[r].sa_stage1[p]
+                .peek(vcs_per_port, |v| self.sa_eligible(r, p, v).is_some());
+            if let Some(v) = nominated {
+                let out = self.sa_eligible(r, p, v).expect("eligible");
+                primary[p] = Some((v, out));
+                pair[p] = self.routers[r].outputs[out.index()].lanes > 1
+                    && self.sa_pair_eligible(r, p, v);
+                if self.routers[r].outputs[out.index()].lanes > 1 && !pair[p] {
+                    // Another VC of the same input port heading to the same
+                    // output (the paper's case (a)/(c) combining).
+                    alt[p] = (0..vcs_per_port).find(|&v2| {
+                        v2 != v && self.sa_eligible(r, p, v2) == Some(out)
+                    });
+                }
+                if self.measuring {
+                    self.stats.routers[r].sa1_arbs += 1;
+                }
+            }
+        }
+
+        // Stage 2: per output port, primary + (for wide outputs) secondary.
+        // An input port's split datapath supplies at most two flits/cycle.
+        let mut port_sent = vec![0u8; nports];
+        let mut winners = std::mem::take(&mut self.scratch_winners);
+        for o in 0..self.routers[r].outputs.len() {
+            winners.clear();
+            let w1 = self.routers[r].outputs[o].sa_primary.grant(nports, |p| {
+                port_sent[p] < 2 && primary[p].is_some_and(|(_, out)| out.index() == o)
+            });
+            let Some(p1) = w1 else { continue };
+            let (v1, _) = primary[p1].expect("winner nominated");
+            self.routers[r].sa_stage1[p1].advance_past(v1, vcs_per_port);
+            winners.push((PortId(p1), VcId(v1)));
+            if self.measuring {
+                self.stats.routers[r].sa2_arbs += 1;
+            }
+
+            port_sent[p1] += 1;
+            let lanes_o = self.routers[r].outputs[o].lanes;
+            if lanes_o > 1 {
+                if pair[p1] && port_sent[p1] < 2 {
+                    // Same VC, next flit of the same packet (DSET pair).
+                    winners.push((PortId(p1), VcId(v1)));
+                    port_sent[p1] += 1;
+                } else if alt[p1].is_some() && port_sent[p1] < 2 {
+                    let v2 = alt[p1].expect("checked");
+                    winners.push((PortId(p1), VcId(v2)));
+                    port_sent[p1] += 1;
+                } else {
+                    // Different input port (the paper's case (b)/(f)): the
+                    // second parallel p:1 arbiter scans every other port
+                    // for *any* eligible VC heading to this output, not
+                    // just the stage-1 nominee.
+                    let mut second: Option<(usize, usize)> = None;
+                    let grant = self.routers[r].outputs[o].sa_secondary.peek(nports, |p| {
+                        if p == p1 || port_sent[p] >= 2 {
+                            return false;
+                        }
+                        (0..vcs_per_port).any(|v| self.sa_eligible(r, p, v) == Some(PortId(o)))
+                    });
+                    if let Some(p2) = grant {
+                        let v2 = (0..vcs_per_port)
+                            .find(|&v| self.sa_eligible(r, p2, v) == Some(PortId(o)))
+                            .expect("eligibility just checked");
+                        self.routers[r].outputs[o].sa_secondary.advance_past(p2, nports);
+                        if primary[p2].is_some_and(|(v, out)| v == v2 && out.index() == o) {
+                            // Its stage-1 nomination is being consumed here.
+                            self.routers[r].sa_stage1[p2].advance_past(v2, vcs_per_port);
+                            primary[p2] = None;
+                        }
+                        second = Some((p2, v2));
+                    }
+                    if let Some((p2, v2)) = second {
+                        winners.push((PortId(p2), VcId(v2)));
+                        port_sent[p2] += 1;
+                    }
+                }
+                if self.measuring && winners.len() == 2 {
+                    self.stats.routers[r].sa2_arbs += 1;
+                }
+            }
+            // The primary winner's nomination is consumed.
+            primary[p1] = None;
+
+            let count = winners.len();
+            // Indexing (not iterating) because commit_flit needs &mut self
+            // while `winners` stays borrowed otherwise.
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..count {
+                let (wp, wv) = winners[k];
+                self.commit_flit(r, wp, wv, PortId(o));
+            }
+            // Link busy/dual accounting.
+            if self.measuring {
+                if let OutputTarget::Channel { link, .. } = self.routers[r].outputs[o].target {
+                    let le = &mut self.stats.links[link.index()];
+                    le.busy_cycles += 1;
+                    if count == 2 {
+                        le.dual_cycles += 1;
+                    }
+                }
+            }
+        }
+        self.scratch_winners = winners;
+    }
+
+    /// Moves one flit from input VC `(p, v)` through output port `o`:
+    /// switch traversal now, link traversal next cycle, downstream buffer
+    /// write (or retirement) at `now + 2`; credit upstream at `now + 1`.
+    fn commit_flit(&mut self, r: usize, p: PortId, v: VcId, o: PortId) {
+        let (flit, out_vc, is_tail, emptied) = {
+            let vc = &mut self.routers[r].inputs[p.index()][v.index()];
+            let flit = vc.fifo.pop_front().expect("winner has a flit");
+            let out_vc = vc.out_vc.expect("winner has a grant");
+            vc.sent_on_grant += 1;
+            vc.head_wait = 0;
+            let is_tail = flit.kind.is_tail();
+            if is_tail {
+                vc.release();
+            }
+            (flit, out_vc, is_tail, vc.fifo.is_empty())
+        };
+        self.routers[r].occupancy -= 1;
+        if emptied {
+            self.routers[r].busy_vcs -= 1;
+        }
+        if self.measuring {
+            let ev = &mut self.stats.routers[r];
+            ev.buffer_reads += 1;
+            ev.xbar_flits += 1;
+        }
+
+        // Credit to whoever feeds input port `p`.
+        let up = match self.graph.router(RouterId(r)).ports[p.index()].kind {
+            PortKind::Local { node } => Upstream::Node(node),
+            PortKind::Link { into, .. } => {
+                let l = self.graph.links()[into.index()];
+                Upstream::Router(l.src, l.src_port)
+            }
+        };
+        self.schedule(1, Event::Credit { up, vc: v });
+
+        match self.routers[r].outputs[o.index()].target {
+            OutputTarget::Sink { .. } => {
+                self.schedule(2, Event::Retire { flit });
+            }
+            OutputTarget::Channel {
+                link,
+                dst,
+                dst_port,
+            } => {
+                {
+                    let ovc = &mut self.routers[r].outputs[o.index()].vcs[out_vc.index()];
+                    debug_assert!(ovc.credits >= 1, "SA must check credits");
+                    ovc.credits -= 1;
+                    if is_tail {
+                        ovc.owner = None;
+                    }
+                }
+                if self.measuring {
+                    self.stats.links[link.index()].flits += 1;
+                }
+                self.schedule(
+                    2,
+                    Event::FlitArrive {
+                        router: dst,
+                        port: dst_port,
+                        vc: out_vc,
+                        flit,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.cfg.topology)
+            .field("now", &self.now)
+            .field("in_flight", &self.in_flight.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LinkWidths, RouterCfg};
+    use crate::topology::TopologyKind;
+
+    fn small_mesh() -> Network {
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 4,
+                height: 4,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        Network::new(cfg).expect("valid config")
+    }
+
+    fn run_until_drained(net: &mut Network, max: u64) {
+        let mut cycles = 0;
+        while net.in_flight() > 0 {
+            net.step();
+            cycles += 1;
+            assert!(cycles < max, "network failed to drain within {max} cycles");
+        }
+    }
+
+    #[test]
+    fn single_packet_zero_load_latency_matches_ideal() {
+        let mut net = small_mesh();
+        net.set_measuring(true);
+        // Node 0 (0,0) to node 15 (3,3): 6 hops.
+        net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
+        run_until_drained(&mut net, 200);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 1);
+        let lat = d[0].retire - d[0].inject;
+        // ideal = 3*6 + 4 + 5 = 27 with 6 flits, single lane.
+        assert_eq!(net.ideal_latency(NodeId(0), NodeId(15), 6), 27);
+        assert_eq!(lat, 27, "zero-load latency must equal the ideal");
+    }
+
+    #[test]
+    fn one_flit_packet_latency() {
+        let mut net = small_mesh();
+        net.set_measuring(true);
+        net.enqueue(NodeId(0), NodeId(1), Bits(64), PacketClass::Control, 0);
+        run_until_drained(&mut net, 100);
+        let d = net.drain_delivered();
+        // 1 hop: 3*1 + 4 = 7 cycles.
+        assert_eq!(d[0].retire - d[0].inject, 7);
+    }
+
+    #[test]
+    fn self_delivery_works() {
+        let mut net = small_mesh();
+        net.enqueue(NodeId(5), NodeId(5), Bits(192), PacketClass::Data, 9);
+        run_until_drained(&mut net, 100);
+        let d = net.drain_delivered();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.tag, 9);
+        assert_eq!(d[0].retire - d[0].inject, 4); // 0 hops: 3*0 + 4.
+    }
+
+    #[test]
+    fn all_packets_delivered_under_load() {
+        let mut net = small_mesh();
+        net.set_measuring(true);
+        // Saturating burst: every node sends to every other node.
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    net.enqueue(NodeId(s), NodeId(d), Bits(1024), PacketClass::Data, 0);
+                }
+            }
+        }
+        run_until_drained(&mut net, 20_000);
+        assert_eq!(net.stats().packets_retired, 16 * 15);
+        assert_eq!(net.stats().flits_retired, 16 * 15 * 6);
+    }
+
+    #[test]
+    fn flit_conservation_under_load() {
+        let mut net = small_mesh();
+        net.set_measuring(true);
+        for s in 0..16 {
+            net.enqueue(NodeId(s), NodeId(15 - s), Bits(1024), PacketClass::Data, 0);
+        }
+        run_until_drained(&mut net, 5_000);
+        // After draining, every router must be empty.
+        for r in &net.routers {
+            assert_eq!(r.occupancy, 0);
+            for port in &r.inputs {
+                for vc in port {
+                    assert!(vc.fifo.is_empty());
+                    assert!(vc.route.is_none());
+                    assert!(vc.out_vc.is_none());
+                }
+            }
+            // All output VCs released and credits restored.
+            for out in &r.outputs {
+                for ovc in &out.vcs {
+                    assert!(ovc.owner.is_none());
+                    assert_eq!(ovc.credits, 5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_links_combine_flits() {
+        // All-big network: every link 256b, flit 128b.
+        let mut cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 4,
+                height: 4,
+            },
+            RouterCfg::BIG,
+            Bits(256),
+            2.07,
+        );
+        cfg.flit_width = Bits(128);
+        cfg.link_widths = LinkWidths::Uniform(Bits(256));
+        let mut net = Network::new(cfg).expect("valid");
+        net.set_measuring(true);
+        net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
+        run_until_drained(&mut net, 500);
+        let d = net.drain_delivered();
+        // 8 flits over 2 lanes: ideal = 3*6 + 4 + ceil(7/2) = 26. The
+        // measured latency is 27: with 5-flit buffers the 4-cycle credit
+        // round-trip cannot sustain 2 flits/cycle indefinitely, costing one
+        // stall — still better than the single-lane serialization (29) and
+        // far better than 8 flits at 192b would allow.
+        assert_eq!(net.ideal_latency(NodeId(0), NodeId(15), 8), 26);
+        let lat = d[0].retire - d[0].inject;
+        assert_eq!(lat, 27);
+        assert!(lat < 3 * 6 + 4 + 7, "dual-lane transfer beats single-lane");
+        // Dual transmission must actually have happened.
+        let wide = net.wide_links().to_vec();
+        assert!(net.stats().combining_rate(&wide) > 0.0);
+    }
+
+    #[test]
+    fn per_class_latency_accounting() {
+        let mut net = small_mesh();
+        net.set_measuring(true);
+        net.enqueue(NodeId(0), NodeId(3), Bits(1024), PacketClass::Data, 0);
+        net.enqueue(NodeId(4), NodeId(7), Bits(64), PacketClass::Control, 0);
+        run_until_drained(&mut net, 500);
+        let s = net.stats();
+        assert_eq!(s.latency_by_class[0].count, 1);
+        assert_eq!(s.latency_by_class[1].count, 1);
+        assert_eq!(s.latency.count, 2);
+    }
+
+    #[test]
+    fn measuring_gate_excludes_warmup_packets() {
+        let mut net = small_mesh();
+        net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
+        run_until_drained(&mut net, 500);
+        net.set_measuring(true);
+        for _ in 0..10 {
+            net.step();
+        }
+        let s = net.stats();
+        assert_eq!(s.packets_retired, 0);
+        assert_eq!(s.packets_offered, 0);
+        assert_eq!(s.cycles, 10);
+    }
+
+    #[test]
+    fn torus_traffic_drains() {
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Torus {
+                width: 4,
+                height: 4,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        let mut net = Network::new(cfg).expect("valid");
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    net.enqueue(NodeId(s), NodeId(d), Bits(1024), PacketClass::Data, 0);
+                }
+            }
+        }
+        run_until_drained(&mut net, 30_000);
+        assert_eq!(net.drain_delivered().len(), 16 * 15);
+    }
+
+    #[test]
+    fn cmesh_and_fbfly_deliver() {
+        for kind in [
+            TopologyKind::CMesh {
+                width: 4,
+                height: 4,
+                concentration: 4,
+            },
+            TopologyKind::FlattenedButterfly {
+                width: 4,
+                height: 4,
+                concentration: 4,
+            },
+        ] {
+            let cfg =
+                NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2);
+            let mut net = Network::new(cfg).expect("valid");
+            for s in 0..64 {
+                net.enqueue(
+                    NodeId(s),
+                    NodeId(63 - s),
+                    Bits(1024),
+                    PacketClass::Data,
+                    0,
+                );
+            }
+            run_until_drained(&mut net, 30_000);
+            assert_eq!(net.drain_delivered().len(), 64);
+        }
+    }
+
+    #[test]
+    fn buffer_utilization_is_positive_under_traffic() {
+        let mut net = small_mesh();
+        net.set_measuring(true);
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    net.enqueue(NodeId(s), NodeId(d), Bits(1024), PacketClass::Data, 0);
+                }
+            }
+        }
+        run_until_drained(&mut net, 30_000);
+        let s = net.stats();
+        let total: f64 = (0..16).map(|r| s.buffer_utilization(r)).sum();
+        assert!(total > 0.0);
+        for r in 0..16 {
+            assert!(s.buffer_utilization(r) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn diagnostics_track_progress() {
+        let mut net = small_mesh();
+        let d0 = net.diagnostics();
+        assert_eq!(d0, Diagnostics::default());
+        net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
+        let d1 = net.diagnostics();
+        assert_eq!(d1.in_flight, 1);
+        assert_eq!(d1.source_queued, 1);
+        for _ in 0..5 {
+            net.step();
+        }
+        let d2 = net.diagnostics();
+        assert!(d2.buffered_flits > 0, "flits must be in the network");
+        assert!(d2.oldest_packet_age >= 5);
+        run_until_drained(&mut net, 200);
+        assert_eq!(net.diagnostics().in_flight, 0);
+        assert_eq!(net.diagnostics().buffered_flits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be non-zero")]
+    fn zero_size_packet_rejected() {
+        let mut net = small_mesh();
+        net.enqueue(NodeId(0), NodeId(1), Bits(0), PacketClass::Data, 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! Routing algorithms.
+//!
+//! All networks in the paper use deterministic dimension-order (X-Y) routing;
+//! the asymmetric-CMP case study (§7) additionally uses *table-based* routing
+//! for traffic to/from the large cores, with reserved escape VCs for deadlock
+//! freedom. The torus uses X-Y over the rings with *dateline* virtual-channel
+//! classes.
+//!
+//! A routing decision is a [`RouteChoice`]: an output port plus the
+//! [`VcClass`] the packet may occupy at the downstream input port. The
+//! network translates the class into a concrete set of admissible VC indices
+//! given the downstream router's VC count.
+
+pub mod table;
+pub mod xy;
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::TopologyGraph;
+use crate::types::{NodeId, PortId, RouterId};
+
+pub use table::RouteTable;
+
+/// Restriction on which downstream virtual channels a packet may acquire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VcClass {
+    /// Any VC of the downstream port.
+    Any,
+    /// Torus dateline class 0 (packet has not yet crossed the dateline in
+    /// its current dimension): the lower half of the VCs.
+    Dateline0,
+    /// Torus dateline class 1 (dateline crossed): the upper half.
+    Dateline1,
+    /// Any VC except the reserved escape VC (table-routing networks).
+    NonEscape,
+    /// Only the reserved escape VC (highest index; X-Y routed).
+    Escape,
+}
+
+impl VcClass {
+    /// Concrete admissible VC index range `[lo, hi)` for a downstream port
+    /// with `vcs` virtual channels.
+    ///
+    /// # Panics
+    /// Panics if `vcs == 0`, or if `vcs < 2` for the classes that need a
+    /// partition (datelines, escape).
+    ///
+    /// # Examples
+    /// ```
+    /// use heteronoc_noc::routing::VcClass;
+    /// assert_eq!(VcClass::Any.range(3), (0, 3));
+    /// assert_eq!(VcClass::Dateline0.range(3), (0, 1));
+    /// assert_eq!(VcClass::Dateline1.range(3), (1, 3));
+    /// assert_eq!(VcClass::NonEscape.range(6), (0, 5));
+    /// assert_eq!(VcClass::Escape.range(6), (5, 6));
+    /// ```
+    pub fn range(self, vcs: usize) -> (usize, usize) {
+        assert!(vcs > 0, "port must have at least one VC");
+        match self {
+            VcClass::Any => (0, vcs),
+            VcClass::Dateline0 => {
+                assert!(vcs >= 2, "dateline classes need >= 2 VCs");
+                (0, vcs / 2)
+            }
+            VcClass::Dateline1 => {
+                assert!(vcs >= 2, "dateline classes need >= 2 VCs");
+                (vcs / 2, vcs)
+            }
+            VcClass::NonEscape => {
+                assert!(vcs >= 2, "escape reservation needs >= 2 VCs");
+                (0, vcs - 1)
+            }
+            VcClass::Escape => {
+                assert!(vcs >= 2, "escape reservation needs >= 2 VCs");
+                (vcs - 1, vcs)
+            }
+        }
+    }
+
+    /// Whether VC index `vc` (of `vcs`) belongs to this class.
+    pub fn contains(self, vc: usize, vcs: usize) -> bool {
+        let (lo, hi) = self.range(vcs);
+        (lo..hi).contains(&vc)
+    }
+}
+
+/// A routing decision at one router.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouteChoice {
+    /// Output port to request.
+    pub port: PortId,
+    /// Admissible downstream VC class.
+    pub class: VcClass,
+}
+
+/// Which routing algorithm a network runs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Deterministic dimension-order routing: X-Y on meshes, shortest-ring
+    /// X-Y with dateline VC classes on the torus, two-hop dimension order on
+    /// the flattened butterfly.
+    DimensionOrder,
+    /// Dimension-order routing for regular traffic plus table-based paths
+    /// for [`crate::packet::PacketClass::Expedited`] packets, with the
+    /// highest VC of every port reserved as an X-Y-routed escape VC (§7).
+    TableXy(RouteTable),
+}
+
+impl RoutingKind {
+    /// Computes the routing decision for a flit at router `cur`.
+    ///
+    /// `in_escape` must be true when the flit currently occupies an escape
+    /// VC — such packets stay on the escape (X-Y) subnetwork to destination.
+    ///
+    /// Returns `None` when `cur` already serves `dst` (the caller ejects
+    /// through the local port instead).
+    pub fn route(
+        &self,
+        g: &TopologyGraph,
+        cur: RouterId,
+        src: NodeId,
+        dst: NodeId,
+        expedited: bool,
+        in_escape: bool,
+    ) -> Option<RouteChoice> {
+        let dst_router = g.attachment(dst).router;
+        if cur == dst_router {
+            return None;
+        }
+        match self {
+            RoutingKind::DimensionOrder => Some(xy::route(g, cur, src, dst)),
+            RoutingKind::TableXy(tbl) => {
+                if in_escape {
+                    let base = xy::route(g, cur, src, dst);
+                    return Some(RouteChoice {
+                        port: base.port,
+                        class: VcClass::Escape,
+                    });
+                }
+                if expedited {
+                    if let Some(next) = tbl.next_hop(cur, g.attachment(src).router, dst_router) {
+                        let port = g
+                            .port_towards(cur, next)
+                            .expect("route table must follow topology links");
+                        return Some(RouteChoice {
+                            port,
+                            class: VcClass::NonEscape,
+                        });
+                    }
+                }
+                let base = xy::route(g, cur, src, dst);
+                Some(RouteChoice {
+                    port: base.port,
+                    class: VcClass::NonEscape,
+                })
+            }
+        }
+    }
+
+    /// Escape alternative for a blocked expedited head flit: the X-Y route
+    /// restricted to the escape VC. Only meaningful for [`RoutingKind::TableXy`].
+    pub fn escape_route(
+        &self,
+        g: &TopologyGraph,
+        cur: RouterId,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<RouteChoice> {
+        match self {
+            RoutingKind::DimensionOrder => None,
+            RoutingKind::TableXy(_) => {
+                let dst_router = g.attachment(dst).router;
+                if cur == dst_router {
+                    return None;
+                }
+                let base = xy::route(g, cur, src, dst);
+                Some(RouteChoice {
+                    port: base.port,
+                    class: VcClass::Escape,
+                })
+            }
+        }
+    }
+
+    /// True when this routing kind reserves the top VC of every port.
+    pub fn reserves_escape_vc(&self) -> bool {
+        matches!(self, RoutingKind::TableXy(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_ranges_partition() {
+        for vcs in 2..8 {
+            let (l0, h0) = VcClass::Dateline0.range(vcs);
+            let (l1, h1) = VcClass::Dateline1.range(vcs);
+            assert_eq!(l0, 0);
+            assert_eq!(h0, l1);
+            assert_eq!(h1, vcs);
+            assert!(h0 > l0 && h1 > l1, "both classes non-empty at vcs={vcs}");
+            let (ln, hn) = VcClass::NonEscape.range(vcs);
+            let (le, he) = VcClass::Escape.range(vcs);
+            assert_eq!((ln, hn, le, he), (0, vcs - 1, vcs - 1, vcs));
+        }
+    }
+
+    #[test]
+    fn class_contains() {
+        assert!(VcClass::Any.contains(2, 3));
+        assert!(VcClass::Dateline0.contains(0, 3));
+        assert!(!VcClass::Dateline0.contains(1, 3));
+        assert!(VcClass::Escape.contains(5, 6));
+        assert!(!VcClass::NonEscape.contains(5, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2")]
+    fn dateline_needs_two_vcs() {
+        let _ = VcClass::Dateline0.range(1);
+    }
+}

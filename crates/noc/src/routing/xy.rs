@@ -1,0 +1,250 @@
+//! Deterministic dimension-order (X-Y) routing for all supported topologies.
+//!
+//! * Mesh / concentrated mesh: classic X-then-Y.
+//! * Torus: X-then-Y along the shortest ring direction with *dateline*
+//!   VC classes (a packet starts each dimension in class 0 and moves to
+//!   class 1 after its path crosses the wrap-around link), which breaks the
+//!   ring channel-dependency cycle (Dally & Towles, ch. 14).
+//! * Flattened butterfly: at most one express hop per dimension, X first.
+
+use crate::topology::{TopologyGraph, TopologyKind};
+use crate::types::{NodeId, RouterId};
+
+use super::{RouteChoice, VcClass};
+
+/// Computes the X-Y routing decision at router `cur` for a packet
+/// `src -> dst`.
+///
+/// # Panics
+/// Panics if `cur` already serves `dst` (the caller must eject instead; see
+/// [`crate::routing::RoutingKind::route`]) or if the topology graph is
+/// inconsistent.
+pub fn route(g: &TopologyGraph, cur: RouterId, src: NodeId, dst: NodeId) -> RouteChoice {
+    let dst_router = g.attachment(dst).router;
+    assert_ne!(cur, dst_router, "route() called at the destination router");
+    let c = g.coord(cur);
+    let d = g.coord(dst_router);
+    let (w, h) = g.grid_dims();
+
+    match g.kind() {
+        TopologyKind::Mesh { .. } | TopologyKind::CMesh { .. } => {
+            let next = if c.x != d.x {
+                let nx = if d.x > c.x { c.x + 1 } else { c.x - 1 };
+                g.router_at(crate::types::Coord::new(nx, c.y)).unwrap()
+            } else {
+                let ny = if d.y > c.y { c.y + 1 } else { c.y - 1 };
+                g.router_at(crate::types::Coord::new(c.x, ny)).unwrap()
+            };
+            RouteChoice {
+                port: g.port_towards(cur, next).expect("mesh neighbour exists"),
+                class: VcClass::Any,
+            }
+        }
+        TopologyKind::Torus { .. } => {
+            let s = g.coord(g.attachment(src).router);
+            if c.x != d.x {
+                let (nx, crossed) = ring_step(s.x, c.x, d.x, w);
+                let next = g.router_at(crate::types::Coord::new(nx, c.y)).unwrap();
+                RouteChoice {
+                    port: g.port_towards(cur, next).expect("torus neighbour exists"),
+                    class: if crossed {
+                        VcClass::Dateline1
+                    } else {
+                        VcClass::Dateline0
+                    },
+                }
+            } else {
+                let (ny, crossed) = ring_step(s.y, c.y, d.y, h);
+                let next = g.router_at(crate::types::Coord::new(c.x, ny)).unwrap();
+                RouteChoice {
+                    port: g.port_towards(cur, next).expect("torus neighbour exists"),
+                    class: if crossed {
+                        VcClass::Dateline1
+                    } else {
+                        VcClass::Dateline0
+                    },
+                }
+            }
+        }
+        TopologyKind::FlattenedButterfly { .. } => {
+            let next = if c.x != d.x {
+                g.router_at(crate::types::Coord::new(d.x, c.y)).unwrap()
+            } else {
+                dst_router
+            };
+            RouteChoice {
+                port: g
+                    .port_towards(cur, next)
+                    .expect("flattened butterfly peers are fully connected per dimension"),
+                class: VcClass::Any,
+            }
+        }
+    }
+}
+
+/// One step along a ring of size `n` from `cur` towards `dst`, where the
+/// journey started at `start`. Returns the next position and whether the
+/// packet *will occupy the next router having already crossed* the dateline
+/// (the wrap link between positions `n-1` and `0`).
+///
+/// Direction is fixed for the whole journey from `start` (shortest way,
+/// ties broken towards increasing coordinates) so the class is a pure
+/// function of `(start, cur, dst)`.
+fn ring_step(start: usize, cur: usize, dst: usize, n: usize) -> (usize, bool) {
+    debug_assert_ne!(cur, dst);
+    let fwd = (dst + n - start) % n; // hops going +1 from start
+    let positive = fwd <= n - fwd; // ties -> positive direction
+    if positive {
+        let next = (cur + 1) % n;
+        let hops_to_next = (next + n - start) % n;
+        // Going +1 the dateline sits between n-1 and 0: it has been crossed
+        // once the absolute position start + hops reaches n.
+        (next, start + hops_to_next >= n)
+    } else {
+        let next = (cur + n - 1) % n;
+        let hops_to_next = (start + n - next) % n;
+        // Going -1 the dateline is crossed once we step below position 0.
+        (next, hops_to_next > start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{mesh, torus};
+    use crate::types::{Coord, PortId};
+
+    fn mesh_next(g: &TopologyGraph, cur: (usize, usize), dst_node: usize) -> RouterId {
+        let cur_r = g.router_at(Coord::new(cur.0, cur.1)).unwrap();
+        let rc = route(g, cur_r, NodeId(0), NodeId(dst_node));
+        match g.router(cur_r).ports[rc.port.index()].kind {
+            crate::topology::PortKind::Link { to, .. } => to,
+            crate::topology::PortKind::Local { .. } => panic!("unexpected local"),
+        }
+    }
+
+    #[test]
+    fn mesh_x_before_y() {
+        let g = mesh::build(8, 8);
+        // From (0,0) to node 63 = (7,7): go East first.
+        let next = mesh_next(&g, (0, 0), 63);
+        assert_eq!(g.coord(next), Coord::new(1, 0));
+        // From (7,0) to 63: x done, go South.
+        let next = mesh_next(&g, (7, 0), 63);
+        assert_eq!(g.coord(next), Coord::new(7, 1));
+    }
+
+    #[test]
+    fn mesh_route_reaches_destination() {
+        let g = mesh::build(8, 8);
+        for (s, d) in [(0usize, 63usize), (63, 0), (7, 56), (12, 34)] {
+            let mut cur = g.attachment(NodeId(s)).router;
+            let dst_r = g.attachment(NodeId(d)).router;
+            let mut hops = 0;
+            while cur != dst_r {
+                cur = mesh_next(&g, (g.coord(cur).x, g.coord(cur).y), d);
+                hops += 1;
+                assert!(hops <= 14, "route must terminate");
+            }
+            assert_eq!(hops, g.route_hops(NodeId(s), NodeId(d)));
+        }
+    }
+
+    fn walk_torus(g: &TopologyGraph, s: usize, d: usize) -> (usize, Vec<VcClass>) {
+        let mut cur = g.attachment(NodeId(s)).router;
+        let dst_r = g.attachment(NodeId(d)).router;
+        let mut hops = 0;
+        let mut classes = Vec::new();
+        while cur != dst_r {
+            let rc = route(g, cur, NodeId(s), NodeId(d));
+            classes.push(rc.class);
+            cur = match g.router(cur).ports[rc.port.index()].kind {
+                crate::topology::PortKind::Link { to, .. } => to,
+                crate::topology::PortKind::Local { .. } => panic!(),
+            };
+            hops += 1;
+            assert!(hops <= 16, "torus route must terminate");
+        }
+        (hops, classes)
+    }
+
+    #[test]
+    fn torus_takes_shortest_path_all_pairs() {
+        let g = torus::build(8, 8);
+        for s in 0..64 {
+            for d in 0..64 {
+                if s == d {
+                    continue;
+                }
+                let (hops, _) = walk_torus(&g, s, d);
+                assert_eq!(hops, g.route_hops(NodeId(s), NodeId(d)), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_dateline_class_is_monotonic_per_dimension() {
+        let g = torus::build(8, 8);
+        for s in 0..64 {
+            for d in 0..64 {
+                if s == d {
+                    continue;
+                }
+                let (_, classes) = walk_torus(&g, s, d);
+                // Within the X phase then the Y phase, class never goes
+                // 1 -> 0 (it resets between dimensions).
+                let sx = s % 8;
+                let dx = d % 8;
+                let x_hops = crate::topology::ring_dist(sx, dx, 8);
+                for phase in [&classes[..x_hops], &classes[x_hops..]] {
+                    let mut seen1 = false;
+                    for c in phase {
+                        match c {
+                            VcClass::Dateline0 => {
+                                assert!(!seen1, "class must not drop back to 0")
+                            }
+                            VcClass::Dateline1 => seen1 = true,
+                            _ => panic!("torus must use dateline classes"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wrap_crossing_switches_class() {
+        let g = torus::build(8, 8);
+        // 6 -> 1 goes east through the wrap (6,7,0,1): the class describes
+        // the downstream buffer, so entering 7 is class 0 and entering 0
+        // and 1 (after the wrap link) is class 1.
+        let (_, classes) = walk_torus(&g, 6, 1);
+        assert_eq!(
+            classes,
+            vec![VcClass::Dateline0, VcClass::Dateline1, VcClass::Dateline1]
+        );
+        // Westward: 1 -> 6 goes (1,0,7,6); entering 0 is class 0, entering
+        // 7 and 6 (after the 0 -> 7 wrap) is class 1.
+        let (_, classes) = walk_torus(&g, 1, 6);
+        assert_eq!(
+            classes,
+            vec![VcClass::Dateline0, VcClass::Dateline1, VcClass::Dateline1]
+        );
+    }
+
+    #[test]
+    fn fbfly_two_hops() {
+        let g = crate::topology::flatbfly::build(4, 4, 4);
+        // Node 0 is on router 0 at (0,0); node 63 on router 15 at (3,3).
+        let r0 = RouterId(0);
+        let rc = route(&g, r0, NodeId(0), NodeId(63));
+        assert!(rc.port != PortId(0));
+        // First hop goes to the router in column 3 of row 0.
+        match g.router(r0).ports[rc.port.index()].kind {
+            crate::topology::PortKind::Link { to, .. } => {
+                assert_eq!(g.coord(to), Coord::new(3, 0));
+            }
+            crate::topology::PortKind::Local { .. } => panic!(),
+        }
+    }
+}

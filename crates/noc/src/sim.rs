@@ -1,0 +1,339 @@
+//! Open-loop synthetic-traffic simulation driver.
+//!
+//! Reproduces the paper's measurement methodology (§4): warm the network up
+//! with a fixed number of packets, then collect statistics for a measurement
+//! batch, reporting latency/throughput/utilization as a function of the
+//! offered load in packets/node/cycle.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::Network;
+use crate::packet::PacketClass;
+use crate::stats::NetStats;
+use crate::types::{Bits, Cycle, NodeId};
+
+/// A synthetic traffic source: picks a destination (and packet kind) for
+/// each generated packet.
+pub trait Traffic {
+    /// Destination for a packet generated at `src`. Returning `src` itself
+    /// is allowed (the packet ejects locally).
+    fn destination(&mut self, src: NodeId, num_nodes: usize, rng: &mut StdRng) -> NodeId;
+
+    /// Packet size in bits (defaults to the paper's 1024-bit data packet).
+    fn size(&mut self, _src: NodeId, _rng: &mut StdRng) -> Bits {
+        Bits(1024)
+    }
+
+    /// Message class (defaults to [`PacketClass::Data`]).
+    fn class(&mut self, _src: NodeId) -> PacketClass {
+        PacketClass::Data
+    }
+}
+
+/// How packet generation times are drawn.
+#[derive(Clone, Copy, Debug)]
+pub enum InjectionProcess {
+    /// Independent Bernoulli trial per node per cycle.
+    Bernoulli,
+    /// Self-similar (bursty) traffic: Pareto-distributed ON/OFF periods with
+    /// the given shape parameter; packets are generated each cycle of an ON
+    /// period with a compensated probability so the long-run rate matches
+    /// the configured injection rate.
+    SelfSimilar {
+        /// Pareto shape (1 < alpha < 2 gives long-range dependence; the
+        /// classic value is 1.9 for ON and 1.25 for OFF periods).
+        alpha_on: f64,
+        /// Pareto shape of the OFF periods.
+        alpha_off: f64,
+    },
+}
+
+/// Simulation parameters for one load point.
+#[derive(Clone, Copy, Debug)]
+pub struct SimParams {
+    /// Offered load in packets/node/cycle.
+    pub injection_rate: f64,
+    /// Packets to deliver before statistics collection starts (paper: 1000).
+    pub warmup_packets: u64,
+    /// Packets to measure (paper: 100,000).
+    pub measure_packets: u64,
+    /// Hard cycle limit; when the network saturates and cannot deliver the
+    /// measurement batch, the run stops here and is flagged saturated.
+    pub max_cycles: Cycle,
+    /// RNG seed (simulations are deterministic per seed).
+    pub seed: u64,
+    /// Injection process.
+    pub process: InjectionProcess,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self {
+            injection_rate: 0.01,
+            warmup_packets: 1_000,
+            measure_packets: 100_000,
+            max_cycles: 2_000_000,
+            seed: 0xC0FFEE,
+            process: InjectionProcess::Bernoulli,
+        }
+    }
+}
+
+/// Result of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Collected statistics (measurement window only).
+    pub stats: NetStats,
+    /// True when the run hit `max_cycles` before delivering the batch, or
+    /// source queues grew without bound (offered load above saturation).
+    pub saturated: bool,
+    /// Total cycles simulated (warmup + measurement).
+    pub cycles: Cycle,
+    /// Network frequency, echoed for ns conversions.
+    pub frequency_ghz: f64,
+}
+
+impl SimOutcome {
+    /// Mean packet latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.stats.mean_latency_ns(self.frequency_ghz)
+    }
+
+    /// Accepted throughput in packets/node/cycle.
+    pub fn throughput(&self, num_nodes: usize) -> f64 {
+        self.stats.throughput_ppc(num_nodes)
+    }
+}
+
+/// Per-node state for the self-similar ON/OFF process.
+#[derive(Clone, Copy, Debug)]
+struct OnOff {
+    on: bool,
+    remaining: u64,
+}
+
+/// Draws a Pareto-distributed period length with shape `alpha`, minimum 1.
+fn pareto(rng: &mut StdRng, alpha: f64) -> u64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    (u.powf(-1.0 / alpha)).min(1e6) as u64 + 1
+}
+
+/// Runs one open-loop simulation on `net` (which should be freshly built).
+///
+/// Packets are generated per node per cycle according to
+/// [`SimParams::process`]; destinations come from `traffic`.
+///
+/// # Examples
+/// ```
+/// use heteronoc_noc::config::NetworkConfig;
+/// use heteronoc_noc::network::Network;
+/// use heteronoc_noc::sim::{run_open_loop, SimParams, UniformRandom};
+/// let net = Network::new(NetworkConfig::paper_baseline())?;
+/// let params = SimParams {
+///     injection_rate: 0.005,
+///     warmup_packets: 50,
+///     measure_packets: 500,
+///     ..SimParams::default()
+/// };
+/// let out = run_open_loop(net, &mut UniformRandom, params);
+/// assert!(!out.saturated);
+/// assert!(out.stats.packets_retired >= 500);
+/// # Ok::<(), heteronoc_noc::error::ConfigError>(())
+/// ```
+pub fn run_open_loop<T: Traffic + ?Sized>(
+    mut net: Network,
+    traffic: &mut T,
+    params: SimParams,
+) -> SimOutcome {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n = net.graph().num_nodes();
+    let mut onoff = vec![
+        OnOff {
+            on: false,
+            remaining: 0,
+        };
+        n
+    ];
+    // For the ON/OFF process the per-cycle ON probability is scaled so the
+    // long-run rate equals `injection_rate`: rate_on = rate * (E[on]+E[off])/E[on].
+    let on_prob = match params.process {
+        InjectionProcess::Bernoulli => params.injection_rate,
+        InjectionProcess::SelfSimilar {
+            alpha_on,
+            alpha_off,
+        } => {
+            let e_on = alpha_on / (alpha_on - 1.0);
+            let e_off = alpha_off / (alpha_off - 1.0);
+            (params.injection_rate * (e_on + e_off) / e_on).min(1.0)
+        }
+    };
+
+    let mut delivered_total: u64 = 0;
+    let mut measuring = false;
+    let mut saturated = false;
+
+    while net.now() < params.max_cycles {
+        // Generate traffic for this cycle (index used both for the ON/OFF
+        // state and as the NodeId).
+        #[allow(clippy::needless_range_loop)]
+        for node in 0..n {
+            let fire = match params.process {
+                InjectionProcess::Bernoulli => rng.random::<f64>() < on_prob,
+                InjectionProcess::SelfSimilar {
+                    alpha_on,
+                    alpha_off,
+                } => {
+                    let s = &mut onoff[node];
+                    if s.remaining == 0 {
+                        s.on = !s.on;
+                        s.remaining =
+                            pareto(&mut rng, if s.on { alpha_on } else { alpha_off });
+                    }
+                    s.remaining -= 1;
+                    s.on && rng.random::<f64>() < on_prob
+                }
+            };
+            if fire {
+                let src = NodeId(node);
+                let dst = traffic.destination(src, n, &mut rng);
+                let size = traffic.size(src, &mut rng);
+                let class = traffic.class(src);
+                net.enqueue(src, dst, size, class, 0);
+            }
+        }
+        net.step();
+        let newly = net.drain_delivered().len() as u64;
+        delivered_total += newly;
+
+        if !measuring && delivered_total >= params.warmup_packets {
+            measuring = true;
+            net.set_measuring(true);
+        }
+        if measuring && net.stats().packets_retired >= params.measure_packets {
+            break;
+        }
+        // Saturation bail-out: if queues hold several times the measurement
+        // batch, latency is unbounded at this load.
+        if net.now().is_multiple_of(4096) && net.in_flight() as u64 > 4 * params.measure_packets.max(1_000)
+        {
+            saturated = true;
+            break;
+        }
+    }
+    if net.now() >= params.max_cycles {
+        saturated = true;
+    }
+    // A backlog larger than the measurement batch at the end of the run
+    // means the offered load exceeded the accepted throughput.
+    if net.in_flight() as u64 > params.measure_packets.max(100) {
+        saturated = true;
+    }
+
+    let cycles = net.now();
+    let frequency_ghz = net.config().frequency_ghz;
+    SimOutcome {
+        stats: net.stats().clone(),
+        saturated,
+        cycles,
+        frequency_ghz,
+    }
+}
+
+/// Uniform-random traffic: every other node equally likely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniformRandom;
+
+impl Traffic for UniformRandom {
+    fn destination(&mut self, src: NodeId, num_nodes: usize, rng: &mut StdRng) -> NodeId {
+        loop {
+            let d = rng.random_range(0..num_nodes);
+            if d != src.index() {
+                return NodeId(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkConfig;
+
+    fn quick_params(rate: f64) -> SimParams {
+        SimParams {
+            injection_rate: rate,
+            warmup_packets: 50,
+            measure_packets: 400,
+            max_cycles: 200_000,
+            seed: 7,
+            process: InjectionProcess::Bernoulli,
+        }
+    }
+
+    #[test]
+    fn low_load_run_completes_unsaturated() {
+        let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let out = run_open_loop(net, &mut UniformRandom, quick_params(0.005));
+        assert!(!out.saturated);
+        assert!(out.stats.packets_retired >= 400);
+        assert!(out.latency_ns() > 0.0);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let lat = |rate| {
+            let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+            run_open_loop(net, &mut UniformRandom, quick_params(rate)).latency_ns()
+        };
+        let low = lat(0.002);
+        let high = lat(0.05);
+        assert!(
+            high > low,
+            "latency must grow with load: low={low}ns high={high}ns"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+            let out = run_open_loop(net, &mut UniformRandom, quick_params(0.02));
+            (
+                out.stats.packets_retired,
+                out.stats.latency.total,
+                out.cycles,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn oversaturated_run_flags_saturation() {
+        let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let mut p = quick_params(0.9);
+        p.max_cycles = 20_000;
+        let out = run_open_loop(net, &mut UniformRandom, p);
+        assert!(out.saturated);
+    }
+
+    #[test]
+    fn self_similar_process_delivers() {
+        let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let mut p = quick_params(0.01);
+        p.process = InjectionProcess::SelfSimilar {
+            alpha_on: 1.9,
+            alpha_off: 1.25,
+        };
+        let out = run_open_loop(net, &mut UniformRandom, p);
+        assert!(out.stats.packets_retired >= 400);
+    }
+
+    #[test]
+    fn pareto_draws_are_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(pareto(&mut rng, 1.9) >= 1);
+        }
+    }
+}

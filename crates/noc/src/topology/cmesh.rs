@@ -1,0 +1,87 @@
+//! Concentrated mesh (Fig. 2a): a mesh of routers where each router serves
+//! several nodes. The paper uses a 4x4 router grid with concentration 4 to
+//! serve 64 nodes.
+
+use crate::types::{Coord, RouterId};
+
+use super::{GraphBuilder, TopologyGraph, TopologyKind};
+
+/// Builds a `width x height` concentrated mesh with `concentration` nodes
+/// per router.
+///
+/// Port order per router: `concentration` local ports first, then the mesh
+/// neighbour ports (E/S channels created row-major like [`super::mesh`]).
+///
+/// # Panics
+/// Panics if any dimension or the concentration is zero.
+///
+/// # Examples
+/// ```
+/// let g = heteronoc_noc::topology::cmesh::build(4, 4, 4);
+/// assert_eq!(g.num_routers(), 16);
+/// assert_eq!(g.num_nodes(), 64);
+/// ```
+pub fn build(width: usize, height: usize, concentration: usize) -> TopologyGraph {
+    assert!(
+        width > 0 && height > 0 && concentration > 0,
+        "cmesh dimensions and concentration must be non-zero"
+    );
+    let coords: Vec<Coord> = (0..height)
+        .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
+        .collect();
+    let mut b = GraphBuilder::with_routers(coords);
+    for r in 0..width * height {
+        for _ in 0..concentration {
+            b.attach_node(RouterId(r));
+        }
+    }
+    for y in 0..height {
+        for x in 0..width {
+            let r = RouterId(y * width + x);
+            if x + 1 < width {
+                b.connect(r, RouterId(y * width + x + 1), false);
+            }
+            if y + 1 < height {
+                b.connect(r, RouterId((y + 1) * width + x), false);
+            }
+        }
+    }
+    b.finish(TopologyKind::CMesh {
+        width,
+        height,
+        concentration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+
+    #[test]
+    fn paper_configuration() {
+        let g = build(4, 4, 4);
+        assert_eq!(g.num_routers(), 16);
+        assert_eq!(g.num_nodes(), 64);
+        // Interior router: 4 locals + 4 directions.
+        let inner = g.router_at(Coord::new(1, 1)).unwrap();
+        assert_eq!(g.router(inner).ports.len(), 8);
+    }
+
+    #[test]
+    fn nodes_attach_round_robin_blocks() {
+        let g = build(2, 2, 4);
+        // Nodes 0..4 on router 0, 4..8 on router 1, ...
+        assert_eq!(g.attachment(NodeId(0)).router, RouterId(0));
+        assert_eq!(g.attachment(NodeId(3)).router, RouterId(0));
+        assert_eq!(g.attachment(NodeId(4)).router, RouterId(1));
+        assert_eq!(g.attachment(NodeId(15)).router, RouterId(3));
+    }
+
+    #[test]
+    fn hops_between_co_located_nodes_is_zero() {
+        let g = build(4, 4, 4);
+        assert_eq!(g.route_hops(NodeId(0), NodeId(1)), 0);
+        assert_eq!(g.route_hops(NodeId(0), NodeId(63)), 6);
+    }
+}

@@ -1,0 +1,112 @@
+//! 2-D flattened butterfly (Fig. 2b, after Kim/Dally/Abts ISCA'07).
+//!
+//! Routers form a `width x height` grid that is *fully connected within each
+//! row and within each column*. With 16 routers (4x4) and concentration 4
+//! this serves the paper's 64-node configuration; any destination is at most
+//! two hops away (one X hop + one Y hop).
+
+use crate::types::{Coord, RouterId};
+
+use super::{GraphBuilder, TopologyGraph, TopologyKind};
+
+/// Builds a `width x height` flattened butterfly with `concentration` nodes
+/// per router.
+///
+/// Port order per router: `concentration` local ports, then the row
+/// (X-dimension) express channels in increasing peer order of first
+/// connection, then column channels. Channel creation order is
+/// deterministic: rows first (all pairs, lexicographic), then columns.
+///
+/// # Panics
+/// Panics if any dimension or the concentration is zero.
+///
+/// # Examples
+/// ```
+/// let g = heteronoc_noc::topology::flatbfly::build(4, 4, 4);
+/// assert_eq!(g.num_routers(), 16);
+/// assert_eq!(g.num_nodes(), 64);
+/// // 4 locals + 3 row peers + 3 column peers.
+/// use heteronoc_noc::types::RouterId;
+/// assert_eq!(g.router(RouterId(0)).ports.len(), 10);
+/// ```
+pub fn build(width: usize, height: usize, concentration: usize) -> TopologyGraph {
+    assert!(
+        width > 0 && height > 0 && concentration > 0,
+        "flattened butterfly dimensions and concentration must be non-zero"
+    );
+    let coords: Vec<Coord> = (0..height)
+        .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
+        .collect();
+    let mut b = GraphBuilder::with_routers(coords);
+    for r in 0..width * height {
+        for _ in 0..concentration {
+            b.attach_node(RouterId(r));
+        }
+    }
+    // Full row connectivity.
+    for y in 0..height {
+        for x0 in 0..width {
+            for x1 in (x0 + 1)..width {
+                b.connect(RouterId(y * width + x0), RouterId(y * width + x1), false);
+            }
+        }
+    }
+    // Full column connectivity.
+    for x in 0..width {
+        for y0 in 0..height {
+            for y1 in (y0 + 1)..height {
+                b.connect(RouterId(y0 * width + x), RouterId(y1 * width + x), false);
+            }
+        }
+    }
+    b.finish(TopologyKind::FlattenedButterfly {
+        width,
+        height,
+        concentration,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+
+    #[test]
+    fn paper_configuration() {
+        let g = build(4, 4, 4);
+        assert_eq!(g.num_routers(), 16);
+        assert_eq!(g.num_nodes(), 64);
+        for r in 0..16 {
+            assert_eq!(g.router(RouterId(r)).ports.len(), 10);
+        }
+        // Channels: per row C(4,2)=6, 4 rows; same for columns; x2 direction.
+        assert_eq!(g.num_links(), (6 * 4 + 6 * 4) * 2);
+    }
+
+    #[test]
+    fn all_row_column_peers_adjacent() {
+        let g = build(4, 4, 1);
+        let a = g.router_at(Coord::new(0, 2)).unwrap();
+        for x in 1..4 {
+            let p = g.router_at(Coord::new(x, 2)).unwrap();
+            assert!(g.port_towards(a, p).is_some(), "row peer x={x}");
+        }
+        for y in [0usize, 1, 3] {
+            let p = g.router_at(Coord::new(0, y)).unwrap();
+            assert!(g.port_towards(a, p).is_some(), "col peer y={y}");
+        }
+        // Diagonal peer is NOT adjacent.
+        let d = g.router_at(Coord::new(1, 1)).unwrap();
+        assert!(g.port_towards(a, d).is_none());
+    }
+
+    #[test]
+    fn max_two_hops() {
+        let g = build(4, 4, 4);
+        for s in 0..64 {
+            for d in 0..64 {
+                assert!(g.route_hops(NodeId(s), NodeId(d)) <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! 2-D mesh topology (the paper's primary platform).
+//!
+//! Routers are laid out row-major: router `y * width + x` sits at column `x`,
+//! row `y`. Every router has one local node and up to four directional
+//! neighbours, so interior routers have the paper's 5-port organization.
+
+use crate::types::{Coord, RouterId};
+
+use super::{GraphBuilder, TopologyGraph, TopologyKind};
+
+/// Builds a `width x height` mesh with one node per router.
+///
+/// Port order per router: `[local, N?, E?, S?, W?]` — edge routers simply
+/// omit the missing directions, matching a synthesizable mesh router where
+/// edge ports are depopulated.
+///
+/// # Panics
+/// Panics if `width` or `height` is zero.
+///
+/// # Examples
+/// ```
+/// let g = heteronoc_noc::topology::mesh::build(8, 8);
+/// assert_eq!(g.num_routers(), 64);
+/// // Interior router: local + 4 directions.
+/// use heteronoc_noc::types::{Coord, RouterId};
+/// let center = g.router_at(Coord::new(3, 3)).unwrap();
+/// assert_eq!(g.router(center).ports.len(), 5);
+/// ```
+pub fn build(width: usize, height: usize) -> TopologyGraph {
+    assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+    let coords: Vec<Coord> = (0..height)
+        .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
+        .collect();
+    let mut b = GraphBuilder::with_routers(coords);
+    for r in 0..width * height {
+        b.attach_node(RouterId(r));
+    }
+    // Connect in a deterministic order so port numbering is stable:
+    // for each router in row-major order, connect N then E then S then W,
+    // creating each bidirectional channel when first encountered (N, W link
+    // back to already-visited routers and were created then).
+    for y in 0..height {
+        for x in 0..width {
+            let r = RouterId(y * width + x);
+            if x + 1 < width {
+                b.connect(r, RouterId(y * width + x + 1), false); // East
+            }
+            if y + 1 < height {
+                b.connect(r, RouterId((y + 1) * width + x), false); // South
+            }
+        }
+    }
+    b.finish(TopologyKind::Mesh { width, height })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PortKind;
+    use crate::types::PortId;
+
+    #[test]
+    fn mesh_8x8_counts() {
+        let g = build(8, 8);
+        assert_eq!(g.num_routers(), 64);
+        assert_eq!(g.num_nodes(), 64);
+        // 2 * (2 * 8 * 7) unidirectional links.
+        assert_eq!(g.num_links(), 224);
+    }
+
+    #[test]
+    fn corner_and_edge_port_counts() {
+        let g = build(4, 4);
+        let corner = g.router_at(Coord::new(0, 0)).unwrap();
+        assert_eq!(g.router(corner).ports.len(), 3); // local + E + S
+        let edge = g.router_at(Coord::new(1, 0)).unwrap();
+        assert_eq!(g.router(edge).ports.len(), 4); // local + E + S + W
+        let inner = g.router_at(Coord::new(1, 1)).unwrap();
+        assert_eq!(g.router(inner).ports.len(), 5);
+    }
+
+    #[test]
+    fn local_port_is_port_zero() {
+        let g = build(3, 3);
+        for r in 0..g.num_routers() {
+            match g.router(RouterId(r)).ports[0].kind {
+                PortKind::Local { node } => assert_eq!(node.index(), r),
+                PortKind::Link { .. } => panic!("port 0 must be local"),
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_grid() {
+        let g = build(5, 3);
+        let a = g.router_at(Coord::new(2, 1)).unwrap();
+        let east = g.router_at(Coord::new(3, 1)).unwrap();
+        let p = g.port_towards(a, east).unwrap();
+        assert!(p != PortId(0));
+        assert_eq!(g.port_towards(a, g.router_at(Coord::new(4, 1)).unwrap()), None);
+    }
+
+    #[test]
+    fn route_hops_is_manhattan() {
+        let g = build(8, 8);
+        use crate::types::NodeId;
+        assert_eq!(g.route_hops(NodeId(0), NodeId(63)), 14);
+        assert_eq!(g.route_hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(g.route_hops(NodeId(0), NodeId(7)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        let _ = build(0, 4);
+    }
+}

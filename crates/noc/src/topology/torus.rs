@@ -1,0 +1,117 @@
+//! 2-D torus topology (edge-symmetric comparison network, paper §5.1.1).
+//!
+//! Identical to the mesh plus wrap-around channels in each row and column.
+//! Wrap links are flagged so the routing layer can implement dateline
+//! virtual-channel classes for deadlock freedom on the rings.
+
+use crate::types::{Coord, RouterId};
+
+use super::{GraphBuilder, TopologyGraph, TopologyKind};
+
+/// Builds a `width x height` torus with one node per router.
+///
+/// Port order per router: `[local, N, E, S, W]` where the wrap channel of a
+/// boundary router takes the place of its missing mesh direction, so every
+/// router is a full 5-port router (the torus is edge symmetric).
+///
+/// # Panics
+/// Panics if `width < 3` or `height < 3` (smaller rings would create
+/// duplicate channels between the same router pair).
+///
+/// # Examples
+/// ```
+/// let g = heteronoc_noc::topology::torus::build(8, 8);
+/// assert_eq!(g.num_links(), 256); // 2 * 2 * 64
+/// ```
+pub fn build(width: usize, height: usize) -> TopologyGraph {
+    assert!(
+        width >= 3 && height >= 3,
+        "torus dimensions must be at least 3"
+    );
+    let coords: Vec<Coord> = (0..height)
+        .flat_map(|y| (0..width).map(move |x| Coord::new(x, y)))
+        .collect();
+    let mut b = GraphBuilder::with_routers(coords);
+    for r in 0..width * height {
+        b.attach_node(RouterId(r));
+    }
+    for y in 0..height {
+        for x in 0..width {
+            let r = RouterId(y * width + x);
+            // Each router owns its eastward and southward channel, so every
+            // ring channel is created exactly once.
+            let ex = (x + 1) % width;
+            let east = RouterId(y * width + ex);
+            b.connect(r, east, x + 1 == width);
+            // South channel (wraps on the last row).
+            let sy = (y + 1) % height;
+            let south = RouterId(sy * width + x);
+            if y + 1 < height {
+                b.connect(r, south, false);
+            } else {
+                b.connect(r, south, true);
+            }
+        }
+    }
+    b.finish(TopologyKind::Torus { width, height })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NodeId;
+
+    #[test]
+    fn torus_is_edge_symmetric() {
+        let g = build(8, 8);
+        for r in 0..g.num_routers() {
+            assert_eq!(
+                g.router(RouterId(r)).ports.len(),
+                5,
+                "router {r} must have 5 ports"
+            );
+        }
+    }
+
+    #[test]
+    fn link_count() {
+        let g = build(8, 8);
+        // Each router owns an E and an S channel: 2 channels * 64 routers
+        // * 2 unidirectional links.
+        assert_eq!(g.num_links(), 256);
+    }
+
+    #[test]
+    fn wrap_links_flagged() {
+        let g = build(4, 4);
+        let wraps = g.links().iter().filter(|l| l.wrap).count();
+        // 4 rows + 4 cols wrap channels, 2 unidirectional links each.
+        assert_eq!(wraps, 16);
+    }
+
+    #[test]
+    fn route_hops_uses_shortest_ring_path() {
+        let g = build(8, 8);
+        // node 0 (0,0) to node 7 (7,0): 1 hop around the wrap.
+        assert_eq!(g.route_hops(NodeId(0), NodeId(7)), 1);
+        // node 0 to node 63 (7,7): 1 + 1.
+        assert_eq!(g.route_hops(NodeId(0), NodeId(63)), 2);
+        // node 0 to (4,4): 4 + 4 (diameter).
+        assert_eq!(g.route_hops(NodeId(0), NodeId(4 * 8 + 4)), 8);
+    }
+
+    #[test]
+    fn wrap_neighbours_adjacent() {
+        let g = build(4, 4);
+        let a = g.router_at(Coord::new(0, 2)).unwrap();
+        let b = g.router_at(Coord::new(3, 2)).unwrap();
+        assert!(g.port_towards(a, b).is_some());
+        assert!(g.port_towards(b, a).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn small_ring_panics() {
+        let _ = build(2, 4);
+    }
+}

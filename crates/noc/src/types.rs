@@ -1,0 +1,223 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! Every index-like quantity gets its own newtype so that a router index can
+//! never be confused with a node index, a port with a virtual channel, and so
+//! on ([C-NEWTYPE]). All newtypes are `Copy` and order/hash like their inner
+//! integer.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Returns the raw index.
+            ///
+            /// # Examples
+            /// ```
+            /// # use heteronoc_noc::types::*;
+            #[doc = concat!("assert_eq!(", stringify!($name), "(3).index(), 3);")]
+            /// ```
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(v: $name) -> usize {
+                v.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a network endpoint (a core/cache tile, or a memory
+    /// controller port). In a plain mesh there is exactly one node per
+    /// router; concentrated topologies attach several nodes to one router.
+    NodeId,
+    "n"
+);
+
+id_newtype!(
+    /// Identifies a router in the topology.
+    RouterId,
+    "r"
+);
+
+id_newtype!(
+    /// Identifies one port of a particular router (0-based, the port list is
+    /// defined by the topology; the local/injection ports come first).
+    PortId,
+    "p"
+);
+
+id_newtype!(
+    /// Identifies a virtual channel within one port of a router.
+    VcId,
+    "v"
+);
+
+id_newtype!(
+    /// Identifies a unidirectional router-to-router channel.
+    LinkId,
+    "l"
+);
+
+id_newtype!(
+    /// Unique identifier for a packet within one simulation.
+    PacketId,
+    "pkt"
+);
+
+/// A simulation time-stamp in router clock cycles.
+pub type Cycle = u64;
+
+/// A bit-width (of a flit, a link or a buffer entry).
+///
+/// # Examples
+/// ```
+/// use heteronoc_noc::types::Bits;
+/// let w = Bits(192);
+/// assert_eq!(w.get(), 192);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Bits(pub u32);
+
+impl Bits {
+    /// Returns the raw number of bits.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Number of `flit_width`-sized flits needed to carry `self` bits.
+    ///
+    /// # Examples
+    /// ```
+    /// use heteronoc_noc::types::Bits;
+    /// assert_eq!(Bits(1024).flits(Bits(192)), 6);
+    /// assert_eq!(Bits(1024).flits(Bits(128)), 8);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `flit_width` is zero.
+    #[inline]
+    pub const fn flits(self, flit_width: Bits) -> u32 {
+        assert!(flit_width.0 > 0, "flit width must be non-zero");
+        self.0.div_ceil(flit_width.0)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+/// A (column, row) coordinate on a 2-D grid topology.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Coord {
+    /// Column (x position), 0 at the left edge.
+    pub x: usize,
+    /// Row (y position), 0 at the top edge.
+    pub y: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate from column `x` and row `y`.
+    pub const fn new(x: usize, y: usize) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance between two coordinates (mesh hop count).
+    ///
+    /// # Examples
+    /// ```
+    /// use heteronoc_noc::types::Coord;
+    /// assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
+    /// ```
+    pub fn manhattan(self, other: Coord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtype_roundtrip() {
+        let r = RouterId::from(7usize);
+        assert_eq!(r.index(), 7);
+        assert_eq!(usize::from(r), 7);
+        assert_eq!(r.to_string(), "r7");
+    }
+
+    #[test]
+    fn newtypes_are_ordered() {
+        assert!(VcId(1) < VcId(2));
+        assert_eq!(PortId(4), PortId(4));
+    }
+
+    #[test]
+    fn bits_flits_rounding() {
+        assert_eq!(Bits(1024).flits(Bits(192)), 6);
+        assert_eq!(Bits(1024).flits(Bits(128)), 8);
+        assert_eq!(Bits(1).flits(Bits(128)), 1);
+        assert_eq!(Bits(128).flits(Bits(128)), 1);
+        assert_eq!(Bits(129).flits(Bits(128)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit width must be non-zero")]
+    fn bits_flits_zero_width_panics() {
+        let _ = Bits(64).flits(Bits(0));
+    }
+
+    #[test]
+    fn coord_manhattan_is_symmetric() {
+        let a = Coord::new(2, 5);
+        let b = Coord::new(7, 1);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bits(256).to_string(), "256b");
+        assert_eq!(Coord::new(1, 2).to_string(), "(1,2)");
+        assert_eq!(NodeId(0).to_string(), "n0");
+    }
+}

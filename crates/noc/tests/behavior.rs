@@ -1,0 +1,250 @@
+//! Behavioural tests of the router microarchitecture: virtual channels,
+//! bandwidth limits, escape-VC diversion and flow-control invariants.
+
+use heteronoc_noc::config::{NetworkConfig, RouterCfg};
+use heteronoc_noc::network::Network;
+use heteronoc_noc::packet::PacketClass;
+use heteronoc_noc::routing::{RouteTable, RoutingKind};
+use heteronoc_noc::topology::TopologyKind;
+use heteronoc_noc::types::{Bits, NodeId, RouterId};
+
+fn line4() -> NetworkConfig {
+    NetworkConfig::homogeneous(
+        TopologyKind::Mesh {
+            width: 4,
+            height: 1,
+        },
+        RouterCfg {
+            vcs_per_port: 2,
+            buffer_depth: 5,
+        },
+        Bits(128),
+        1.0,
+    )
+}
+
+fn drain(net: &mut Network, max: u64) -> u64 {
+    let mut steps = 0;
+    while net.in_flight() > 0 {
+        net.step();
+        steps += 1;
+        assert!(steps < max, "drain exceeded {max} cycles");
+    }
+    steps
+}
+
+#[test]
+fn virtual_channels_allow_packet_interleaving() {
+    // Two long packets share the single path 0 -> 3; with 2 VCs both make
+    // progress (total time < strictly serial transmission).
+    let mut net = Network::new(line4()).expect("valid");
+    net.set_measuring(true);
+    net.set_record_packets(true);
+    net.enqueue(NodeId(0), NodeId(3), Bits(1024), PacketClass::Data, 1);
+    net.enqueue(NodeId(0), NodeId(3), Bits(1024), PacketClass::Data, 2);
+    drain(&mut net, 10_000);
+    let recs = &net.stats().records;
+    assert_eq!(recs.len(), 2);
+    // Ideal single packet: 3*3 + 4 + 7 = 20 cycles. Two packets over one
+    // injection port serialize at the source (one VC each, 1 flit/cycle
+    // shared port): the second must finish well before 2x a strictly
+    // sequential schedule (20 + 20 + queue).
+    let last_retire = recs.iter().map(|r| r.retire).max().unwrap();
+    assert!(
+        last_retire < 45,
+        "VC interleaving should overlap transfers (finished at {last_retire})"
+    );
+}
+
+#[test]
+fn ejection_bandwidth_is_one_flit_per_cycle_per_lane() {
+    // 8 single-flit packets from different sources to one destination:
+    // the sink port (1 lane at 128b flits) retires at most 1 flit/cycle.
+    let cfg = NetworkConfig::homogeneous(
+        TopologyKind::Mesh {
+            width: 4,
+            height: 4,
+        },
+        RouterCfg::BASELINE,
+        Bits(192),
+        2.2,
+    );
+    let mut net = Network::new(cfg).expect("valid");
+    net.set_measuring(true);
+    net.set_record_packets(true);
+    for s in 1..9 {
+        net.enqueue(NodeId(s), NodeId(0), Bits(64), PacketClass::Control, s as u64);
+    }
+    drain(&mut net, 10_000);
+    let mut retires: Vec<u64> = net.stats().records.iter().map(|r| r.retire).collect();
+    retires.sort_unstable();
+    for w in retires.windows(2) {
+        assert!(w[1] > w[0], "two flits may not eject in the same cycle");
+    }
+}
+
+#[test]
+fn credit_backpressure_bounds_in_network_flits() {
+    // Stop stepping the destination side by flooding a single path and
+    // checking buffers never exceed depth (the debug_assert in the engine
+    // enforces per-VC depth; here we check global occupancy stays finite
+    // and bounded by total capacity).
+    let mut net = Network::new(line4()).expect("valid");
+    for _ in 0..50 {
+        net.enqueue(NodeId(0), NodeId(3), Bits(1024), PacketClass::Data, 0);
+    }
+    // Step partially: in-flight flits (not counting source queues) can
+    // never exceed the 3 routers' input capacity on the path.
+    for _ in 0..200 {
+        net.step();
+    }
+    drain(&mut net, 100_000);
+}
+
+#[test]
+fn expedited_traffic_uses_table_path_and_drains_under_congestion() {
+    // 8x8 mesh, table routing between corners; flood the network with
+    // background data while expedited packets cross diagonally.
+    let side = 8;
+    let mut cfg = NetworkConfig::homogeneous(
+        TopologyKind::Mesh {
+            width: side,
+            height: side,
+        },
+        RouterCfg::BASELINE,
+        Bits(192),
+        2.2,
+    );
+    let graph = cfg.build_graph();
+    cfg.routing = RoutingKind::TableXy(RouteTable::for_hubs(
+        &graph,
+        &[RouterId(0), RouterId(side * side - 1)],
+    ));
+    cfg.escape_timeout = 8;
+    let mut net = Network::new(cfg).expect("valid");
+    net.set_measuring(true);
+    for wave in 0..5u64 {
+        net.enqueue(
+            NodeId(0),
+            NodeId(side * side - 1),
+            Bits(1024),
+            PacketClass::Expedited,
+            wave,
+        );
+        net.enqueue(
+            NodeId(side * side - 1),
+            NodeId(0),
+            Bits(1024),
+            PacketClass::Expedited,
+            wave + 100,
+        );
+        for s in 0..side * side {
+            if s % 3 == 0 {
+                net.enqueue(
+                    NodeId(s),
+                    NodeId((s * 29 + 11) % (side * side)),
+                    Bits(1024),
+                    PacketClass::Data,
+                    999,
+                );
+            }
+        }
+    }
+    drain(&mut net, 200_000);
+    assert_eq!(net.stats().latency_by_class[2].count, 10);
+}
+
+#[test]
+fn zero_load_latency_scales_linearly_with_hops() {
+    let cfg = NetworkConfig::homogeneous(
+        TopologyKind::Mesh {
+            width: 8,
+            height: 1,
+        },
+        RouterCfg::BASELINE,
+        Bits(192),
+        2.2,
+    );
+    let mut prev = 0;
+    for d in 1..8usize {
+        let mut net = Network::new(cfg.clone()).expect("valid");
+        net.enqueue(NodeId(0), NodeId(d), Bits(192), PacketClass::Data, 0);
+        drain(&mut net, 1_000);
+        let del = net.drain_delivered();
+        let lat = del[0].retire - del[0].inject;
+        assert_eq!(lat, 3 * d as u64 + 4, "hops={d}");
+        assert!(lat > prev);
+        prev = lat;
+    }
+}
+
+#[test]
+fn hol_blocking_is_relieved_by_more_vcs() {
+    // A congested column: many flows cross the same channel. More VCs at
+    // equal buffering must not be slower.
+    let run = |vcs: usize, depth: usize| {
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 8,
+                height: 8,
+            },
+            RouterCfg {
+                vcs_per_port: vcs,
+                buffer_depth: depth,
+            },
+            Bits(192),
+            2.2,
+        );
+        let mut net = Network::new(cfg).expect("valid");
+        net.set_measuring(true);
+        for s in 0..32usize {
+            for k in 0..3usize {
+                net.enqueue(
+                    NodeId(s),
+                    NodeId(63 - ((s + k * 7) % 32)),
+                    Bits(1024),
+                    PacketClass::Data,
+                    0,
+                );
+            }
+        }
+        drain(&mut net, 100_000)
+    };
+    let few = run(1, 15);
+    let many = run(5, 3);
+    assert!(
+        many <= few,
+        "5 VCs ({many} cycles) must not be slower than 1 VC ({few} cycles) at equal buffering"
+    );
+}
+
+#[test]
+fn wide_local_ports_double_injection_bandwidth() {
+    use heteronoc_noc::config::LinkWidths;
+    // All-wide network (2 lanes everywhere incl. PE ports) vs narrow.
+    let mk = |wide: bool| {
+        let mut cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 4,
+                height: 1,
+            },
+            RouterCfg::BIG,
+            Bits(128),
+            2.07,
+        );
+        cfg.flit_width = Bits(128);
+        cfg.link_widths = LinkWidths::Uniform(Bits(if wide { 256 } else { 128 }));
+        let mut net = Network::new(cfg).expect("valid");
+        net.set_measuring(true);
+        for _ in 0..8 {
+            net.enqueue(NodeId(0), NodeId(3), Bits(1024), PacketClass::Data, 0);
+        }
+        drain(&mut net, 10_000)
+    };
+    let narrow = mk(false);
+    let wide = mk(true);
+    assert!(
+        wide < narrow,
+        "dual-lane links ({wide} cycles) must beat single-lane ({narrow} cycles) on a bulk transfer"
+    );
+}

@@ -1,0 +1,158 @@
+//! Component-wise power breakdown (buffers / crossbar / arbiters+logic /
+//! links), the decomposition reported in Figs. 8(b) and 11(d).
+//!
+//! Shares are anchored at the paper's baseline router — buffers consume
+//! about 35% of router power ([29, 30]), with the crossbar at 30%,
+//! arbitration and control logic at 10% and link drivers at 25% — and scale
+//! with the router organization: buffers with `v·w·depth`, crossbar with
+//! `w²`, arbiters with `v`, links with `w`.
+
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::table1::BASELINE;
+
+/// Power split across the four router components, in watts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Input buffer read/write and storage power.
+    pub buffers: f64,
+    /// Crossbar traversal power.
+    pub crossbar: f64,
+    /// Switch/VC arbitration and control logic.
+    pub arbiters: f64,
+    /// Link (channel driver) power.
+    pub links: f64,
+}
+
+impl PowerBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> f64 {
+        self.buffers + self.crossbar + self.arbiters + self.links
+    }
+
+    /// Normalized shares `[buffers, crossbar, arbiters, links]`
+    /// (all zero when the total is zero).
+    pub fn shares(&self) -> [f64; 4] {
+        let t = self.total();
+        if t <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.buffers / t,
+            self.crossbar / t,
+            self.arbiters / t,
+            self.links / t,
+        ]
+    }
+
+    /// Scales every component by `k`.
+    pub fn scaled(&self, k: f64) -> Self {
+        Self {
+            buffers: self.buffers * k,
+            crossbar: self.crossbar * k,
+            arbiters: self.arbiters * k,
+            links: self.links * k,
+        }
+    }
+}
+
+impl Add for PowerBreakdown {
+    type Output = PowerBreakdown;
+    fn add(self, o: PowerBreakdown) -> PowerBreakdown {
+        PowerBreakdown {
+            buffers: self.buffers + o.buffers,
+            crossbar: self.crossbar + o.crossbar,
+            arbiters: self.arbiters + o.arbiters,
+            links: self.links + o.links,
+        }
+    }
+}
+
+impl AddAssign for PowerBreakdown {
+    fn add_assign(&mut self, o: PowerBreakdown) {
+        *self = *self + o;
+    }
+}
+
+/// Baseline component shares at the calibration point
+/// `[buffers, crossbar, arbiters+logic, links]`.
+pub const BASELINE_SHARES: [f64; 4] = [0.35, 0.30, 0.10, 0.25];
+
+/// Computes the normalized component shares of a router with `vcs` VCs,
+/// `width_bits` datapath and `depth`-flit buffers, by scaling the baseline
+/// anchor shares with the structure ratios and renormalizing.
+///
+/// # Examples
+/// ```
+/// use heteronoc_power::breakdown::router_shares;
+/// let base = router_shares(3, 192, 5);
+/// assert!((base[0] - 0.35).abs() < 1e-12);
+/// // A big router is more buffer-dominated.
+/// let big = router_shares(6, 256, 5);
+/// assert!(big[0] > base[0]);
+/// ```
+pub fn router_shares(vcs: usize, width_bits: u32, depth: usize) -> [f64; 4] {
+    let v = vcs as f64 / BASELINE.vcs as f64;
+    let w = f64::from(width_bits) / f64::from(BASELINE.width_bits);
+    let d = depth as f64 / BASELINE.buffer_depth as f64;
+    let raw = [
+        BASELINE_SHARES[0] * v * w * d, // buffers ~ v·w·depth
+        BASELINE_SHARES[1] * w * w,     // crossbar ~ w²
+        BASELINE_SHARES[2] * v,         // arbiters ~ v
+        BASELINE_SHARES[3] * w,         // links ~ w
+    ];
+    let t: f64 = raw.iter().sum();
+    raw.map(|x| x / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_shares_are_the_anchor() {
+        let s = router_shares(3, 192, 5);
+        for (a, b) in s.iter().zip(BASELINE_SHARES.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for (v, w, d) in [(2usize, 128u32, 5usize), (6, 256, 5), (4, 192, 8)] {
+            let s = router_shares(v, w, d);
+            assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(s.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn big_router_is_buffer_heavy_small_router_is_link_heavy() {
+        let small = router_shares(2, 128, 5);
+        let big = router_shares(6, 256, 5);
+        assert!(big[0] > 0.40, "big buffers share {}", big[0]);
+        assert!(small[3] > BASELINE_SHARES[3], "small links share {}", small[3]);
+    }
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let a = PowerBreakdown {
+            buffers: 1.0,
+            crossbar: 2.0,
+            arbiters: 0.5,
+            links: 0.5,
+        };
+        let b = a.scaled(2.0);
+        assert_eq!(b.total(), 8.0);
+        let c = a + b;
+        assert_eq!(c.total(), 12.0);
+        let s = c.shares();
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mut d = PowerBreakdown::default();
+        d += a;
+        assert_eq!(d, a);
+        assert_eq!(PowerBreakdown::default().shares(), [0.0; 4]);
+    }
+}

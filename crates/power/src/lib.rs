@@ -1,0 +1,40 @@
+//! # heteronoc-power — router power, area and frequency models
+//!
+//! An Orion-style analytical power/area/frequency model for on-chip routers,
+//! calibrated to the synthesized design points of the HeteroNoC paper's
+//! Table 1 (65 nm):
+//!
+//! | router   | organization        | power  | area      | frequency |
+//! |----------|---------------------|--------|-----------|-----------|
+//! | baseline | 3 VCs / 5 / 192b    | 0.67 W | 0.290 mm² | 2.20 GHz  |
+//! | small    | 2 VCs / 5 / 128b    | 0.30 W | 0.235 mm² | 2.25 GHz  |
+//! | big      | 6 VCs / 5 / 256b    | 1.19 W | 0.425 mm² | 2.07 GHz  |
+//!
+//! The model reproduces these anchors (power within 2%, area exactly,
+//! frequency within 0.25%) and interpolates arbitrary organizations for the
+//! design-space exploration. During simulation, per-router power follows the
+//! *measured* activity (paper footnote 3) with a 20% leakage floor.
+//!
+//! ```
+//! use heteronoc_power::NetworkPower;
+//! use heteronoc_noc::config::NetworkConfig;
+//!
+//! let np = NetworkPower::paper_calibrated();
+//! let cfg = NetworkConfig::paper_baseline();
+//! let graph = cfg.build_graph();
+//! let report = np.evaluate_at_activity(&cfg, &graph, 0.5);
+//! // 64 five-port routers at ~0.67 W, minus depopulated edge ports.
+//! assert!(report.total_w() > 30.0 && report.total_w() < 64.0 * 0.67 * 1.02);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod breakdown;
+pub mod model;
+pub mod netpower;
+pub mod table1;
+
+pub use breakdown::PowerBreakdown;
+pub use model::AnalyticModel;
+pub use netpower::{Activity, NetworkPower, PowerReport};

@@ -1,0 +1,256 @@
+//! Analytical router power / area / frequency scaling models.
+//!
+//! The power model follows Orion's structure — per-structure terms that
+//! scale with the router's organization — but its coefficients are fitted to
+//! the paper's three synthesized design points (Table 1), so the named
+//! routers are reproduced (within ~1.5%) and arbitrary organizations (used
+//! by the design-space exploration) interpolate sensibly:
+//!
+//! * total power at 50% activity: `P(v, w, f) = f · (k_b·v·w + k_x·w²)` —
+//!   a VC/buffer-proportional term and a width-squared crossbar/datapath
+//!   term (least-squares fit over the three Table 1 points);
+//! * area: `A(v, w) = a₁·v·w + a₂·w + a₃` — exact on all three points;
+//! * frequency: `F(v) = c₀ − c₁·v` — the VA stage dominates the critical
+//!   path and slows with the VC count (§3.4); least-squares, within 0.2%.
+
+use serde::{Deserialize, Serialize};
+
+use crate::table1::{RouterDesignPoint, ALL};
+
+/// Fitted analytical scaling model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticModel {
+    /// W per (GHz · VC · bit): buffer/VC-proportional power term.
+    pub k_buf_vw: f64,
+    /// W per (GHz · bit²): crossbar/datapath power term.
+    pub k_xbar_w2: f64,
+    /// mm² per (VC · bit).
+    pub a_vw: f64,
+    /// mm² per bit.
+    pub a_w: f64,
+    /// mm² fixed.
+    pub a_const: f64,
+    /// GHz at zero VCs (intercept of the frequency fit).
+    pub f0: f64,
+    /// GHz lost per VC.
+    pub f_per_vc: f64,
+}
+
+impl AnalyticModel {
+    /// Fits the model to the paper's Table 1 design points.
+    pub fn paper_calibrated() -> Self {
+        // Least squares of P/f against [v*w, w^2].
+        let rows: Vec<(f64, f64, f64)> = ALL
+            .iter()
+            .map(|p| {
+                (
+                    (p.vcs as f64) * f64::from(p.width_bits),
+                    f64::from(p.width_bits).powi(2),
+                    p.power_w / p.freq_ghz,
+                )
+            })
+            .collect();
+        let (mut s11, mut s12, mut s22, mut t1, mut t2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for &(x1, x2, y) in &rows {
+            s11 += x1 * x1;
+            s12 += x1 * x2;
+            s22 += x2 * x2;
+            t1 += x1 * y;
+            t2 += x2 * y;
+        }
+        let den = s11 * s22 - s12 * s12;
+        let k_buf_vw = (t1 * s22 - t2 * s12) / den;
+        let k_xbar_w2 = (t2 * s11 - t1 * s12) / den;
+
+        // Exact 3-point solve of area = a_vw·(v·w) + a_w·w + a_const.
+        let m: Vec<[f64; 4]> = ALL
+            .iter()
+            .map(|p| {
+                [
+                    (p.vcs as f64) * f64::from(p.width_bits),
+                    f64::from(p.width_bits),
+                    1.0,
+                    p.area_mm2,
+                ]
+            })
+            .collect();
+        let [a_vw, a_w, a_const] = solve3(&m);
+
+        // Least squares of f against v (linear).
+        let n = ALL.len() as f64;
+        let mean_v = ALL.iter().map(|p| p.vcs as f64).sum::<f64>() / n;
+        let mean_f = ALL.iter().map(|p| p.freq_ghz).sum::<f64>() / n;
+        let sxy: f64 = ALL
+            .iter()
+            .map(|p| (p.vcs as f64 - mean_v) * (p.freq_ghz - mean_f))
+            .sum();
+        let sxx: f64 = ALL.iter().map(|p| (p.vcs as f64 - mean_v).powi(2)).sum();
+        let f_per_vc = -sxy / sxx;
+        let f0 = mean_f + f_per_vc * mean_v;
+
+        Self {
+            k_buf_vw,
+            k_xbar_w2,
+            a_vw,
+            a_w,
+            a_const,
+            f0,
+            f_per_vc,
+        }
+    }
+
+    /// Total router power in watts at a 50% activity factor, for a 5-port
+    /// router with `vcs` VCs per port, `width_bits` datapath and `freq_ghz`
+    /// clock. Scale the result by `ports_scale` for depopulated routers.
+    pub fn power_at_50(&self, vcs: usize, width_bits: u32, freq_ghz: f64) -> f64 {
+        let v = vcs as f64;
+        let w = f64::from(width_bits);
+        freq_ghz * (self.k_buf_vw * v * w + self.k_xbar_w2 * w * w)
+    }
+
+    /// Router cell area in mm².
+    pub fn area_mm2(&self, vcs: usize, width_bits: u32) -> f64 {
+        let v = vcs as f64;
+        let w = f64::from(width_bits);
+        self.a_vw * v * w + self.a_w * w + self.a_const
+    }
+
+    /// Maximum operating frequency in GHz (VA-stage limited).
+    pub fn freq_ghz(&self, vcs: usize) -> f64 {
+        self.f0 - self.f_per_vc * vcs as f64
+    }
+
+    /// Relative fit error on design point `p`'s power.
+    pub fn power_fit_error(&self, p: &RouterDesignPoint) -> f64 {
+        (self.power_at_50(p.vcs, p.width_bits, p.freq_ghz) - p.power_w).abs() / p.power_w
+    }
+}
+
+impl Default for AnalyticModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+/// Solves a 3x3 linear system given as rows `[a, b, c | d]` by Gaussian
+/// elimination with partial pivoting.
+fn solve3(m: &[[f64; 4]]) -> [f64; 3] {
+    assert_eq!(m.len(), 3, "need exactly three equations");
+    let mut a = [m[0], m[1], m[2]];
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        assert!(a[col][col].abs() > 1e-12, "singular system");
+        for row in 0..3 {
+            if row != col {
+                let f = a[row][col] / a[col][col];
+                #[allow(clippy::needless_range_loop)] // dual-row indexing
+                for k in col..4 {
+                    a[row][k] -= f * a[col][k];
+                }
+            }
+        }
+    }
+    [a[0][3] / a[0][0], a[1][3] / a[1][1], a[2][3] / a[2][2]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table1::{BASELINE, BIG, SMALL};
+
+    #[test]
+    fn power_fit_reproduces_table1_within_tolerance() {
+        let m = AnalyticModel::paper_calibrated();
+        for p in &ALL {
+            let err = m.power_fit_error(p);
+            assert!(
+                err < 0.02,
+                "{}: fitted {:.4} vs {:.4} ({:.1}% error)",
+                p.name,
+                m.power_at_50(p.vcs, p.width_bits, p.freq_ghz),
+                p.power_w,
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn coefficients_are_positive() {
+        let m = AnalyticModel::paper_calibrated();
+        assert!(m.k_buf_vw > 0.0);
+        assert!(m.k_xbar_w2 > 0.0);
+        assert!(m.a_vw > 0.0);
+        assert!(m.a_w > 0.0);
+        assert!(m.a_const > 0.0);
+        assert!(m.f_per_vc > 0.0);
+    }
+
+    #[test]
+    fn area_is_exact_on_all_points() {
+        let m = AnalyticModel::paper_calibrated();
+        for p in &ALL {
+            let a = m.area_mm2(p.vcs, p.width_bits);
+            assert!(
+                (a - p.area_mm2).abs() < 1e-9,
+                "{}: {a} vs {}",
+                p.name,
+                p.area_mm2
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_fit_within_quarter_percent() {
+        let m = AnalyticModel::paper_calibrated();
+        for p in &ALL {
+            let f = m.freq_ghz(p.vcs);
+            assert!(
+                (f - p.freq_ghz).abs() / p.freq_ghz < 0.0025,
+                "{}: {f} vs {}",
+                p.name,
+                p.freq_ghz
+            );
+        }
+        // Frequency decreases with VCs (§3.4).
+        assert!(m.freq_ghz(2) > m.freq_ghz(3));
+        assert!(m.freq_ghz(3) > m.freq_ghz(6));
+    }
+
+    #[test]
+    fn power_is_monotonic_in_structure() {
+        let m = AnalyticModel::paper_calibrated();
+        assert!(m.power_at_50(4, 192, 2.2) > m.power_at_50(3, 192, 2.2));
+        assert!(m.power_at_50(3, 256, 2.2) > m.power_at_50(3, 192, 2.2));
+        assert!(m.power_at_50(3, 192, 2.5) > m.power_at_50(3, 192, 2.2));
+    }
+
+    #[test]
+    fn big_vs_small_power_ratio_matches_paper() {
+        let m = AnalyticModel::paper_calibrated();
+        let small = m.power_at_50(SMALL.vcs, SMALL.width_bits, SMALL.freq_ghz);
+        let big = m.power_at_50(BIG.vcs, BIG.width_bits, BIG.freq_ghz);
+        let ratio = big / small;
+        let paper = BIG.power_w / SMALL.power_w;
+        assert!((ratio - paper).abs() / paper < 0.05);
+    }
+
+    #[test]
+    fn interpolates_baseline_between_small_and_big() {
+        let m = AnalyticModel::paper_calibrated();
+        let p = m.power_at_50(BASELINE.vcs, BASELINE.width_bits, BASELINE.freq_ghz);
+        assert!(p > SMALL.power_w && p < BIG.power_w);
+    }
+
+    #[test]
+    fn solve3_on_identity() {
+        let sol = solve3(&[
+            [1.0, 0.0, 0.0, 5.0],
+            [0.0, 1.0, 0.0, -2.0],
+            [0.0, 0.0, 1.0, 0.5],
+        ]);
+        assert_eq!(sol, [5.0, -2.0, 0.5]);
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's Table 1: synthesized power/area/frequency of the three router
+//! design points (65 nm, Synopsys Design Compiler), plus the buffer-bit
+//! accounting. These constants are the calibration anchors for every model
+//! in this crate.
+
+use serde::{Deserialize, Serialize};
+
+/// One router design point of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouterDesignPoint {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Virtual channels per physical channel.
+    pub vcs: usize,
+    /// Buffer depth per VC, in flits.
+    pub buffer_depth: usize,
+    /// Flit / buffer / crossbar width in bits.
+    pub width_bits: u32,
+    /// Physical channels (ports) of the synthesized design.
+    pub ports: usize,
+    /// Total power at a 50% activity factor, in watts.
+    pub power_w: f64,
+    /// Cell area in mm².
+    pub area_mm2: f64,
+    /// Maximum operating frequency in GHz.
+    pub freq_ghz: f64,
+}
+
+/// Baseline homogeneous router: 3 VCs / 5-flit / 192b — 0.67 W, 0.290 mm²,
+/// 2.20 GHz.
+pub const BASELINE: RouterDesignPoint = RouterDesignPoint {
+    name: "baseline",
+    vcs: 3,
+    buffer_depth: 5,
+    width_bits: 192,
+    ports: 5,
+    power_w: 0.67,
+    area_mm2: 0.290,
+    freq_ghz: 2.20,
+};
+
+/// Small power-efficient router: 2 VCs / 5-flit / 128b — 0.30 W, 0.235 mm²,
+/// 2.25 GHz.
+pub const SMALL: RouterDesignPoint = RouterDesignPoint {
+    name: "small",
+    vcs: 2,
+    buffer_depth: 5,
+    width_bits: 128,
+    ports: 5,
+    power_w: 0.30,
+    area_mm2: 0.235,
+    freq_ghz: 2.25,
+};
+
+/// Big high-performance router: 6 VCs / 5-flit / 256b — 1.19 W, 0.425 mm²,
+/// 2.07 GHz.
+pub const BIG: RouterDesignPoint = RouterDesignPoint {
+    name: "big",
+    vcs: 6,
+    buffer_depth: 5,
+    width_bits: 256,
+    ports: 5,
+    power_w: 1.19,
+    area_mm2: 0.425,
+    freq_ghz: 2.07,
+};
+
+/// All three design points.
+pub const ALL: [RouterDesignPoint; 3] = [BASELINE, SMALL, BIG];
+
+/// Buffer storage of a network of `routers` identical routers
+/// (`routers · ports · vcs · depth · width` bits), the Table 1 accounting.
+///
+/// # Examples
+/// ```
+/// use heteronoc_power::table1;
+/// // Homogeneous 8x8: 4800 buffers @ 192b = 921,600 bits.
+/// assert_eq!(table1::buffer_bits(64, &table1::BASELINE), 921_600);
+/// // Heterogeneous: 48 small + 16 big = 614,400 bits (33% less).
+/// let hetero = table1::buffer_bits(48, &table1::SMALL)
+///     + table1::buffer_bits(16, &table1::BIG);
+/// assert_eq!(hetero, 614_400);
+/// ```
+pub fn buffer_bits(routers: u64, p: &RouterDesignPoint) -> u64 {
+    // The paper counts buffer *entries* at the narrow flit width in the
+    // heterogeneous case (big routers store two 128b DSET halves per 256b
+    // link transfer), so entries are priced at min(width, 128) for the
+    // heterogeneous points and 192 for the baseline. Concretely Table 1
+    // prices every heterogeneous buffer at 128 bits.
+    let entry_bits = if p.name == "baseline" {
+        u64::from(p.width_bits)
+    } else {
+        128
+    };
+    routers * (p.ports * p.vcs * p.buffer_depth) as u64 * entry_bits
+}
+
+/// The paper's §2 power-budget inequality: minimum number of small routers
+/// `ns` so that `ns` small + (n² − ns) big routers consume no more than n²
+/// baseline routers: `0.67·n² ≥ 0.30·ns + 1.19·(n² − ns)`.
+///
+/// # Examples
+/// ```
+/// // 8x8: ns ≥ 37.4 → 38 small routers minimum.
+/// assert_eq!(heteronoc_power::table1::min_small_routers(8), 38);
+/// ```
+pub fn min_small_routers(n: usize) -> usize {
+    let n2 = (n * n) as f64;
+    let ns = (BIG.power_w - BASELINE.power_w) * n2 / (BIG.power_w - SMALL.power_w);
+    ns.ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(BASELINE.power_w, 0.67);
+        assert_eq!(SMALL.power_w, 0.30);
+        assert_eq!(BIG.power_w, 1.19);
+        assert_eq!(BASELINE.freq_ghz, 2.20);
+        assert_eq!(SMALL.freq_ghz, 2.25);
+        assert_eq!(BIG.freq_ghz, 2.07);
+    }
+
+    #[test]
+    fn buffer_accounting_matches_table1() {
+        assert_eq!(buffer_bits(64, &BASELINE), 921_600);
+        let hetero = buffer_bits(48, &SMALL) + buffer_bits(16, &BIG);
+        assert_eq!(hetero, 614_400);
+        // "33% reduction over the homogeneous case".
+        let reduction = 1.0 - hetero as f64 / 921_600.0;
+        assert!((reduction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vc_conservation() {
+        // Total VCs: 64*3 = 48*2 + 16*6 = 192 (per port).
+        assert_eq!(64 * BASELINE.vcs, 48 * SMALL.vcs + 16 * BIG.vcs);
+    }
+
+    #[test]
+    fn power_inequality() {
+        assert_eq!(min_small_routers(8), 38);
+        // The paper's chosen split (48 small) satisfies it with margin.
+        assert!(48 >= min_small_routers(8));
+        // And the total heterogeneous power is below the homogeneous one.
+        let hetero = 48.0 * SMALL.power_w + 16.0 * BIG.power_w;
+        assert!(hetero < 64.0 * BASELINE.power_w);
+    }
+
+    #[test]
+    fn paper_ratio_checks() {
+        // §2: "1.71 >= N^2 / ns" — with N=8, ns=38: 64/38 = 1.684 <= 1.71.
+        let ratio = (BIG.power_w - SMALL.power_w) / (BIG.power_w - BASELINE.power_w);
+        assert!((ratio - 1.7115).abs() < 1e-3);
+    }
+
+    #[test]
+    fn area_totals_favor_heteronoc() {
+        // §3.5: hetero router area 18.08 mm² < homogeneous 18.56 mm².
+        let hetero = 48.0 * SMALL.area_mm2 + 16.0 * BIG.area_mm2;
+        let homo = 64.0 * BASELINE.area_mm2;
+        assert!((hetero - 18.08).abs() < 1e-9);
+        assert!((homo - 18.56).abs() < 1e-9);
+        assert!(hetero < homo);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests of the power/area/frequency models.
+
+use proptest::prelude::*;
+
+use heteronoc_power::breakdown::router_shares;
+use heteronoc_power::model::AnalyticModel;
+use heteronoc_power::netpower::{Activity, NetworkPower};
+
+proptest! {
+    /// Power is positive and monotone in VCs, width and frequency over the
+    /// realistic design range.
+    #[test]
+    fn power_monotone(vcs in 1usize..12, width in 32u32..512, df in 0.1f64..1.0) {
+        let m = AnalyticModel::paper_calibrated();
+        let p = m.power_at_50(vcs, width, 2.0);
+        prop_assert!(p > 0.0);
+        prop_assert!(m.power_at_50(vcs + 1, width, 2.0) > p);
+        prop_assert!(m.power_at_50(vcs, width + 32, 2.0) > p);
+        prop_assert!(m.power_at_50(vcs, width, 2.0 + df) > p);
+    }
+
+    /// Area is positive and monotone in VCs and width.
+    #[test]
+    fn area_monotone(vcs in 1usize..12, width in 32u32..512) {
+        let m = AnalyticModel::paper_calibrated();
+        let a = m.area_mm2(vcs, width);
+        prop_assert!(a > 0.0);
+        prop_assert!(m.area_mm2(vcs + 1, width) > a);
+        prop_assert!(m.area_mm2(vcs, width + 32) > a);
+    }
+
+    /// Frequency decreases with VCs but stays positive in range.
+    #[test]
+    fn frequency_decreasing(vcs in 1usize..16) {
+        let m = AnalyticModel::paper_calibrated();
+        let f = m.freq_ghz(vcs);
+        prop_assert!(f > 0.5, "freq {f} at {vcs} VCs");
+        prop_assert!(m.freq_ghz(vcs + 1) < f);
+    }
+
+    /// Component shares always sum to 1 and stay positive.
+    #[test]
+    fn shares_partition(vcs in 1usize..12, width in 32u32..512, depth in 1usize..16) {
+        let s = router_shares(vcs, width, depth);
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for x in s {
+            prop_assert!(x > 0.0 && x < 1.0);
+        }
+    }
+
+    /// Router power interpolates linearly between the leakage floor and the
+    /// full-activity ceiling.
+    #[test]
+    fn activity_scaling_is_linear_and_bounded(a in 0.0f64..1.0) {
+        let np = NetworkPower::paper_calibrated();
+        let at = |x: f64| np
+            .router_power(3, 192, 5, 5, 2.2, Activity::uniform(x))
+            .total();
+        let floor = at(0.0);
+        let ceil = at(1.0);
+        let p = at(a);
+        prop_assert!(p >= floor - 1e-12 && p <= ceil + 1e-12);
+        // Linearity: P(a) = floor + (ceil - floor) * a.
+        let expect = floor + (ceil - floor) * a;
+        prop_assert!((p - expect).abs() < 1e-9);
+    }
+}

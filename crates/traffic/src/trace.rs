@@ -1,0 +1,112 @@
+//! Memory trace format for the trace-driven CMP simulator.
+//!
+//! The paper replays Simics traces of "load/stores and the number of
+//! non-memory instructions between them" (§5.2). This module defines that
+//! record format; [`crate::workloads`] synthesizes such traces per
+//! benchmark (the originals are proprietary — see DESIGN.md substitutions).
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of memory operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A load (read).
+    Load,
+    /// A store (write).
+    Store,
+}
+
+/// One trace record: `gap` non-memory instructions followed by one memory
+/// operation at byte address `addr`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Non-memory instructions preceding the access.
+    pub gap: u32,
+    /// Load or store.
+    pub op: MemOp,
+    /// Byte address.
+    pub addr: u64,
+}
+
+/// A source of trace records for one hardware thread.
+///
+/// Implementations must be deterministic for reproducible simulations; the
+/// synthetic generators take an explicit seed.
+pub trait TraceSource {
+    /// Next record, or `None` when the trace is exhausted.
+    fn next_record(&mut self) -> Option<TraceRecord>;
+}
+
+/// Replays a fixed vector of records (tests, file-loaded traces).
+#[derive(Clone, Debug, Default)]
+pub struct VecTrace {
+    records: Vec<TraceRecord>,
+    pos: usize,
+}
+
+impl VecTrace {
+    /// Creates a trace that replays `records` once.
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        Self { records, pos: 0 }
+    }
+
+    /// Records remaining.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.pos
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_record(&mut self) -> Option<TraceRecord> {
+        let r = self.records.get(self.pos).copied();
+        if r.is_some() {
+            self.pos += 1;
+        }
+        r
+    }
+}
+
+impl FromIterator<TraceRecord> for VecTrace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_trace_replays_in_order() {
+        let recs = vec![
+            TraceRecord {
+                gap: 3,
+                op: MemOp::Load,
+                addr: 0x100,
+            },
+            TraceRecord {
+                gap: 0,
+                op: MemOp::Store,
+                addr: 0x180,
+            },
+        ];
+        let mut t = VecTrace::new(recs.clone());
+        assert_eq!(t.remaining(), 2);
+        assert_eq!(t.next_record(), Some(recs[0]));
+        assert_eq!(t.next_record(), Some(recs[1]));
+        assert_eq!(t.next_record(), None);
+        assert_eq!(t.remaining(), 0);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: VecTrace = (0..5)
+            .map(|i| TraceRecord {
+                gap: i,
+                op: MemOp::Load,
+                addr: u64::from(i) * 128,
+            })
+            .collect();
+        assert_eq!(t.remaining(), 5);
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text trace serialization, so users can replay *real* memory traces
+//! (e.g. converted Simics/Pin output) instead of the synthetic workloads.
+//!
+//! Format: one record per line, `<gap> <L|S> <hex-address>`; blank lines and
+//! `#` comments are ignored.
+//!
+//! ```text
+//! # thread 0 of canneal
+//! 12 L 0x1000a0c0
+//! 0  S 0x1000a100
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::trace::{MemOp, TraceRecord, VecTrace};
+
+/// Error from parsing a trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses one record line (without comment/blank handling).
+fn parse_line(line: &str, lineno: usize) -> Result<TraceRecord, ParseTraceError> {
+    let err = |reason: String| ParseTraceError {
+        line: lineno,
+        reason,
+    };
+    let mut it = line.split_whitespace();
+    let gap: u32 = it
+        .next()
+        .ok_or_else(|| err("missing gap field".into()))?
+        .parse()
+        .map_err(|_| err("gap is not an unsigned integer".into()))?;
+    let op = match it.next() {
+        Some("L") | Some("l") => MemOp::Load,
+        Some("S") | Some("s") => MemOp::Store,
+        Some(other) => return Err(err(format!("op must be L or S, got '{other}'"))),
+        None => return Err(err("missing op field".into())),
+    };
+    let addr_str = it.next().ok_or_else(|| err("missing address field".into()))?;
+    let addr_str = addr_str.strip_prefix("0x").unwrap_or(addr_str);
+    let addr =
+        u64::from_str_radix(addr_str, 16).map_err(|_| err("address is not hex".into()))?;
+    if let Some(extra) = it.next() {
+        return Err(err(format!("unexpected trailing field '{extra}'")));
+    }
+    Ok(TraceRecord { gap, op, addr })
+}
+
+/// Reads a trace from `reader`.
+///
+/// # Errors
+/// Returns the first malformed line with its line number, or the underlying
+/// I/O error message.
+pub fn read_trace<R: Read>(reader: R) -> Result<VecTrace, ParseTraceError> {
+    let mut records = Vec::new();
+    for (i, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| ParseTraceError {
+            line: i + 1,
+            reason: format!("io error: {e}"),
+        })?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        records.push(parse_line(t, i + 1)?);
+    }
+    Ok(VecTrace::new(records))
+}
+
+/// Writes `records` to `writer` in the text format. A mutable reference to
+/// any `Write` works as the writer.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_trace<W: Write>(
+    mut writer: W,
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> std::io::Result<()> {
+    for r in records {
+        let op = match r.op {
+            MemOp::Load => 'L',
+            MemOp::Store => 'S',
+        };
+        writeln!(writer, "{} {} {:#x}", r.gap, op, r.addr)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSource;
+
+    #[test]
+    fn round_trip() {
+        let records = vec![
+            TraceRecord {
+                gap: 12,
+                op: MemOp::Load,
+                addr: 0x1000_a0c0,
+            },
+            TraceRecord {
+                gap: 0,
+                op: MemOp::Store,
+                addr: 0x1000_a100,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.clone()).expect("write");
+        let mut back = read_trace(&buf[..]).expect("read");
+        let got: Vec<TraceRecord> = std::iter::from_fn(|| back.next_record()).collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n3 L 0x80\n  \n# tail\n0 S 100\n";
+        let mut t = read_trace(text.as_bytes()).expect("read");
+        assert_eq!(
+            t.next_record(),
+            Some(TraceRecord {
+                gap: 3,
+                op: MemOp::Load,
+                addr: 0x80
+            })
+        );
+        assert_eq!(
+            t.next_record(),
+            Some(TraceRecord {
+                gap: 0,
+                op: MemOp::Store,
+                addr: 0x100
+            })
+        );
+        assert_eq!(t.next_record(), None);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = read_trace("1 L 0x10\nbogus\n".as_bytes()).unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = read_trace("1 X 0x10\n".as_bytes()).unwrap_err();
+        assert!(e.reason.contains("op must be L or S"));
+        let e = read_trace("1 L zz\n".as_bytes()).unwrap_err();
+        assert!(e.reason.contains("not hex"));
+        let e = read_trace("1 L 0x10 extra\n".as_bytes()).unwrap_err();
+        assert!(e.reason.contains("trailing"));
+        assert!(e.to_string().contains("line 1"));
+    }
+}

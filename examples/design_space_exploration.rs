@@ -1,0 +1,90 @@
+//! Mini design-space exploration: enumerate all placements of 4 big
+//! routers on a 4x4 mesh (1820 raw, ~250 after symmetry reduction), score
+//! each with a short simulation, and show the winners — the methodology of
+//! the paper's §2 footnote 4 in miniature.
+//!
+//! ```sh
+//! cargo run --release -p heteronoc-examples --bin design_space_exploration
+//! ```
+
+use heteronoc::dse::{binomial, enumerate_canonical, sweep};
+use heteronoc::noc::config::{LinkWidths, NetworkConfig, RouterCfg};
+use heteronoc::noc::network::Network;
+use heteronoc::noc::routing::RoutingKind;
+use heteronoc::noc::sim::{run_open_loop, SimParams, UniformRandom};
+use heteronoc::noc::topology::TopologyKind;
+use heteronoc::noc::types::{Bits, RouterId};
+use heteronoc::Placement;
+
+fn config_for(p: &Placement) -> NetworkConfig {
+    NetworkConfig {
+        topology: TopologyKind::Mesh {
+            width: 4,
+            height: 4,
+        },
+        flit_width: Bits(128),
+        routers: p
+            .mask()
+            .iter()
+            .map(|&b| if b { RouterCfg::BIG } else { RouterCfg::SMALL })
+            .collect(),
+        link_widths: LinkWidths::ByBigRouters {
+            big: p.mask().to_vec(),
+            narrow: Bits(128),
+            wide: Bits(256),
+        },
+        routing: RoutingKind::DimensionOrder,
+        frequency_ghz: 2.07,
+        escape_timeout: 16,
+    }
+}
+
+fn main() {
+    let raw = binomial(16, 4);
+    let canon = enumerate_canonical(4, 4).len();
+    println!("placing 4 big routers on a 4x4 mesh: {raw} raw placements,");
+    println!("{canon} after D4 symmetry reduction — scoring each with a short UR run\n");
+
+    let mut evaluated = 0;
+    let scored = sweep(4, 4, |p| {
+        evaluated += 1;
+        if evaluated % 64 == 0 {
+            eprintln!("  {evaluated}/{canon}");
+        }
+        let net = Network::new(config_for(p)).expect("valid");
+        let out = run_open_loop(
+            net,
+            &mut UniformRandom,
+            SimParams {
+                injection_rate: 0.05,
+                warmup_packets: 100,
+                measure_packets: 600,
+                max_cycles: 100_000,
+                seed: 0xD5E,
+                ..SimParams::default()
+            },
+        );
+        if out.saturated {
+            f64::MAX
+        } else {
+            out.stats.latency.mean_total()
+        }
+    });
+
+    println!("top five placements (B = big router, row-major 4x4):");
+    for s in scored.iter().take(5) {
+        let grid: String = (0..16)
+            .map(|i| {
+                let c = if s.placement.is_big(RouterId(i)) { 'B' } else { '.' };
+                if i % 4 == 3 {
+                    format!("{c} ")
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect();
+        println!("  {:7.2} cycles   {grid}", s.score);
+    }
+    println!("\nwinners spread the big routers across rows/columns — the same insight");
+    println!("that leads the paper to the diagonal placement on 8x8.");
+}

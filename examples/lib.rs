@@ -1,0 +1,4 @@
+//! Example binaries for the HeteroNoC workspace; see the individual
+//! `[[bin]]` targets (`quickstart`, `utilization_heatmap`,
+//! `design_space_exploration`, `memory_controller_placement`,
+//! `asymmetric_cmp`).

@@ -1,0 +1,57 @@
+//! Renders the paper's Figure-1 observation as an ASCII heat-map: buffer
+//! (VC) utilization across an 8x8 mesh under uniform-random traffic —
+//! hot centre, cool periphery.
+//!
+//! ```sh
+//! cargo run --release -p heteronoc-examples --bin utilization_heatmap [rate]
+//! ```
+
+use heteronoc::mesh_config;
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{run_open_loop, SimParams, UniformRandom};
+use heteronoc::Layout;
+
+const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+fn main() {
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    println!("8x8 mesh, uniform random @ {rate} packets/node/cycle\n");
+
+    let net = Network::new(mesh_config(&Layout::Baseline)).expect("valid baseline");
+    let out = run_open_loop(
+        net,
+        &mut UniformRandom,
+        SimParams {
+            injection_rate: rate,
+            warmup_packets: 500,
+            measure_packets: 10_000,
+            ..SimParams::default()
+        },
+    );
+
+    let utils: Vec<f64> = (0..64).map(|r| out.stats.vc_utilization(r)).collect();
+    let max = utils.iter().cloned().fold(f64::EPSILON, f64::max);
+
+    println!("buffer (VC) utilization, normalized shading (max {:.0}%):", 100.0 * max);
+    for y in 0..8 {
+        let mut bar = String::new();
+        let mut nums = String::new();
+        for x in 0..8 {
+            let u = utils[y * 8 + x];
+            let shade = SHADES[((u / max) * (SHADES.len() - 1) as f64).round() as usize];
+            bar.push(shade);
+            bar.push(shade);
+            nums.push_str(&format!("{:5.0}", 100.0 * u));
+        }
+        println!("  {bar}   {nums}");
+    }
+    println!(
+        "\nThe centre routers are ~{:.1}x more utilized than the corners — the\n\
+         non-uniformity HeteroNoC exploits (paper Fig. 1).",
+        (utils[27] + utils[28] + utils[35] + utils[36])
+            / (utils[0] + utils[7] + utils[56] + utils[63]).max(1e-9)
+    );
+}

@@ -1,0 +1,137 @@
+//! Integration: the full CMP stack (cores + caches + coherence + memory
+//! controllers) over HeteroNoC networks with synthetic workloads.
+
+use heteronoc::noc::types::NodeId;
+use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
+use heteronoc::traffic::TraceSource;
+use heteronoc::{mesh_config, Layout};
+use heteronoc_cmp::{corners4, diamond16, CmpConfig, CmpSystem, CoreParams, MemParams};
+
+const REFS: u64 = 400;
+
+fn traces(bench: Benchmark, seed: u64) -> Vec<Box<dyn TraceSource + Send>> {
+    (0..64)
+        .map(|t| {
+            Box::new(SyntheticWorkload::new(bench, t, seed, REFS)) as Box<dyn TraceSource + Send>
+        })
+        .collect()
+}
+
+fn build(layout: &Layout, bench: Benchmark) -> CmpSystem {
+    let cfg = CmpConfig::paper_defaults(mesh_config(layout));
+    let mut sys = CmpSystem::new(cfg, vec![CoreParams::OUT_OF_ORDER; 64], traces(bench, 5));
+    sys.prewarm(traces(bench, 5));
+    sys
+}
+
+#[test]
+fn full_system_drains_on_every_layout() {
+    for layout in [Layout::Baseline, Layout::DiagonalB, Layout::DiagonalBL] {
+        let mut sys = build(&layout, Benchmark::SpecJbb);
+        sys.run(10_000_000);
+        assert!(sys.finished(), "{layout} did not drain");
+        for (c, committed) in sys.committed().iter().enumerate() {
+            assert!(*committed > REFS, "core {c} committed only {committed}");
+        }
+    }
+}
+
+#[test]
+fn all_ten_benchmarks_run_on_the_baseline() {
+    for bench in Benchmark::ALL {
+        let mut sys = build(&Layout::Baseline, bench);
+        sys.run(10_000_000);
+        assert!(sys.finished(), "{bench} did not drain");
+        let ipcs = sys.ipcs();
+        let mean = ipcs.iter().sum::<f64>() / 64.0;
+        assert!(mean > 0.0 && mean <= 3.0, "{bench}: mean IPC {mean}");
+    }
+}
+
+#[test]
+fn prewarm_improves_hit_rate_and_speed() {
+    let mk = |warm: bool| {
+        let cfg = CmpConfig::paper_defaults(mesh_config(&Layout::Baseline));
+        let mut sys =
+            CmpSystem::new(cfg, vec![CoreParams::OUT_OF_ORDER; 64], traces(Benchmark::Vips, 9));
+        if warm {
+            sys.prewarm(traces(Benchmark::Vips, 9));
+        }
+        sys.run(20_000_000);
+        assert!(sys.finished());
+        (sys.now(), sys.stats().mem_reads)
+    };
+    let (cold_cycles, cold_reads) = mk(false);
+    let (warm_cycles, warm_reads) = mk(true);
+    assert!(
+        warm_reads < cold_reads / 2,
+        "prewarm must slash memory reads: {warm_reads} vs {cold_reads}"
+    );
+    assert!(
+        warm_cycles < cold_cycles,
+        "prewarm must shorten the run: {warm_cycles} vs {cold_cycles}"
+    );
+}
+
+#[test]
+fn sixteen_controllers_outperform_four_under_memory_pressure() {
+    let run = |mcs: Vec<NodeId>| {
+        let mut cfg = CmpConfig::paper_defaults(mesh_config(&Layout::Baseline));
+        cfg.mc_nodes = mcs;
+        cfg.mem = MemParams {
+            dram_latency: 200,
+            ..MemParams::default()
+        };
+        let mut sys = CmpSystem::new(
+            cfg,
+            vec![CoreParams::OUT_OF_ORDER; 64],
+            traces(Benchmark::Canneal, 3),
+        );
+        // No prewarm: force memory traffic.
+        sys.run(30_000_000);
+        assert!(sys.finished());
+        sys.stats().mem_round_trip.mean()
+    };
+    let four = run(corners4(8, 8));
+    let sixteen = run(diamond16(8, 8));
+    assert!(
+        sixteen < four,
+        "16 distributed MCs ({sixteen:.0} cyc) must beat 4 corner MCs ({four:.0} cyc)"
+    );
+}
+
+#[test]
+fn mixed_core_types_work_together() {
+    let params: Vec<CoreParams> = (0..64)
+        .map(|i| {
+            if [0usize, 7, 56, 63].contains(&i) {
+                CoreParams::OUT_OF_ORDER
+            } else {
+                CoreParams::IN_ORDER
+            }
+        })
+        .collect();
+    let cfg = CmpConfig::paper_defaults(mesh_config(&Layout::DiagonalBL));
+    let mut sys = CmpSystem::new(cfg, params, traces(Benchmark::Dedup, 4));
+    sys.prewarm(traces(Benchmark::Dedup, 4));
+    sys.run(20_000_000);
+    assert!(sys.finished());
+    let ipcs = sys.ipcs();
+    // In-order cores must not exceed 1 IPC; OoO cores may.
+    for (i, ipc) in ipcs.iter().enumerate().take(16).skip(8) {
+        assert!(*ipc <= 1.01, "in-order core {i}: {ipc}");
+    }
+}
+
+#[test]
+fn coherence_invariant_single_writer_multiple_reader_traffic_shape() {
+    // A heavily shared write workload must produce invalidation traffic
+    // visible as control packets but still drain deterministically.
+    let mut sys = build(&Layout::Baseline, Benchmark::Canneal);
+    sys.run(20_000_000);
+    assert!(sys.finished());
+    let stats = sys.network().stats();
+    // Control packets (requests, invs, acks) and data packets both flowed.
+    assert!(stats.latency_by_class[1].count > 0, "control packets");
+    assert!(stats.latency_by_class[0].count > 0, "data packets");
+}

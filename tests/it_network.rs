@@ -1,0 +1,135 @@
+//! Cross-crate integration: HeteroNoC layouts driving the network
+//! simulator end-to-end with synthetic traffic.
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, Traffic, UniformRandom};
+use heteronoc::traffic::{BitComplement, NearestNeighbor, Transpose};
+use heteronoc::{mesh_config, network_config, Layout};
+use heteronoc_noc::topology::TopologyKind;
+
+fn quick(rate: f64) -> SimParams {
+    SimParams {
+        injection_rate: rate,
+        warmup_packets: 200,
+        measure_packets: 2_000,
+        max_cycles: 500_000,
+        seed: 11,
+        process: InjectionProcess::Bernoulli,
+    }
+}
+
+fn run_layout(layout: &Layout, traffic: &mut dyn Traffic, rate: f64) -> heteronoc::noc::sim::SimOutcome {
+    let net = Network::new(mesh_config(layout)).expect("valid layout");
+    run_open_loop(net, traffic, quick(rate))
+}
+
+#[test]
+fn every_layout_delivers_every_pattern() {
+    for layout in Layout::all_seven() {
+        for (name, traffic) in [
+            ("UR", Box::new(UniformRandom) as Box<dyn Traffic>),
+            ("NN", Box::new(NearestNeighbor::new(8, 8))),
+            ("transpose", Box::new(Transpose::new(8))),
+            ("bit-complement", Box::new(BitComplement)),
+        ] {
+            let mut t = traffic;
+            let out = run_layout(&layout, t.as_mut(), 0.01);
+            assert!(
+                out.stats.packets_retired >= 2_000,
+                "{layout}/{name}: only {} packets",
+                out.stats.packets_retired
+            );
+            assert!(!out.saturated, "{layout}/{name} saturated at low load");
+            assert!(out.latency_ns() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn latency_decomposition_sums_to_total() {
+    let out = run_layout(&Layout::DiagonalBL, &mut UniformRandom, 0.02);
+    let (q, b, t) = out.stats.latency.mean_breakdown();
+    let total = out.stats.latency.mean_total();
+    assert!(
+        (q + b + t - total).abs() < 1e-6,
+        "queuing {q} + blocking {b} + transfer {t} != total {total}"
+    );
+    assert!(t > 0.0, "transfer component must be positive");
+}
+
+#[test]
+fn heterogeneous_layouts_save_power_under_identical_traffic() {
+    use heteronoc::power::NetworkPower;
+    let np = NetworkPower::paper_calibrated();
+    let measure = |layout: &Layout| {
+        let cfg = mesh_config(layout);
+        let graph = cfg.build_graph();
+        let net = Network::new(cfg.clone()).expect("valid");
+        let out = run_open_loop(net, &mut UniformRandom, quick(0.03));
+        np.evaluate(&cfg, &graph, &out.stats).total_w()
+    };
+    let base = measure(&Layout::Baseline);
+    let hetero = measure(&Layout::DiagonalBL);
+    assert!(
+        hetero < base,
+        "Diagonal+BL ({hetero:.1} W) must consume less than baseline ({base:.1} W)"
+    );
+}
+
+#[test]
+fn torus_shortens_average_latency_vs_mesh() {
+    // Edge-symmetric wrap links halve the average hop count under UR.
+    let mesh = run_layout(&Layout::Baseline, &mut UniformRandom, 0.01);
+    let torus_cfg = network_config(
+        &Layout::Baseline,
+        TopologyKind::Torus {
+            width: 8,
+            height: 8,
+        },
+    );
+    let torus = run_open_loop(
+        Network::new(torus_cfg).expect("valid torus"),
+        &mut UniformRandom,
+        quick(0.01),
+    );
+    assert!(
+        torus.latency_ns() < mesh.latency_ns(),
+        "torus {:.1} ns !< mesh {:.1} ns",
+        torus.latency_ns(),
+        mesh.latency_ns()
+    );
+}
+
+#[test]
+fn self_similar_traffic_has_heavier_tail_than_bernoulli() {
+    let cfg = mesh_config(&Layout::Baseline);
+    let run = |process| {
+        let net = Network::new(cfg.clone()).expect("valid");
+        let mut p = quick(0.02);
+        p.process = process;
+        run_open_loop(net, &mut UniformRandom, p)
+    };
+    let bern = run(InjectionProcess::Bernoulli);
+    let ss = run(InjectionProcess::SelfSimilar {
+        alpha_on: 1.9,
+        alpha_off: 1.25,
+    });
+    // Bursty arrivals queue more: mean latency should not be lower.
+    assert!(
+        ss.stats.latency.mean_total() >= bern.stats.latency.mean_total() * 0.95,
+        "self-similar {:.1} vs bernoulli {:.1}",
+        ss.stats.latency.mean_total(),
+        bern.stats.latency.mean_total()
+    );
+}
+
+#[test]
+fn packet_records_match_aggregates() {
+    let mut net = Network::new(mesh_config(&Layout::CenterBL)).expect("valid");
+    net.set_record_packets(true);
+    let out = run_open_loop(net, &mut UniformRandom, quick(0.015));
+    let recs = &out.stats.records;
+    assert_eq!(recs.len() as u64, out.stats.latency.count);
+    let sum: u64 = recs.iter().map(|r| r.total()).sum();
+    assert_eq!(sum, out.stats.latency.total);
+}

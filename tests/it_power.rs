@@ -1,0 +1,121 @@
+//! Integration: the power model driven by real simulation statistics.
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc::power::netpower::CALIBRATION_ACTIVITY;
+use heteronoc::power::{Activity, NetworkPower};
+use heteronoc::{mesh_config, Layout};
+
+fn sim(layout: &Layout, rate: f64) -> (heteronoc::noc::NetworkConfig, heteronoc::noc::stats::NetStats) {
+    let cfg = mesh_config(layout);
+    let net = Network::new(cfg.clone()).expect("valid");
+    let out = run_open_loop(
+        net,
+        &mut UniformRandom,
+        SimParams {
+            injection_rate: rate,
+            warmup_packets: 200,
+            measure_packets: 3_000,
+            max_cycles: 500_000,
+            seed: 3,
+            process: InjectionProcess::Bernoulli,
+        },
+    );
+    (cfg, out.stats)
+}
+
+#[test]
+fn network_power_grows_with_load() {
+    let np = NetworkPower::paper_calibrated();
+    let mut prev = 0.0;
+    for rate in [0.005, 0.02, 0.045] {
+        let (cfg, stats) = sim(&Layout::Baseline, rate);
+        let graph = cfg.build_graph();
+        let w = np.evaluate(&cfg, &graph, &stats).total_w();
+        assert!(w > prev, "power at rate {rate} ({w:.2} W) must exceed {prev:.2} W");
+        prev = w;
+    }
+}
+
+#[test]
+fn measured_power_stays_between_leakage_floor_and_max_activity() {
+    let np = NetworkPower::paper_calibrated();
+    let (cfg, stats) = sim(&Layout::DiagonalBL, 0.03);
+    let graph = cfg.build_graph();
+    let measured = np.evaluate(&cfg, &graph, &stats).total_w();
+    let floor = np.evaluate_at_activity(&cfg, &graph, 0.0).total_w();
+    let ceil = np.evaluate_at_activity(&cfg, &graph, 1.0).total_w();
+    assert!(measured > floor, "{measured} <= floor {floor}");
+    assert!(measured < ceil, "{measured} >= ceil {ceil}");
+}
+
+#[test]
+fn center_routers_burn_more_power_than_corners_under_ur() {
+    let np = NetworkPower::paper_calibrated();
+    let (cfg, stats) = sim(&Layout::Baseline, 0.04);
+    let graph = cfg.build_graph();
+    let report = np.evaluate(&cfg, &graph, &stats);
+    let center: f64 = [27usize, 28, 35, 36]
+        .iter()
+        .map(|&r| report.per_router_w[r])
+        .sum();
+    let corners: f64 = [0usize, 7, 56, 63]
+        .iter()
+        .map(|&r| report.per_router_w[r])
+        .sum();
+    assert!(
+        center > corners,
+        "center {center:.2} W must exceed corners {corners:.2} W"
+    );
+}
+
+#[test]
+fn activity_extraction_is_sane() {
+    let (cfg, stats) = sim(&Layout::Baseline, 0.03);
+    let graph = cfg.build_graph();
+    for r in 0..graph.num_routers() {
+        let a = Activity::from_stats(&stats, &graph, r);
+        for (name, v) in [
+            ("buffers", a.buffers),
+            ("crossbar", a.crossbar),
+            ("links", a.links),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "router {r} {name} activity {v} out of range"
+            );
+        }
+        assert!(a.arbiters >= 0.0);
+    }
+}
+
+#[test]
+fn breakdown_components_sum_to_total() {
+    let np = NetworkPower::paper_calibrated();
+    let (cfg, stats) = sim(&Layout::CenterBL, 0.02);
+    let graph = cfg.build_graph();
+    let report = np.evaluate(&cfg, &graph, &stats);
+    let per_router_sum: f64 = report.per_router_w.iter().sum();
+    assert!((per_router_sum - report.total_w()).abs() < 1e-6);
+    assert!(report.breakdown.buffers > 0.0);
+    assert!(report.breakdown.links > 0.0);
+}
+
+#[test]
+fn static_estimate_matches_calibration_at_half_activity() {
+    // A homogeneous 5-port network at exactly 50% activity must evaluate to
+    // (interior routers) x the Table 1 baseline power, scaled by port count.
+    let np = NetworkPower::paper_calibrated();
+    let cfg = mesh_config(&Layout::Baseline);
+    let graph = cfg.build_graph();
+    let report = np.evaluate_at_activity(&cfg, &graph, CALIBRATION_ACTIVITY);
+    // Interior router index 27 has 5 ports.
+    let interior = report.per_router_w[27];
+    assert!(
+        (interior - 0.67).abs() < 0.02,
+        "interior router at calibration: {interior:.3} W vs 0.67 W"
+    );
+    // A corner router (3 ports) scales to 3/5 of that.
+    let corner = report.per_router_w[0];
+    assert!((corner - 0.67 * 3.0 / 5.0).abs() < 0.02, "corner {corner:.3} W");
+}
