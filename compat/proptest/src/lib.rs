@@ -1,0 +1,541 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the HeteroNoC test suites use:
+//! the `proptest!` macro (with an optional `#![proptest_config(..)]` header),
+//! integer/float range strategies, 2- and 3-tuples, `any::<T>()`,
+//! `prop::collection::{vec, btree_set}`, and the `prop_assert*`/`prop_assume`
+//! macros. Cases are generated from a deterministic per-test seed so failures
+//! reproduce; set `PROPTEST_SEED=<n>` to replay a reported seed and
+//! `PROPTEST_CASES=<n>` to override the case count globally.
+//!
+//! This is not a shrinking property-testing framework: failing inputs are
+//! reported verbatim (with the seed) instead of being minimised.
+
+#![warn(missing_docs)]
+
+/// Deterministic case runner driving the closures `proptest!` expands to.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; the heavier HeteroNoC suites all
+            // set explicit counts, so a leaner default keeps `cargo test` fast.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!`; it is re-drawn, not failed.
+        Reject(String),
+        /// A `prop_assert*` failed: the whole property fails.
+        Fail(String),
+    }
+
+    /// FNV-1a, used to give every property its own seed stream.
+    fn hash_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `case` until `cases` successes, panicking on the first failure
+    /// with the inputs and the seed that reproduces them.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng, &mut String) -> Result<(), TestCaseError>,
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| hash_name(name));
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut draw: u64 = 0;
+        while passed < cases {
+            let seed = base.wrapping_add(draw);
+            draw += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut inputs = String::new();
+            let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut inputs)));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(why))) => {
+                    rejected += 1;
+                    if rejected > cases.saturating_mul(256) {
+                        panic!(
+                            "{name}: gave up after {rejected} rejected cases \
+                             (last prop_assume: {why})"
+                        );
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "{name}: case {passed} failed \
+                         (rerun with PROPTEST_SEED={seed})\n  inputs: {inputs}\n  {msg}"
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "{name}: case {passed} panicked \
+                         (rerun with PROPTEST_SEED={seed})\n  inputs: {inputs}"
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Value-generation strategies (ranges, tuples, `any`).
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for drawing random values of `Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+    range_strategy!(usize, u8, u16, u32, u64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut StdRng) -> u64 {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut StdRng) -> u32 {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut StdRng) -> u16 {
+            rng.random::<u32>() as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut StdRng) -> u8 {
+            rng.random::<u32>() as u8
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut StdRng) -> usize {
+            rng.random::<u64>() as usize
+        }
+    }
+
+    /// Strategy for the whole domain of `T`; see [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (proptest's `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::{vec, btree_set}`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy producing `Vec`s of the element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s of the element strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` whose size is drawn from `size` (best effort: if the
+    /// element domain is too small to reach the drawn size, the set stays
+    /// smaller, like proptest under exhausted local rejects).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 64 * target + 64 {
+                attempts += 1;
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Namespace mirror so call sites can write `prop::collection::vec(..)`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The usual glob import: strategies, config, and the assertion macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(binding in strategy, ..) { body }`
+/// becomes a test that draws the bindings and runs the body for every case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run(&config, stringify!($name), |__rng, __inputs| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    __inputs.push_str(&::std::format!(
+                        ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    ));
+                    let mut __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Vetoes the current case (it is redrawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Like `assert!`, but reports the failing inputs and reproduction seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    ::std::stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failing inputs and reproduction seed.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?}",
+                    ::std::stringify!($a),
+                    ::std::stringify!($b),
+                    __a,
+                    __b
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {} ({})\n  left:  {:?}\n  right: {:?}",
+                    ::std::stringify!($a),
+                    ::std::stringify!($b),
+                    ::std::format!($($fmt)+),
+                    __a,
+                    __b
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports the failing inputs and reproduction seed.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    ::std::stringify!($a),
+                    ::std::stringify!($b),
+                    __a
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0u8..2, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 2);
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec((0usize..64, 0usize..64), 1..60),
+            s in prop::collection::btree_set(0usize..16, 0..=16),
+            exact in prop::collection::vec(any::<bool>(), 60),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 60);
+            prop_assert!(v.iter().all(|&(a, b)| a < 64 && b < 64));
+            prop_assert!(s.len() <= 16);
+            prop_assert!(s.iter().all(|&e| e < 16));
+            prop_assert_eq!(exact.len(), 60);
+        }
+
+        #[test]
+        fn assume_redraws(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                &ProptestConfig::with_cases(8),
+                "always_fails",
+                |_rng, _inputs| Err(TestCaseError::Fail("nope".into())),
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("PROPTEST_SEED="), "missing seed in: {msg}");
+        assert!(msg.contains("nope"), "missing cause in: {msg}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so that `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` keep compiling without crates.io
+//! access. The derives expand to nothing and the traits are empty markers —
+//! nothing in this workspace drives an actual serialization format.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

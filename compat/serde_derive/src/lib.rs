@@ -1,0 +1,22 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes anything through a data format (there is no
+//! `serde_json` or similar in the tree), and no generic code bounds on the
+//! serde traits. The derives therefore expand to nothing: the annotation
+//! stays valid and zero-cost while the real dependency is unavailable
+//! offline.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,7 +14,10 @@ use heteronoc::noc::types::Bits;
 
 fn homo(vcs: usize, depth: usize, width: u32) -> NetworkConfig {
     NetworkConfig::homogeneous(
-        TopologyKind::Mesh { width: 8, height: 8 },
+        TopologyKind::Mesh {
+            width: 8,
+            height: 8,
+        },
         RouterCfg {
             vcs_per_port: vcs,
             buffer_depth: depth,

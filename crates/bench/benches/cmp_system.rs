@@ -45,20 +45,10 @@ fn bench_cmp_run(c: &mut Criterion) {
 fn bench_closed_loop(c: &mut Criterion) {
     let mut g = c.benchmark_group("closed_loop_500reqs");
     g.sample_size(10);
-    for (name, mcs) in [
-        ("corners4", corners4(8, 8)),
-        ("diamond16", diamond16(8, 8)),
-    ] {
+    for (name, mcs) in [("corners4", corners4(8, 8)), ("diamond16", diamond16(8, 8))] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &mcs, |b, mcs| {
             b.iter(|| {
-                let stats = run_closed_loop(
-                    mesh_config(&Layout::Baseline),
-                    mcs,
-                    8,
-                    0,
-                    500,
-                    9,
-                );
+                let stats = run_closed_loop(mesh_config(&Layout::Baseline), mcs, 8, 0, 500, 9);
                 black_box(stats.round_trip.mean())
             })
         });

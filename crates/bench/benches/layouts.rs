@@ -51,8 +51,20 @@ fn bench_topology_builders(c: &mut Criterion) {
     let mut g = c.benchmark_group("topology_build");
     g.sample_size(20);
     let kinds = [
-        ("mesh8x8", TopologyKind::Mesh { width: 8, height: 8 }),
-        ("torus8x8", TopologyKind::Torus { width: 8, height: 8 }),
+        (
+            "mesh8x8",
+            TopologyKind::Mesh {
+                width: 8,
+                height: 8,
+            },
+        ),
+        (
+            "torus8x8",
+            TopologyKind::Torus {
+                width: 8,
+                height: 8,
+            },
+        ),
         (
             "cmesh4x4c4",
             TopologyKind::CMesh {
@@ -77,7 +89,11 @@ fn bench_topology_builders(c: &mut Criterion) {
 }
 
 fn bench_routing_kernel(c: &mut Criterion) {
-    let g8 = TopologyKind::Mesh { width: 8, height: 8 }.build();
+    let g8 = TopologyKind::Mesh {
+        width: 8,
+        height: 8,
+    }
+    .build();
     let routing = RoutingKind::DimensionOrder;
     c.bench_function("xy_route_all_pairs", |b| {
         b.iter(|| {
@@ -88,9 +104,7 @@ fn bench_routing_kernel(c: &mut Criterion) {
                         continue;
                     }
                     let cur = g8.attachment(NodeId(s)).router;
-                    if let Some(rc) =
-                        routing.route(&g8, cur, NodeId(s), NodeId(d), false, false)
-                    {
+                    if let Some(rc) = routing.route(&g8, cur, NodeId(s), NodeId(d), false, false) {
                         acc += rc.port.index();
                     }
                 }

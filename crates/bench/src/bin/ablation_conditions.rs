@@ -50,7 +50,10 @@ fn main() {
 
     let mut variants: Vec<(&str, NetworkConfig)> = Vec::new();
     variants.push(("Baseline (homogeneous)", mesh_config(&Layout::Baseline)));
-    variants.push(("Diagonal+BL (paper constraints)", mesh_config(&Layout::DiagonalBL)));
+    variants.push((
+        "Diagonal+BL (paper constraints)",
+        mesh_config(&Layout::DiagonalBL),
+    ));
 
     // Remove the clock tax.
     let mut v = mesh_config(&Layout::DiagonalBL);
@@ -58,7 +61,10 @@ fn main() {
     variants.push(("Diagonal+BL @ 2.2 GHz", v));
 
     // Remove the flit-width tax: buffer-only redistribution (192b links).
-    variants.push(("Diagonal+B (192b, buffers only)", mesh_config(&Layout::DiagonalB)));
+    variants.push((
+        "Diagonal+B (192b, buffers only)",
+        mesh_config(&Layout::DiagonalB),
+    ));
 
     // Buffer-only at the baseline clock.
     let mut v = mesh_config(&Layout::DiagonalB);

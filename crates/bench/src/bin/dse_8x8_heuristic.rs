@@ -50,7 +50,11 @@ fn grid(p: &Placement) -> String {
     let mut s = String::new();
     for y in 0..8 {
         for x in 0..8 {
-            s.push(if p.is_big(RouterId(y * 8 + x)) { 'B' } else { '.' });
+            s.push(if p.is_big(RouterId(y * 8 + x)) {
+                'B'
+            } else {
+                '.'
+            });
         }
         s.push(' ');
     }
@@ -62,7 +66,9 @@ fn main() {
     let packets: u64 = if full_scale() { 4_000 } else { 1_000 };
     let iters = if full_scale() { 400 } else { 120 };
     rep.line("# Extension — simulated-annealing search over 8x8 placements (16 big)");
-    rep.line(format!("# {iters} iterations, {packets} packets per evaluation"));
+    rep.line(format!(
+        "# {iters} iterations, {packets} packets per evaluation"
+    ));
     rep.line("");
 
     rep.line("## Structured candidates (UR @ 0.035, mean latency in cycles)");

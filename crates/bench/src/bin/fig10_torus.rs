@@ -8,8 +8,8 @@ use heteronoc::noc::topology::TopologyKind;
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc::{network_config, Layout};
-use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
 use heteronoc_bench::{full_scale, pct_reduction, Report};
+use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
 
 fn trace_len() -> u64 {
     if full_scale() {
@@ -62,10 +62,7 @@ fn main() {
         trace_len()
     ));
     rep.line("");
-    rep.line(format!(
-        "{:<12}{:>14}{:>14}",
-        "workload", "mesh", "torus"
-    ));
+    rep.line(format!("{:<12}{:>14}{:>14}", "workload", "mesh", "torus"));
 
     let mesh = TopologyKind::Mesh {
         width: 8,
@@ -87,7 +84,12 @@ fn main() {
         let t = pct_reduction(torus_base, torus_het);
         mesh_sum += m;
         torus_sum += t;
-        rep.line(format!("{:<12}{:>+13.1}%{:>+13.1}%", bench.to_string(), m, t));
+        rep.line(format!(
+            "{:<12}{:>+13.1}%{:>+13.1}%",
+            bench.to_string(),
+            m,
+            t
+        ));
         eprintln!("done: {bench}");
     }
     let n = benches.len() as f64;

@@ -12,8 +12,8 @@ use heteronoc::power::{NetworkPower, PowerBreakdown};
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc::{mesh_config, Layout};
-use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
 use heteronoc_bench::{full_scale, pct_gain, pct_reduction, Report};
+use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
 
 struct RunResult {
     latency_ns: f64,

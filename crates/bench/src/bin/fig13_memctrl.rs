@@ -14,11 +14,10 @@ use heteronoc::noc::types::NodeId;
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc::{mesh_config, Layout};
-use heteronoc_cmp::{
-    corners4, diagonal16, diamond16, run_closed_loop, CmpConfig, CmpSystem, CoreParams,
-    MemParams,
-};
 use heteronoc_bench::{full_scale, pct_reduction, Report};
+use heteronoc_cmp::{
+    corners4, diagonal16, diamond16, run_closed_loop, CmpConfig, CmpSystem, CoreParams, MemParams,
+};
 
 struct Config {
     name: &'static str,

@@ -16,10 +16,8 @@ use heteronoc::traffic::trace::VecTrace;
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc::{mesh_config, mesh_config_with_table, Layout};
-use heteronoc_cmp::{
-    harmonic_speedup, weighted_speedup, CmpConfig, CmpSystem, CoreParams,
-};
 use heteronoc_bench::{full_scale, Report};
+use heteronoc_cmp::{harmonic_speedup, weighted_speedup, CmpConfig, CmpSystem, CoreParams};
 
 const LARGE_NODES: [usize; 4] = [0, 7, 56, 63];
 

@@ -43,8 +43,7 @@ fn main() {
     rep.line("");
     rep.line("## Buffer accounting");
     let homo = table1::buffer_bits(64, &table1::BASELINE);
-    let hetero =
-        table1::buffer_bits(48, &table1::SMALL) + table1::buffer_bits(16, &table1::BIG);
+    let hetero = table1::buffer_bits(48, &table1::SMALL) + table1::buffer_bits(16, &table1::BIG);
     rep.line(format!(
         "homogeneous: 64 routers * 3 VCs * 5 PCs * 5 deep @ 192b = {homo} bits"
     ));

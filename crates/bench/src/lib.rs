@@ -23,7 +23,9 @@ use heteronoc::{mesh_config, Layout};
 
 /// True when `HETERONOC_FULL=1`: run paper-scale measurement batches.
 pub fn full_scale() -> bool {
-    std::env::var("HETERONOC_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("HETERONOC_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Measurement batch size (packets): 100k at full scale (the paper's §4),
@@ -66,7 +68,12 @@ pub struct LoadPoint {
 }
 
 /// Sweeps `layout` across `rates` with fresh traffic from `traffic_fn`.
-pub fn sweep_layout<F>(layout: &Layout, rates: &[f64], seed: u64, mut traffic_fn: F) -> Vec<LoadPoint>
+pub fn sweep_layout<F>(
+    layout: &Layout,
+    rates: &[f64],
+    seed: u64,
+    mut traffic_fn: F,
+) -> Vec<LoadPoint>
 where
     F: FnMut() -> Box<dyn Traffic>,
 {
@@ -209,9 +216,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_points() {
-        let pts = sweep_layout(&Layout::Baseline, &[0.004], 1, || {
-            Box::new(UniformRandom)
-        });
+        let pts = sweep_layout(&Layout::Baseline, &[0.004], 1, || Box::new(UniformRandom));
         // Quick smoke test only (full sweeps run in the binaries).
         assert_eq!(pts.len(), 1);
         assert!(pts[0].latency_ns > 0.0);

@@ -209,7 +209,10 @@ impl HeatMap {
     /// # Panics
     /// Panics if the value count is not a multiple of `width`.
     pub fn new(title: impl Into<String>, width: usize, values: Vec<f64>) -> Self {
-        assert!(width > 0 && values.len().is_multiple_of(width), "ragged heat-map");
+        assert!(
+            width > 0 && values.len().is_multiple_of(width),
+            "ragged heat-map"
+        );
         Self {
             title: title.into(),
             width,
@@ -288,7 +291,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -95,10 +95,7 @@ mod tests {
         let a = parse("sweep --layout diagonal-bl --rates 0.01,0.02 --full");
         assert_eq!(a.command.as_deref(), Some("sweep"));
         assert_eq!(a.get("layout"), Some("diagonal-bl"));
-        assert_eq!(
-            a.get_list::<f64>("rates").unwrap(),
-            Some(vec![0.01, 0.02])
-        );
+        assert_eq!(a.get_list::<f64>("rates").unwrap(), Some(vec![0.01, 0.02]));
         assert!(a.flag("full"));
         assert!(!a.flag("other"));
     }

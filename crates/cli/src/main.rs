@@ -6,6 +6,7 @@
 //! heteronoc audit
 //! heteronoc heatmap --rate 0.05
 //! heteronoc cmp     --layout baseline --workload sap --refs 1500
+//! heteronoc verify  --layout diagonal-bl --hubs 0,7,56,63
 //! ```
 
 mod args;
@@ -42,6 +43,12 @@ COMMANDS
                --rate, --packets, --seed as above
   cmp        full 64-tile CMP run
                --layout <name>, --workload <name>, --refs N (default 1000)
+  verify     static deadlock & invariant analysis (channel-dependency graph
+             acyclicity + iso-resource lint against the baseline)
+               --layout <name>      verify one layout (default: every shipped
+                                    configuration, incl. torus/cmesh/fbfly and
+                                    the table-routed case study)
+               --hubs a,b,c         add table routing through these routers
 
 LAYOUTS  baseline, center-b, row25-b, diagonal-b, center-bl, row25-bl, diagonal-bl
 WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
@@ -49,7 +56,8 @@ WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
 ";
 
 fn layout_by_name(name: &str) -> Result<Layout, String> {
-    name.parse().map_err(|e: heteronoc::layout::ParseLayoutError| e.to_string())
+    name.parse()
+        .map_err(|e: heteronoc::layout::ParseLayoutError| e.to_string())
 }
 
 fn pattern_by_name(name: &str) -> Result<Box<dyn Traffic>, String> {
@@ -93,7 +101,13 @@ fn params(rate: f64, packets: u64, seed: u64) -> SimParams {
     }
 }
 
-fn point(layout: &Layout, pattern: &str, rate: f64, packets: u64, seed: u64) -> Result<String, String> {
+fn point(
+    layout: &Layout,
+    pattern: &str,
+    rate: f64,
+    packets: u64,
+    seed: u64,
+) -> Result<String, String> {
     let cfg = mesh_config(layout);
     let graph = cfg.build_graph();
     let net = Network::new(cfg.clone()).map_err(|e| e.to_string())?;
@@ -103,7 +117,12 @@ fn point(layout: &Layout, pattern: &str, rate: f64, packets: u64, seed: u64) -> 
         .evaluate(&cfg, &graph, &out.stats)
         .total_w();
     Ok(if out.saturated {
-        format!("{rate:<8.4}{:>12}{:>14.4}{:>10.1} W", "sat", out.stats.throughput_ppc(64), power)
+        format!(
+            "{rate:<8.4}{:>12}{:>14.4}{:>10.1} W",
+            "sat",
+            out.stats.throughput_ppc(64),
+            power
+        )
     } else {
         format!(
             "{rate:<8.4}{:>9.2} ns{:>14.4}{:>10.1} W",
@@ -122,8 +141,14 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         .unwrap_or_else(|| vec![0.01, 0.02, 0.03, 0.04, 0.05]);
     let packets = a.get_or("packets", 5_000u64)?;
     let seed = a.get_or("seed", 42u64)?;
-    println!("layout {} · pattern {pattern} · {packets} packets/point", layout.name());
-    println!("{:<8}{:>12}{:>14}{:>12}", "rate", "latency", "throughput", "power");
+    println!(
+        "layout {} · pattern {pattern} · {packets} packets/point",
+        layout.name()
+    );
+    println!(
+        "{:<8}{:>12}{:>14}{:>12}",
+        "rate", "latency", "throughput", "power"
+    );
     for rate in rates {
         println!("{}", point(&layout, &pattern, rate, packets, seed)?);
     }
@@ -136,7 +161,10 @@ fn cmd_compare(a: &Args) -> Result<(), String> {
     let packets = a.get_or("packets", 5_000u64)?;
     let seed = a.get_or("seed", 42u64)?;
     println!("pattern {pattern} @ {rate} packets/node/cycle");
-    println!("{:<14}{:>12}{:>14}{:>12}", "layout", "latency", "throughput", "power");
+    println!(
+        "{:<14}{:>12}{:>14}{:>12}",
+        "layout", "latency", "throughput", "power"
+    );
     for layout in Layout::all_seven() {
         let row = point(&layout, &pattern, rate, packets, seed)?;
         // Drop the duplicated rate column for the comparison view.
@@ -214,13 +242,108 @@ fn cmd_cmp(a: &Args) -> Result<(), String> {
     let power = NetworkPower::paper_calibrated()
         .evaluate(&net_cfg, &graph, stats)
         .total_w();
-    println!("layout {} · workload {bench} · {refs} refs/core", layout.name());
+    println!(
+        "layout {} · workload {bench} · {refs} refs/core",
+        layout.name()
+    );
     println!("  cycles            {cycles}");
     println!("  mean IPC          {ipc:.3}");
     println!("  network latency   {:.2} ns", stats.mean_latency_ns(freq));
     println!("  network power     {power:.1} W");
     println!("  packets           {}", stats.packets_retired);
     println!("  memory reads      {}", sys.stats().mem_reads);
+    Ok(())
+}
+
+/// `heteronoc verify`: prove every requested configuration deadlock-free
+/// (CDG acyclicity) and within the paper's iso-resource budgets.
+fn cmd_verify(a: &Args) -> Result<(), String> {
+    use heteronoc::noc::config::NetworkConfig;
+    use heteronoc::noc::topology::TopologyKind;
+    use heteronoc::noc::types::{Bits, RouterId};
+    use heteronoc::noc::RouterCfg;
+    use heteronoc_verify::{verify_config, verify_layout, verify_layout_with_table, VerifyReport};
+
+    let hubs: Option<Vec<usize>> = a.get_list::<usize>("hubs")?;
+    if let Some(h) = &hubs {
+        if let Some(&r) = h.iter().find(|&&r| r >= 64) {
+            return Err(format!(
+                "--hubs router {r} is out of range for the 8x8 mesh (0..=63)"
+            ));
+        }
+    }
+    let mut reports: Vec<Result<VerifyReport, String>> = Vec::new();
+
+    if let Some(name) = a.get("layout") {
+        let layout = layout_by_name(name)?;
+        reports.push(match &hubs {
+            Some(h) => {
+                let hubs: Vec<RouterId> = h.iter().map(|&r| RouterId(r)).collect();
+                verify_layout_with_table(&layout, &hubs).map_err(|e| e.to_string())
+            }
+            None => verify_layout(&layout).map_err(|e| e.to_string()),
+        });
+    } else {
+        // Every shipped configuration: the seven paper layouts, the
+        // alternative topologies, and the §7 table-routed case study.
+        for layout in Layout::all_seven() {
+            reports.push(verify_layout(&layout).map_err(|e| e.to_string()));
+        }
+        let corners: Vec<RouterId> = hubs
+            .unwrap_or_else(|| vec![0, 7, 56, 63])
+            .into_iter()
+            .map(RouterId)
+            .collect();
+        reports.push(
+            verify_layout_with_table(&Layout::DiagonalBL, &corners).map_err(|e| e.to_string()),
+        );
+        for (name, kind) in [
+            (
+                "torus-8x8",
+                TopologyKind::Torus {
+                    width: 8,
+                    height: 8,
+                },
+            ),
+            (
+                "cmesh-4x4x4",
+                TopologyKind::CMesh {
+                    width: 4,
+                    height: 4,
+                    concentration: 4,
+                },
+            ),
+            (
+                "fbfly-4x4x4",
+                TopologyKind::FlattenedButterfly {
+                    width: 4,
+                    height: 4,
+                    concentration: 4,
+                },
+            ),
+        ] {
+            let cfg = NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2);
+            reports.push(verify_config(name, &cfg).map_err(|e| format!("{name}: {e}")));
+        }
+    }
+
+    let mut failures = 0usize;
+    for r in &reports {
+        match r {
+            Ok(report) => println!("ok   {report}"),
+            Err(e) => {
+                failures += 1;
+                println!("FAIL {e}");
+            }
+        }
+    }
+    println!(
+        "{} configuration(s) verified, {failures} rejected",
+        reports.len() - failures
+    );
+    if failures > 0 {
+        return Err(format!("{failures} configuration(s) failed verification"));
+    }
     Ok(())
 }
 
@@ -236,6 +359,7 @@ fn run() -> Result<(), String> {
         Some("audit") => cmd_audit(),
         Some("heatmap") => cmd_heatmap(&a),
         Some("cmp") => cmd_cmp(&a),
+        Some("verify") => cmd_verify(&a),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => {
             print!("{USAGE}");

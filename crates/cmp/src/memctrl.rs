@@ -218,13 +218,24 @@ mod tests {
 
     #[test]
     fn placements_have_expected_sizes() {
-        assert_eq!(corners4(8, 8), vec![NodeId(0), NodeId(7), NodeId(56), NodeId(63)]);
+        assert_eq!(
+            corners4(8, 8),
+            vec![NodeId(0), NodeId(7), NodeId(56), NodeId(63)]
+        );
         let d = diamond16(8, 8);
         assert_eq!(d.len(), 16);
         // Two per row and per column.
         for k in 0..8 {
-            assert_eq!(d.iter().filter(|n| n.index() / 8 == k).count(), 2, "row {k}");
-            assert_eq!(d.iter().filter(|n| n.index() % 8 == k).count(), 2, "col {k}");
+            assert_eq!(
+                d.iter().filter(|n| n.index() / 8 == k).count(),
+                2,
+                "row {k}"
+            );
+            assert_eq!(
+                d.iter().filter(|n| n.index() % 8 == k).count(),
+                2,
+                "col {k}"
+            );
         }
         let g = diagonal16(8);
         assert_eq!(g.len(), 16);

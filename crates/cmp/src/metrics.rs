@@ -134,8 +134,7 @@ mod tests {
         let skewed = [0.9, 0.1];
         // Same weighted speedup...
         assert!(
-            (weighted_speedup(&balanced, &alone) - weighted_speedup(&skewed, &alone)).abs()
-                < 1e-12
+            (weighted_speedup(&balanced, &alone) - weighted_speedup(&skewed, &alone)).abs() < 1e-12
         );
         // ...but harmonic prefers the fair mix.
         assert!(harmonic_speedup(&balanced, &alone) > harmonic_speedup(&skewed, &alone));

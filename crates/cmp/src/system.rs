@@ -258,12 +258,7 @@ impl CmpSystem {
         let mcs = cfg
             .mc_nodes
             .iter()
-            .map(|m| {
-                (
-                    m.index(),
-                    MemCtrl::new(mem.dram_latency, mem.mc_concurrent),
-                )
-            })
+            .map(|m| (m.index(), MemCtrl::new(mem.dram_latency, mem.mc_concurrent)))
             .collect();
         let mut expedited = vec![false; n];
         for e in &cfg.expedited_nodes {
@@ -331,7 +326,10 @@ impl CmpSystem {
     pub fn finished(&self) -> bool {
         self.cores.iter().all(Core::finished)
             && self.net.in_flight() == 0
-            && self.banks.iter().all(|b| b.busy.is_empty() && b.inbox.is_empty())
+            && self
+                .banks
+                .iter()
+                .all(|b| b.busy.is_empty() && b.inbox.is_empty())
     }
 
     /// Functionally pre-warms the caches and directory by replaying
@@ -358,8 +356,7 @@ impl CmpSystem {
                 // their directory state).
                 let key = block / nbanks;
                 if !self.banks[home].cache.contains(key) {
-                    if let Some((vk, _)) = self.banks[home].cache.insert(key, L2Line::default())
-                    {
+                    if let Some((vk, _)) = self.banks[home].cache.insert(key, L2Line::default()) {
                         let vb = vk * nbanks + home as u64;
                         self.banks[home].dir.remove(&vb);
                         for l1 in &mut self.l1s {
@@ -375,8 +372,7 @@ impl CmpSystem {
                     dir.sharers = 0;
                     dir.owner = Some(c as u16);
                     for s in 0..self.l1s.len() {
-                        let had = prev_sharers & (1 << s) != 0
-                            || prev_owner == Some(s as u16);
+                        let had = prev_sharers & (1 << s) != 0 || prev_owner == Some(s as u16);
                         if had && s != c {
                             self.l1s[s].cache.invalidate(block);
                         }
@@ -523,7 +519,15 @@ impl CmpSystem {
                     |iss| {
                         let block = iss.record.addr / block_bytes;
                         let store = iss.record.op == MemOp::Store;
-                        l1_issue(l1, block, store, now, l1_latency, txn_counter, &mut issue_buf)
+                        l1_issue(
+                            l1,
+                            block,
+                            store,
+                            now,
+                            l1_latency,
+                            txn_counter,
+                            &mut issue_buf,
+                        )
                     },
                     |t| done_map.get(&t).copied(),
                 );
@@ -640,15 +644,27 @@ impl CmpSystem {
                 }
                 // Reply even when the block was already evicted (the
                 // crossing PutM is ignored at the home; see bank_process).
-                self.send(node, home, Msg::new(MsgKind::WbData, msg.block, msg.requester as usize));
+                self.send(
+                    node,
+                    home,
+                    Msg::new(MsgKind::WbData, msg.block, msg.requester as usize),
+                );
             }
             MsgKind::FwdM => {
                 self.l1s[node].cache.invalidate(msg.block);
-                self.send(node, home, Msg::new(MsgKind::WbData, msg.block, msg.requester as usize));
+                self.send(
+                    node,
+                    home,
+                    Msg::new(MsgKind::WbData, msg.block, msg.requester as usize),
+                );
             }
             MsgKind::Inv => {
                 self.l1s[node].cache.invalidate(msg.block);
-                self.send(node, home, Msg::new(MsgKind::InvAck, msg.block, msg.requester as usize));
+                self.send(
+                    node,
+                    home,
+                    Msg::new(MsgKind::InvAck, msg.block, msg.requester as usize),
+                );
             }
             _ => unreachable!("l1_probe only handles probes"),
         }
@@ -705,9 +721,13 @@ impl CmpSystem {
                 return;
             }
             let fwd = if store { MsgKind::FwdM } else { MsgKind::FwdS };
-            self.banks[bank]
-                .busy
-                .insert(block, Busy::WaitWb { requester: req, store });
+            self.banks[bank].busy.insert(
+                block,
+                Busy::WaitWb {
+                    requester: req,
+                    store,
+                },
+            );
             self.send(bank, owner as usize, Msg::new(fwd, block, req as usize));
             return;
         }
@@ -726,12 +746,20 @@ impl CmpSystem {
                         Msg::new(MsgKind::DataM, block, req as usize),
                     );
                 } else {
-                    self.banks[bank]
-                        .busy
-                        .insert(block, Busy::WaitAcks { requester: req, pending });
+                    self.banks[bank].busy.insert(
+                        block,
+                        Busy::WaitAcks {
+                            requester: req,
+                            pending,
+                        },
+                    );
                     for s in 0..64u16 {
                         if others & (1 << s) != 0 {
-                            self.send(bank, s as usize, Msg::new(MsgKind::Inv, block, req as usize));
+                            self.send(
+                                bank,
+                                s as usize,
+                                Msg::new(MsgKind::Inv, block, req as usize),
+                            );
                         }
                     }
                 }
@@ -758,7 +786,11 @@ impl CmpSystem {
         if self.banks[bank].cache.get_mut(key).is_some() {
             let dir = self.banks[bank].dir.get_mut(&block).expect("entry");
             dir.owner = Some(req);
-            let kind = if store { MsgKind::DataM } else { MsgKind::DataE };
+            let kind = if store {
+                MsgKind::DataM
+            } else {
+                MsgKind::DataE
+            };
             self.send(bank, req as usize, Msg::new(kind, block, req as usize));
         } else {
             self.bank_fetch_memory(bank, block, req, store);
@@ -766,9 +798,13 @@ impl CmpSystem {
     }
 
     fn bank_fetch_memory(&mut self, bank: usize, block: u64, req: u16, store: bool) {
-        self.banks[bank]
-            .busy
-            .insert(block, Busy::WaitMem { requester: req, store });
+        self.banks[bank].busy.insert(
+            block,
+            Busy::WaitMem {
+                requester: req,
+                store,
+            },
+        );
         let mc = self.mc_of(block);
         self.send(bank, mc, Msg::new(MsgKind::MemRead, block, req as usize));
     }
@@ -805,8 +841,7 @@ impl CmpSystem {
                         Msg::new(MsgKind::DataM, block, requester as usize),
                     );
                 } else {
-                    dir.sharers = (1 << requester)
-                        | old_owner.map(|o| 1u64 << o).unwrap_or(0);
+                    dir.sharers = (1 << requester) | old_owner.map(|o| 1u64 << o).unwrap_or(0);
                     self.send(
                         bank,
                         requester as usize,
@@ -843,7 +878,11 @@ impl CmpSystem {
                             victim = cache.insert(key, L2Line { dirty: true });
                         }
                     }
-                    if self.banks[bank].dir.get(&block).is_some_and(DirEntry::is_idle) {
+                    if self.banks[bank]
+                        .dir
+                        .get(&block)
+                        .is_some_and(DirEntry::is_idle)
+                    {
                         self.banks[bank].dir.remove(&block);
                     }
                     if let Some((vk, vl)) = victim {
@@ -863,9 +902,13 @@ impl CmpSystem {
             return; // stale ack
         };
         if pending > 1 {
-            self.banks[bank]
-                .busy
-                .insert(block, Busy::WaitAcks { requester, pending: pending - 1 });
+            self.banks[bank].busy.insert(
+                block,
+                Busy::WaitAcks {
+                    requester,
+                    pending: pending - 1,
+                },
+            );
             return;
         }
         self.banks[bank].busy.remove(&block);
@@ -882,8 +925,7 @@ impl CmpSystem {
 
     fn bank_mem_data(&mut self, bank: usize, msg: Msg) {
         let block = msg.block;
-        let Some(Busy::WaitMem { requester, store }) =
-            self.banks[bank].busy.get(&block).copied()
+        let Some(Busy::WaitMem { requester, store }) = self.banks[bank].busy.get(&block).copied()
         else {
             debug_assert!(false, "MemData without WaitMem");
             return;
@@ -929,7 +971,10 @@ impl CmpSystem {
     /// (L2 hits, upgrades) must not strand the queue behind them.
     fn bank_wake(&mut self, bank: usize, block: u64) {
         loop {
-            if self.banks[bank].dir.get(&block).is_some_and(DirEntry::is_idle)
+            if self.banks[bank]
+                .dir
+                .get(&block)
+                .is_some_and(DirEntry::is_idle)
                 && !self.banks[bank].busy.contains_key(&block)
             {
                 // Normalize: drop empty entries so `dir` stays compact.
@@ -938,8 +983,7 @@ impl CmpSystem {
             if self.banks[bank].busy.contains_key(&block) {
                 return;
             }
-            let next = self
-                .banks[bank]
+            let next = self.banks[bank]
                 .deferred
                 .get_mut(&block)
                 .and_then(VecDeque::pop_front);
@@ -1164,7 +1208,10 @@ mod tests {
         let mut traces = empty_traces(16);
         // Core 2 reads, then core 3 writes the same block, then core 2
         // reads again (must re-fetch).
-        traces[2] = trace_of(vec![rec(0, MemOp::Load, 0x4000), rec(800, MemOp::Load, 0x4000)]);
+        traces[2] = trace_of(vec![
+            rec(0, MemOp::Load, 0x4000),
+            rec(800, MemOp::Load, 0x4000),
+        ]);
         traces[3] = trace_of(vec![rec(300, MemOp::Store, 0x4000)]);
         let mut sys = CmpSystem::new(cfg(), vec![CoreParams::OUT_OF_ORDER; 16], traces);
         sys.run(500_000);
@@ -1197,7 +1244,10 @@ mod tests {
         }
         let mut sys = CmpSystem::new(cfg(), vec![CoreParams::OUT_OF_ORDER; 16], traces);
         let cycles = sys.run(2_000_000);
-        assert!(sys.finished(), "coherence hot block must drain, now={cycles}");
+        assert!(
+            sys.finished(),
+            "coherence hot block must drain, now={cycles}"
+        );
         for c in 0..16 {
             assert_eq!(sys.committed()[c], 20 * 6);
         }

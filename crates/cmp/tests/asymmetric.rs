@@ -24,10 +24,7 @@ fn base_net() -> NetworkConfig {
 fn table_net() -> NetworkConfig {
     let mut cfg = base_net();
     let graph = cfg.build_graph();
-    cfg.routing = RoutingKind::TableXy(RouteTable::for_hubs(
-        &graph,
-        &[RouterId(0), RouterId(15)],
-    ));
+    cfg.routing = RoutingKind::TableXy(RouteTable::for_hubs(&graph, &[RouterId(0), RouterId(15)]));
     cfg
 }
 
@@ -40,7 +37,11 @@ fn traces(active: &[(usize, u64)]) -> Vec<Box<dyn TraceSource + Send>> {
                 .flat_map(|&(_, n)| {
                     (0..n).map(move |k| TraceRecord {
                         gap: 2,
-                        op: if k % 4 == 0 { MemOp::Store } else { MemOp::Load },
+                        op: if k % 4 == 0 {
+                            MemOp::Store
+                        } else {
+                            MemOp::Load
+                        },
                         addr: 0x10_0000 + (i as u64 * 4096 + k) * 128,
                     })
                 })

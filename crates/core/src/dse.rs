@@ -48,14 +48,14 @@ fn d4_images(mask: u32, s: usize) -> [u32; 8] {
             for x in 0..s {
                 // Transform destination (x, y) back to source coordinates.
                 let (sx, sy) = match t {
-                    0 => (x, y),                     // identity
-                    1 => (y, s - 1 - x),             // rotate 90
-                    2 => (s - 1 - x, s - 1 - y),     // rotate 180
-                    3 => (s - 1 - y, x),             // rotate 270
-                    4 => (s - 1 - x, y),             // mirror x
-                    5 => (x, s - 1 - y),             // mirror y
-                    6 => (y, x),                     // transpose
-                    _ => (s - 1 - y, s - 1 - x),     // anti-transpose
+                    0 => (x, y),                 // identity
+                    1 => (y, s - 1 - x),         // rotate 90
+                    2 => (s - 1 - x, s - 1 - y), // rotate 180
+                    3 => (s - 1 - y, x),         // rotate 270
+                    4 => (s - 1 - x, y),         // mirror x
+                    5 => (x, s - 1 - y),         // mirror y
+                    6 => (y, x),                 // transpose
+                    _ => (s - 1 - y, s - 1 - x), // anti-transpose
                 };
                 if at(mask, sx, sy) == 1 {
                     m |= 1 << (y * s + x);
@@ -120,10 +120,7 @@ pub fn orbit_total(side: usize, canonical: &[Placement]) -> u64 {
     canonical
         .iter()
         .map(|p| {
-            let mask: u32 = p
-                .big_routers()
-                .map(|r| 1u32 << r.index())
-                .sum();
+            let mask: u32 = p.big_routers().map(|r| 1u32 << r.index()).sum();
             let images = d4_images(mask, side);
             let distinct: HashSet<u32> = images.iter().copied().collect();
             distinct.len() as u64
@@ -193,9 +190,7 @@ pub fn anneal<F: FnMut(&Placement) -> f64>(
         if bigs.is_empty() || bigs.len() == n {
             break; // nothing to swap
         }
-        let smalls: Vec<usize> = (0..n)
-            .filter(|&i| !cur.is_big(RouterId(i)))
-            .collect();
+        let smalls: Vec<usize> = (0..n).filter(|&i| !cur.is_big(RouterId(i))).collect();
         let b = bigs[rng.random_range(0..bigs.len())];
         let s = smalls[rng.random_range(0..smalls.len())];
         let mut next_big: Vec<RouterId> = bigs.iter().copied().filter(|&r| r != b).collect();
@@ -323,9 +318,7 @@ mod tests {
 
     #[test]
     fn anneal_is_deterministic_per_seed() {
-        let obj = |p: &Placement| -> f64 {
-            p.big_routers().map(|r| r.index() as f64).sum()
-        };
+        let obj = |p: &Placement| -> f64 { p.big_routers().map(|r| r.index() as f64).sum() };
         let start = Placement::diagonals(4, 4);
         let a = anneal(start.clone(), 100, 3, obj);
         let b = anneal(start, 100, 3, obj);

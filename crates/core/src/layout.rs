@@ -126,7 +126,8 @@ impl Placement {
     /// Coordinates of the big routers.
     pub fn big_coords(&self) -> impl Iterator<Item = Coord> + '_ {
         let w = self.width;
-        self.big_routers().map(move |r| Coord::new(r.index() % w, r.index() / w))
+        self.big_routers()
+            .map(move |r| Coord::new(r.index() % w, r.index() / w))
     }
 }
 
@@ -297,11 +298,7 @@ mod tests {
         for y in 0..8 {
             for x in 0..8 {
                 let expect = (2..6).contains(&x) && (2..6).contains(&y);
-                assert_eq!(
-                    p.is_big(RouterId(y * 8 + x)),
-                    expect,
-                    "router ({x},{y})"
-                );
+                assert_eq!(p.is_big(RouterId(y * 8 + x)), expect, "router ({x},{y})");
             }
         }
     }
@@ -363,7 +360,10 @@ mod tests {
             name: "test".into(),
         };
         assert_eq!(l.placement(4, 4), p);
-        assert_eq!(p.big_routers().collect::<Vec<_>>(), vec![RouterId(0), RouterId(5)]);
+        assert_eq!(
+            p.big_routers().collect::<Vec<_>>(),
+            vec![RouterId(0), RouterId(5)]
+        );
     }
 
     #[test]

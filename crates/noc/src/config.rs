@@ -399,7 +399,11 @@ pub fn lanes(link_width: Bits, flit_width: Bits) -> usize {
 }
 
 /// Returns true when `port` of router `r` in `graph` is a local port.
-pub fn is_local(graph: &TopologyGraph, r: crate::types::RouterId, port: crate::types::PortId) -> bool {
+pub fn is_local(
+    graph: &TopologyGraph,
+    r: crate::types::RouterId,
+    port: crate::types::PortId,
+) -> bool {
     matches!(
         graph.router(r).ports[port.index()].kind,
         PortKind::Local { .. }

@@ -22,6 +22,11 @@
 //! A contention-free hop therefore costs 3 cycles buffer-to-buffer, which is
 //! the reference used by [`Network::ideal_latency`].
 
+#[cfg(feature = "verify")]
+pub mod invariant;
+#[cfg(feature = "verify")]
+pub use invariant::InvariantViolation;
+
 use std::collections::{HashMap, VecDeque};
 
 use crate::config::{lanes, NetworkConfig};
@@ -144,10 +149,7 @@ impl Network {
         let graph = cfg.build_graph();
         cfg.validate(&graph)?;
         let widths = cfg.link_widths.resolve(&graph);
-        let link_lanes: Vec<usize> = widths
-            .iter()
-            .map(|w| lanes(*w, cfg.flit_width))
-            .collect();
+        let link_lanes: Vec<usize> = widths.iter().map(|w| lanes(*w, cfg.flit_width)).collect();
         let link_wide: Vec<bool> = link_lanes.iter().map(|&l| l > 1).collect();
 
         let mut routers = Vec::with_capacity(graph.num_routers());
@@ -196,8 +198,7 @@ impl Network {
                     }
                 })
                 .collect();
-            let capacity =
-                (rd.ports.len() * rc.vcs_per_port * rc.buffer_depth) as u32;
+            let capacity = (rd.ports.len() * rc.vcs_per_port * rc.buffer_depth) as u32;
             slots.push(capacity);
             routers.push(RouterState {
                 inputs,
@@ -572,10 +573,7 @@ impl Network {
         let vc = sending.vc;
         let mut sent = 0;
         let mut events: Vec<Event> = Vec::new();
-        while sent < node.lanes
-            && !sending.flits.is_empty()
-            && node.vcs[vc.index()].credits > 0
-        {
+        while sent < node.lanes && !sending.flits.is_empty() && node.vcs[vc.index()].credits > 0 {
             let flit = sending.flits.pop_front().expect("non-empty");
             node.vcs[vc.index()].credits -= 1;
             events.push(Event::FlitArrive {
@@ -660,7 +658,9 @@ impl Network {
                 {
                     // Divert a stuck expedited head to the escape network.
                     if let Some(esc) =
-                        self.cfg.routing.escape_route(&self.graph, router_id, src, dst)
+                        self.cfg
+                            .routing
+                            .escape_route(&self.graph, router_id, src, dst)
                     {
                         // Rescind any unused normal grant.
                         let old = {
@@ -672,9 +672,8 @@ impl Network {
                                 self.routers[r].outputs[old_port.index()].target,
                                 OutputTarget::Sink { .. }
                             ) {
-                                self.routers[r].outputs[old_port.index()].vcs
-                                    [old_vc.index()]
-                                .owner = None;
+                                self.routers[r].outputs[old_port.index()].vcs[old_vc.index()]
+                                    .owner = None;
                             }
                         }
                         let vc = &mut self.routers[r].inputs[p][v];
@@ -729,8 +728,7 @@ impl Network {
                     .class;
                 let down_vcs = self.routers[r].outputs[o].vcs.len();
                 let (lo, hi) = class.range(down_vcs);
-                let free = (lo..hi)
-                    .find(|&dv| self.routers[r].outputs[o].vcs[dv].owner.is_none());
+                let free = (lo..hi).find(|&dv| self.routers[r].outputs[o].vcs[dv].owner.is_none());
                 let Some(dv) = free else {
                     skipped |= 1u128 << i;
                     continue;
@@ -810,9 +808,8 @@ impl Network {
                 if self.routers[r].outputs[out.index()].lanes > 1 && !pair[p] {
                     // Another VC of the same input port heading to the same
                     // output (the paper's case (a)/(c) combining).
-                    alt[p] = (0..vcs_per_port).find(|&v2| {
-                        v2 != v && self.sa_eligible(r, p, v2) == Some(out)
-                    });
+                    alt[p] = (0..vcs_per_port)
+                        .find(|&v2| v2 != v && self.sa_eligible(r, p, v2) == Some(out));
                 }
                 if self.measuring {
                     self.stats.routers[r].sa1_arbs += 1;
@@ -864,7 +861,9 @@ impl Network {
                         let v2 = (0..vcs_per_port)
                             .find(|&v| self.sa_eligible(r, p2, v) == Some(PortId(o)))
                             .expect("eligibility just checked");
-                        self.routers[r].outputs[o].sa_secondary.advance_past(p2, nports);
+                        self.routers[r].outputs[o]
+                            .sa_secondary
+                            .advance_past(p2, nports);
                         if primary[p2].is_some_and(|(v, out)| v == v2 && out.index() == o) {
                             // Its stage-1 nomination is being consumed here.
                             self.routers[r].sa_stage1[p2].advance_past(v2, vcs_per_port);
@@ -1194,17 +1193,10 @@ mod tests {
                 concentration: 4,
             },
         ] {
-            let cfg =
-                NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2);
+            let cfg = NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2);
             let mut net = Network::new(cfg).expect("valid");
             for s in 0..64 {
-                net.enqueue(
-                    NodeId(s),
-                    NodeId(63 - s),
-                    Bits(1024),
-                    PacketClass::Data,
-                    0,
-                );
+                net.enqueue(NodeId(s), NodeId(63 - s), Bits(1024), PacketClass::Data, 0);
             }
             run_until_drained(&mut net, 30_000);
             assert_eq!(net.drain_delivered().len(), 64);

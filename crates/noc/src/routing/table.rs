@@ -68,6 +68,15 @@ impl RouteTable {
         self.paths.get(&(src, dst)).map(Vec::as_slice)
     }
 
+    /// Iterates over every installed `(src, dst)` pair and its full path.
+    ///
+    /// Order is unspecified. Static analyses (e.g. the channel-dependency
+    /// deadlock check in `heteronoc-verify`) use this to enumerate the exact
+    /// link/VC dependencies the table induces.
+    pub fn pairs(&self) -> impl Iterator<Item = ((RouterId, RouterId), &[RouterId])> {
+        self.paths.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
     /// Builds the §7 zig-zag table for all pairs between `hubs` (the routers
     /// of the large cores) and every other router, in both directions.
     ///

@@ -13,6 +13,33 @@ use crate::packet::PacketClass;
 use crate::stats::NetStats;
 use crate::types::{Bits, Cycle, NodeId};
 
+/// Per-cycle hook over the live network state (cargo feature `verify`).
+///
+/// [`run_open_loop`] drives the default [`StrictInvariants`] observer;
+/// pass a custom implementation to [`run_open_loop_observed`] to record,
+/// sample or tolerate violations instead. With the feature disabled the
+/// simulation loop contains no observer call at all.
+#[cfg(feature = "verify")]
+pub trait InvariantObserver {
+    /// Called after every [`Network::step`], before deliveries are drained.
+    fn after_cycle(&mut self, net: &Network);
+}
+
+/// The default observer: runs [`Network::check_invariants`] every cycle and
+/// panics on the first violation, naming the cycle and the broken state.
+#[cfg(feature = "verify")]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StrictInvariants;
+
+#[cfg(feature = "verify")]
+impl InvariantObserver for StrictInvariants {
+    fn after_cycle(&mut self, net: &Network) {
+        if let Err(v) = net.check_invariants() {
+            panic!("engine invariant violated at cycle {}: {v}", net.now());
+        }
+    }
+}
+
 /// A synthetic traffic source: picks a destination (and packet kind) for
 /// each generated packet.
 pub trait Traffic {
@@ -142,9 +169,37 @@ fn pareto(rng: &mut StdRng, alpha: f64) -> u64 {
 /// # Ok::<(), heteronoc_noc::error::ConfigError>(())
 /// ```
 pub fn run_open_loop<T: Traffic + ?Sized>(
+    net: Network,
+    traffic: &mut T,
+    params: SimParams,
+) -> SimOutcome {
+    #[cfg(feature = "verify")]
+    {
+        run_loop(net, traffic, params, &mut StrictInvariants)
+    }
+    #[cfg(not(feature = "verify"))]
+    {
+        run_loop(net, traffic, params)
+    }
+}
+
+/// Like [`run_open_loop`], but with a caller-supplied [`InvariantObserver`]
+/// instead of the panicking default (cargo feature `verify`).
+#[cfg(feature = "verify")]
+pub fn run_open_loop_observed<T: Traffic + ?Sized>(
+    net: Network,
+    traffic: &mut T,
+    params: SimParams,
+    observer: &mut dyn InvariantObserver,
+) -> SimOutcome {
+    run_loop(net, traffic, params, observer)
+}
+
+fn run_loop<T: Traffic + ?Sized>(
     mut net: Network,
     traffic: &mut T,
     params: SimParams,
+    #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
 ) -> SimOutcome {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let n = net.graph().num_nodes();
@@ -187,8 +242,7 @@ pub fn run_open_loop<T: Traffic + ?Sized>(
                     let s = &mut onoff[node];
                     if s.remaining == 0 {
                         s.on = !s.on;
-                        s.remaining =
-                            pareto(&mut rng, if s.on { alpha_on } else { alpha_off });
+                        s.remaining = pareto(&mut rng, if s.on { alpha_on } else { alpha_off });
                     }
                     s.remaining -= 1;
                     s.on && rng.random::<f64>() < on_prob
@@ -203,6 +257,8 @@ pub fn run_open_loop<T: Traffic + ?Sized>(
             }
         }
         net.step();
+        #[cfg(feature = "verify")]
+        observer.after_cycle(&net);
         let newly = net.drain_delivered().len() as u64;
         delivered_total += newly;
 
@@ -215,7 +271,8 @@ pub fn run_open_loop<T: Traffic + ?Sized>(
         }
         // Saturation bail-out: if queues hold several times the measurement
         // batch, latency is unbounded at this load.
-        if net.now().is_multiple_of(4096) && net.in_flight() as u64 > 4 * params.measure_packets.max(1_000)
+        if net.now().is_multiple_of(4096)
+            && net.in_flight() as u64 > 4 * params.measure_packets.max(1_000)
         {
             saturated = true;
             break;

@@ -251,7 +251,9 @@ impl NetStats {
     /// heat-maps (a buffer is utilized when its VC is occupied, regardless
     /// of how many of its slots are filled).
     pub fn vc_utilization(&self, router: usize) -> f64 {
-        let denom = self.cycles.saturating_mul(u64::from(self.vc_counts[router]));
+        let denom = self
+            .cycles
+            .saturating_mul(u64::from(self.vc_counts[router]));
         if denom == 0 {
             0.0
         } else {
@@ -261,7 +263,9 @@ impl NetStats {
 
     /// Mean buffer utilization of `router` in `[0, 1]`.
     pub fn buffer_utilization(&self, router: usize) -> f64 {
-        let denom = self.cycles.saturating_mul(u64::from(self.buffer_slots[router]));
+        let denom = self
+            .cycles
+            .saturating_mul(u64::from(self.buffer_slots[router]));
         if denom == 0 {
             0.0
         } else {
@@ -336,7 +340,10 @@ mod tests {
         assert_eq!(r.queuing(), 4);
         assert_eq!(r.network(), 26);
         assert_eq!(r.blocking(), 6);
-        assert_eq!(r.queuing() + r.blocking() + (r.network() - r.blocking()), 30);
+        assert_eq!(
+            r.queuing() + r.blocking() + (r.network() - r.blocking()),
+            30
+        );
     }
 
     #[test]

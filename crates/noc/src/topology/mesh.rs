@@ -97,7 +97,10 @@ mod tests {
         let east = g.router_at(Coord::new(3, 1)).unwrap();
         let p = g.port_towards(a, east).unwrap();
         assert!(p != PortId(0));
-        assert_eq!(g.port_towards(a, g.router_at(Coord::new(4, 1)).unwrap()), None);
+        assert_eq!(
+            g.port_towards(a, g.router_at(Coord::new(4, 1)).unwrap()),
+            None
+        );
     }
 
     #[test]

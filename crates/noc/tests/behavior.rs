@@ -73,7 +73,13 @@ fn ejection_bandwidth_is_one_flit_per_cycle_per_lane() {
     net.set_measuring(true);
     net.set_record_packets(true);
     for s in 1..9 {
-        net.enqueue(NodeId(s), NodeId(0), Bits(64), PacketClass::Control, s as u64);
+        net.enqueue(
+            NodeId(s),
+            NodeId(0),
+            Bits(64),
+            PacketClass::Control,
+            s as u64,
+        );
     }
     drain(&mut net, 10_000);
     let mut retires: Vec<u64> = net.stats().records.iter().map(|r| r.retire).collect();

@@ -133,7 +133,11 @@ mod tests {
         let small = router_shares(2, 128, 5);
         let big = router_shares(6, 256, 5);
         assert!(big[0] > 0.40, "big buffers share {}", big[0]);
-        assert!(small[3] > BASELINE_SHARES[3], "small links share {}", small[3]);
+        assert!(
+            small[3] > BASELINE_SHARES[3],
+            "small links share {}",
+            small[3]
+        );
     }
 
     #[test]

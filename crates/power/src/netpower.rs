@@ -82,8 +82,7 @@ impl Activity {
         let ports = graph.routers()[router].ports.len() as f64;
         let denom = stats.cycles as f64 * ports;
         let ev = &stats.routers[router];
-        let out_link_flits: u64 = graph
-            .routers()[router]
+        let out_link_flits: u64 = graph.routers()[router]
             .ports
             .iter()
             .filter_map(|p| match p.kind {
@@ -226,7 +225,13 @@ mod tests {
                 Activity::uniform(CALIBRATION_ACTIVITY),
             );
             let err = (bd.total() - p.power_w).abs() / p.power_w;
-            assert!(err < 0.02, "{}: {:.4} vs {:.4}", p.name, bd.total(), p.power_w);
+            assert!(
+                err < 0.02,
+                "{}: {:.4} vs {:.4}",
+                p.name,
+                bd.total(),
+                p.power_w
+            );
         }
     }
 

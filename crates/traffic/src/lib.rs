@@ -39,8 +39,7 @@ pub mod trace_io;
 pub mod workloads;
 
 pub use patterns::{
-    BitComplement, BitReverse, Hotspot, NearestNeighbor, Shuffle, Tornado, Transpose,
-    UniformRandom,
+    BitComplement, BitReverse, Hotspot, NearestNeighbor, Shuffle, Tornado, Transpose, UniformRandom,
 };
 pub use trace::{MemOp, TraceRecord, TraceSource, VecTrace};
 pub use trace_io::{read_trace, write_trace};

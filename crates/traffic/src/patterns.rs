@@ -288,8 +288,9 @@ mod tests {
             NodeId(2 * 8 + 1)
         );
         // Tornado is a permutation: all destinations distinct.
-        let dsts: std::collections::HashSet<_> =
-            (0..64).map(|s| t.destination(NodeId(s), 64, &mut r)).collect();
+        let dsts: std::collections::HashSet<_> = (0..64)
+            .map(|s| t.destination(NodeId(s), 64, &mut r))
+            .collect();
         assert_eq!(dsts.len(), 64);
     }
 
@@ -302,8 +303,9 @@ mod tests {
         assert_eq!(t.destination(NodeId(32), 64, &mut r), NodeId(1));
         assert_eq!(t.destination(NodeId(0), 64, &mut r), NodeId(0));
         // Permutation property.
-        let dsts: std::collections::HashSet<_> =
-            (0..64).map(|s| t.destination(NodeId(s), 64, &mut r)).collect();
+        let dsts: std::collections::HashSet<_> = (0..64)
+            .map(|s| t.destination(NodeId(s), 64, &mut r))
+            .collect();
         assert_eq!(dsts.len(), 64);
     }
 }

@@ -49,10 +49,11 @@ fn parse_line(line: &str, lineno: usize) -> Result<TraceRecord, ParseTraceError>
         Some(other) => return Err(err(format!("op must be L or S, got '{other}'"))),
         None => return Err(err("missing op field".into())),
     };
-    let addr_str = it.next().ok_or_else(|| err("missing address field".into()))?;
+    let addr_str = it
+        .next()
+        .ok_or_else(|| err("missing address field".into()))?;
     let addr_str = addr_str.strip_prefix("0x").unwrap_or(addr_str);
-    let addr =
-        u64::from_str_radix(addr_str, 16).map_err(|_| err("address is not hex".into()))?;
+    let addr = u64::from_str_radix(addr_str, 16).map_err(|_| err("address is not hex".into()))?;
     if let Some(extra) = it.next() {
         return Err(err(format!("unexpected trailing field '{extra}'")));
     }

@@ -329,10 +329,7 @@ mod tests {
     #[test]
     fn shared_private_split() {
         let recs = collect(Benchmark::Canneal, 5, 1, 20_000);
-        let shared = recs
-            .iter()
-            .filter(|r| r.addr < PRIVATE_BASE)
-            .count() as f64;
+        let shared = recs.iter().filter(|r| r.addr < PRIVATE_BASE).count() as f64;
         let frac = shared / recs.len() as f64;
         assert!((frac - 0.55).abs() < 0.03, "shared frac {frac}");
     }

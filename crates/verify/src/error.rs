@@ -1,0 +1,273 @@
+//! Typed verification failures.
+//!
+//! Every rejection names the concrete artifact that is wrong: a deadlock
+//! cycle lists the exact `(link, VC)` channels in dependency order, a budget
+//! violation carries both sides of the inequality, a broken table path names
+//! the router where the path leaves the topology.
+
+use std::error::Error;
+use std::fmt;
+
+use heteronoc_noc::error::ConfigError;
+use heteronoc_noc::types::{LinkId, NodeId, RouterId};
+
+/// One VC-level channel of the dependency graph, named for error reporting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CdgChannel {
+    /// The unidirectional link the channel belongs to.
+    pub link: LinkId,
+    /// Driving router of the link.
+    pub src: RouterId,
+    /// Receiving router (the VC buffer lives at its input port).
+    pub dst: RouterId,
+    /// Virtual-channel index at the receiving input port.
+    pub vc: usize,
+}
+
+impl fmt::Display for CdgChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}->{}].vc{}", self.link, self.src, self.dst, self.vc)
+    }
+}
+
+/// Why a configuration failed verification.
+#[derive(Clone, PartialEq, Debug)]
+pub enum VerifyError {
+    /// The configuration failed [`heteronoc_noc::config::NetworkConfig::validate`].
+    Config(ConfigError),
+    /// The channel-dependency graph has a cycle among dependencies with no
+    /// escape relief; the cycle is listed in order (last entry depends on
+    /// the first).
+    CyclicDependency {
+        /// Channels on the cycle, in dependency order.
+        cycle: Vec<CdgChannel>,
+    },
+    /// The escape (X-Y) subnetwork itself is cyclic, so escape diversion
+    /// cannot guarantee progress (e.g. table routing on a torus, where the
+    /// single escape VC reintroduces the ring cycle).
+    CyclicEscape {
+        /// Escape channels on the cycle, in dependency order.
+        cycle: Vec<CdgChannel>,
+    },
+    /// The routing function did not reach the destination within the hop
+    /// bound (a routing livelock; the walk is abandoned).
+    RouteDiverges {
+        /// Source endpoint of the diverging walk.
+        src: NodeId,
+        /// Destination endpoint of the diverging walk.
+        dst: NodeId,
+        /// Hop bound that was exceeded.
+        bound: usize,
+    },
+    /// Escape analysis was requested but a router cannot reserve an escape
+    /// VC (fewer than two VCs per port).
+    MissingEscapeVc {
+        /// The under-provisioned router.
+        router: RouterId,
+        /// Its VC count.
+        vcs: usize,
+    },
+    /// The total VC budget differs from the iso-resource baseline
+    /// (paper §2: redistribution must conserve Σ VCs).
+    VcBudgetMismatch {
+        /// Σ VCs per port over all routers of the checked configuration.
+        total: usize,
+        /// Σ VCs of the homogeneous baseline.
+        budget: usize,
+    },
+    /// `ByBigRouters` link widths with `wide < narrow` (the redistribution
+    /// would shrink the links it claims to widen).
+    LinkWidthInversion {
+        /// Narrow (small-to-small) width in bits.
+        narrow: u32,
+        /// Wide (big-incident) width in bits.
+        wide: u32,
+    },
+    /// Wide links cannot combine flits of the narrow links (`wide` is not a
+    /// whole multiple of `narrow`, §3.2 flit combining).
+    CombiningIncompatible {
+        /// Narrow width in bits.
+        narrow: u32,
+        /// Wide width in bits.
+        wide: u32,
+    },
+    /// A table path contains a hop that is not a topology link.
+    TablePathBrokenLink {
+        /// Path source router.
+        src: RouterId,
+        /// Path destination router.
+        dst: RouterId,
+        /// Router at which the next hop leaves the topology.
+        at: RouterId,
+    },
+    /// A table entry exists for `src -> dst` but not for the reverse
+    /// direction (hub routing must cover both, §7).
+    TableCoverageGap {
+        /// Covered direction's source.
+        src: RouterId,
+        /// Covered direction's destination.
+        dst: RouterId,
+    },
+}
+
+impl From<ConfigError> for VerifyError {
+    fn from(e: ConfigError) -> Self {
+        VerifyError::Config(e)
+    }
+}
+
+fn write_cycle(f: &mut fmt::Formatter<'_>, cycle: &[CdgChannel]) -> fmt::Result {
+    for (i, c) in cycle.iter().enumerate() {
+        if i > 0 {
+            write!(f, " -> ")?;
+        }
+        write!(f, "{c}")?;
+    }
+    if let Some(first) = cycle.first() {
+        write!(f, " -> {first}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Config(e) => write!(f, "invalid configuration: {e}"),
+            VerifyError::CyclicDependency { cycle } => {
+                write!(f, "cyclic channel dependency ({} channels): ", cycle.len())?;
+                write_cycle(f, cycle)
+            }
+            VerifyError::CyclicEscape { cycle } => {
+                write!(
+                    f,
+                    "escape subnetwork is cyclic ({} channels): ",
+                    cycle.len()
+                )?;
+                write_cycle(f, cycle)
+            }
+            VerifyError::RouteDiverges { src, dst, bound } => write!(
+                f,
+                "routing walk {src} -> {dst} did not terminate within {bound} hops"
+            ),
+            VerifyError::MissingEscapeVc { router, vcs } => write!(
+                f,
+                "router {router} has {vcs} VC(s) per port; escape analysis needs >= 2"
+            ),
+            VerifyError::VcBudgetMismatch { total, budget } => write!(
+                f,
+                "total VC budget {total} differs from the baseline budget {budget}"
+            ),
+            VerifyError::LinkWidthInversion { narrow, wide } => write!(
+                f,
+                "wide links ({wide}b) are narrower than narrow links ({narrow}b)"
+            ),
+            VerifyError::CombiningIncompatible { narrow, wide } => write!(
+                f,
+                "wide links ({wide}b) cannot combine narrow-link flits ({narrow}b): \
+                 width ratio is not integral"
+            ),
+            VerifyError::TablePathBrokenLink { src, dst, at } => {
+                write!(f, "table path {src} -> {dst} leaves the topology at {at}")
+            }
+            VerifyError::TableCoverageGap { src, dst } => write!(
+                f,
+                "table covers {src} -> {dst} but not the reverse direction"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Non-fatal lint findings: deviations the paper itself documents (and
+/// ships), reported so callers can audit them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LintWarning {
+    /// Horizontal-cut bisection exceeds the baseline budget. The paper's
+    /// Row2_5+BL layout does this by design (all eight vertical channels of
+    /// the cut touch row 4's big routers); see DESIGN.md.
+    BisectionExceedsBudget {
+        /// Bisection bits of the checked configuration.
+        bits: u64,
+        /// Baseline bisection bits.
+        budget: u64,
+    },
+    /// Total buffer storage exceeds the baseline's (iso-buffer accounting).
+    BufferBitsExceedBudget {
+        /// Buffer bits of the checked configuration.
+        bits: u64,
+        /// Baseline buffer bits.
+        budget: u64,
+    },
+    /// A link carries more than two flit lanes; the switch allocator only
+    /// issues a primary and a secondary grant per cycle, so extra lanes
+    /// stay idle.
+    UnderusedLanes {
+        /// The over-wide link.
+        link: LinkId,
+        /// Its lane count.
+        lanes: usize,
+    },
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintWarning::BisectionExceedsBudget { bits, budget } => {
+                write!(f, "bisection {bits}b exceeds the baseline budget {budget}b")
+            }
+            LintWarning::BufferBitsExceedBudget { bits, budget } => write!(
+                f,
+                "buffer storage {bits}b exceeds the baseline budget {budget}b"
+            ),
+            LintWarning::UnderusedLanes { link, lanes } => write!(
+                f,
+                "link {link} has {lanes} flit lanes; the router only drives 2 per cycle"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_display_names_every_channel() {
+        let e = VerifyError::CyclicDependency {
+            cycle: vec![
+                CdgChannel {
+                    link: LinkId(0),
+                    src: RouterId(0),
+                    dst: RouterId(1),
+                    vc: 0,
+                },
+                CdgChannel {
+                    link: LinkId(2),
+                    src: RouterId(1),
+                    dst: RouterId(0),
+                    vc: 0,
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("l0[r0->r1].vc0"), "{s}");
+        assert!(s.contains("l2[r1->r0].vc0"), "{s}");
+        // The cycle closes back on its first channel.
+        assert!(s.ends_with("l0[r0->r1].vc0"), "{s}");
+    }
+
+    #[test]
+    fn config_error_wraps_with_source() {
+        let e = VerifyError::from(ConfigError::ZeroFlitWidth);
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(Error::source(&e).is_some());
+    }
+}

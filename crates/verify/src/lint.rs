@@ -1,0 +1,248 @@
+//! Configuration lint: the paper's iso-resource invariants.
+//!
+//! HeteroNoC's argument is *redistribution, not addition* (§2-§3): a
+//! heterogeneous layout must hold the total VC budget and the bisection
+//! bandwidth of the homogeneous baseline while moving buffers and link
+//! width toward the big routers. These checks make that claim machine-
+//! verified instead of implicit:
+//!
+//! * **VC budget** — `Σ vcs_per_port` must equal the baseline's (hard
+//!   error; a violating layout breaks the iso-resource comparison).
+//! * **Bisection bandwidth** — the horizontal-cut width must not exceed
+//!   the baseline's. Exceeding it is reported as a [`LintWarning`] rather
+//!   than an error because the paper's own Row2_5+BL layout trades
+//!   bisection for hop distance (all eight cut channels touch row 4's big
+//!   routers); see `heteronoc::resources` and DESIGN.md.
+//! * **Flit combining** — at a big-to-small boundary the wide link must
+//!   carry a whole number of narrow-link flits (§3.2), and lane counts the
+//!   switch allocator cannot drive are flagged.
+//! * **Table coverage** — every table path must follow topology links and
+//!   have a reverse-direction entry (§7 hub routing is bidirectional).
+
+use heteronoc_noc::config::{lanes, LinkWidths, NetworkConfig};
+use heteronoc_noc::routing::RoutingKind;
+use heteronoc_noc::topology::TopologyGraph;
+use heteronoc_noc::types::LinkId;
+
+use crate::error::{LintWarning, VerifyError};
+
+/// Structural lint of a single configuration (no baseline needed): link
+/// width compatibility and route-table coverage.
+///
+/// # Errors
+/// [`VerifyError::LinkWidthInversion`] / [`VerifyError::CombiningIncompatible`]
+/// for width assignments flit combining cannot serve,
+/// [`VerifyError::TablePathBrokenLink`] / [`VerifyError::TableCoverageGap`]
+/// for malformed route tables.
+pub fn lint_structure(
+    cfg: &NetworkConfig,
+    graph: &TopologyGraph,
+) -> Result<Vec<LintWarning>, VerifyError> {
+    let mut warnings = Vec::new();
+
+    if let LinkWidths::ByBigRouters { narrow, wide, .. } = &cfg.link_widths {
+        if wide.get() < narrow.get() {
+            return Err(VerifyError::LinkWidthInversion {
+                narrow: narrow.get(),
+                wide: wide.get(),
+            });
+        }
+        if narrow.get() > 0 && wide.get() % narrow.get() != 0 {
+            return Err(VerifyError::CombiningIncompatible {
+                narrow: narrow.get(),
+                wide: wide.get(),
+            });
+        }
+    }
+    for (i, w) in cfg.link_widths.resolve(graph).iter().enumerate() {
+        let l = lanes(*w, cfg.flit_width);
+        if l > 2 {
+            warnings.push(LintWarning::UnderusedLanes {
+                link: LinkId(i),
+                lanes: l,
+            });
+        }
+    }
+
+    if let RoutingKind::TableXy(tbl) = &cfg.routing {
+        for ((src, dst), path) in tbl.pairs() {
+            for hop in path.windows(2) {
+                if graph.port_towards(hop[0], hop[1]).is_none() {
+                    return Err(VerifyError::TablePathBrokenLink {
+                        src,
+                        dst,
+                        at: hop[0],
+                    });
+                }
+            }
+            if tbl.path(dst, src).is_none() {
+                return Err(VerifyError::TableCoverageGap { src, dst });
+            }
+        }
+    }
+    Ok(warnings)
+}
+
+/// Iso-resource lint of `cfg` against `baseline` (both on `graph`):
+/// VC-budget conservation plus bisection and buffer-bit budgets.
+///
+/// # Errors
+/// [`VerifyError::VcBudgetMismatch`] when `Σ vcs_per_port` differs from
+/// the baseline's.
+pub fn lint_budget(
+    cfg: &NetworkConfig,
+    graph: &TopologyGraph,
+    baseline: &NetworkConfig,
+) -> Result<Vec<LintWarning>, VerifyError> {
+    let mut warnings = Vec::new();
+
+    let total: usize = cfg.routers.iter().map(|r| r.vcs_per_port).sum();
+    let budget: usize = baseline.routers.iter().map(|r| r.vcs_per_port).sum();
+    if total != budget {
+        return Err(VerifyError::VcBudgetMismatch { total, budget });
+    }
+
+    let bisection = cfg.bisection_bits(graph);
+    let bisection_budget = baseline.bisection_bits(graph);
+    if bisection > bisection_budget {
+        warnings.push(LintWarning::BisectionExceedsBudget {
+            bits: bisection,
+            budget: bisection_budget,
+        });
+    }
+
+    // Table 1 counts buffer storage per *port*, independent of the port
+    // count (our meshes depopulate edge ports, so graph-level totals shift
+    // with where the big routers land). The conserved quantity is
+    // Σ vcs · depth · flit_width.
+    let buffers = per_port_buffer_bits(cfg);
+    let buffer_budget = per_port_buffer_bits(baseline);
+    if buffers > buffer_budget {
+        warnings.push(LintWarning::BufferBitsExceedBudget {
+            bits: buffers,
+            budget: buffer_budget,
+        });
+    }
+    Ok(warnings)
+}
+
+/// Per-port buffer storage `Σ vcs · depth · flit_width` over all routers —
+/// the quantity Table 1 conserves across layouts.
+fn per_port_buffer_bits(cfg: &NetworkConfig) -> u64 {
+    cfg.routers
+        .iter()
+        .map(|r| (r.vcs_per_port * r.buffer_depth) as u64 * u64::from(cfg.flit_width.get()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteronoc_noc::config::{NetworkConfigBuilder, RouterCfg};
+    use heteronoc_noc::routing::RouteTable;
+    use heteronoc_noc::types::{Bits, RouterId};
+
+    #[test]
+    fn homogeneous_mesh_lints_clean() {
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        assert!(lint_structure(&cfg, &g).unwrap().is_empty());
+        assert!(lint_budget(&cfg, &g, &cfg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn vc_budget_violation_is_rejected() {
+        let baseline = NetworkConfig::paper_baseline();
+        // One extra VC on one router: 193 != 192.
+        let cfg = NetworkConfigBuilder::mesh(8, 8)
+            .router(
+                0,
+                RouterCfg {
+                    vcs_per_port: 4,
+                    buffer_depth: 5,
+                },
+            )
+            .build();
+        let g = cfg.build_graph();
+        let err = lint_budget(&cfg, &g, &baseline).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::VcBudgetMismatch {
+                total: 193,
+                budget: 192
+            }
+        );
+    }
+
+    #[test]
+    fn width_inversion_and_bad_combining_are_rejected() {
+        use heteronoc_noc::config::LinkWidths;
+        let mut cfg = NetworkConfig::paper_baseline();
+        cfg.flit_width = Bits(64);
+        cfg.link_widths = LinkWidths::ByBigRouters {
+            big: vec![false; 64],
+            narrow: Bits(256),
+            wide: Bits(128),
+        };
+        let g = cfg.build_graph();
+        assert!(matches!(
+            lint_structure(&cfg, &g).unwrap_err(),
+            VerifyError::LinkWidthInversion { .. }
+        ));
+        cfg.link_widths = LinkWidths::ByBigRouters {
+            big: vec![false; 64],
+            narrow: Bits(128),
+            wide: Bits(192),
+        };
+        assert!(matches!(
+            lint_structure(&cfg, &g).unwrap_err(),
+            VerifyError::CombiningIncompatible { .. }
+        ));
+    }
+
+    #[test]
+    fn one_way_table_is_a_coverage_gap() {
+        let mut tbl = RouteTable::new();
+        tbl.insert(
+            RouterId(0),
+            RouterId(2),
+            vec![RouterId(0), RouterId(1), RouterId(2)],
+        );
+        let cfg = NetworkConfigBuilder::mesh(8, 8)
+            .routing(RoutingKind::TableXy(tbl))
+            .build();
+        let g = cfg.build_graph();
+        assert_eq!(
+            lint_structure(&cfg, &g).unwrap_err(),
+            VerifyError::TableCoverageGap {
+                src: RouterId(0),
+                dst: RouterId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn off_topology_table_path_is_rejected() {
+        let mut tbl = RouteTable::new();
+        // 0 -> 9 is a diagonal step on the 8x8 mesh: not a link.
+        tbl.insert(RouterId(0), RouterId(9), vec![RouterId(0), RouterId(9)]);
+        tbl.insert(RouterId(9), RouterId(0), vec![RouterId(9), RouterId(0)]);
+        let cfg = NetworkConfigBuilder::mesh(8, 8)
+            .routing(RoutingKind::TableXy(tbl))
+            .build();
+        let g = cfg.build_graph();
+        // `pairs()` iteration order is unspecified, so either direction of
+        // the broken pair may be reported first.
+        match lint_structure(&cfg, &g).unwrap_err() {
+            VerifyError::TablePathBrokenLink { src, dst, at } => {
+                assert_eq!(at, src);
+                assert!(
+                    (src, dst) == (RouterId(0), RouterId(9))
+                        || (src, dst) == (RouterId(9), RouterId(0)),
+                    "unexpected pair {src} -> {dst}"
+                );
+            }
+            other => panic!("expected TablePathBrokenLink, got {other:?}"),
+        }
+    }
+}

@@ -75,7 +75,11 @@ fn main() {
     for s in scored.iter().take(5) {
         let grid: String = (0..16)
             .map(|i| {
-                let c = if s.placement.is_big(RouterId(i)) { 'B' } else { '.' };
+                let c = if s.placement.is_big(RouterId(i)) {
+                    'B'
+                } else {
+                    '.'
+                };
                 if i % 4 == 3 {
                     format!("{c} ")
                 } else {

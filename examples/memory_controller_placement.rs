@@ -19,8 +19,16 @@ fn main() {
     let cases = [
         ("4 corners / homogeneous", Layout::Baseline, corners4(8, 8)),
         ("diamond16 / homogeneous", Layout::Baseline, diamond16(8, 8)),
-        ("diamond16 / Diagonal+BL", Layout::DiagonalBL, diamond16(8, 8)),
-        ("diagonal16 / Diagonal+BL", Layout::DiagonalBL, diagonal16(8)),
+        (
+            "diamond16 / Diagonal+BL",
+            Layout::DiagonalBL,
+            diamond16(8, 8),
+        ),
+        (
+            "diagonal16 / Diagonal+BL",
+            Layout::DiagonalBL,
+            diagonal16(8),
+        ),
     ];
     for (name, layout, mcs) in cases {
         let stats = run_closed_loop(mesh_config(&layout), &mcs, 16, 0, 3_000, 0x6E5);

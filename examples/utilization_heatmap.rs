@@ -35,7 +35,10 @@ fn main() {
     let utils: Vec<f64> = (0..64).map(|r| out.stats.vc_utilization(r)).collect();
     let max = utils.iter().cloned().fold(f64::EPSILON, f64::max);
 
-    println!("buffer (VC) utilization, normalized shading (max {:.0}%):", 100.0 * max);
+    println!(
+        "buffer (VC) utilization, normalized shading (max {:.0}%):",
+        100.0 * max
+    );
     for y in 0..8 {
         let mut bar = String::new();
         let mut nums = String::new();

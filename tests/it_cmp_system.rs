@@ -52,8 +52,11 @@ fn all_ten_benchmarks_run_on_the_baseline() {
 fn prewarm_improves_hit_rate_and_speed() {
     let mk = |warm: bool| {
         let cfg = CmpConfig::paper_defaults(mesh_config(&Layout::Baseline));
-        let mut sys =
-            CmpSystem::new(cfg, vec![CoreParams::OUT_OF_ORDER; 64], traces(Benchmark::Vips, 9));
+        let mut sys = CmpSystem::new(
+            cfg,
+            vec![CoreParams::OUT_OF_ORDER; 64],
+            traces(Benchmark::Vips, 9),
+        );
         if warm {
             sys.prewarm(traces(Benchmark::Vips, 9));
         }

@@ -18,7 +18,11 @@ fn quick(rate: f64) -> SimParams {
     }
 }
 
-fn run_layout(layout: &Layout, traffic: &mut dyn Traffic, rate: f64) -> heteronoc::noc::sim::SimOutcome {
+fn run_layout(
+    layout: &Layout,
+    traffic: &mut dyn Traffic,
+    rate: f64,
+) -> heteronoc::noc::sim::SimOutcome {
     let net = Network::new(mesh_config(layout)).expect("valid layout");
     run_open_loop(net, traffic, quick(rate))
 }

@@ -6,7 +6,13 @@ use heteronoc::power::netpower::CALIBRATION_ACTIVITY;
 use heteronoc::power::{Activity, NetworkPower};
 use heteronoc::{mesh_config, Layout};
 
-fn sim(layout: &Layout, rate: f64) -> (heteronoc::noc::NetworkConfig, heteronoc::noc::stats::NetStats) {
+fn sim(
+    layout: &Layout,
+    rate: f64,
+) -> (
+    heteronoc::noc::NetworkConfig,
+    heteronoc::noc::stats::NetStats,
+) {
     let cfg = mesh_config(layout);
     let net = Network::new(cfg.clone()).expect("valid");
     let out = run_open_loop(
@@ -32,7 +38,10 @@ fn network_power_grows_with_load() {
         let (cfg, stats) = sim(&Layout::Baseline, rate);
         let graph = cfg.build_graph();
         let w = np.evaluate(&cfg, &graph, &stats).total_w();
-        assert!(w > prev, "power at rate {rate} ({w:.2} W) must exceed {prev:.2} W");
+        assert!(
+            w > prev,
+            "power at rate {rate} ({w:.2} W) must exceed {prev:.2} W"
+        );
         prev = w;
     }
 }
@@ -117,5 +126,8 @@ fn static_estimate_matches_calibration_at_half_activity() {
     );
     // A corner router (3 ports) scales to 3/5 of that.
     let corner = report.per_router_w[0];
-    assert!((corner - 0.67 * 3.0 / 5.0).abs() < 0.02, "corner {corner:.3} W");
+    assert!(
+        (corner - 0.67 * 3.0 / 5.0).abs() < 0.02,
+        "corner {corner:.3} W"
+    );
 }
