@@ -39,6 +39,7 @@ fn run(cfg: NetworkConfig) -> u64 {
             max_cycles: 200_000,
             seed: 4,
             process: InjectionProcess::Bernoulli,
+            watchdog: Some(100_000),
         },
     );
     out.stats.latency.total

@@ -64,6 +64,7 @@ fn bench_open_loop_batch(c: &mut Criterion) {
                             max_cycles: 300_000,
                             seed: 1,
                             process: InjectionProcess::Bernoulli,
+                            watchdog: Some(100_000),
                         },
                     );
                     black_box(out.stats.latency.total)

@@ -51,6 +51,7 @@ fn score(p: &Placement, packets: u64) -> f64 {
             max_cycles: 200_000,
             seed: 0xD5E,
             process: InjectionProcess::Bernoulli,
+            watchdog: Some(100_000),
         },
     );
     if out.saturated {

@@ -37,6 +37,7 @@ fn score(p: &Placement, packets: u64) -> f64 {
             max_cycles: 300_000,
             seed: 0x8E8,
             process: InjectionProcess::Bernoulli,
+            watchdog: Some(100_000),
         },
     );
     if out.saturated {

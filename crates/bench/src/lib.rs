@@ -47,6 +47,7 @@ pub fn default_params(rate: f64, seed: u64) -> SimParams {
         max_cycles: 3_000_000,
         seed,
         process: InjectionProcess::Bernoulli,
+        watchdog: Some(100_000),
     }
 }
 

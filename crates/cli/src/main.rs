@@ -49,6 +49,18 @@ COMMANDS
                                     configuration, incl. torus/cmesh/fbfly and
                                     the table-routed case study)
                --hubs a,b,c         add table routing through these routers
+  faults     fault-injection campaign with graceful-degradation rerouting
+             (every regenerated route table is CDG-verified before install)
+               --layout <name>      (default diagonal-bl)
+               --plan <file>        fault-plan file (seed/ber/retry/link-ber/
+                                    kill-link/kill-router directives)
+               --ber <p>            uniform per-link bit-error rate (default 0)
+               --fault-seed N       fault RNG seed (default 1)
+               --kill-link L@C      hard-kill link L at cycle C
+               --kill-router R@C    hard-kill router R at cycle C
+               --bursts N           all-pairs injection bursts (default 1)
+               --spacing N          cycles between injections (default 2)
+               --stall-limit N      drain watchdog in cycles (default 100000)
 
 LAYOUTS  baseline, center-b, row25-b, diagonal-b, center-bl, row25-bl, diagonal-bl
 WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
@@ -98,6 +110,7 @@ fn params(rate: f64, packets: u64, seed: u64) -> SimParams {
         max_cycles: 5_000_000,
         seed,
         process: InjectionProcess::Bernoulli,
+        watchdog: Some(100_000),
     }
 }
 
@@ -347,6 +360,133 @@ fn cmd_verify(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--kill-link 12@5000` / `--kill-router 9@5000` style values.
+fn parse_at(flag: &str, v: &str) -> Result<(usize, u64), String> {
+    let (id, cycle) = v
+        .split_once('@')
+        .ok_or_else(|| format!("--{flag} wants ID@CYCLE, got '{v}'"))?;
+    let id = id
+        .parse()
+        .map_err(|_| format!("--{flag}: invalid id '{id}'"))?;
+    let cycle = cycle
+        .parse()
+        .map_err(|_| format!("--{flag}: invalid cycle '{cycle}'"))?;
+    Ok((id, cycle))
+}
+
+/// `heteronoc faults`: run a fault-injection campaign over an all-pairs
+/// burst, rerouting around hard faults with the deadlock proof in the loop.
+fn cmd_faults(a: &Args) -> Result<(), String> {
+    use heteronoc::noc::fault::{DropReason, FaultKind, FaultPlan, HardFault};
+    use heteronoc::noc::types::{Bits, Cycle, LinkId, NodeId, RouterId};
+    use heteronoc_verify::{run_with_degradation, Injection};
+
+    let layout = layout_by_name(a.get("layout").unwrap_or("diagonal-bl"))?;
+    let mut plan = match a.get("plan") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
+            FaultPlan::from_text(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => FaultPlan::default(),
+    };
+    if let Some(ber) = a.get("ber") {
+        plan.ber = ber
+            .parse()
+            .map_err(|_| format!("invalid value '{ber}' for --ber"))?;
+    }
+    plan.seed = a.get_or("fault-seed", plan.seed)?;
+    if let Some(v) = a.get("kill-link") {
+        let (l, c) = parse_at("kill-link", v)?;
+        plan.hard.push(HardFault {
+            cycle: c,
+            kind: FaultKind::Link(LinkId(l)),
+        });
+    }
+    if let Some(v) = a.get("kill-router") {
+        let (r, c) = parse_at("kill-router", v)?;
+        plan.hard.push(HardFault {
+            cycle: c,
+            kind: FaultKind::Router(RouterId(r)),
+        });
+    }
+
+    let cfg = mesh_config(&layout);
+    let graph = cfg.build_graph();
+    plan.validate(graph.num_links(), graph.num_routers())
+        .map_err(|e| e.to_string())?;
+
+    let bursts = a.get_or("bursts", 1u64)?;
+    let spacing: Cycle = a.get_or("spacing", 2u64)?;
+    let stall_limit: Cycle = a.get_or("stall-limit", 100_000u64)?;
+    let nodes = graph.num_nodes();
+    let mut injections = Vec::new();
+    let mut k: Cycle = 0;
+    for _ in 0..bursts {
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s == d {
+                    continue;
+                }
+                injections.push(Injection {
+                    cycle: k * spacing,
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    size: Bits(512),
+                });
+                k += 1;
+            }
+        }
+    }
+
+    println!(
+        "layout {} · {} packets · ber {:e} · {} hard fault(s) · fault seed {}",
+        layout.name(),
+        injections.len(),
+        plan.ber,
+        plan.hard.len(),
+        plan.seed
+    );
+    let report =
+        run_with_degradation(cfg, plan, &injections, stall_limit).map_err(|e| e.to_string())?;
+
+    println!(
+        "{:<7}{:>16}{:>12}{:>10}{:>16}",
+        "phase", "cycles", "delivered", "dropped", "latency (cyc)"
+    );
+    for (i, p) in report.phases.iter().enumerate() {
+        println!(
+            "{i:<7}{:>16}{:>12}{:>10}{:>16.1}",
+            format!("{}..{}", p.from_cycle, p.to_cycle),
+            p.delivered,
+            p.dropped,
+            p.mean_latency()
+        );
+    }
+    let c = report.counters;
+    println!(
+        "reroutes {} (CDG-verified) · delivered {} · dropped {} · drained at cycle {}",
+        report.reroutes,
+        report.delivered,
+        report.dropped.len(),
+        report.finished_at
+    );
+    println!(
+        "faults: corrupted {} · retries {} · retransmissions {} · timeouts {} · links dead {} · routers dead {}",
+        c.flits_corrupted, c.retries, c.retransmissions, c.timeouts, c.links_dead, c.routers_dead
+    );
+    if !report.dropped.is_empty() {
+        let count = |r: DropReason| report.dropped.iter().filter(|d| d.reason == r).count();
+        println!(
+            "drops: source-dead {} · destination-dead {} · unreachable {}",
+            count(DropReason::SourceDead),
+            count(DropReason::DestinationDead),
+            count(DropReason::Unreachable)
+        );
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let a = Args::parse(std::env::args().skip(1))?;
     if a.flag("help") || a.command.as_deref() == Some("help") {
@@ -360,6 +500,7 @@ fn run() -> Result<(), String> {
         Some("heatmap") => cmd_heatmap(&a),
         Some("cmp") => cmd_cmp(&a),
         Some("verify") => cmd_verify(&a),
+        Some("faults") => cmd_faults(&a),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => {
             print!("{USAGE}");

@@ -51,6 +51,45 @@ pub enum ConfigError {
         /// The rejected value in GHz.
         ghz: f64,
     },
+    /// A fault-plan bit-error probability is outside `[0, 1]` (or NaN).
+    BadErrorProbability {
+        /// The rejected probability.
+        p: f64,
+    },
+    /// The fault-plan retry limit is zero (link-level retransmission needs
+    /// at least one attempt to be meaningful).
+    ZeroRetryLimit,
+    /// The fault-plan retry timeout is shorter than the link round trip
+    /// (flit out at +2, ack back at +1), so every transmission would time
+    /// out before its ack could arrive.
+    RetryTimeoutTooShort {
+        /// The rejected timeout in cycles.
+        timeout: u64,
+        /// The minimum admissible timeout.
+        min: u64,
+    },
+    /// A hard fault is scheduled at or beyond the simulation horizon, so it
+    /// could never fire.
+    FaultBeyondHorizon {
+        /// The scheduled fault cycle.
+        cycle: u64,
+        /// The simulation horizon (`max_cycles`).
+        horizon: u64,
+    },
+    /// A fault-plan link id does not exist in the topology.
+    FaultLinkOutOfRange {
+        /// The rejected link index.
+        link: usize,
+        /// Links in the topology.
+        links: usize,
+    },
+    /// A fault-plan router id does not exist in the topology.
+    FaultRouterOutOfRange {
+        /// The rejected router index.
+        router: usize,
+        /// Routers in the topology.
+        routers: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -86,6 +125,28 @@ impl fmt::Display for ConfigError {
             ConfigError::BadFrequency { ghz } => {
                 write!(f, "network frequency {ghz} GHz is not positive and finite")
             }
+            ConfigError::BadErrorProbability { p } => {
+                write!(f, "bit-error probability {p} is not within [0, 1]")
+            }
+            ConfigError::ZeroRetryLimit => {
+                write!(f, "retry limit must be at least 1")
+            }
+            ConfigError::RetryTimeoutTooShort { timeout, min } => write!(
+                f,
+                "retry timeout {timeout} cycles is shorter than the link round trip ({min} cycles)"
+            ),
+            ConfigError::FaultBeyondHorizon { cycle, horizon } => write!(
+                f,
+                "hard fault at cycle {cycle} lies at or beyond the simulation horizon {horizon}"
+            ),
+            ConfigError::FaultLinkOutOfRange { link, links } => write!(
+                f,
+                "fault plan names link {link} but the topology has {links} links"
+            ),
+            ConfigError::FaultRouterOutOfRange { router, routers } => write!(
+                f,
+                "fault plan names router {router} but the topology has {routers} routers"
+            ),
         }
     }
 }

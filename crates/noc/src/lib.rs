@@ -46,6 +46,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod network;
 pub mod packet;
 pub mod router;
@@ -56,6 +57,10 @@ pub mod topology;
 pub mod types;
 
 pub use config::{NetworkConfig, NetworkConfigBuilder, RouterCfg};
-pub use network::{Delivered, Diagnostics, Network};
+pub use fault::{
+    DropReason, DroppedPacket, FaultCounters, FaultKind, FaultPlan, HardFault, RetryPolicy,
+    UnrecoverableFault,
+};
+pub use network::{BlockedChannel, Delivered, Diagnostics, Network, StallReport, StuckPacket};
 pub use packet::{Flit, Packet, PacketClass};
 pub use types::{Bits, Coord, Cycle, NodeId, PacketId, PortId, RouterId, VcId};

@@ -22,6 +22,7 @@
 //! A contention-free hop therefore costs 3 cycles buffer-to-buffer, which is
 //! the reference used by [`Network::ideal_latency`].
 
+mod fault_state;
 #[cfg(feature = "verify")]
 pub mod invariant;
 #[cfg(feature = "verify")]
@@ -29,15 +30,22 @@ pub use invariant::InvariantViolation;
 
 use std::collections::{HashMap, VecDeque};
 
+use rand::Rng;
+
 use crate::config::{lanes, NetworkConfig};
 use crate::error::ConfigError;
+use crate::fault::{
+    DropReason, DroppedPacket, FaultCounters, FaultKind, FaultPlan, UnrecoverableFault,
+};
 use crate::packet::{Flit, Packet, PacketClass};
 use crate::router::arbiter::RrArbiter;
 use crate::router::{InputVc, OutputPort, OutputTarget, OutputVc, RouterState};
 use crate::routing::{RouteChoice, RoutingKind, VcClass};
 use crate::stats::{NetStats, PacketRecord};
 use crate::topology::{PortKind, TopologyGraph};
-use crate::types::{Bits, Cycle, NodeId, PacketId, PortId, RouterId, VcId};
+use crate::types::{Bits, Cycle, LinkId, NodeId, PacketId, PortId, RouterId, VcId};
+
+use fault_state::{FarEvent, FaultState, ReplayEntry};
 
 /// Point-in-time liveness snapshot (see [`Network::diagnostics`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,6 +61,75 @@ pub struct Diagnostics {
     /// Longest time any head flit has been waiting without moving —
     /// a growing value across successive snapshots indicates a stall.
     pub max_head_wait: u32,
+}
+
+/// Diagnostic produced when a run stops making progress (see
+/// [`Network::stall_report`] and the watchdog in [`crate::sim`]): the oldest
+/// unfinished packets, where each one is stuck, and the input VCs whose head
+/// flits have waited longest without moving.
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    /// Cycle the report was taken.
+    pub cycle: Cycle,
+    /// Unfinished packets at that point.
+    pub in_flight: usize,
+    /// The oldest unfinished packets (up to 8), oldest first.
+    pub stuck: Vec<StuckPacket>,
+    /// Input VCs with the longest-waiting head flits (up to 8).
+    pub blocked: Vec<BlockedChannel>,
+}
+
+/// One stuck packet in a [`StallReport`].
+#[derive(Clone, Debug)]
+pub struct StuckPacket {
+    /// The packet.
+    pub packet: PacketId,
+    /// Source and destination nodes.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycles since the packet was enqueued.
+    pub age: Cycle,
+    /// Where its flits sit, e.g. `"r3.p1.v0"` or `"queued at n5"`.
+    pub location: String,
+}
+
+/// One blocked input VC in a [`StallReport`].
+#[derive(Clone, Copy, Debug)]
+pub struct BlockedChannel {
+    /// Router owning the input VC.
+    pub router: RouterId,
+    /// The input port.
+    pub port: PortId,
+    /// The VC index.
+    pub vc: VcId,
+    /// Cycles its head flit has waited without moving.
+    pub head_wait: u32,
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "no progress at cycle {}: {} packets in flight",
+            self.cycle, self.in_flight
+        )?;
+        for s in &self.stuck {
+            writeln!(
+                f,
+                "  {} ({} -> {}) stuck for {} cycles at {}",
+                s.packet, s.src, s.dst, s.age, s.location
+            )?;
+        }
+        for b in &self.blocked {
+            writeln!(
+                f,
+                "  {}.{}.{} head blocked for {} cycles",
+                b.router, b.port, b.vc, b.head_wait
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// A packet that completed delivery (tail flit ejected).
@@ -86,6 +163,28 @@ enum Event {
     },
     Retire {
         flit: Flit,
+    },
+    /// Fault mode only: a flit transmission reaching the far end of a link.
+    /// Unlike `FlitArrive` it may be corrupted (detected by the modeled CRC)
+    /// or a stale go-back-N copy, and is acknowledged either way.
+    LinkArrive {
+        link: LinkId,
+        seq: u64,
+        corrupted: bool,
+        router: RouterId,
+        port: PortId,
+        vc: VcId,
+        flit: Flit,
+    },
+    /// Fault mode only: receiver accepted sequence `seq` on `link`.
+    Ack {
+        link: LinkId,
+        seq: u64,
+    },
+    /// Fault mode only: receiver saw a corrupted flit with sequence `seq`.
+    Nack {
+        link: LinkId,
+        seq: u64,
     },
 }
 
@@ -135,6 +234,9 @@ pub struct Network {
     record_packets: bool,
     stats: NetStats,
     delivered: Vec<Delivered>,
+    /// Fault-injection state; `None` keeps the engine on its exact
+    /// fault-free fast path (no per-cycle overhead, identical schedules).
+    faults: Option<Box<FaultState>>,
     // Scratch buffers reused across cycles to avoid per-cycle allocation.
     scratch_winners: Vec<(PortId, VcId)>,
 }
@@ -251,8 +353,34 @@ impl Network {
             record_packets: false,
             stats,
             delivered: Vec::new(),
+            faults: None,
             scratch_winners: Vec::with_capacity(4),
         })
+    }
+
+    /// Builds a network with the fault-injection layer attached.
+    ///
+    /// A benign plan (zero error rates, no hard faults) produces runs
+    /// cycle-identical to [`Network::new`]: the fault layer draws from its
+    /// own RNG and only perturbs schedules when a fault actually fires.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] when the configuration is invalid or the
+    /// plan references links/routers outside the topology (or has an
+    /// out-of-range probability / zero retry limit).
+    pub fn with_faults(cfg: NetworkConfig, plan: FaultPlan) -> Result<Self, ConfigError> {
+        let mut net = Self::new(cfg)?;
+        plan.validate(net.graph.num_links(), net.graph.num_routers())?;
+        let vcs: Vec<usize> = (0..net.graph.num_routers())
+            .map(|r| net.cfg.routers[r].vcs_per_port)
+            .collect();
+        net.faults = Some(Box::new(FaultState::new(
+            plan,
+            &net.graph,
+            net.cfg.flit_width,
+            &vcs,
+        )));
+        Ok(net)
     }
 
     /// Current simulation cycle.
@@ -312,6 +440,83 @@ impl Network {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Takes all packets dropped by the fault layer since the previous call
+    /// (unreachable destinations, dead endpoints). Empty without faults.
+    pub fn drain_dropped(&mut self) -> Vec<DroppedPacket> {
+        self.faults
+            .as_mut()
+            .map_or_else(Vec::new, |f| std::mem::take(&mut f.dropped))
+    }
+
+    /// The fault plan this network runs under, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Fault-campaign counters (all zero without faults).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.as_ref().map(|f| f.counters).unwrap_or_default()
+    }
+
+    /// The first unrecoverable fault hit, if any. Once set, the affected
+    /// link has given up retrying and the run should be aborted.
+    pub fn fault_error(&self) -> Option<UnrecoverableFault> {
+        self.faults.as_ref().and_then(|f| f.error)
+    }
+
+    /// Links killed by hard faults so far (both directions of each failed
+    /// physical channel).
+    pub fn dead_links(&self) -> &[LinkId] {
+        self.faults.as_ref().map_or(&[], |f| &f.dead_links)
+    }
+
+    /// Routers killed by hard faults so far.
+    pub fn dead_routers(&self) -> &[RouterId] {
+        self.faults.as_ref().map_or(&[], |f| &f.dead_routers)
+    }
+
+    /// True once a hard fault has invalidated the installed routing;
+    /// reading it clears the flag. Clients regenerate a table around
+    /// [`Network::dead_links`] / [`Network::dead_routers`] (see
+    /// [`crate::routing::degraded::degraded_routing`]), verify it, and
+    /// hand it to [`Network::install_routing`].
+    pub fn take_routing_stale(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .is_some_and(|f| std::mem::take(&mut f.routing_stale))
+    }
+
+    /// Replaces the routing algorithm mid-run (graceful degradation).
+    ///
+    /// Heads that computed a route under the old algorithm but have not won
+    /// a downstream VC yet are re-routed; granted packets finish on their
+    /// old paths (wormhole grants cannot be revoked mid-packet). Packets
+    /// being absorbed as unreachable get one more routing attempt if their
+    /// head flit is still intact.
+    pub fn install_routing(&mut self, routing: RoutingKind) {
+        self.cfg.routing = routing;
+        for router in &mut self.routers {
+            for port in &mut router.inputs {
+                for vc in port {
+                    if vc.route.is_some() && vc.out_vc.is_none() {
+                        vc.route = None;
+                        vc.in_escape_grant = false;
+                        vc.head_wait = 0;
+                    }
+                }
+            }
+        }
+        let routers = &self.routers;
+        if let Some(fs) = self.faults.as_mut() {
+            // Only VCs whose head flit is still at the front can change
+            // their mind; mid-absorb packets must finish draining.
+            fs.absorbing.retain(|&(r, p, v)| {
+                let front = routers[r.index()].inputs[p.index()][v.index()].fifo.front();
+                !front.is_some_and(|f| f.kind.is_head())
+            });
+        }
+    }
+
     /// Liveness/debug snapshot of the network state: useful as a watchdog
     /// when a client loop suspects a stall ("is the network making
     /// progress, and where is it stuck?").
@@ -338,6 +543,78 @@ impl Network {
             oldest_packet_age,
             max_head_wait,
         }
+    }
+
+    /// Snapshot of *where* the network is stuck: the oldest unfinished
+    /// packets with their current locations, plus the input VCs whose head
+    /// flits have waited longest. Used by the simulation watchdog to turn
+    /// "no forward progress" into an actionable diagnostic instead of a
+    /// hang.
+    pub fn stall_report(&self) -> StallReport {
+        let mut metas: Vec<_> = self.in_flight.values().collect();
+        metas.sort_by_key(|m| (m.packet.birth, m.packet.id));
+        let stuck = metas
+            .iter()
+            .take(8)
+            .map(|m| StuckPacket {
+                packet: m.packet.id,
+                src: m.packet.src,
+                dst: m.packet.dst,
+                age: self.now.saturating_sub(m.packet.birth),
+                location: self.locate_packet(m.packet.id, m.packet.src),
+            })
+            .collect();
+        let mut blocked: Vec<BlockedChannel> = Vec::new();
+        for (r, router) in self.routers.iter().enumerate() {
+            for (p, port) in router.inputs.iter().enumerate() {
+                for (v, vc) in port.iter().enumerate() {
+                    if vc.head_wait > 0 && !vc.fifo.is_empty() {
+                        blocked.push(BlockedChannel {
+                            router: RouterId(r),
+                            port: PortId(p),
+                            vc: VcId(v),
+                            head_wait: vc.head_wait,
+                        });
+                    }
+                }
+            }
+        }
+        blocked.sort_by_key(|b| std::cmp::Reverse(b.head_wait));
+        blocked.truncate(8);
+        StallReport {
+            cycle: self.now,
+            in_flight: self.in_flight.len(),
+            stuck,
+            blocked,
+        }
+    }
+
+    fn locate_packet(&self, id: PacketId, src: NodeId) -> String {
+        for (r, router) in self.routers.iter().enumerate() {
+            for (p, port) in router.inputs.iter().enumerate() {
+                for (v, vc) in port.iter().enumerate() {
+                    if vc.fifo.iter().any(|f| f.packet == id) {
+                        return format!("r{r}.p{p}.v{v}");
+                    }
+                }
+            }
+        }
+        let n = &self.nodes[src.index()];
+        let queued = n.queue.iter().any(|pk| pk.id == id)
+            || n.sending
+                .as_ref()
+                .is_some_and(|s| s.flits.front().is_some_and(|f| f.packet == id));
+        if queued {
+            return format!("queued at {src}");
+        }
+        if let Some(fs) = self.faults.as_ref() {
+            for (l, lt) in fs.links.iter().enumerate() {
+                if lt.replay.iter().any(|e| e.flit.packet == id) {
+                    return format!("replay buffer of l{l}");
+                }
+            }
+        }
+        "on a link".to_string()
     }
 
     /// Enqueues a packet at `src`'s source queue; returns its id.
@@ -427,23 +704,31 @@ impl Network {
 
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
+        if self.faults.is_some() {
+            self.apply_hard_faults();
+            self.drain_far_events();
+        }
         let idx = (self.now % WHEEL as u64) as usize;
         let events = std::mem::take(&mut self.wheel[idx]);
         for ev in events {
             self.deliver(ev);
         }
+        if self.faults.is_some() {
+            self.process_absorbing();
+        }
         for n in 0..self.nodes.len() {
             self.node_inject(n);
         }
         // Routers holding no flits have nothing to route, allocate or
-        // traverse — skipping them keeps low-load cycles cheap.
+        // traverse — skipping them keeps low-load cycles cheap. Dead
+        // routers are frozen entirely (fail-stop).
         for r in 0..self.routers.len() {
-            if self.routers[r].occupancy > 0 {
+            if self.routers[r].occupancy > 0 && !self.router_dead(r) {
                 self.rc_and_va(r);
             }
         }
         for r in 0..self.routers.len() {
-            if self.routers[r].occupancy > 0 {
+            if self.routers[r].occupancy > 0 && !self.router_dead(r) {
                 self.switch_alloc(r);
             }
         }
@@ -490,6 +775,441 @@ impl Network {
                 }
             },
             Event::Retire { flit } => self.retire_flit(flit),
+            Event::LinkArrive {
+                link,
+                seq,
+                corrupted,
+                router,
+                port,
+                vc,
+                flit,
+            } => self.link_arrive(link, seq, corrupted, router, port, vc, flit),
+            Event::Ack { link, seq } => self.link_ack(link, seq),
+            Event::Nack { link, seq } => self.link_nack(link, seq),
+        }
+    }
+
+    fn router_dead(&self, r: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.router_dead[r])
+    }
+
+    /// Sends `flit` over `link` under the fault model: assign a sequence
+    /// number, keep a replay copy, draw the corruption coin, and arm the
+    /// retry timeout if the replay window was empty.
+    fn fault_send(&mut self, link: LinkId, dst: RouterId, dst_port: PortId, vc: VcId, flit: Flit) {
+        let now = self.now;
+        let fs = self.faults.as_mut().expect("fault-mode send");
+        let li = link.index();
+        let seq = fs.links[li].tx_seq;
+        fs.links[li].tx_seq += 1;
+        let was_empty = fs.links[li].replay.is_empty();
+        fs.links[li].replay.push_back(ReplayEntry { seq, vc, flit });
+        fs.links[li].in_transit[vc.index()] += 1;
+        let p = fs.p_flit[li];
+        let corrupted = p > 0.0 && fs.rng.random::<f64>() < p;
+        if was_empty {
+            fs.links[li].attempts = 1;
+            let epoch = fs.links[li].epoch;
+            let timeout = fs.plan.retry.timeout;
+            fs.schedule_far(now + timeout, FarEvent::Timeout { link, epoch });
+        }
+        self.schedule(
+            2,
+            Event::LinkArrive {
+                link,
+                seq,
+                corrupted,
+                router: dst,
+                port: dst_port,
+                vc,
+                flit,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the Event::LinkArrive payload
+    fn link_arrive(
+        &mut self,
+        link: LinkId,
+        seq: u64,
+        corrupted: bool,
+        router: RouterId,
+        port: PortId,
+        vc: VcId,
+        mut flit: Flit,
+    ) {
+        enum Verdict {
+            Drop,
+            Nack,
+            Accept,
+        }
+        let verdict = {
+            let fs = self.faults.as_mut().expect("fault event without faults");
+            let li = link.index();
+            if fs.router_dead[router.index()] {
+                // Fail-stop receiver: everything vanishes (no ack, no nack);
+                // the sender times out and eventually exhausts its retries.
+                fs.counters.flits_lost_dead_router += 1;
+                Verdict::Drop
+            } else if seq != fs.links[li].rx_expected {
+                // Go-back-N: a copy behind a corrupted flit, discarded.
+                Verdict::Drop
+            } else if corrupted {
+                fs.counters.flits_corrupted += 1;
+                Verdict::Nack
+            } else {
+                fs.links[li].rx_expected += 1;
+                let it = &mut fs.links[li].in_transit[vc.index()];
+                debug_assert!(*it > 0, "accepted flit was never counted in transit");
+                *it -= 1;
+                Verdict::Accept
+            }
+        };
+        match verdict {
+            Verdict::Drop => {}
+            Verdict::Nack => self.schedule(1, Event::Nack { link, seq }),
+            Verdict::Accept => {
+                self.schedule(1, Event::Ack { link, seq });
+                flit.buffered = self.now;
+                let r = &mut self.routers[router.index()];
+                if r.inputs[port.index()][vc.index()].fifo.is_empty() {
+                    r.busy_vcs += 1;
+                }
+                r.inputs[port.index()][vc.index()].fifo.push_back(flit);
+                r.occupancy += 1;
+                debug_assert!(
+                    r.inputs[port.index()][vc.index()].fifo.len()
+                        <= self.cfg.routers[router.index()].buffer_depth,
+                    "buffer overflow at {router} {port} {vc}: credit protocol violated"
+                );
+                if self.measuring {
+                    self.stats.routers[router.index()].buffer_writes += 1;
+                }
+            }
+        }
+    }
+
+    fn link_ack(&mut self, link: LinkId, seq: u64) {
+        let now = self.now;
+        let fs = self.faults.as_mut().expect("fault event without faults");
+        let li = link.index();
+        if fs.links[li].replay.front().map(|e| e.seq) != Some(seq) {
+            return; // stale ack of an already-popped retransmission
+        }
+        fs.links[li].replay.pop_front();
+        fs.links[li].epoch += 1;
+        fs.links[li].attempts = 1;
+        fs.links[li].backoff_until = 0;
+        if !fs.links[li].replay.is_empty() {
+            let epoch = fs.links[li].epoch;
+            let timeout = fs.plan.retry.timeout;
+            fs.schedule_far(now + timeout, FarEvent::Timeout { link, epoch });
+        }
+    }
+
+    fn link_nack(&mut self, link: LinkId, seq: u64) {
+        let now = self.now;
+        let fire = {
+            let fs = self.faults.as_mut().expect("fault event without faults");
+            let li = link.index();
+            if fs.links[li].replay.front().map(|e| e.seq) != Some(seq)
+                || now < fs.links[li].backoff_until
+            {
+                false // duplicate of a failure already being retried
+            } else {
+                fs.counters.retries += 1;
+                true
+            }
+        };
+        if fire {
+            self.link_retry(link);
+        }
+    }
+
+    /// Shared retry path for nacks and timeouts: either give up with a
+    /// typed [`UnrecoverableFault`], or schedule a backoff-delayed resend
+    /// of the replay window.
+    fn link_retry(&mut self, link: LinkId) {
+        let now = self.now;
+        let li = link.index();
+        let exhausted = {
+            let fs = self.faults.as_ref().expect("fault mode");
+            fs.links[li].attempts >= fs.plan.retry.max_attempts
+        };
+        if exhausted {
+            let l = self.graph.links()[li];
+            let fs = self.faults.as_mut().expect("fault mode");
+            if fs.error.is_none() {
+                fs.error = Some(UnrecoverableFault {
+                    link,
+                    src: l.src,
+                    dst: l.dst,
+                    attempts: fs.links[li].attempts,
+                    cycle: now,
+                    packet: fs.links[li].replay.front().map(|e| e.flit.packet),
+                });
+            }
+            return;
+        }
+        let fs = self.faults.as_mut().expect("fault mode");
+        fs.links[li].attempts += 1;
+        fs.links[li].epoch += 1;
+        let delay = fs.plan.retry.backoff(fs.links[li].attempts - 1);
+        let epoch = fs.links[li].epoch;
+        fs.links[li].backoff_until = now + delay;
+        fs.schedule_far(now + delay, FarEvent::Resend { link, epoch });
+    }
+
+    /// Retransmits `link`'s whole replay window (go-back-N) with the
+    /// original sequence numbers, then re-arms the retry timeout. A no-op
+    /// when `epoch` is stale (an ack made progress after the resend was
+    /// scheduled).
+    fn link_resend(&mut self, link: LinkId, epoch: u64) {
+        let now = self.now;
+        let li = link.index();
+        let entries: Vec<ReplayEntry> = {
+            let fs = self.faults.as_mut().expect("fault mode");
+            if fs.links[li].epoch != epoch || fs.links[li].replay.is_empty() {
+                return;
+            }
+            fs.links[li].replay.iter().cloned().collect()
+        };
+        let l = self.graph.links()[li];
+        for e in entries {
+            let corrupted = {
+                let fs = self.faults.as_mut().expect("fault mode");
+                fs.counters.retransmissions += 1;
+                let p = fs.p_flit[li];
+                p > 0.0 && fs.rng.random::<f64>() < p
+            };
+            self.schedule(
+                2,
+                Event::LinkArrive {
+                    link,
+                    seq: e.seq,
+                    corrupted,
+                    router: l.dst,
+                    port: l.dst_port,
+                    vc: e.vc,
+                    flit: e.flit,
+                },
+            );
+        }
+        let fs = self.faults.as_mut().expect("fault mode");
+        let timeout = fs.plan.retry.timeout;
+        let cur_epoch = fs.links[li].epoch;
+        fs.schedule_far(
+            now + timeout,
+            FarEvent::Timeout {
+                link,
+                epoch: cur_epoch,
+            },
+        );
+    }
+
+    fn drain_far_events(&mut self) {
+        let due = {
+            let fs = self.faults.as_mut().expect("fault mode");
+            if fs.far.first_key_value().is_none_or(|(&c, _)| c > self.now) {
+                return;
+            }
+            fs.due_far(self.now)
+        };
+        for ev in due {
+            match ev {
+                FarEvent::Timeout { link, epoch } => {
+                    let fire = {
+                        let fs = self.faults.as_mut().expect("fault mode");
+                        let lt = &fs.links[link.index()];
+                        if lt.epoch == epoch && !lt.replay.is_empty() {
+                            fs.counters.timeouts += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if fire {
+                        self.link_retry(link);
+                    }
+                }
+                FarEvent::Resend { link, epoch } => self.link_resend(link, epoch),
+            }
+        }
+    }
+
+    fn apply_hard_faults(&mut self) {
+        loop {
+            let kind = {
+                let fs = self.faults.as_mut().expect("fault mode");
+                match fs.hard.get(fs.next_hard) {
+                    Some(h) if h.cycle <= self.now => {
+                        fs.next_hard += 1;
+                        fs.routing_stale = true;
+                        Some(h.kind)
+                    }
+                    _ => None,
+                }
+            };
+            match kind {
+                Some(FaultKind::Link(l)) => self.kill_link(l),
+                Some(FaultKind::Router(r)) => self.kill_router(r),
+                None => return,
+            }
+        }
+    }
+
+    /// Kills both directions of the physical channel containing `link`.
+    fn kill_link(&mut self, link: LinkId) {
+        let l = self.graph.links()[link.index()];
+        let reverse = self
+            .graph
+            .links()
+            .iter()
+            .enumerate()
+            .find(|(_, r)| {
+                r.src == l.dst
+                    && r.dst == l.src
+                    && r.src_port == l.dst_port
+                    && r.dst_port == l.src_port
+            })
+            .map(|(i, _)| LinkId(i));
+        self.kill_one_direction(link);
+        if let Some(rev) = reverse {
+            self.kill_one_direction(rev);
+        }
+    }
+
+    fn kill_one_direction(&mut self, link: LinkId) {
+        {
+            let fs = self.faults.as_mut().expect("fault mode");
+            if fs.links[link.index()].dead {
+                return;
+            }
+            fs.links[link.index()].dead = true;
+            fs.dead_links.push(link);
+            fs.counters.links_dead += 1;
+        }
+        let l = self.graph.links()[link.index()];
+        if !self.router_dead(l.src.index()) {
+            self.rescind_routes_to(l.src, l.src_port);
+        }
+    }
+
+    /// Rescinds computed-but-unused routes at `router` that target output
+    /// port `out_port` (now dead): packets that have not moved a single flit
+    /// on their grant re-enter route computation; mid-wormhole packets keep
+    /// their grant and drain.
+    fn rescind_routes_to(&mut self, router: RouterId, out_port: PortId) {
+        let r = router.index();
+        let nports = self.routers[r].inputs.len();
+        let nvcs = self.cfg.routers[r].vcs_per_port;
+        for p in 0..nports {
+            for v in 0..nvcs {
+                let rescind = {
+                    let vc = &self.routers[r].inputs[p][v];
+                    vc.sent_on_grant == 0 && vc.route.is_some_and(|rt| rt.port == out_port)
+                };
+                if !rescind {
+                    continue;
+                }
+                if let Some(ovc) = self.routers[r].inputs[p][v].out_vc {
+                    self.routers[r].outputs[out_port.index()].vcs[ovc.index()].owner = None;
+                }
+                let vc = &mut self.routers[r].inputs[p][v];
+                vc.route = None;
+                vc.out_vc = None;
+                vc.in_escape_grant = false;
+                vc.head_wait = 0;
+            }
+        }
+    }
+
+    /// Fail-stop kill of a whole router: freezes its pipeline and kills
+    /// every incident link (in both directions).
+    fn kill_router(&mut self, router: RouterId) {
+        {
+            let fs = self.faults.as_mut().expect("fault mode");
+            if fs.router_dead[router.index()] {
+                return;
+            }
+            fs.router_dead[router.index()] = true;
+            fs.dead_routers.push(router);
+            fs.counters.routers_dead += 1;
+        }
+        let incident: Vec<LinkId> = self
+            .graph
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.src == router || l.dst == router)
+            .map(|(i, _)| LinkId(i))
+            .collect();
+        for l in incident {
+            self.kill_one_direction(l);
+        }
+    }
+
+    /// Drains flits of unroutable packets from their input VCs: buffer
+    /// slots are freed (credits flow back upstream) and the packet is
+    /// reported dropped once its tail is consumed. This is what turns "no
+    /// route to destination" into a typed result instead of tree-saturating
+    /// backpressure.
+    fn process_absorbing(&mut self) {
+        let entries: Vec<(RouterId, PortId, VcId)> = {
+            let fs = self.faults.as_ref().expect("fault mode");
+            if fs.absorbing.is_empty() {
+                return;
+            }
+            fs.absorbing.iter().copied().collect()
+        };
+        for (router, port, vc) in entries {
+            let r = router.index();
+            // An empty FIFO mid-absorb means the rest of the packet is still
+            // in flight; it will be consumed on a later cycle.
+            while let Some(flit) = self.routers[r].inputs[port.index()][vc.index()]
+                .fifo
+                .pop_front()
+            {
+                self.routers[r].occupancy -= 1;
+                if self.routers[r].inputs[port.index()][vc.index()]
+                    .fifo
+                    .is_empty()
+                {
+                    self.routers[r].busy_vcs -= 1;
+                }
+                let up = match self.graph.router(router).ports[port.index()].kind {
+                    PortKind::Local { node } => Upstream::Node(node),
+                    PortKind::Link { into, .. } => {
+                        let l = self.graph.links()[into.index()];
+                        Upstream::Router(l.src, l.src_port)
+                    }
+                };
+                self.schedule(1, Event::Credit { up, vc });
+                let fs = self.faults.as_mut().expect("fault mode");
+                *fs.absorbed.entry(flit.packet).or_insert(0) += 1;
+                if flit.kind.is_tail() {
+                    let meta = self
+                        .in_flight
+                        .remove(&flit.packet)
+                        .expect("absorbed packet is tracked");
+                    let dst_router = self.graph.attachment(meta.packet.dst).router;
+                    let fs = self.faults.as_mut().expect("fault mode");
+                    let reason = if fs.router_dead[dst_router.index()] {
+                        DropReason::DestinationDead
+                    } else {
+                        DropReason::Unreachable
+                    };
+                    fs.absorbed.remove(&flit.packet);
+                    fs.absorbing.remove(&(router, port, vc));
+                    fs.record_drop(DroppedPacket {
+                        packet: meta.packet,
+                        cycle: self.now,
+                        reason,
+                    });
+                    self.routers[r].inputs[port.index()][vc.index()].release();
+                    break;
+                }
+            }
         }
     }
 
@@ -543,6 +1263,35 @@ impl Network {
     }
 
     fn node_inject(&mut self, n: usize) {
+        // Fault mode: packets to or from a dead router can never be
+        // delivered — drop them at the source instead of wedging the queue.
+        if self.faults.is_some() && self.nodes[n].sending.is_none() {
+            while let Some(front) = self.nodes[n].queue.front() {
+                let Some(fs) = self.faults.as_ref() else {
+                    break;
+                };
+                let src_dead = fs.router_dead[self.nodes[n].router.index()];
+                let dst_dead = fs.router_dead[self.graph.attachment(front.dst).router.index()];
+                if !src_dead && !dst_dead {
+                    break;
+                }
+                let packet = self.nodes[n].queue.pop_front().expect("non-empty");
+                self.in_flight.remove(&packet.id);
+                let reason = if src_dead {
+                    DropReason::SourceDead
+                } else {
+                    DropReason::DestinationDead
+                };
+                let drop = DroppedPacket {
+                    packet,
+                    cycle: self.now,
+                    reason,
+                };
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.record_drop(drop);
+                }
+            }
+        }
         // Start a new packet if idle.
         if self.nodes[n].sending.is_none() && !self.nodes[n].queue.is_empty() {
             let class = self.injection_class(self.nodes[n].queue[0].class);
@@ -638,10 +1387,23 @@ impl Network {
                             self.routers[r].inputs[p][v].route = Some(rc);
                         }
                         None => {
+                            let at = self.graph.attachment(dst);
+                            if at.router != router_id {
+                                // `None` away from the destination means the
+                                // routing table has no surviving path: mark
+                                // the VC for absorption (route stays `None`,
+                                // so allocation ignores it).
+                                debug_assert!(
+                                    self.faults.is_some(),
+                                    "unroutable packet without fault layer"
+                                );
+                                if let Some(fs) = self.faults.as_mut() {
+                                    fs.absorbing.insert((router_id, PortId(p), VcId(v)));
+                                }
+                                continue;
+                            }
                             // At destination router: eject through the local
                             // port of dst. No downstream VC needed.
-                            let at = self.graph.attachment(dst);
-                            debug_assert_eq!(at.router, router_id);
                             let vc = &mut self.routers[r].inputs[p][v];
                             vc.route = Some(RouteChoice {
                                 port: at.port,
@@ -698,6 +1460,16 @@ impl Network {
         for o in 0..nout {
             if self.routers[r].outputs[o].vcs.is_empty() {
                 continue; // sink: no VA needed
+            }
+            // Dead links take no new wormholes (granted packets drain).
+            if let OutputTarget::Channel { link, .. } = self.routers[r].outputs[o].target {
+                if self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.links[link.index()].dead)
+                {
+                    continue;
+                }
             }
             let flat = nports * vcs_per_port;
             debug_assert!(flat <= 128, "flat input-VC index must fit the skip mask");
@@ -961,15 +1733,19 @@ impl Network {
                 if self.measuring {
                     self.stats.links[link.index()].flits += 1;
                 }
-                self.schedule(
-                    2,
-                    Event::FlitArrive {
-                        router: dst,
-                        port: dst_port,
-                        vc: out_vc,
-                        flit,
-                    },
-                );
+                if self.faults.is_some() {
+                    self.fault_send(link, dst, dst_port, out_vc, flit);
+                } else {
+                    self.schedule(
+                        2,
+                        Event::FlitArrive {
+                            router: dst,
+                            port: dst_port,
+                            vc: out_vc,
+                            flit,
+                        },
+                    );
+                }
             }
         }
     }
@@ -1248,5 +2024,243 @@ mod tests {
     fn zero_size_packet_rejected() {
         let mut net = small_mesh();
         net.enqueue(NodeId(0), NodeId(1), Bits(0), PacketClass::Data, 0);
+    }
+
+    // --- fault layer ----------------------------------------------------
+
+    use crate::fault::{HardFault, RetryPolicy};
+    use crate::routing::degraded::degraded_routing;
+
+    fn small_mesh_with(plan: FaultPlan) -> Network {
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 4,
+                height: 4,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        Network::with_faults(cfg, plan).expect("valid config and plan")
+    }
+
+    fn all_pairs_burst(net: &mut Network) {
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d {
+                    net.enqueue(NodeId(s), NodeId(d), Bits(1024), PacketClass::Data, 0);
+                }
+            }
+        }
+    }
+
+    fn link_between(net: &Network, a: RouterId, b: RouterId) -> LinkId {
+        net.graph
+            .links()
+            .iter()
+            .enumerate()
+            .find(|(_, l)| (l.src, l.dst) == (a, b))
+            .map(|(i, _)| LinkId(i))
+            .expect("adjacent routers")
+    }
+
+    /// Regenerates, proves connected and installs a degraded table whenever
+    /// a hard fault invalidated the routing (the runner loop clients use).
+    fn reroute_if_stale(net: &mut Network) {
+        if net.take_routing_stale() {
+            let d = degraded_routing(net.graph(), net.dead_links(), net.dead_routers());
+            net.install_routing(RoutingKind::FullTable(d.table));
+        }
+    }
+
+    #[test]
+    fn benign_fault_plan_is_cycle_identical() {
+        let mut plain = small_mesh();
+        let mut faulted = small_mesh_with(FaultPlan::default());
+        all_pairs_burst(&mut plain);
+        all_pairs_burst(&mut faulted);
+        let mut got_plain = Vec::new();
+        let mut got_faulted = Vec::new();
+        let mut cycles = 0;
+        while plain.in_flight() > 0 || faulted.in_flight() > 0 {
+            plain.step();
+            faulted.step();
+            got_plain.extend(
+                plain
+                    .drain_delivered()
+                    .iter()
+                    .map(|d| (d.packet.id, d.retire)),
+            );
+            got_faulted.extend(
+                faulted
+                    .drain_delivered()
+                    .iter()
+                    .map(|d| (d.packet.id, d.retire)),
+            );
+            cycles += 1;
+            assert!(cycles < 20_000);
+        }
+        assert_eq!(got_plain.len(), 16 * 15);
+        assert_eq!(
+            got_plain, got_faulted,
+            "a benign fault plan must not perturb delivery schedules"
+        );
+        assert_eq!(faulted.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn transient_faults_retransmit_and_deliver_everything() {
+        let mut net = small_mesh_with(FaultPlan::transient(2e-4, 42));
+        net.set_measuring(true);
+        all_pairs_burst(&mut net);
+        run_until_drained(&mut net, 60_000);
+        assert_eq!(net.drain_delivered().len(), 16 * 15);
+        let c = net.fault_counters();
+        assert!(
+            c.flits_corrupted > 0,
+            "ber 2e-4 over 192b flits must corrupt"
+        );
+        assert!(
+            c.retransmissions >= c.retries && c.retries > 0,
+            "every corruption triggers a go-back-N resend: {c:?}"
+        );
+        assert!(net.fault_error().is_none());
+        assert!(net.drain_dropped().is_empty());
+    }
+
+    #[test]
+    fn hopeless_link_reports_typed_unrecoverable_fault() {
+        let mut plan = FaultPlan::transient(1.0, 3);
+        plan.retry = RetryPolicy {
+            max_attempts: 3,
+            timeout: 8,
+        };
+        let mut net = small_mesh_with(plan);
+        net.enqueue(NodeId(0), NodeId(15), Bits(192), PacketClass::Data, 0);
+        let mut cycles = 0;
+        while net.fault_error().is_none() {
+            net.step();
+            cycles += 1;
+            assert!(cycles < 10_000, "retry exhaustion must surface, not hang");
+        }
+        let err = net.fault_error().expect("checked");
+        assert_eq!(err.attempts, 3);
+        assert!(err.packet.is_some());
+        let s = err.to_string();
+        assert!(s.contains("exhausted 3 transmission attempts"), "{s}");
+    }
+
+    #[test]
+    fn hard_link_fault_reroutes_and_still_delivers() {
+        let probe = small_mesh();
+        let link = link_between(&probe, RouterId(5), RouterId(6));
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 60,
+            kind: FaultKind::Link(link),
+        });
+        let mut net = small_mesh_with(plan);
+        all_pairs_burst(&mut net);
+        let mut cycles = 0u64;
+        while net.in_flight() > 0 {
+            net.step();
+            reroute_if_stale(&mut net);
+            cycles += 1;
+            assert!(cycles < 60_000, "degraded run must drain");
+        }
+        assert_eq!(net.drain_delivered().len(), 16 * 15);
+        assert!(net.drain_dropped().is_empty(), "mesh stays connected");
+        assert_eq!(net.fault_counters().links_dead, 2, "both directions die");
+        assert_eq!(net.dead_links().len(), 2);
+    }
+
+    #[test]
+    fn dead_router_drops_its_traffic_and_spares_the_rest() {
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 0,
+            kind: FaultKind::Router(RouterId(5)),
+        });
+        let mut net = small_mesh_with(plan);
+        net.step();
+        reroute_if_stale(&mut net);
+        net.enqueue(NodeId(0), NodeId(5), Bits(1024), PacketClass::Data, 0);
+        net.enqueue(NodeId(5), NodeId(0), Bits(1024), PacketClass::Data, 0);
+        net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
+        run_until_drained(&mut net, 5_000);
+        assert_eq!(net.drain_delivered().len(), 1, "unaffected pair delivers");
+        let dropped = net.drain_dropped();
+        assert_eq!(dropped.len(), 2);
+        let reasons: Vec<_> = dropped.iter().map(|d| d.reason).collect();
+        assert!(reasons.contains(&DropReason::DestinationDead));
+        assert!(reasons.contains(&DropReason::SourceDead));
+        assert_eq!(net.fault_counters().routers_dead, 1);
+    }
+
+    #[test]
+    fn unreachable_in_flight_packet_is_absorbed_not_hung() {
+        // Cut the 2x2 mesh into {0,2} | {1,3} while a packet from n0 to n1
+        // is in flight: it must come back as a typed drop, with every
+        // buffer slot it held returned.
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 2,
+                height: 2,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        let probe = Network::new(cfg.clone()).expect("valid");
+        let mut plan = FaultPlan::default();
+        for (a, b) in [(RouterId(0), RouterId(1)), (RouterId(2), RouterId(3))] {
+            plan.hard.push(HardFault {
+                cycle: 2,
+                kind: FaultKind::Link(link_between(&probe, a, b)),
+            });
+        }
+        let mut net = Network::with_faults(cfg, plan).expect("valid");
+        net.enqueue(NodeId(0), NodeId(1), Bits(1024), PacketClass::Data, 7);
+        let mut cycles = 0;
+        while net.in_flight() > 0 {
+            net.step();
+            reroute_if_stale(&mut net);
+            cycles += 1;
+            assert!(cycles < 2_000, "unreachable packet must be absorbed");
+        }
+        let dropped = net.drain_dropped();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].packet.tag, 7);
+        assert_eq!(dropped[0].reason, DropReason::Unreachable);
+        assert!(net.drain_delivered().is_empty());
+        // Absorption must have restored every credit.
+        for r in &net.routers {
+            assert_eq!(r.occupancy, 0);
+        }
+    }
+
+    #[test]
+    fn stall_report_names_stuck_packets() {
+        // A packet wedged against a dead destination router (mid-stream, so
+        // it is not droppable at injection) shows up in the report.
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 3,
+            kind: FaultKind::Router(RouterId(15)),
+        });
+        let mut net = small_mesh_with(plan);
+        net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
+        for _ in 0..200 {
+            net.step();
+        }
+        assert_eq!(net.in_flight(), 1, "packet is wedged, not delivered");
+        let report = net.stall_report();
+        assert_eq!(report.in_flight, 1);
+        assert_eq!(report.stuck.len(), 1);
+        assert_eq!(report.stuck[0].dst, NodeId(15));
+        assert!(report.stuck[0].age > 100);
+        let text = report.to_string();
+        assert!(text.contains("no progress"), "{text}");
+        assert!(text.contains("n15"), "{text}");
     }
 }

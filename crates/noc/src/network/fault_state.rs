@@ -1,0 +1,257 @@
+//! Engine-side fault state: link retransmission, hard-fault bookkeeping and
+//! packet absorption.
+//!
+//! This module holds the *data* the fault layer needs; the state machine
+//! itself lives in `network.rs` (it is entangled with the event wheel and
+//! router state). Everything here exists only when a [`FaultPlan`] was
+//! attached via [`super::Network::with_faults`] — fault-free networks carry
+//! a `None` and the engine's fast path is untouched.
+//!
+//! # Link-level retransmission (go-back-N)
+//!
+//! Every unidirectional link gets a [`LinkTx`]: the sender assigns each flit
+//! transmission a sequence number and keeps the flit in a replay buffer
+//! until acknowledged. The receiver accepts exactly the next expected
+//! sequence number; a corrupted in-order flit is nack'd, out-of-order
+//! arrivals (the go-back-N tail behind a corrupted flit) are discarded
+//! silently. A nack — or a timeout when both ack and nack are lost (dead
+//! receiver) — triggers a bounded retry with exponential backoff that
+//! re-sends the whole replay buffer with the original sequence numbers.
+//! `epoch` stamps retries so that stale timeouts and resends become no-ops.
+//!
+//! Credits are consumed at the *first* transmission only; a retransmission
+//! never touches flow control, because the downstream buffer slot was
+//! reserved when the flit first left. That keeps the credit-conservation
+//! invariant exact: `in_transit` counts flits that hold a downstream slot
+//! but are not yet buffered there (in the wheel, or parked in a replay
+//! buffer awaiting retry), and the `verify`-feature checker adds it to the
+//! usual credits + wheel + FIFO sum.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fault::{DroppedPacket, FaultCounters, FaultPlan, HardFault, UnrecoverableFault};
+use crate::packet::Flit;
+use crate::topology::TopologyGraph;
+use crate::types::{Bits, Cycle, LinkId, PacketId, PortId, RouterId, VcId};
+
+/// A transmitted-but-unacknowledged flit held for possible retransmission.
+#[derive(Clone, Debug)]
+pub(super) struct ReplayEntry {
+    /// Link-local sequence number (assigned at first transmission).
+    pub seq: u64,
+    /// Downstream input VC the flit travels on.
+    pub vc: VcId,
+    /// The flit itself.
+    pub flit: Flit,
+}
+
+/// Per-link retransmission state (sender and receiver side of one
+/// unidirectional channel).
+#[derive(Clone, Debug)]
+pub(super) struct LinkTx {
+    /// Unacknowledged flits, oldest first.
+    pub replay: VecDeque<ReplayEntry>,
+    /// Next sequence number to assign.
+    pub tx_seq: u64,
+    /// Receiver side: next sequence number it will accept.
+    pub rx_expected: u64,
+    /// Transmission attempts of the current replay window (1 = first send).
+    pub attempts: u32,
+    /// Bumped on every ack progress and every retry; stamps timeouts and
+    /// resends so stale ones are ignored.
+    pub epoch: u64,
+    /// Nacks arriving before this cycle are duplicates of the failure that
+    /// already triggered the pending retry.
+    pub backoff_until: Cycle,
+    /// Hard-faulted: refuses new VC-allocation grants (in-flight wormholes
+    /// drain).
+    pub dead: bool,
+    /// Per-downstream-VC count of flits that consumed a credit but are not
+    /// yet in the downstream FIFO (on the wire or parked in `replay`).
+    pub in_transit: Vec<u32>,
+}
+
+impl LinkTx {
+    fn new(vcs: usize) -> Self {
+        Self {
+            replay: VecDeque::new(),
+            tx_seq: 0,
+            rx_expected: 0,
+            attempts: 1,
+            epoch: 0,
+            backoff_until: 0,
+            dead: false,
+            in_transit: vec![0; vcs],
+        }
+    }
+}
+
+/// Deferred events beyond the 3-cycle wheel horizon (retry timeouts and
+/// backoff-delayed resends).
+#[derive(Clone, Copy, Debug)]
+pub(super) enum FarEvent {
+    /// Retransmit `link`'s replay buffer, unless `epoch` is stale.
+    Resend {
+        /// The retrying link.
+        link: LinkId,
+        /// Epoch at scheduling time.
+        epoch: u64,
+    },
+    /// The current window of `link` made no ack/nack progress in time.
+    Timeout {
+        /// The watched link.
+        link: LinkId,
+        /// Epoch at scheduling time.
+        epoch: u64,
+    },
+}
+
+/// All fault-mode engine state (boxed inside [`super::Network`]).
+#[derive(Clone, Debug)]
+pub(super) struct FaultState {
+    /// The plan driving this run.
+    pub plan: FaultPlan,
+    /// Dedicated fault RNG — independent of the traffic RNG, so a benign
+    /// plan leaves the simulated traffic bit-for-bit unchanged.
+    pub rng: StdRng,
+    /// Per-link probability that one flit transmission is corrupted:
+    /// `1 - (1 - ber)^flit_bits`.
+    pub p_flit: Vec<f64>,
+    /// Per-link retransmission state.
+    pub links: Vec<LinkTx>,
+    /// Hard faults sorted by cycle; `next_hard` indexes the first unapplied.
+    pub hard: Vec<HardFault>,
+    /// First entry of `hard` not applied yet.
+    pub next_hard: usize,
+    /// Far-horizon event queue (the wheel only reaches 3 cycles out).
+    pub far: BTreeMap<Cycle, Vec<FarEvent>>,
+    /// Fail-stop routers.
+    pub router_dead: Vec<bool>,
+    /// Every unidirectional link killed so far (both directions of each
+    /// physical fault).
+    pub dead_links: Vec<LinkId>,
+    /// Every router killed so far.
+    pub dead_routers: Vec<RouterId>,
+    /// Input VCs currently absorbing an unroutable packet (ordered, so the
+    /// drain order — and with it the credit schedule — is deterministic).
+    pub absorbing: BTreeSet<(RouterId, PortId, VcId)>,
+    /// Flits already absorbed per still-in-flight packet (the invariant
+    /// checker adds these to its conservation sum).
+    pub absorbed: HashMap<PacketId, u32>,
+    /// Packets dropped since the last [`super::Network::drain_dropped`].
+    pub dropped: Vec<DroppedPacket>,
+    /// Campaign counters.
+    pub counters: FaultCounters,
+    /// Set when link retries exhaust; the run cannot continue.
+    pub error: Option<UnrecoverableFault>,
+    /// Set by hard faults: the installed routing no longer matches the
+    /// surviving topology and should be regenerated.
+    pub routing_stale: bool,
+}
+
+impl FaultState {
+    /// Builds the fault state for `plan` over `graph`. The plan must have
+    /// been validated against the graph already.
+    pub fn new(plan: FaultPlan, graph: &TopologyGraph, flit_width: Bits, vcs: &[usize]) -> Self {
+        let bits = f64::from(flit_width.get());
+        let p_flit: Vec<f64> = (0..graph.num_links())
+            .map(|l| {
+                let ber = plan.ber_of(LinkId(l)).clamp(0.0, 1.0);
+                1.0 - (1.0 - ber).powf(bits)
+            })
+            .collect();
+        let links = graph
+            .links()
+            .iter()
+            .map(|l| LinkTx::new(vcs[l.dst.index()]))
+            .collect();
+        let hard = plan.sorted_hard();
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self {
+            rng,
+            p_flit,
+            links,
+            hard,
+            next_hard: 0,
+            far: BTreeMap::new(),
+            router_dead: vec![false; graph.num_routers()],
+            dead_links: Vec::new(),
+            dead_routers: Vec::new(),
+            absorbing: BTreeSet::new(),
+            absorbed: HashMap::new(),
+            dropped: Vec::new(),
+            counters: FaultCounters::default(),
+            error: None,
+            routing_stale: false,
+            plan,
+        }
+    }
+
+    /// Queues `ev` for cycle `at` (which may be far beyond the wheel).
+    pub fn schedule_far(&mut self, at: Cycle, ev: FarEvent) {
+        self.far.entry(at).or_default().push(ev);
+    }
+
+    /// Pops every far event due at or before `now`.
+    pub fn due_far(&mut self, now: Cycle) -> Vec<FarEvent> {
+        let mut due = Vec::new();
+        while let Some((&c, _)) = self.far.first_key_value() {
+            if c > now {
+                break;
+            }
+            let (_, mut evs) = self.far.pop_first().expect("peeked");
+            due.append(&mut evs);
+        }
+        due
+    }
+
+    /// Records a dropped packet.
+    pub fn record_drop(&mut self, drop: DroppedPacket) {
+        self.counters.packets_dropped += 1;
+        self.dropped.push(drop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::mesh;
+
+    #[test]
+    fn p_flit_respects_overrides() {
+        let g = mesh::build(2, 2);
+        let mut plan = FaultPlan::transient(0.0, 1);
+        plan.link_ber.push((LinkId(0), 1.0));
+        let fs = FaultState::new(plan, &g, Bits(192), &[2; 4]);
+        assert_eq!(fs.p_flit[0], 1.0);
+        assert_eq!(fs.p_flit[1], 0.0);
+    }
+
+    #[test]
+    fn far_queue_orders_and_drains() {
+        let g = mesh::build(2, 2);
+        let mut fs = FaultState::new(FaultPlan::default(), &g, Bits(192), &[2; 4]);
+        fs.schedule_far(
+            10,
+            FarEvent::Timeout {
+                link: LinkId(0),
+                epoch: 0,
+            },
+        );
+        fs.schedule_far(
+            5,
+            FarEvent::Resend {
+                link: LinkId(1),
+                epoch: 0,
+            },
+        );
+        assert!(fs.due_far(4).is_empty());
+        let due = fs.due_far(10);
+        assert_eq!(due.len(), 2);
+        assert!(matches!(due[0], FarEvent::Resend { .. }), "cycle order");
+        assert!(fs.due_far(100).is_empty());
+    }
+}

@@ -229,6 +229,25 @@ impl Network {
                     Event::Retire { flit } => {
                         *seen.entry(flit.packet).or_insert(0) += 1;
                     }
+                    // Fault-mode link traffic is accounted through the
+                    // replay buffers below: a `LinkArrive` is only a *copy*
+                    // of a replay entry (and may be a stale go-back-N
+                    // duplicate), and acks/nacks carry no flits or credits.
+                    Event::LinkArrive { .. } | Event::Ack { .. } | Event::Nack { .. } => {}
+                }
+            }
+        }
+
+        // Fault mode: the canonical copy of a flit between leaving the
+        // upstream buffer and landing downstream is its replay entry —
+        // exactly while `seq >= rx_expected` (once accepted, the FIFO scan
+        // below counts it and the entry merely awaits its ack).
+        if let Some(fs) = self.faults.as_ref() {
+            for lt in &fs.links {
+                for e in &lt.replay {
+                    if e.seq >= lt.rx_expected {
+                        *seen.entry(e.flit.packet).or_insert(0) += 1;
+                    }
                 }
             }
         }
@@ -300,11 +319,16 @@ impl Network {
         }
         for (&pid, meta) in &self.in_flight {
             let resident = seen.get(&pid).copied().unwrap_or(0);
+            let absorbed = self
+                .faults
+                .as_ref()
+                .and_then(|f| f.absorbed.get(&pid).copied())
+                .unwrap_or(0);
             let expected = if queued.contains(&pid) { 0 } else { meta.total };
-            if resident + meta.received != expected {
+            if resident + meta.received + absorbed != expected {
                 return Err(InvariantViolation::FlitLeak {
                     packet: pid,
-                    accounted: resident + meta.received,
+                    accounted: resident + meta.received + absorbed,
                     expected,
                 });
             }
@@ -315,7 +339,12 @@ impl Network {
         // the wheel) + flits buffered downstream == downstream depth.
         for (r, router) in self.routers.iter().enumerate() {
             for (p, out) in router.outputs.iter().enumerate() {
-                let OutputTarget::Channel { dst, dst_port, .. } = out.target else {
+                let OutputTarget::Channel {
+                    link,
+                    dst,
+                    dst_port,
+                } = out.target
+                else {
                     continue;
                 };
                 let depth = self.cfg.routers[dst.index()].buffer_depth as u32;
@@ -323,12 +352,21 @@ impl Network {
                     let buffered = self.routers[dst.index()].inputs[dst_port.index()][v]
                         .fifo
                         .len() as u32;
+                    // Fault mode replaces wheel arrivals with the link's
+                    // in-transit count: a flit holds its downstream slot
+                    // from the credit decrement until it is accepted, no
+                    // matter how many retransmissions that takes.
+                    let in_transit = self
+                        .faults
+                        .as_ref()
+                        .map_or(0, |f| f.links[link.index()].in_transit[v]);
                     let accounted = ovc.credits
                         + router_credits.get(&(r, p, v)).copied().unwrap_or(0)
                         + arrivals
                             .get(&(dst.index(), dst_port.index(), v))
                             .copied()
                             .unwrap_or(0)
+                        + in_transit
                         + buffered;
                     if accounted != depth {
                         return Err(InvariantViolation::CreditLeak {
@@ -502,6 +540,72 @@ mod tests {
             net.check_invariants(),
             Err(InvariantViolation::FifoOrder { .. })
         ));
+    }
+
+    #[test]
+    fn invariants_hold_under_transient_faults() {
+        use crate::fault::FaultPlan;
+        let cfg = NetworkConfig::paper_baseline();
+        let mut net = Network::with_faults(cfg, FaultPlan::transient(3e-4, 9)).unwrap();
+        let n = net.graph().num_nodes();
+        for c in 0..600 {
+            if c % 4 == 0 {
+                for node in 0..n {
+                    let dst = (node + 7) % n;
+                    net.enqueue(NodeId(node), NodeId(dst), Bits(1024), PacketClass::Data, 0);
+                }
+            }
+            net.step();
+            net.check_invariants()
+                .unwrap_or_else(|e| panic!("cycle {c}: {e}"));
+        }
+        assert!(
+            net.fault_counters().flits_corrupted > 0,
+            "the run must actually exercise retransmission"
+        );
+    }
+
+    #[test]
+    fn invariants_hold_across_hard_fault_and_reroute() {
+        use crate::fault::{FaultKind, FaultPlan, HardFault};
+        use crate::routing::degraded::degraded_routing;
+        use crate::routing::RoutingKind;
+        use crate::types::LinkId;
+
+        let cfg = NetworkConfig::paper_baseline();
+        let probe = Network::new(cfg.clone()).unwrap();
+        let link = probe
+            .graph()
+            .links()
+            .iter()
+            .enumerate()
+            .find(|(_, l)| (l.src.index(), l.dst.index()) == (27, 28))
+            .map(|(i, _)| LinkId(i))
+            .expect("8x8 mesh has the 27-28 link");
+        let mut plan = FaultPlan::transient(1e-4, 5);
+        plan.hard.push(HardFault {
+            cycle: 100,
+            kind: FaultKind::Link(link),
+        });
+        let mut net = Network::with_faults(cfg, plan).unwrap();
+        let n = net.graph().num_nodes();
+        for c in 0..800 {
+            if c % 4 == 0 && c < 400 {
+                for node in 0..n {
+                    let dst = (node + 9) % n;
+                    net.enqueue(NodeId(node), NodeId(dst), Bits(1024), PacketClass::Data, 0);
+                }
+            }
+            net.step();
+            if net.take_routing_stale() {
+                let d = degraded_routing(net.graph(), net.dead_links(), net.dead_routers());
+                assert!(d.fully_connected());
+                net.install_routing(RoutingKind::FullTable(d.table));
+            }
+            net.check_invariants()
+                .unwrap_or_else(|e| panic!("cycle {c}: {e}"));
+        }
+        assert_eq!(net.fault_counters().links_dead, 2);
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Up*/down* route-table generation around dead channels.
+//!
+//! After a hard fault the mesh is no longer a mesh: X-Y routing would either
+//! try to cross the dead link forever or need adaptive detours with their own
+//! deadlock story. Instead the engine regenerates a full routing table over
+//! the surviving graph with the classic **up*/down*** scheme:
+//!
+//! 1. BFS from a root (the lowest-id live router) assigns every reachable
+//!    router a level; routers are totally ordered by `(level, id)`.
+//! 2. A directed hop `u -> v` is **up** when `ord(v) < ord(u)` and **down**
+//!    otherwise. Every legal path climbs zero or more up hops, then descends
+//!    zero or more down hops — a down hop is never followed by an up hop.
+//! 3. The next hop at `cur` toward `dst` is a pure function of `(cur, dst)`:
+//!    *if `dst` is reachable from `cur` by down hops alone, take the first
+//!    hop of a shortest such down-only path; otherwise take the up hop that
+//!    minimizes the remaining climb-then-descend distance.* Because the rule
+//!    is Markovian in `cur`, the stored path for `(src, dst)` and the chain
+//!    of per-hop lookups agree exactly — which is what lets the
+//!    channel-dependency walk in `heteronoc-verify` enumerate every
+//!    dependency the table can create.
+//!
+//! Deadlock freedom is the textbook argument: every channel is an up or a
+//! down channel, an all-up (or all-down) dependency cycle would strictly
+//! decrease (increase) the total order, and a mixed cycle needs the
+//! forbidden down→up transition. The generated table is nevertheless gated
+//! on the explicit CDG acyclicity proof before the engine installs it —
+//! the proof is cheap and guards the implementation, not just the theory.
+//!
+//! Progress: each down hop decreases the down-distance by one, and each up
+//! hop decreases the climb-then-descend distance by one, so lookups can
+//! never loop. Pairs separated by the fault (or touching a dead router) get
+//! no table entry and are reported in [`DegradedRouting::unreachable`].
+
+use std::collections::VecDeque;
+
+use crate::topology::TopologyGraph;
+use crate::types::{LinkId, RouterId};
+
+use super::RouteTable;
+
+/// Result of regenerating routes around dead channels.
+#[derive(Clone, Debug, Default)]
+pub struct DegradedRouting {
+    /// Full `(src, dst)` route table over the surviving graph.
+    pub table: RouteTable,
+    /// Live router pairs with no surviving path (src, dst).
+    pub unreachable: Vec<(RouterId, RouterId)>,
+    /// Routers that are dead or cut off from the root component entirely.
+    pub isolated: Vec<RouterId>,
+}
+
+impl DegradedRouting {
+    /// True when every live pair kept a route.
+    pub fn fully_connected(&self) -> bool {
+        self.unreachable.is_empty() && self.isolated.is_empty()
+    }
+}
+
+const INF: u32 = u32::MAX;
+
+/// Builds an up*/down* routing table for the topology minus `dead_links`
+/// (unidirectional ids; pass both directions of a failed physical channel)
+/// and minus every link incident to a router in `dead_routers`.
+pub fn degraded_routing(
+    g: &TopologyGraph,
+    dead_links: &[LinkId],
+    dead_routers: &[RouterId],
+) -> DegradedRouting {
+    let n = g.num_routers();
+    let mut router_dead = vec![false; n];
+    for &r in dead_routers {
+        router_dead[r.index()] = true;
+    }
+    let mut link_dead = vec![false; g.num_links()];
+    for &l in dead_links {
+        link_dead[l.index()] = true;
+    }
+
+    // Live directed adjacency.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, l) in g.links().iter().enumerate() {
+        if link_dead[i] || router_dead[l.src.index()] || router_dead[l.dst.index()] {
+            continue;
+        }
+        succ[l.src.index()].push(l.dst.index());
+    }
+    for s in &mut succ {
+        s.sort_unstable();
+        s.dedup();
+    }
+
+    // BFS levels from the lowest-id live router; ord(v) = (level, id).
+    let root = match (0..n).find(|&r| !router_dead[r]) {
+        Some(r) => r,
+        None => {
+            return DegradedRouting {
+                table: RouteTable::new(),
+                unreachable: Vec::new(),
+                isolated: (0..n).map(RouterId).collect(),
+            };
+        }
+    };
+    let mut level = vec![INF; n];
+    level[root] = 0;
+    let mut q = VecDeque::from([root]);
+    while let Some(u) = q.pop_front() {
+        for &v in &succ[u] {
+            if level[v] == INF {
+                level[v] = level[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    let connected: Vec<usize> = (0..n).filter(|&r| level[r] != INF).collect();
+    let isolated: Vec<RouterId> = (0..n).filter(|&r| level[r] == INF).map(RouterId).collect();
+    let ord = |v: usize| (level[v], v);
+
+    // ord-ascending sweep order for the climb distances.
+    let mut by_ord = connected.clone();
+    by_ord.sort_unstable_by_key(|&v| ord(v));
+
+    // Reversed down edges: preds_down[v] = every u with a down edge u -> v.
+    let mut preds_down: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &u in &connected {
+        for &v in &succ[u] {
+            if level[v] != INF && ord(v) > ord(u) {
+                preds_down[v].push(u);
+            }
+        }
+    }
+
+    let mut result = DegradedRouting {
+        table: RouteTable::new(),
+        unreachable: Vec::new(),
+        isolated,
+    };
+
+    let mut down = vec![INF; n]; // down-only distance to dst
+    let mut climb = vec![INF; n]; // distance under the up-then-down rule
+    for &dst in &connected {
+        down.iter_mut().for_each(|d| *d = INF);
+        down[dst] = 0;
+        q.clear();
+        q.push_back(dst);
+        while let Some(v) = q.pop_front() {
+            for &u in &preds_down[v] {
+                if down[u] == INF {
+                    down[u] = down[v] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        // Climb distances in ord order: an up hop goes to a smaller ord, so
+        // every dependency is already final when a router is visited.
+        for &v in &by_ord {
+            climb[v] = if down[v] != INF {
+                down[v]
+            } else {
+                succ[v]
+                    .iter()
+                    .filter(|&&w| level[w] != INF && ord(w) < ord(v))
+                    .map(|&w| climb[w].saturating_add(1))
+                    .min()
+                    .unwrap_or(INF)
+            };
+        }
+
+        for &src in &connected {
+            if src == dst {
+                continue;
+            }
+            if climb[src] == INF {
+                result.unreachable.push((RouterId(src), RouterId(dst)));
+                continue;
+            }
+            let mut path = vec![RouterId(src)];
+            let mut cur = src;
+            while cur != dst {
+                let next = if down[cur] != INF {
+                    succ[cur]
+                        .iter()
+                        .copied()
+                        .filter(|&w| ord(w) > ord(cur) && down[w] == down[cur] - 1)
+                        .min()
+                } else {
+                    succ[cur]
+                        .iter()
+                        .copied()
+                        .filter(|&w| level[w] != INF && ord(w) < ord(cur))
+                        .filter(|&w| climb[w] == climb[cur] - 1)
+                        .min()
+                };
+                cur = next.expect("finite distance implies a progress hop");
+                path.push(RouterId(cur));
+            }
+            result.table.insert(RouterId(src), RouterId(dst), path);
+        }
+    }
+    result.unreachable.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::mesh;
+
+    fn both_directions(g: &TopologyGraph, a: RouterId, b: RouterId) -> Vec<LinkId> {
+        g.links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| (l.src, l.dst) == (a, b) || (l.src, l.dst) == (b, a))
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Every stored path must be hop-by-hop consistent with per-router
+    /// lookups (the property the CDG walk relies on).
+    fn assert_markovian(tbl: &RouteTable) {
+        for ((_, dst), path) in tbl.pairs() {
+            for w in path.windows(2) {
+                assert_eq!(
+                    tbl.next_hop(w[0], w[0], dst),
+                    Some(w[1]),
+                    "suffix of a stored path must equal the per-hop lookup"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_mesh_is_fully_connected() {
+        let g = mesh::build(4, 4);
+        let d = degraded_routing(&g, &[], &[]);
+        assert!(d.fully_connected());
+        assert_eq!(d.table.len(), 16 * 15);
+        assert_markovian(&d.table);
+    }
+
+    #[test]
+    fn paths_avoid_dead_link() {
+        let g = mesh::build(4, 4);
+        let dead = both_directions(&g, RouterId(5), RouterId(6));
+        assert_eq!(dead.len(), 2);
+        let d = degraded_routing(&g, &dead, &[]);
+        assert!(d.fully_connected());
+        assert_markovian(&d.table);
+        for ((_, _), path) in d.table.pairs() {
+            for w in path.windows(2) {
+                assert!(
+                    !((w[0], w[1]) == (RouterId(5), RouterId(6))
+                        || (w[0], w[1]) == (RouterId(6), RouterId(5))),
+                    "path crosses the dead link"
+                );
+            }
+        }
+        // The direct neighbours still reach each other, the long way round.
+        let p = d.table.path(RouterId(5), RouterId(6)).unwrap();
+        assert!(p.len() > 2);
+    }
+
+    #[test]
+    fn dead_router_isolates_it_and_spares_the_rest() {
+        let g = mesh::build(4, 4);
+        let d = degraded_routing(&g, &[], &[RouterId(5)]);
+        assert_eq!(d.isolated, vec![RouterId(5)]);
+        assert!(d.unreachable.is_empty());
+        // 15 live routers, all pairs routed.
+        assert_eq!(d.table.len(), 15 * 14);
+        assert_markovian(&d.table);
+        for ((s, t), path) in d.table.pairs() {
+            assert!(!path.contains(&RouterId(5)), "{s}->{t} rides a dead router");
+        }
+    }
+
+    #[test]
+    fn cut_network_reports_unreachable_pairs() {
+        // Kill the entire column boundary of a 2x2 mesh: r0-r1 and r2-r3,
+        // splitting {0,2} from {1,3}.
+        let g = mesh::build(2, 2);
+        let mut dead = both_directions(&g, RouterId(0), RouterId(1));
+        dead.extend(both_directions(&g, RouterId(2), RouterId(3)));
+        let d = degraded_routing(&g, &dead, &[]);
+        // Root component is {0,2}; 1 and 3 fall out of the BFS entirely.
+        assert_eq!(d.isolated, vec![RouterId(1), RouterId(3)]);
+        assert_eq!(d.table.len(), 2);
+        assert!(d.table.path(RouterId(0), RouterId(2)).is_some());
+    }
+
+    #[test]
+    fn up_down_phase_never_reverses() {
+        let g = mesh::build(8, 8);
+        let dead = both_directions(&g, RouterId(27), RouterId(28));
+        let d = degraded_routing(&g, &dead, &[]);
+        assert!(d.fully_connected());
+        // Recompute the order exactly as the generator does.
+        let n = g.num_routers();
+        let mut level = vec![u32::MAX; n];
+        level[0] = 0;
+        let mut q = std::collections::VecDeque::from([0usize]);
+        let dead_set: std::collections::HashSet<_> = dead.iter().copied().collect();
+        while let Some(u) = q.pop_front() {
+            for (i, l) in g.links().iter().enumerate() {
+                if l.src.index() == u
+                    && !dead_set.contains(&LinkId(i))
+                    && level[l.dst.index()] == u32::MAX
+                {
+                    level[l.dst.index()] = level[u] + 1;
+                    q.push_back(l.dst.index());
+                }
+            }
+        }
+        let ord = |v: RouterId| (level[v.index()], v.index());
+        for ((s, t), path) in d.table.pairs() {
+            let mut descending = false;
+            for w in path.windows(2) {
+                let down = ord(w[1]) > ord(w[0]);
+                if descending {
+                    assert!(down, "{s}->{t} climbs after descending: {path:?}");
+                }
+                descending = down;
+            }
+        }
+    }
+}

@@ -12,21 +12,109 @@ use crate::types::{NodeId, RouterId};
 
 use super::{RouteChoice, VcClass};
 
+/// Why an X-Y routing query is unanswerable for the given endpoints.
+///
+/// Produced by [`try_route`] when a caller passes out-of-topology ids —
+/// typically user-supplied router/node numbers from a CLI flag or a fault
+/// plan — instead of panicking deep inside coordinate arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteError {
+    /// The current router id is not part of this topology.
+    RouterOutOfRange {
+        /// The offending router id.
+        router: RouterId,
+        /// Number of routers in the topology.
+        routers: usize,
+    },
+    /// A packet endpoint is not a node of this topology.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the topology.
+        nodes: usize,
+    },
+    /// `cur` already serves the destination; the caller must eject instead
+    /// (see [`crate::routing::RoutingKind::route`]).
+    AtDestination {
+        /// The router that serves the destination.
+        router: RouterId,
+        /// The destination node.
+        dst: NodeId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::RouterOutOfRange { router, routers } => write!(
+                f,
+                "router r{} is out of range (topology has {routers} routers)",
+                router.index()
+            ),
+            RouteError::NodeOutOfRange { node, nodes } => write!(
+                f,
+                "node n{} is out of range (topology has {nodes} nodes)",
+                node.index()
+            ),
+            RouteError::AtDestination { router, dst } => write!(
+                f,
+                "r{} already serves destination n{}: eject, don't route",
+                router.index(),
+                dst.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// Computes the X-Y routing decision at router `cur` for a packet
 /// `src -> dst`.
 ///
 /// # Panics
 /// Panics if `cur` already serves `dst` (the caller must eject instead; see
-/// [`crate::routing::RoutingKind::route`]) or if the topology graph is
-/// inconsistent.
+/// [`crate::routing::RoutingKind::route`]), if any id is outside the
+/// topology, or if the topology graph is inconsistent. Use [`try_route`]
+/// for the panic-free variant.
 pub fn route(g: &TopologyGraph, cur: RouterId, src: NodeId, dst: NodeId) -> RouteChoice {
+    try_route(g, cur, src, dst).unwrap_or_else(|e| panic!("X-Y routing failed: {e}"))
+}
+
+/// [`route`] with user-controllable ids validated up front: out-of-range
+/// routers/nodes and route-at-destination queries come back as a typed
+/// [`RouteError`] instead of a panic.
+///
+/// # Errors
+/// See [`RouteError`].
+pub fn try_route(
+    g: &TopologyGraph,
+    cur: RouterId,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<RouteChoice, RouteError> {
+    if cur.index() >= g.num_routers() {
+        return Err(RouteError::RouterOutOfRange {
+            router: cur,
+            routers: g.num_routers(),
+        });
+    }
+    for node in [src, dst] {
+        if node.index() >= g.num_nodes() {
+            return Err(RouteError::NodeOutOfRange {
+                node,
+                nodes: g.num_nodes(),
+            });
+        }
+    }
     let dst_router = g.attachment(dst).router;
-    assert_ne!(cur, dst_router, "route() called at the destination router");
+    if cur == dst_router {
+        return Err(RouteError::AtDestination { router: cur, dst });
+    }
     let c = g.coord(cur);
     let d = g.coord(dst_router);
     let (w, h) = g.grid_dims();
 
-    match g.kind() {
+    Ok(match g.kind() {
         TopologyKind::Mesh { .. } | TopologyKind::CMesh { .. } => {
             let next = if c.x != d.x {
                 let nx = if d.x > c.x { c.x + 1 } else { c.x - 1 };
@@ -79,7 +167,7 @@ pub fn route(g: &TopologyGraph, cur: RouterId, src: NodeId, dst: NodeId) -> Rout
                 class: VcClass::Any,
             }
         }
-    }
+    })
 }
 
 /// One step along a ring of size `n` from `cur` towards `dst`, where the
@@ -121,6 +209,34 @@ mod tests {
             crate::topology::PortKind::Link { to, .. } => to,
             crate::topology::PortKind::Local { .. } => panic!("unexpected local"),
         }
+    }
+
+    #[test]
+    fn out_of_topology_ids_are_typed_errors() {
+        let g = mesh::build(4, 4);
+        assert_eq!(
+            try_route(&g, RouterId(99), NodeId(0), NodeId(5)),
+            Err(RouteError::RouterOutOfRange {
+                router: RouterId(99),
+                routers: 16
+            })
+        );
+        assert_eq!(
+            try_route(&g, RouterId(0), NodeId(0), NodeId(16)),
+            Err(RouteError::NodeOutOfRange {
+                node: NodeId(16),
+                nodes: 16
+            })
+        );
+        let err = try_route(&g, RouterId(5), NodeId(0), NodeId(5)).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::AtDestination {
+                router: RouterId(5),
+                dst: NodeId(5)
+            }
+        );
+        assert!(err.to_string().contains("eject"));
     }
 
     #[test]

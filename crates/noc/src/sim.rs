@@ -8,7 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::network::Network;
+use crate::fault::{FaultCounters, UnrecoverableFault};
+use crate::network::{Network, StallReport};
 use crate::packet::PacketClass;
 use crate::stats::NetStats;
 use crate::types::{Bits, Cycle, NodeId};
@@ -92,6 +93,11 @@ pub struct SimParams {
     pub seed: u64,
     /// Injection process.
     pub process: InjectionProcess,
+    /// Progress watchdog: abort with a [`StallReport`] when packets are in
+    /// flight but none has been delivered or dropped for this many cycles.
+    /// `None` disables the watchdog (a wedged network then runs to
+    /// `max_cycles`).
+    pub watchdog: Option<Cycle>,
 }
 
 impl Default for SimParams {
@@ -103,9 +109,31 @@ impl Default for SimParams {
             max_cycles: 2_000_000,
             seed: 0xC0FFEE,
             process: InjectionProcess::Bernoulli,
+            watchdog: Some(100_000),
         }
     }
 }
+
+/// Why a simulation run could not complete.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The watchdog saw no forward progress with packets in flight; the
+    /// report names the stuck packets and blocked channels.
+    Stalled(Box<StallReport>),
+    /// A link exhausted its retransmission attempts (fault injection).
+    Unrecoverable(UnrecoverableFault),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled(report) => write!(f, "simulation stalled: {report}"),
+            SimError::Unrecoverable(e) => write!(f, "unrecoverable fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Result of one open-loop run.
 #[derive(Clone, Debug)]
@@ -119,6 +147,10 @@ pub struct SimOutcome {
     pub cycles: Cycle,
     /// Network frequency, echoed for ns conversions.
     pub frequency_ghz: f64,
+    /// Packets dropped by the fault layer (zero without fault injection).
+    pub dropped: u64,
+    /// Fault-campaign counters (all zero without fault injection).
+    pub fault_counters: FaultCounters,
 }
 
 impl SimOutcome {
@@ -173,6 +205,25 @@ pub fn run_open_loop<T: Traffic + ?Sized>(
     traffic: &mut T,
     params: SimParams,
 ) -> SimOutcome {
+    run_open_loop_result(net, traffic, params)
+        .unwrap_or_else(|e| panic!("simulation run failed: {e}"))
+}
+
+/// Like [`run_open_loop`], but returning stall and unrecoverable-fault
+/// conditions as typed [`SimError`]s instead of panicking. Fault-injection
+/// campaigns should prefer this entry point: a run that wedges (e.g. a hard
+/// fault with no surviving reroute) comes back as
+/// [`SimError::Stalled`] naming the stuck packets, and a link that
+/// exhausted its retries comes back as [`SimError::Unrecoverable`].
+///
+/// # Errors
+/// [`SimError::Stalled`] when the watchdog fires; [`SimError::Unrecoverable`]
+/// when a link gives up retrying.
+pub fn run_open_loop_result<T: Traffic + ?Sized>(
+    net: Network,
+    traffic: &mut T,
+    params: SimParams,
+) -> Result<SimOutcome, SimError> {
     #[cfg(feature = "verify")]
     {
         run_loop(net, traffic, params, &mut StrictInvariants)
@@ -193,6 +244,7 @@ pub fn run_open_loop_observed<T: Traffic + ?Sized>(
     observer: &mut dyn InvariantObserver,
 ) -> SimOutcome {
     run_loop(net, traffic, params, observer)
+        .unwrap_or_else(|e| panic!("simulation run failed: {e}"))
 }
 
 fn run_loop<T: Traffic + ?Sized>(
@@ -200,7 +252,7 @@ fn run_loop<T: Traffic + ?Sized>(
     traffic: &mut T,
     params: SimParams,
     #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
-) -> SimOutcome {
+) -> Result<SimOutcome, SimError> {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let n = net.graph().num_nodes();
     let mut onoff = vec![
@@ -225,8 +277,10 @@ fn run_loop<T: Traffic + ?Sized>(
     };
 
     let mut delivered_total: u64 = 0;
+    let mut dropped_total: u64 = 0;
     let mut measuring = false;
     let mut saturated = false;
+    let mut last_progress: Cycle = 0;
 
     while net.now() < params.max_cycles {
         // Generate traffic for this cycle (index used both for the ON/OFF
@@ -259,8 +313,23 @@ fn run_loop<T: Traffic + ?Sized>(
         net.step();
         #[cfg(feature = "verify")]
         observer.after_cycle(&net);
+        if let Some(e) = net.fault_error() {
+            return Err(SimError::Unrecoverable(e));
+        }
         let newly = net.drain_delivered().len() as u64;
         delivered_total += newly;
+        let newly_dropped = net.drain_dropped().len() as u64;
+        dropped_total += newly_dropped;
+
+        // Progress watchdog: completions and typed drops both count as
+        // forward progress; an idle network is not stalled.
+        if newly + newly_dropped > 0 || net.in_flight() == 0 {
+            last_progress = net.now();
+        } else if let Some(limit) = params.watchdog {
+            if net.now().saturating_sub(last_progress) > limit {
+                return Err(SimError::Stalled(Box::new(net.stall_report())));
+            }
+        }
 
         if !measuring && delivered_total >= params.warmup_packets {
             measuring = true;
@@ -289,12 +358,14 @@ fn run_loop<T: Traffic + ?Sized>(
 
     let cycles = net.now();
     let frequency_ghz = net.config().frequency_ghz;
-    SimOutcome {
+    Ok(SimOutcome {
         stats: net.stats().clone(),
         saturated,
         cycles,
         frequency_ghz,
-    }
+        dropped: dropped_total,
+        fault_counters: net.fault_counters(),
+    })
 }
 
 /// Uniform-random traffic: every other node equally likely.
@@ -325,6 +396,7 @@ mod tests {
             max_cycles: 200_000,
             seed: 7,
             process: InjectionProcess::Bernoulli,
+            watchdog: Some(100_000),
         }
     }
 
@@ -392,5 +464,78 @@ mod tests {
         for _ in 0..1000 {
             assert!(pareto(&mut rng, 1.9) >= 1);
         }
+    }
+
+    // --- watchdog & fault propagation -----------------------------------
+
+    use crate::config::RouterCfg;
+    use crate::fault::{FaultKind, FaultPlan, HardFault, RetryPolicy};
+    use crate::topology::TopologyKind;
+    use crate::types::RouterId;
+
+    fn faulted_mesh(plan: FaultPlan) -> Network {
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 4,
+                height: 4,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        Network::with_faults(cfg, plan).expect("valid")
+    }
+
+    #[test]
+    fn watchdog_reports_wedged_packets() {
+        // Two packets in flight toward routers that die mid-delivery: the
+        // run must abort with a report naming both, not spin to max_cycles.
+        let mut plan = FaultPlan::default();
+        for r in [15, 12] {
+            plan.hard.push(HardFault {
+                cycle: 3,
+                kind: FaultKind::Router(RouterId(r)),
+            });
+        }
+        let mut net = faulted_mesh(plan);
+        let a = net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
+        let b = net.enqueue(NodeId(3), NodeId(12), Bits(1024), PacketClass::Data, 0);
+        let params = SimParams {
+            injection_rate: 0.0,
+            watchdog: Some(400),
+            ..SimParams::default()
+        };
+        let err = run_open_loop_result(net, &mut UniformRandom, params).unwrap_err();
+        match err {
+            SimError::Stalled(report) => {
+                let ids: Vec<_> = report.stuck.iter().map(|s| s.packet).collect();
+                assert!(ids.contains(&a) && ids.contains(&b), "{report}");
+                assert!(report.cycle < 2_000, "watchdog must fire promptly");
+                assert_eq!(report.in_flight, 2);
+            }
+            other => panic!("expected a stall report, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_healthy_high_load() {
+        let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let mut p = quick_params(0.08);
+        p.watchdog = Some(2_000);
+        let out = run_open_loop_result(net, &mut UniformRandom, p)
+            .expect("a healthy loaded network must never trip the watchdog");
+        assert!(out.stats.packets_retired >= 400);
+    }
+
+    #[test]
+    fn unrecoverable_fault_surfaces_through_the_runner() {
+        let mut plan = FaultPlan::transient(1.0, 1);
+        plan.retry = RetryPolicy {
+            max_attempts: 2,
+            timeout: 4,
+        };
+        let net = faulted_mesh(plan);
+        let err = run_open_loop_result(net, &mut UniformRandom, quick_params(0.05)).unwrap_err();
+        assert!(matches!(err, SimError::Unrecoverable(_)), "{err}");
     }
 }

@@ -25,6 +25,7 @@ fn params(rate: f64) -> SimParams {
         max_cycles: 100_000,
         seed: 11,
         process: heteronoc_noc::sim::InjectionProcess::Bernoulli,
+        watchdog: Some(100_000),
     }
 }
 

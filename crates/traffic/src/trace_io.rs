@@ -38,22 +38,32 @@ fn parse_line(line: &str, lineno: usize) -> Result<TraceRecord, ParseTraceError>
         reason,
     };
     let mut it = line.split_whitespace();
-    let gap: u32 = it
-        .next()
-        .ok_or_else(|| err("missing gap field".into()))?
-        .parse()
-        .map_err(|_| err("gap is not an unsigned integer".into()))?;
+    let gap_str = it.next().ok_or_else(|| err("missing gap field".into()))?;
+    let gap: u32 = gap_str.parse().map_err(|e: std::num::ParseIntError| {
+        if *e.kind() == std::num::IntErrorKind::PosOverflow {
+            err(format!("gap '{gap_str}' overflows u32 (max {})", u32::MAX))
+        } else {
+            err(format!("gap '{gap_str}' is not an unsigned integer"))
+        }
+    })?;
     let op = match it.next() {
         Some("L") | Some("l") => MemOp::Load,
         Some("S") | Some("s") => MemOp::Store,
         Some(other) => return Err(err(format!("op must be L or S, got '{other}'"))),
         None => return Err(err("missing op field".into())),
     };
-    let addr_str = it
+    let raw_addr = it
         .next()
         .ok_or_else(|| err("missing address field".into()))?;
-    let addr_str = addr_str.strip_prefix("0x").unwrap_or(addr_str);
-    let addr = u64::from_str_radix(addr_str, 16).map_err(|_| err("address is not hex".into()))?;
+    let addr_str = raw_addr.strip_prefix("0x").unwrap_or(raw_addr);
+    let addr =
+        u64::from_str_radix(addr_str, 16).map_err(|e: std::num::ParseIntError| match e.kind() {
+            std::num::IntErrorKind::PosOverflow => {
+                err(format!("address '{raw_addr}' overflows 64 bits"))
+            }
+            std::num::IntErrorKind::Empty => err("address is empty".into()),
+            _ => err(format!("address '{raw_addr}' is not hex")),
+        })?;
     if let Some(extra) = it.next() {
         return Err(err(format!("unexpected trailing field '{extra}'")));
     }
@@ -160,5 +170,22 @@ mod tests {
         let e = read_trace("1 L 0x10 extra\n".as_bytes()).unwrap_err();
         assert!(e.reason.contains("trailing"));
         assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn overflowing_fields_are_named_precisely() {
+        // Gap beyond u32: an overflow, not a syntax complaint.
+        let e = read_trace("4294967296 L 0x10\n".as_bytes()).unwrap_err();
+        assert!(e.reason.contains("overflows u32"), "{e}");
+        // Gap that is merely malformed keeps the syntax message.
+        let e = read_trace("-3 L 0x10\n".as_bytes()).unwrap_err();
+        assert!(e.reason.contains("not an unsigned integer"), "{e}");
+        // Address beyond 64 bits: an overflow, with the original token.
+        let e = read_trace("1 L 0x10000000000000000\n".as_bytes()).unwrap_err();
+        assert!(e.reason.contains("overflows 64 bits"), "{e}");
+        assert!(e.reason.contains("0x10000000000000000"), "{e}");
+        // Bare "0x" is an empty address, not hex garbage.
+        let e = read_trace("1 L 0x\n".as_bytes()).unwrap_err();
+        assert!(e.reason.contains("empty"), "{e}");
     }
 }

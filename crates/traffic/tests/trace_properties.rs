@@ -1,0 +1,72 @@
+//! Fuzz-style properties of the trace parser: arbitrary byte soup must
+//! come back as `Ok` or a line-numbered `ParseTraceError` — never a panic —
+//! and well-formed records must round-trip exactly.
+
+use proptest::prelude::*;
+
+use heteronoc_traffic::{read_trace, write_trace, MemOp, TraceRecord, TraceSource};
+
+/// Maps a byte onto a token biased towards near-miss record fields, so the
+/// soup exercises the deep ends of the parser (op and address handling),
+/// not just the first field.
+fn near_token(b: u8) -> String {
+    match b % 11 {
+        0 => String::new(),
+        1 => "#".to_owned(),
+        2 => (u64::from(b) * 77).to_string(),
+        3 => "L".to_owned(),
+        4 => "s".to_owned(),
+        5 => "X".to_owned(),
+        6 => format!("0x{:x}", u64::from(b) << 24),
+        7 => "0x".to_owned(),
+        8 => "zz9q".to_owned(),
+        9 => "99999999999999999999999999".to_owned(),
+        _ => "0x10000000000000000".to_owned(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_trace(&bytes[..]);
+    }
+
+    #[test]
+    fn parser_never_panics_on_near_records(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Assemble the bytes into whitespace/newline-joined near-miss
+        // tokens: mostly invalid lines with occasional valid ones.
+        let mut text = String::new();
+        for chunk in bytes.chunks(3) {
+            for &b in chunk {
+                text.push_str(&near_token(b));
+                text.push(if b % 5 == 0 { '\t' } else { ' ' });
+            }
+            text.push('\n');
+        }
+        let lines = text.lines().count();
+        if let Err(e) = read_trace(text.as_bytes()) {
+            prop_assert!(e.line >= 1 && e.line <= lines);
+            prop_assert!(!e.reason.is_empty());
+            prop_assert!(e.to_string().contains("trace line"));
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_records(
+        recs in proptest::collection::vec((any::<u32>(), any::<bool>(), any::<u64>()), 0..64)
+    ) {
+        let records: Vec<TraceRecord> = recs
+            .into_iter()
+            .map(|(gap, load, addr)| TraceRecord {
+                gap,
+                op: if load { MemOp::Load } else { MemOp::Store },
+                addr,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.clone()).expect("write to Vec");
+        let mut back = read_trace(&buf[..]).expect("own output parses");
+        let got: Vec<TraceRecord> = std::iter::from_fn(|| back.next_record()).collect();
+        prop_assert_eq!(got, records);
+    }
+}

@@ -1,0 +1,421 @@
+//! Graceful-degradation rerouting with the deadlock proof in the loop.
+//!
+//! When a hard fault kills a link or router mid-run, the engine marks the
+//! installed routing stale ([`Network::take_routing_stale`]) and the control
+//! layer must regenerate a table around the dead equipment. This module is
+//! that control layer: [`verify_degraded_routing`] builds the up*/down*
+//! table ([`degraded_routing`]) and *proves it deadlock-free* on the
+//! surviving channel-dependency graph before anyone installs it, and
+//! [`run_with_degradation`] drives a whole fault campaign — inject, step,
+//! reroute on every hard fault, and report per-phase statistics — with the
+//! proof gating every reroute.
+//!
+//! The gate matters: an unproven reroute that happens to close a dependency
+//! cycle would wedge the network silently. Here a cyclic regenerated table
+//! is a typed [`DegradedRunError::Deadlock`] naming the cycle, never a hang.
+
+use heteronoc_noc::config::NetworkConfig;
+use heteronoc_noc::fault::{DroppedPacket, FaultCounters, FaultPlan, UnrecoverableFault};
+use heteronoc_noc::network::{Network, StallReport};
+use heteronoc_noc::packet::PacketClass;
+use heteronoc_noc::routing::degraded::degraded_routing;
+use heteronoc_noc::routing::RoutingKind;
+use heteronoc_noc::topology::TopologyGraph;
+use heteronoc_noc::types::{Bits, Cycle, LinkId, NodeId, RouterId};
+
+use crate::cdg::{Cdg, EscapeModel};
+use crate::error::VerifyError;
+
+/// A degraded routing that passed the CDG acyclicity proof.
+#[derive(Clone, Debug)]
+pub struct VerifiedDegradedRouting {
+    /// The proven table, ready for [`Network::install_routing`].
+    pub routing: RoutingKind,
+    /// Live router pairs the degraded table cannot connect.
+    pub unreachable: Vec<(RouterId, RouterId)>,
+    /// Routers cut off from the surviving connected component.
+    pub isolated: Vec<RouterId>,
+    /// VC-level channels in the verified dependency graph.
+    pub channels: usize,
+    /// Dependencies proven acyclic.
+    pub dependencies: usize,
+}
+
+/// Builds an up*/down* routing table for `cfg`'s topology minus the dead
+/// equipment and proves it deadlock-free before returning it.
+///
+/// Unreachable pairs and isolated routers are *not* errors — the engine
+/// absorbs and drops their traffic with typed reasons — but they are
+/// reported so callers can account for the lost coverage.
+///
+/// # Errors
+/// [`VerifyError::CyclicDependency`] (naming the cycle) if the regenerated
+/// table's dependency graph is cyclic; [`VerifyError::Config`] if `cfg`
+/// itself is invalid.
+pub fn verify_degraded_routing(
+    cfg: &NetworkConfig,
+    dead_links: &[LinkId],
+    dead_routers: &[RouterId],
+) -> Result<VerifiedDegradedRouting, VerifyError> {
+    let graph = cfg.build_graph();
+    verify_degraded_on(&graph, cfg, dead_links, dead_routers)
+}
+
+/// [`verify_degraded_routing`] with a pre-built graph (the campaign runner
+/// regenerates on every hard fault and need not rebuild the topology).
+fn verify_degraded_on(
+    graph: &TopologyGraph,
+    cfg: &NetworkConfig,
+    dead_links: &[LinkId],
+    dead_routers: &[RouterId],
+) -> Result<VerifiedDegradedRouting, VerifyError> {
+    let dr = degraded_routing(graph, dead_links, dead_routers);
+    let routing = RoutingKind::FullTable(dr.table);
+    let vcs: Vec<usize> = cfg.routers.iter().map(|r| r.vcs_per_port).collect();
+    // The degraded table claims whole ports (VcClass::Any, no escape
+    // reservation): the proof must hold with every dependency hard.
+    let cdg = Cdg::build(graph, &routing, &vcs, EscapeModel::None)?;
+    cdg.check_acyclic()?;
+    Ok(VerifiedDegradedRouting {
+        routing,
+        unreachable: dr.unreachable,
+        isolated: dr.isolated,
+        channels: cdg.num_channels(),
+        dependencies: cdg.num_dependencies(),
+    })
+}
+
+/// One injected packet of a degradation campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct Injection {
+    /// Cycle the packet enters the source queue.
+    pub cycle: Cycle,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Payload size.
+    pub size: Bits,
+}
+
+/// Statistics of one routing phase (the interval between two reroutes).
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseStats {
+    /// First cycle of the phase.
+    pub from_cycle: Cycle,
+    /// Cycle the phase ended (a reroute, or end of run).
+    pub to_cycle: Cycle,
+    /// Packets retired during the phase.
+    pub delivered: u64,
+    /// Packets dropped during the phase.
+    pub dropped: u64,
+    /// Σ (retire − inject) over the phase's deliveries.
+    pub latency_cycles: u64,
+}
+
+impl PhaseStats {
+    /// Mean packet latency of the phase in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.latency_cycles as f64 / self.delivered as f64
+            }
+        }
+    }
+}
+
+/// Outcome of a completed degradation campaign.
+#[derive(Clone, Debug)]
+pub struct DegradedRunReport {
+    /// Per-routing-phase statistics, in time order. One entry when no hard
+    /// fault fired, one extra entry per reroute.
+    pub phases: Vec<PhaseStats>,
+    /// Total packets retired.
+    pub delivered: u64,
+    /// Every packet dropped, with its typed reason.
+    pub dropped: Vec<DroppedPacket>,
+    /// Fault-campaign counters from the engine.
+    pub counters: FaultCounters,
+    /// Number of CDG-verified reroutes performed.
+    pub reroutes: u32,
+    /// Cycle the last packet left the network.
+    pub finished_at: Cycle,
+}
+
+/// Why a degradation campaign could not complete.
+#[derive(Clone, Debug)]
+pub enum DegradedRunError {
+    /// The configuration was rejected by the engine.
+    Config(heteronoc_noc::error::ConfigError),
+    /// A regenerated routing failed the deadlock proof (cycle named) —
+    /// nothing was installed.
+    Deadlock(VerifyError),
+    /// A link exhausted its retransmission attempts.
+    Unrecoverable(UnrecoverableFault),
+    /// No forward progress for longer than the stall limit.
+    Stalled(Box<StallReport>),
+}
+
+impl std::fmt::Display for DegradedRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedRunError::Config(e) => write!(f, "invalid configuration: {e}"),
+            DegradedRunError::Deadlock(e) => {
+                write!(f, "regenerated routing failed the deadlock proof: {e}")
+            }
+            DegradedRunError::Unrecoverable(e) => write!(f, "unrecoverable fault: {e}"),
+            DegradedRunError::Stalled(r) => write!(f, "campaign stalled: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for DegradedRunError {}
+
+/// Runs a full degradation campaign: injects `injections` (any order; they
+/// are sorted by cycle), steps the engine, and on every hard fault
+/// regenerates, *proves* and installs a degraded table. Returns per-phase
+/// statistics plus the engine's drop/fault accounting.
+///
+/// `stall_limit` bounds the cycles the run may go without a delivery or a
+/// drop while packets are in flight (the drain watchdog).
+///
+/// # Errors
+/// See [`DegradedRunError`]; a cyclic regenerated table, exhausted link
+/// retries and a stalled drain all surface as typed errors, never hangs.
+///
+/// # Panics
+/// Panics if an injection names an endpoint outside the topology.
+pub fn run_with_degradation(
+    cfg: NetworkConfig,
+    plan: FaultPlan,
+    injections: &[Injection],
+    stall_limit: Cycle,
+) -> Result<DegradedRunReport, DegradedRunError> {
+    let graph = cfg.build_graph();
+    let cfg_probe = cfg.clone();
+    let mut net = Network::with_faults(cfg, plan).map_err(DegradedRunError::Config)?;
+
+    let mut pending: Vec<Injection> = injections.to_vec();
+    pending.sort_by_key(|i| i.cycle);
+    let mut next = 0usize;
+
+    let mut phases: Vec<PhaseStats> = Vec::new();
+    let mut phase = PhaseStats {
+        from_cycle: 0,
+        to_cycle: 0,
+        delivered: 0,
+        dropped: 0,
+        latency_cycles: 0,
+    };
+    let mut all_dropped: Vec<DroppedPacket> = Vec::new();
+    let mut delivered_total = 0u64;
+    let mut reroutes = 0u32;
+    let mut last_progress: Cycle = 0;
+    let mut finished_at: Cycle = 0;
+
+    while next < pending.len() || net.in_flight() > 0 {
+        let now = net.now();
+        while next < pending.len() && pending[next].cycle <= now {
+            let inj = pending[next];
+            net.enqueue(inj.src, inj.dst, inj.size, PacketClass::Data, next as u64);
+            next += 1;
+        }
+        net.step();
+
+        if let Some(e) = net.fault_error() {
+            return Err(DegradedRunError::Unrecoverable(e));
+        }
+        let delivered = net.drain_delivered();
+        let dropped = net.drain_dropped();
+        if !delivered.is_empty() || !dropped.is_empty() {
+            last_progress = net.now();
+            finished_at = net.now();
+        }
+        for d in &delivered {
+            phase.delivered += 1;
+            phase.latency_cycles += d.retire.saturating_sub(d.inject);
+        }
+        delivered_total += delivered.len() as u64;
+        phase.dropped += dropped.len() as u64;
+        all_dropped.extend(dropped);
+
+        if net.take_routing_stale() {
+            let verified =
+                verify_degraded_on(&graph, &cfg_probe, net.dead_links(), net.dead_routers())
+                    .map_err(DegradedRunError::Deadlock)?;
+            net.install_routing(verified.routing);
+            reroutes += 1;
+            phase.to_cycle = net.now();
+            phases.push(phase);
+            phase = PhaseStats {
+                from_cycle: net.now(),
+                to_cycle: 0,
+                delivered: 0,
+                dropped: 0,
+                latency_cycles: 0,
+            };
+            last_progress = net.now();
+        }
+
+        if net.in_flight() > 0 && net.now().saturating_sub(last_progress) > stall_limit {
+            return Err(DegradedRunError::Stalled(Box::new(net.stall_report())));
+        }
+    }
+
+    phase.to_cycle = net.now();
+    phases.push(phase);
+    Ok(DegradedRunReport {
+        phases,
+        delivered: delivered_total,
+        dropped: all_dropped,
+        counters: net.fault_counters(),
+        reroutes,
+        finished_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteronoc_noc::config::RouterCfg;
+    use heteronoc_noc::fault::{DropReason, FaultKind, HardFault, RetryPolicy};
+    use heteronoc_noc::topology::TopologyKind;
+
+    fn mesh8() -> NetworkConfig {
+        NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 8,
+                height: 8,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        )
+    }
+
+    fn all_pairs_burst(n: usize, spacing: Cycle) -> Vec<Injection> {
+        let mut inj = Vec::new();
+        let mut k = 0u64;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                inj.push(Injection {
+                    cycle: k * spacing,
+                    src: NodeId(s),
+                    dst: NodeId(d),
+                    size: Bits(512),
+                });
+                k += 1;
+            }
+        }
+        inj
+    }
+
+    #[test]
+    fn healthy_degraded_table_verifies() {
+        let cfg = mesh8();
+        let v = verify_degraded_routing(&cfg, &[], &[]).unwrap();
+        assert!(v.unreachable.is_empty() && v.isolated.is_empty());
+        assert!(v.dependencies > 0);
+    }
+
+    #[test]
+    fn degraded_table_around_dead_router_verifies() {
+        let cfg = mesh8();
+        let v = verify_degraded_routing(&cfg, &[], &[RouterId(27)]).unwrap();
+        assert_eq!(v.isolated, vec![RouterId(27)]);
+        assert!(
+            v.unreachable.is_empty(),
+            "mesh minus one router stays connected"
+        );
+    }
+
+    #[test]
+    fn campaign_survives_mid_run_link_fault() {
+        // Kill one physical channel of the 8x8 mesh mid-burst: every packet
+        // must still deliver, over a CDG-proven regenerated table, and the
+        // report must show both routing phases.
+        let g = mesh8().build_graph();
+        let l = g
+            .links()
+            .iter()
+            .position(|l| l.src == RouterId(27) && l.dst == RouterId(28))
+            .expect("east link 27->28 exists");
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 120,
+            kind: FaultKind::Link(heteronoc_noc::types::LinkId(l)),
+        });
+        let inj = all_pairs_burst(64, 1);
+        let total = inj.len() as u64;
+        let report = run_with_degradation(mesh8(), plan, &inj, 50_000).unwrap();
+        assert_eq!(report.delivered, total, "{:?}", report.counters);
+        assert!(report.dropped.is_empty());
+        assert_eq!(report.reroutes, 1);
+        assert_eq!(report.phases.len(), 2);
+        assert!(report.phases[0].delivered > 0, "pre-fault phase delivers");
+        assert!(report.phases[1].delivered > 0, "post-fault phase delivers");
+        assert_eq!(report.counters.links_dead, 2, "both directions die");
+    }
+
+    #[test]
+    fn campaign_drops_dead_router_traffic_with_reasons() {
+        // Router 36 dies before any wormhole is granted through it: its
+        // endpoints' traffic drops with typed reasons, everything else
+        // delivers over the regenerated table.
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 0,
+            kind: FaultKind::Router(RouterId(36)),
+        });
+        let inj = all_pairs_burst(64, 1);
+        let total = inj.len() as u64;
+        let report = run_with_degradation(mesh8(), plan, &inj, 50_000).unwrap();
+        assert_eq!(report.reroutes, 1);
+        assert!(!report.dropped.is_empty(), "router 36's traffic is lost");
+        assert!(report.dropped.iter().all(|d| matches!(
+            d.reason,
+            DropReason::SourceDead | DropReason::DestinationDead | DropReason::Unreachable
+        )));
+        assert_eq!(report.delivered + report.dropped.len() as u64, total);
+        assert_eq!(report.dropped.len(), 126, "63 sourced + 63 destined at n36");
+    }
+
+    #[test]
+    fn straddled_router_kill_is_a_typed_error_not_a_hang() {
+        // A router that dies with wormholes mid-flight through it black-
+        // holes their flits (fail-stop): the sender's bounded retries must
+        // surface a typed error — never an endless spin.
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 200,
+            kind: FaultKind::Router(RouterId(36)),
+        });
+        let inj = all_pairs_burst(64, 1);
+        let err = run_with_degradation(mesh8(), plan, &inj, 20_000).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DegradedRunError::Unrecoverable(_) | DegradedRunError::Stalled(_)
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn campaign_surfaces_retry_exhaustion_as_typed_error() {
+        let mut plan = FaultPlan::transient(1.0, 7);
+        plan.retry = RetryPolicy {
+            max_attempts: 2,
+            timeout: 4,
+        };
+        let inj = all_pairs_burst(8, 3);
+        let err = run_with_degradation(mesh8(), plan, &inj, 50_000).unwrap_err();
+        assert!(matches!(err, DegradedRunError::Unrecoverable(_)), "{err}");
+    }
+}

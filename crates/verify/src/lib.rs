@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cdg;
+pub mod degraded;
 pub mod error;
 pub mod lint;
 
@@ -33,6 +34,10 @@ use heteronoc_noc::config::NetworkConfig;
 use heteronoc_noc::types::RouterId;
 
 pub use cdg::{Cdg, EscapeModel};
+pub use degraded::{
+    run_with_degradation, verify_degraded_routing, DegradedRunError, DegradedRunReport, Injection,
+    PhaseStats, VerifiedDegradedRouting,
+};
 pub use error::{CdgChannel, LintWarning, VerifyError};
 
 /// Summary of a successful verification.

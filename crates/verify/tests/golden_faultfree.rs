@@ -1,0 +1,52 @@
+//! Golden regression pin: fault-free runs must stay cycle-identical.
+//!
+//! The fault-injection layer (`heteronoc_noc::fault`) is wired into the
+//! engine behind an `Option`; these tests pin the exact measured statistics
+//! of two paper configurations so any perturbation of the fault-free fast
+//! path — an extra event, a changed arbitration order, a shifted RNG draw —
+//! shows up as a hard failure, not a silent drift. The numbers were captured
+//! from the engine before the fault layer existed.
+
+use heteronoc::{mesh_config, Layout};
+use heteronoc_noc::network::Network;
+use heteronoc_noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+
+fn pin_params() -> SimParams {
+    SimParams {
+        injection_rate: 0.02,
+        warmup_packets: 200,
+        measure_packets: 2_000,
+        max_cycles: 500_000,
+        seed: 0xFA01,
+        process: InjectionProcess::Bernoulli,
+        ..SimParams::default()
+    }
+}
+
+/// (packets_retired, Σ latency cycles, Σ queuing cycles, total cycles).
+fn fingerprint(net: Network) -> (u64, u64, u64, u64) {
+    let out = run_open_loop(net, &mut UniformRandom, pin_params());
+    assert!(!out.saturated);
+    (
+        out.stats.packets_retired,
+        out.stats.latency.total,
+        out.stats.latency.queuing,
+        out.cycles,
+    )
+}
+
+#[test]
+fn baseline_mesh_fingerprint_unchanged() {
+    let net = Network::new(mesh_config(&Layout::Baseline)).unwrap();
+    let got = fingerprint(net);
+    println!("baseline fingerprint: {got:?}");
+    assert_eq!(got, (2000, 57748, 626, 1825));
+}
+
+#[test]
+fn diagonal_bl_fingerprint_unchanged() {
+    let net = Network::new(mesh_config(&Layout::DiagonalBL)).unwrap();
+    let got = fingerprint(net);
+    println!("diagonal-bl fingerprint: {got:?}");
+    assert_eq!(got, (2002, 65373, 1051, 1833));
+}

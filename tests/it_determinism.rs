@@ -16,6 +16,7 @@ fn params(seed: u64) -> SimParams {
         max_cycles: 300_000,
         seed,
         process: InjectionProcess::Bernoulli,
+        watchdog: Some(100_000),
     }
 }
 

@@ -15,6 +15,7 @@ fn quick(rate: f64) -> SimParams {
         max_cycles: 500_000,
         seed: 11,
         process: InjectionProcess::Bernoulli,
+        watchdog: Some(100_000),
     }
 }
 

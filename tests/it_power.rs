@@ -25,6 +25,7 @@ fn sim(
             max_cycles: 500_000,
             seed: 3,
             process: InjectionProcess::Bernoulli,
+            watchdog: Some(100_000),
         },
     );
     (cfg, out.stats)
