@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use heteronoc::noc::config::{LinkWidths, NetworkConfig, RouterCfg};
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
 use heteronoc::noc::topology::TopologyKind;
 use heteronoc::noc::types::Bits;
 
@@ -29,9 +29,8 @@ fn homo(vcs: usize, depth: usize, width: u32) -> NetworkConfig {
 
 fn run(cfg: NetworkConfig) -> u64 {
     let net = Network::new(cfg).expect("valid");
-    let out = run_open_loop(
+    let out = SimRun::new(
         net,
-        &mut UniformRandom,
         SimParams {
             injection_rate: 0.05,
             warmup_packets: 100,
@@ -41,7 +40,9 @@ fn run(cfg: NetworkConfig) -> u64 {
             process: InjectionProcess::Bernoulli,
             watchdog: Some(100_000),
         },
-    );
+    )
+    .run()
+    .expect("simulation run");
     out.stats.latency.total
 }
 

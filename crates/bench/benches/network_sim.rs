@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use heteronoc::noc::network::Network;
 use heteronoc::noc::packet::PacketClass;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
 use heteronoc::noc::types::{Bits, NodeId};
 use heteronoc::{mesh_config, Layout};
 
@@ -54,9 +54,8 @@ fn bench_open_loop_batch(c: &mut Criterion) {
             |b, layout| {
                 b.iter(|| {
                     let net = Network::new(mesh_config(layout)).expect("valid");
-                    let out = run_open_loop(
+                    let out = SimRun::new(
                         net,
-                        &mut UniformRandom,
                         SimParams {
                             injection_rate: 0.02,
                             warmup_packets: 100,
@@ -66,7 +65,9 @@ fn bench_open_loop_batch(c: &mut Criterion) {
                             process: InjectionProcess::Bernoulli,
                             watchdog: Some(100_000),
                         },
-                    );
+                    )
+                    .run()
+                    .expect("simulation run");
                     black_box(out.stats.latency.total)
                 })
             },

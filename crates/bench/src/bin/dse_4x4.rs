@@ -1,132 +1,7 @@
-//! §2 footnote 4: exhaustive design-space exploration on a 4x4 network.
-//!
-//! The paper enumerated every placement of big routers for three splits —
-//! (12 small, 4 big): C(16,4)=1820, (10,6): 8008 and (8,8): 12870 raw
-//! configurations — and extrapolated the winners to 8x8. We reduce each
-//! space by D4 grid symmetry and score every canonical placement with a
-//! short uniform-random simulation, reporting the best and worst layouts.
-
-use heteronoc::dse;
-use heteronoc::noc::config::{LinkWidths, NetworkConfig, RouterCfg};
-use heteronoc::noc::network::Network;
-use heteronoc::noc::routing::RoutingKind;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
-use heteronoc::noc::topology::TopologyKind;
-use heteronoc::noc::types::Bits;
-use heteronoc::Placement;
-use heteronoc_bench::{full_scale, Report};
-
-fn placement_config(p: &Placement) -> NetworkConfig {
-    NetworkConfig {
-        topology: TopologyKind::Mesh {
-            width: p.width(),
-            height: p.height(),
-        },
-        flit_width: Bits(128),
-        routers: p
-            .mask()
-            .iter()
-            .map(|&b| if b { RouterCfg::BIG } else { RouterCfg::SMALL })
-            .collect(),
-        link_widths: LinkWidths::ByBigRouters {
-            big: p.mask().to_vec(),
-            narrow: Bits(128),
-            wide: Bits(256),
-        },
-        routing: RoutingKind::DimensionOrder,
-        frequency_ghz: 2.07,
-        escape_timeout: 16,
-    }
-}
-
-fn score(p: &Placement, packets: u64) -> f64 {
-    let net = Network::new(placement_config(p)).expect("valid placement config");
-    let out = run_open_loop(
-        net,
-        &mut UniformRandom,
-        SimParams {
-            injection_rate: 0.05,
-            warmup_packets: packets / 10,
-            measure_packets: packets,
-            max_cycles: 200_000,
-            seed: 0xD5E,
-            process: InjectionProcess::Bernoulli,
-            watchdog: Some(100_000),
-        },
-    );
-    if out.saturated {
-        1e9
-    } else {
-        out.stats.latency.mean_total()
-    }
-}
-
-fn describe(p: &Placement) -> String {
-    let mut grid = String::new();
-    for y in 0..p.height() {
-        for x in 0..p.width() {
-            grid.push(if p.is_big(heteronoc::noc::RouterId(y * p.width() + x)) {
-                'B'
-            } else {
-                '.'
-            });
-        }
-        grid.push(' ');
-    }
-    grid
-}
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::dse_4x4` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("dse_4x4");
-    rep.line("# §2 footnote 4 — exhaustive 4x4 design-space exploration");
-    rep.line("");
-    rep.line("raw placement counts (paper):");
-    for k in [4u64, 6, 8] {
-        rep.line(format!("  C(16,{k}) = {}", dse::binomial(16, k)));
-    }
-
-    // Full scale sweeps all three splits; quick mode the 4-big split only.
-    let splits: Vec<usize> = if full_scale() { vec![4, 6, 8] } else { vec![4] };
-    let packets: u64 = if full_scale() { 4_000 } else { 1_200 };
-
-    for k in splits {
-        let canon = dse::enumerate_canonical(4, k);
-        rep.line("");
-        rep.line(format!(
-            "## split: {} small / {k} big — {} raw placements, {} after D4 symmetry",
-            16 - k,
-            dse::binomial(16, k as u64),
-            canon.len()
-        ));
-        let mut n = 0usize;
-        let scored = dse::sweep(4, k, |p| {
-            n += 1;
-            if n.is_multiple_of(50) {
-                eprintln!("  evaluated {n} placements");
-            }
-            score(p, packets)
-        });
-        rep.line("best five placements (mean latency in cycles; B = big router):");
-        for s in scored.iter().take(5) {
-            rep.line(format!("  {:8.2}  {}", s.score, describe(&s.placement)));
-        }
-        rep.line("worst three:");
-        for s in scored.iter().rev().take(3) {
-            rep.line(format!("  {:8.2}  {}", s.score, describe(&s.placement)));
-        }
-        // Where do the structured layouts rank?
-        let diag = Placement::diagonals(4, 4);
-        if k == 8 {
-            let rank = scored
-                .iter()
-                .position(|s| s.placement == diag)
-                .map(|i| i + 1);
-            if let Some(r) = rank {
-                rep.line(format!(
-                    "diagonal placement ranks {r} of {} canonical layouts",
-                    scored.len()
-                ));
-            }
-        }
-    }
+    heteronoc_bench::experiments::dse_4x4::run();
 }

@@ -1,109 +1,7 @@
-//! Extension experiment: heuristic design-space search directly on the 8x8
-//! grid. The paper deems exhaustive 8x8 search infeasible
-//! (C(64,48) ≈ 4.89·10¹⁴, footnote 4) and extrapolates its 4x4 winners; we
-//! run simulated annealing over 16-big-router placements with short
-//! simulations and compare the discovered layout against the paper's
-//! structured candidates (Center / Row2_5 / Diagonal).
-
-use heteronoc::dse::anneal;
-use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
-use heteronoc::noc::types::RouterId;
-use heteronoc::{network_config, Layout, Placement};
-use heteronoc_bench::{full_scale, Report};
-use heteronoc_noc::topology::TopologyKind;
-
-fn score(p: &Placement, packets: u64) -> f64 {
-    let layout = Layout::Custom {
-        placement: p.clone(),
-        links: true,
-        name: "cand".into(),
-    };
-    let cfg = network_config(
-        &layout,
-        TopologyKind::Mesh {
-            width: 8,
-            height: 8,
-        },
-    );
-    let net = Network::new(cfg).expect("valid candidate");
-    let out = run_open_loop(
-        net,
-        &mut UniformRandom,
-        SimParams {
-            injection_rate: 0.035,
-            warmup_packets: packets / 10,
-            measure_packets: packets,
-            max_cycles: 300_000,
-            seed: 0x8E8,
-            process: InjectionProcess::Bernoulli,
-            watchdog: Some(100_000),
-        },
-    );
-    if out.saturated {
-        1e9
-    } else {
-        out.stats.latency.mean_total()
-    }
-}
-
-fn grid(p: &Placement) -> String {
-    let mut s = String::new();
-    for y in 0..8 {
-        for x in 0..8 {
-            s.push(if p.is_big(RouterId(y * 8 + x)) {
-                'B'
-            } else {
-                '.'
-            });
-        }
-        s.push(' ');
-    }
-    s
-}
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::dse_8x8_heuristic` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("dse_8x8_heuristic");
-    let packets: u64 = if full_scale() { 4_000 } else { 1_000 };
-    let iters = if full_scale() { 400 } else { 120 };
-    rep.line("# Extension — simulated-annealing search over 8x8 placements (16 big)");
-    rep.line(format!(
-        "# {iters} iterations, {packets} packets per evaluation"
-    ));
-    rep.line("");
-
-    rep.line("## Structured candidates (UR @ 0.035, mean latency in cycles)");
-    let mut structured = Vec::new();
-    for layout in [Layout::CenterBL, Layout::Row25BL, Layout::DiagonalBL] {
-        let p = layout.placement(8, 8);
-        let s = score(&p, packets);
-        rep.line(format!("  {:<14}{s:8.2}", layout.name()));
-        structured.push((layout.name().to_owned(), s, p));
-    }
-
-    // Anneal from the diagonal (warm start) and from the centre layout.
-    rep.line("");
-    for (name, start) in [
-        ("diagonal", Layout::DiagonalBL.placement(8, 8)),
-        ("center", Layout::CenterBL.placement(8, 8)),
-    ] {
-        let mut evals = 0usize;
-        let best = anneal(start, iters, 0xA77EA1, |p| {
-            evals += 1;
-            if evals.is_multiple_of(25) {
-                eprintln!("  {evals} evaluations");
-            }
-            score(p, packets)
-        });
-        rep.line(format!(
-            "## Annealed from {name}: best score {:.2} cycles",
-            best.score
-        ));
-        rep.line(format!("   {}", grid(&best.placement)));
-    }
-
-    rep.line("");
-    rep.line("Short-run scores are noisy; the interesting observation is whether the");
-    rep.line("search stays near placements that spread big routers across rows and");
-    rep.line("columns (the paper's diagonal rationale) or drifts elsewhere.");
+    heteronoc_bench::experiments::dse_8x8_heuristic::run();
 }

@@ -1,68 +1,7 @@
-//! §5.1's unshown claim: "we also analyzed HeteroNoC configurations with
-//! transpose, bit-complement and self-similar traffic patterns (not shown
-//! here due to space limitations) and observed that the load-latency and
-//! power consumption curves are very similar in trend to those obtained
-//! with UR traffic." This binary generates those curves (plus bit-reverse,
-//! tornado and shuffle) so the claim can be inspected.
-
-use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, Traffic, UniformRandom};
-use heteronoc::power::NetworkPower;
-use heteronoc::traffic::{BitComplement, BitReverse, Shuffle, Tornado, Transpose};
-use heteronoc::{mesh_config, Layout};
-use heteronoc_bench::{default_params, pct_reduction, Report};
-
-fn patterns() -> Vec<(&'static str, Box<dyn Traffic>, f64)> {
-    // Each with a moderate load suited to its saturation point.
-    vec![
-        ("UR", Box::new(UniformRandom), 0.03),
-        ("transpose", Box::new(Transpose::new(8)), 0.02),
-        ("bit-complement", Box::new(BitComplement), 0.015),
-        ("bit-reverse", Box::new(BitReverse), 0.02),
-        ("tornado", Box::new(Tornado::new(8, 8)), 0.02),
-        ("shuffle", Box::new(Shuffle), 0.025),
-        ("self-similar UR", Box::new(UniformRandom), 0.025),
-    ]
-}
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::extra_patterns` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("extra_patterns");
-    rep.line("# §5.1 (unshown) — other traffic patterns, Diagonal+BL vs baseline");
-    rep.line(format!(
-        "{:<18}{:>10}{:>16}{:>16}{:>14}{:>14}",
-        "pattern", "rate", "baseline [ns]", "hetero [ns]", "lat delta", "power delta"
-    ));
-    let power_model = NetworkPower::paper_calibrated();
-    for (name, mut traffic, rate) in patterns() {
-        let mut vals = Vec::new();
-        for layout in [Layout::Baseline, Layout::DiagonalBL] {
-            let cfg = mesh_config(&layout);
-            let graph = cfg.build_graph();
-            let net = Network::new(cfg.clone()).expect("valid");
-            let mut p = default_params(rate, 0xE77A);
-            if name.starts_with("self-similar") {
-                p.process = InjectionProcess::SelfSimilar {
-                    alpha_on: 1.9,
-                    alpha_off: 1.25,
-                };
-            }
-            let out = run_open_loop(net, traffic.as_mut(), p);
-            let w = power_model.evaluate(&cfg, &graph, &out.stats).total_w();
-            vals.push((out.latency_ns(), w, out.saturated));
-        }
-        let (bl, bw, bs) = vals[0];
-        let (hl, hw, hs) = vals[1];
-        rep.line(format!(
-            "{:<18}{:>10.3}{:>16}{:>16}{:>+13.1}%{:>+13.1}%",
-            name,
-            rate,
-            if bs { "sat".into() } else { format!("{bl:.2}") },
-            if hs { "sat".into() } else { format!("{hl:.2}") },
-            pct_reduction(bl, hl),
-            pct_reduction(bw, hw),
-        ));
-    }
-    rep.line("");
-    rep.line("paper's claim: trends match UR across patterns — in our model that holds:");
-    rep.line("power improves and latency degrades consistently across all patterns.");
+    heteronoc_bench::experiments::extra_patterns::run();
 }

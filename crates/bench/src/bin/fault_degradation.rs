@@ -1,157 +1,7 @@
-//! Fault-degradation sweep: how gracefully do the homogeneous baseline and
-//! HeteroNoC (Diagonal+BL) degrade under faults?
-//!
-//! Two campaigns, both written to `results/fault_degradation.txt`:
-//!
-//! 1. **Transient faults** — uniform per-link bit-error rate swept over
-//!    decades; every corrupted flit is CRC-detected and retransmitted by
-//!    the link-level go-back-N protocol, so the cost shows up as latency
-//!    and retransmission bandwidth, not loss. This asks the PR's motivating
-//!    question: do the big routers' extra VCs absorb the replay traffic
-//!    better than the homogeneous mesh?
-//! 2. **Hard faults** — an increasing number of link kills applied mid-run
-//!    to an all-pairs campaign; after each kill the route table is
-//!    regenerated around the dead channels and *proved* deadlock-free
-//!    (channel-dependency-graph check) before installation. Reported as
-//!    delivered/dropped counts and mean latency per kill count.
-
-use heteronoc::noc::fault::{FaultKind, FaultPlan, HardFault};
-use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop_result, SimParams, UniformRandom};
-use heteronoc::noc::types::{Bits, Cycle, NodeId, RouterId};
-use heteronoc::{mesh_config, Layout};
-use heteronoc_bench::{default_params, Report};
-use heteronoc_verify::{run_with_degradation, Injection};
-
-const RATE: f64 = 0.03;
-const BERS: [f64; 5] = [0.0, 1e-8, 1e-7, 1e-6, 1e-5];
-const LAYOUTS: [Layout; 2] = [Layout::Baseline, Layout::DiagonalBL];
-
-fn transient_point(layout: &Layout, ber: f64, rep: &mut Report) {
-    let cfg = mesh_config(layout);
-    let f = cfg.frequency_ghz;
-    let net = Network::with_faults(cfg, FaultPlan::transient(ber, 0xFA17)).expect("valid plan");
-    let params = SimParams {
-        measure_packets: 8_000,
-        ..default_params(RATE, 0xFA17)
-    };
-    match run_open_loop_result(net, &mut UniformRandom, params) {
-        Ok(out) => rep.line(format!(
-            "{:<14}{:>10.0e}{:>12.2}{:>13.4}{:>14}{:>12}",
-            layout.name(),
-            ber,
-            out.stats.latency.mean_total() / f,
-            out.stats.throughput_ppc(64),
-            out.fault_counters.retransmissions,
-            out.fault_counters.flits_corrupted,
-        )),
-        Err(e) => rep.line(format!("{:<14}{ber:>10.0e}  error: {e}", layout.name())),
-    }
-}
-
-/// Central east-bound links, killed one per kilocycle starting at 2000.
-fn kill_schedule(cfg: &heteronoc::noc::config::NetworkConfig, n: usize) -> Vec<HardFault> {
-    let g = cfg.build_graph();
-    [(27, 28), (35, 36), (11, 12), (51, 52)]
-        .iter()
-        .take(n)
-        .enumerate()
-        .map(|(i, &(a, b))| {
-            let l = g
-                .links()
-                .iter()
-                .position(|l| l.src == RouterId(a) && l.dst == RouterId(b))
-                .expect("mesh east link exists");
-            HardFault {
-                cycle: 2_000 + 1_000 * i as Cycle,
-                kind: FaultKind::Link(heteronoc::noc::types::LinkId(l)),
-            }
-        })
-        .collect()
-}
-
-fn all_pairs(bursts: u64) -> Vec<Injection> {
-    let mut inj = Vec::new();
-    let mut k: Cycle = 0;
-    for _ in 0..bursts {
-        for s in 0..64 {
-            for d in 0..64 {
-                if s == d {
-                    continue;
-                }
-                inj.push(Injection {
-                    cycle: k,
-                    src: NodeId(s),
-                    dst: NodeId(d),
-                    size: Bits(512),
-                });
-                k += 1;
-            }
-        }
-    }
-    inj
-}
-
-fn hard_point(layout: &Layout, kills: usize, rep: &mut Report) {
-    let cfg = mesh_config(layout);
-    let plan = FaultPlan {
-        hard: kill_schedule(&cfg, kills),
-        ..FaultPlan::default()
-    };
-    let inj = all_pairs(2);
-    match run_with_degradation(cfg, plan, &inj, 100_000) {
-        Ok(r) => {
-            let (lat, del): (u64, u64) = r
-                .phases
-                .iter()
-                .fold((0, 0), |(l, d), p| (l + p.latency_cycles, d + p.delivered));
-            #[allow(clippy::cast_precision_loss)]
-            let mean = if del == 0 {
-                0.0
-            } else {
-                lat as f64 / del as f64
-            };
-            rep.line(format!(
-                "{:<14}{:>8}{:>12}{:>10}{:>12}{:>16.1}{:>12}",
-                layout.name(),
-                kills,
-                r.delivered,
-                r.dropped.len(),
-                r.reroutes,
-                mean,
-                r.finished_at,
-            ));
-        }
-        Err(e) => rep.line(format!("{:<14}{kills:>8}  error: {e}", layout.name())),
-    }
-}
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::fault_degradation` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("fault_degradation");
-    rep.line("# Fault degradation — homogeneous baseline vs HeteroNoC (Diagonal+BL)");
-    rep.line("");
-    rep.line(format!(
-        "## Transient faults: UR @ {RATE} packets/node/cycle, link-level go-back-N retransmission"
-    ));
-    rep.line(format!(
-        "{:<14}{:>10}{:>12}{:>13}{:>14}{:>12}",
-        "layout", "ber", "lat (ns)", "thru (ppc)", "retransmits", "corrupted"
-    ));
-    for layout in &LAYOUTS {
-        for &ber in &BERS {
-            transient_point(layout, ber, &mut rep);
-        }
-    }
-
-    rep.line("");
-    rep.line("## Hard faults: all-pairs campaign, CDG-verified reroute after each link kill");
-    rep.line(format!(
-        "{:<14}{:>8}{:>12}{:>10}{:>12}{:>16}{:>12}",
-        "layout", "kills", "delivered", "dropped", "reroutes", "latency (cyc)", "drained"
-    ));
-    for layout in &LAYOUTS {
-        for kills in [0usize, 1, 2, 4] {
-            hard_point(layout, kills, &mut rep);
-        }
-    }
+    heteronoc_bench::experiments::fault_degradation::run();
 }

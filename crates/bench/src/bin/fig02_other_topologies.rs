@@ -1,85 +1,7 @@
-//! Figure 2: buffer utilization in non-mesh, non-edge-symmetric topologies
-//! under uniform-random traffic — (a) a 4x4 concentrated mesh with
-//! concentration 4, (b) a 64-node flattened butterfly (16 routers,
-//! concentration 4). Both show the same centre-heavy non-uniformity as the
-//! mesh, supporting the paper's claim that the artifact is generic to
-//! non-edge-symmetric networks with deterministic X-Y routing.
-
-use heteronoc::noc::config::{NetworkConfig, RouterCfg};
-use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, SimParams, UniformRandom};
-use heteronoc::noc::topology::TopologyKind;
-use heteronoc::noc::types::Bits;
-use heteronoc_bench::{measure_packets, Report};
-
-fn run(kind: TopologyKind, rate: f64) -> heteronoc::noc::stats::NetStats {
-    let cfg = NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2);
-    let net = Network::new(cfg).expect("valid");
-    let out = run_open_loop(
-        net,
-        &mut UniformRandom,
-        SimParams {
-            injection_rate: rate,
-            warmup_packets: 1_000,
-            measure_packets: measure_packets(),
-            max_cycles: 2_000_000,
-            seed: 0xF1602,
-            ..SimParams::default()
-        },
-    );
-    out.stats
-}
-
-fn print_grid(rep: &mut Report, stats: &heteronoc::noc::stats::NetStats, w: usize, h: usize) {
-    for y in 0..h {
-        let row: Vec<String> = (0..w)
-            .map(|x| format!("{:5.1}", 100.0 * stats.vc_utilization(y * w + x)))
-            .collect();
-        rep.line(row.join(" "));
-    }
-    let center: f64 = [(1usize, 1usize), (2, 1), (1, 2), (2, 2)]
-        .iter()
-        .map(|&(x, y)| stats.vc_utilization(y * w + x))
-        .sum::<f64>()
-        / 4.0;
-    let corners: f64 = [(0usize, 0usize), (3, 0), (0, 3), (3, 3)]
-        .iter()
-        .map(|&(x, y)| stats.vc_utilization(y * w + x))
-        .sum::<f64>()
-        / 4.0;
-    rep.line(format!(
-        "center mean {:.1}%  corner mean {:.1}%  (paper: centre-heavy gradient)",
-        100.0 * center,
-        100.0 * corners
-    ));
-}
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::fig02_other_topologies` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("fig02_other_topologies");
-    rep.line("# Figure 2 — buffer utilization in other topologies (UR, heat-map)");
-
-    rep.line("");
-    rep.line("## (a) Concentrated mesh 4x4, concentration 4 (64 nodes)");
-    // Higher per-router load: 4 nodes inject per router.
-    let stats = run(
-        TopologyKind::CMesh {
-            width: 4,
-            height: 4,
-            concentration: 4,
-        },
-        0.03,
-    );
-    print_grid(&mut rep, &stats, 4, 4);
-
-    rep.line("");
-    rep.line("## (b) Flattened butterfly 4x4 routers, concentration 4 (64 nodes)");
-    let stats = run(
-        TopologyKind::FlattenedButterfly {
-            width: 4,
-            height: 4,
-            concentration: 4,
-        },
-        0.05,
-    );
-    print_grid(&mut rep, &stats, 4, 4);
+    heteronoc_bench::experiments::fig02_other_topologies::run();
 }

@@ -1,144 +1,7 @@
-//! Figure 7: performance and network power with uniform-random traffic.
-//!
-//! (a) load-latency curves for Baseline, Center+B, Diagonal+B, Center+BL,
-//!     Diagonal+BL;
-//! (b) throughput improvement, average-latency reduction and zero-load
-//!     latency reduction of all six HeteroNoC layouts over the baseline;
-//! (c) power vs load for Baseline, Row2_5+BL, Center+BL, Diagonal+BL.
-
-use heteronoc::noc::sim::UniformRandom;
-use heteronoc::Layout;
-use heteronoc_bench::{
-    mean_unsaturated_latency_ns, mean_unsaturated_power_w, pct_gain, pct_reduction,
-    saturation_throughput, sweep_layout, zero_load_latency_ns, LoadPoint, Report,
-};
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::fig07_ur_traffic` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("fig07_ur_traffic");
-    // The paper sweeps 0.004 .. 0.076 packets/node/cycle (Fig. 7a).
-    let rates: Vec<f64> = (1..=10).map(|i| 0.008 * i as f64).collect();
-
-    rep.line("# Figure 7 — uniform random traffic, 8x8 mesh");
-    rep.line(format!(
-        "# measurement batch: {} packets/load point",
-        heteronoc_bench::measure_packets()
-    ));
-
-    let layouts = Layout::all_seven();
-    let mut results: Vec<(String, Vec<LoadPoint>)> = Vec::new();
-    for layout in &layouts {
-        let pts = sweep_layout(layout, &rates, 0xF1607, || Box::new(UniformRandom));
-        results.push((layout.name().to_owned(), pts));
-    }
-
-    rep.line("");
-    rep.line("## (a) Load-latency curves [ns]");
-    let mut header = String::from("rate      ");
-    for (name, _) in &results {
-        header.push_str(&format!("{name:>12}"));
-    }
-    rep.line(header);
-    for (i, &rate) in rates.iter().enumerate() {
-        let mut row = format!("{rate:<10.3}");
-        for (_, pts) in &results {
-            let p = &pts[i];
-            if p.saturated {
-                row.push_str(&format!("{:>12}", "sat"));
-            } else {
-                row.push_str(&format!("{:>12.2}", p.latency_ns));
-            }
-        }
-        rep.line(row);
-    }
-
-    let base = &results[0].1;
-    let base_thr = saturation_throughput(base);
-    let base_lat = mean_unsaturated_latency_ns(base);
-    let base_zl = zero_load_latency_ns(base);
-    let base_pow = mean_unsaturated_power_w(base);
-
-    rep.line("");
-    rep.line("## (b) Percentage over baseline design");
-    rep.line(format!(
-        "{:<14}{:>12}{:>14}{:>12}",
-        "config", "throughput", "avg latency", "zero load"
-    ));
-    for (name, pts) in results.iter().skip(1) {
-        rep.line(format!(
-            "{:<14}{:>+11.1}%{:>+13.1}%{:>+11.1}%",
-            name,
-            pct_gain(base_thr, saturation_throughput(pts)),
-            pct_reduction(base_lat, mean_unsaturated_latency_ns(pts)),
-            pct_reduction(base_zl, zero_load_latency_ns(pts)),
-        ));
-    }
-
-    rep.line("");
-    rep.line("## (c) Power vs load [W]");
-    let mut header = String::from("rate      ");
-    for (name, _) in &results {
-        header.push_str(&format!("{name:>12}"));
-    }
-    rep.line(header);
-    for (i, &rate) in rates.iter().enumerate() {
-        let mut row = format!("{rate:<10.3}");
-        for (_, pts) in &results {
-            let p = &pts[i];
-            if p.saturated {
-                row.push_str(&format!("{:>12}", "sat"));
-            } else {
-                row.push_str(&format!("{:>12.2}", p.power_w));
-            }
-        }
-        rep.line(row);
-    }
-
-    // SVG renditions of (a) and (c).
-    let dir = heteronoc_bench::results_dir();
-    let mut lat_chart = heteronoc_bench::plot::LineChart::new(
-        "Fig 7a — UR load-latency",
-        "packets/node/cycle",
-        "latency [ns]",
-    );
-    let mut pow_chart = heteronoc_bench::plot::LineChart::new(
-        "Fig 7c — UR network power",
-        "packets/node/cycle",
-        "power [W]",
-    );
-    for (name, pts) in &results {
-        lat_chart.series(
-            name.clone(),
-            pts.iter()
-                .map(|p| (p.rate, if p.saturated { f64::NAN } else { p.latency_ns }))
-                .collect(),
-        );
-        pow_chart.series(
-            name.clone(),
-            pts.iter()
-                .map(|p| (p.rate, if p.saturated { f64::NAN } else { p.power_w }))
-                .collect(),
-        );
-    }
-    lat_chart.write(dir.join("fig07_latency.svg"));
-    pow_chart.write(dir.join("fig07_power.svg"));
-    rep.line("");
-    rep.line("(SVG: results/fig07_latency.svg, results/fig07_power.svg)");
-
-    rep.line("");
-    rep.line("## Summary vs paper");
-    rep.line(format!(
-        "Diagonal+BL vs baseline: latency reduction {:+.1}% (paper ~+24%), throughput gain {:+.1}% (paper ~+22%), power reduction {:+.1}% (paper ~+28%)",
-        pct_reduction(
-            base_lat,
-            mean_unsaturated_latency_ns(&results.iter().find(|(n, _)| n == "Diagonal+BL").unwrap().1)
-        ),
-        pct_gain(
-            base_thr,
-            saturation_throughput(&results.iter().find(|(n, _)| n == "Diagonal+BL").unwrap().1)
-        ),
-        pct_reduction(
-            base_pow,
-            mean_unsaturated_power_w(&results.iter().find(|(n, _)| n == "Diagonal+BL").unwrap().1)
-        ),
-    ));
+    heteronoc_bench::experiments::fig07_ur_traffic::run();
 }

@@ -1,73 +1,7 @@
-//! Figure 8: latency and power breakdowns under uniform-random traffic at a
-//! moderate load — (a) blocking / queuing / transfer latency components
-//! normalized to the baseline total; (b) links / crossbar / arbiters /
-//! buffers power components normalized to the baseline total.
-
-use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, UniformRandom};
-use heteronoc::power::NetworkPower;
-use heteronoc::{mesh_config, Layout};
-use heteronoc_bench::{default_params, Report};
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::fig08_breakdowns` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("fig08_breakdowns");
-    rep.line("# Figure 8 — latency & power breakdown, UR @ 0.032 pkt/node/cycle");
-
-    // Moderate load: below every configuration's saturation knee so the
-    // decomposition compares like with like.
-    let rate = 0.032;
-    let mut lat_rows = Vec::new();
-    let mut pow_rows = Vec::new();
-    let power_model = NetworkPower::paper_calibrated();
-    for layout in Layout::all_seven() {
-        let cfg = mesh_config(&layout);
-        let graph = cfg.build_graph();
-        let net = Network::new(cfg.clone()).expect("valid");
-        let out = run_open_loop(net, &mut UniformRandom, default_params(rate, 0xF1608));
-        let (q, b, t) = out.stats.latency.mean_breakdown();
-        // Convert to ns so clock differences are visible.
-        let f = cfg.frequency_ghz;
-        lat_rows.push((layout.name().to_owned(), q / f, b / f, t / f));
-        let p = power_model.evaluate(&cfg, &graph, &out.stats);
-        pow_rows.push((layout.name().to_owned(), p.breakdown));
-    }
-
-    let base_total = lat_rows[0].1 + lat_rows[0].2 + lat_rows[0].3;
-    rep.line("");
-    rep.line("## (a) Latency breakdown [% of baseline total]");
-    rep.line(format!(
-        "{:<14}{:>10}{:>10}{:>10}{:>10}",
-        "config", "queuing", "blocking", "transfer", "total"
-    ));
-    for (name, q, b, t) in &lat_rows {
-        rep.line(format!(
-            "{:<14}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%",
-            name,
-            100.0 * q / base_total,
-            100.0 * b / base_total,
-            100.0 * t / base_total,
-            100.0 * (q + b + t) / base_total
-        ));
-    }
-    rep.line("(paper: HeteroNoC reduces primarily the queuing and blocking components)");
-
-    let base_pow = pow_rows[0].1.total();
-    rep.line("");
-    rep.line("## (b) Power breakdown [% of baseline total]");
-    rep.line(format!(
-        "{:<14}{:>10}{:>10}{:>10}{:>10}{:>10}",
-        "config", "links", "xbar", "arb+logic", "buffers", "total"
-    ));
-    for (name, p) in &pow_rows {
-        rep.line(format!(
-            "{:<14}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%",
-            name,
-            100.0 * p.links / base_pow,
-            100.0 * p.crossbar / base_pow,
-            100.0 * p.arbiters / base_pow,
-            100.0 * p.buffers / base_pow,
-            100.0 * p.total() / base_pow
-        ));
-    }
-    rep.line("(paper: power reduction comes primarily from buffers and crossbar)");
+    heteronoc_bench::experiments::fig08_breakdowns::run();
 }

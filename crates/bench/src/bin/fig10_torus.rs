@@ -1,107 +1,7 @@
-//! Figure 10: heterogeneity in a mesh vs an edge-symmetric torus. For each
-//! application workload we measure the network-latency reduction of the
-//! Diagonal+BL heterogeneous layout over the homogeneous baseline, on both
-//! topologies. The paper finds the torus benefit ~44% smaller on average:
-//! torus wrap-around paths bypass the centrally-provisioned big routers.
-
-use heteronoc::noc::topology::TopologyKind;
-use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
-use heteronoc::traffic::TraceSource;
-use heteronoc::{network_config, Layout};
-use heteronoc_bench::{full_scale, pct_reduction, Report};
-use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
-
-fn trace_len() -> u64 {
-    if full_scale() {
-        15_000
-    } else {
-        1_000
-    }
-}
-
-/// Full scale covers all ten benchmarks; quick mode a representative five
-/// (two commercial, three PARSEC spanning the sharing/locality range).
-fn benchmarks() -> Vec<Benchmark> {
-    if full_scale() {
-        Benchmark::ALL.to_vec()
-    } else {
-        vec![
-            Benchmark::Sap,
-            Benchmark::SpecJbb,
-            Benchmark::Vips,
-            Benchmark::Canneal,
-            Benchmark::StreamCluster,
-        ]
-    }
-}
-
-fn run(layout: &Layout, topo: TopologyKind, bench: Benchmark) -> f64 {
-    let net_cfg = network_config(layout, topo);
-    let freq = net_cfg.frequency_ghz;
-    let cfg = CmpConfig::paper_defaults(net_cfg);
-    let mk = || -> Vec<Box<dyn TraceSource + Send>> {
-        (0..64)
-            .map(|t| {
-                Box::new(SyntheticWorkload::new(bench, t, 0xF1610, trace_len()))
-                    as Box<dyn TraceSource + Send>
-            })
-            .collect()
-    };
-    let mut sys = CmpSystem::new(cfg, vec![CoreParams::OUT_OF_ORDER; 64], mk());
-    sys.prewarm(mk());
-    sys.run(20_000_000);
-    assert!(sys.finished(), "{layout} {topo:?} {bench} did not drain");
-    sys.network().stats().mean_latency_ns(freq)
-}
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::fig10_torus` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("fig10_torus");
-    rep.line("# Figure 10 — heterogeneity benefit: 8x8 mesh vs 8x8 torus");
-    rep.line(format!(
-        "# Diagonal+BL latency reduction over baseline per workload; {} refs/core",
-        trace_len()
-    ));
-    rep.line("");
-    rep.line(format!("{:<12}{:>14}{:>14}", "workload", "mesh", "torus"));
-
-    let mesh = TopologyKind::Mesh {
-        width: 8,
-        height: 8,
-    };
-    let torus = TopologyKind::Torus {
-        width: 8,
-        height: 8,
-    };
-    let mut mesh_sum = 0.0;
-    let mut torus_sum = 0.0;
-    let benches = benchmarks();
-    for &bench in &benches {
-        let mesh_base = run(&Layout::Baseline, mesh, bench);
-        let mesh_het = run(&Layout::DiagonalBL, mesh, bench);
-        let torus_base = run(&Layout::Baseline, torus, bench);
-        let torus_het = run(&Layout::DiagonalBL, torus, bench);
-        let m = pct_reduction(mesh_base, mesh_het);
-        let t = pct_reduction(torus_base, torus_het);
-        mesh_sum += m;
-        torus_sum += t;
-        rep.line(format!(
-            "{:<12}{:>+13.1}%{:>+13.1}%",
-            bench.to_string(),
-            m,
-            t
-        ));
-        eprintln!("done: {bench}");
-    }
-    let n = benches.len() as f64;
-    rep.line(format!(
-        "{:<12}{:>+13.1}%{:>+13.1}%",
-        "mean",
-        mesh_sum / n,
-        torus_sum / n
-    ));
-    rep.line("");
-    rep.line(format!(
-        "relative: torus benefit is {:.0}% of the mesh benefit (paper: ~56%, i.e. 44% smaller)",
-        100.0 * (torus_sum / mesh_sum)
-    ));
+    heteronoc_bench::experiments::fig10_torus::run();
 }

@@ -1,45 +1,48 @@
-//! Runs every experiment binary in sequence (each also writes its own
-//! `results/<name>.txt`). Set `HETERONOC_FULL=1` for paper-scale runs.
+//! Runs every experiment in-process, sharded across the sweep executor's
+//! worker pool (set `HETERONOC_JOBS=1` for the old serial behavior and
+//! `HETERONOC_FULL=1` for paper-scale runs). Each experiment's stdout is
+//! captured and printed as one contiguous block when it finishes; a panic
+//! anywhere makes the whole run exit non-zero.
 
-use std::process::Command;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
 
-const EXPERIMENTS: &[&str] = &[
-    "table1_router_costs",
-    "fig01_mesh_utilization",
-    "fig02_other_topologies",
-    "fig07_ur_traffic",
-    "fig08_breakdowns",
-    "fig09_nn_traffic",
-    "extra_patterns",
-    "stat_combining",
-    "dse_4x4",
-    "dse_8x8_heuristic",
-    "fig11_applications",
-    "fig10_torus",
-    "fig13_memctrl",
-    "fig14_asymmetric",
-    "ablation_conditions",
-];
+use heteronoc_bench::sweep::{default_jobs, parallel_map};
+use heteronoc_bench::{capture_output, experiments};
 
-fn main() {
-    let exe = std::env::current_exe().expect("current exe path");
-    let dir = exe.parent().expect("bin dir");
-    let mut failed = Vec::new();
-    for name in EXPERIMENTS {
-        println!("=== {name} ===");
-        let status = Command::new(dir.join(name))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
-        if !status.success() {
-            eprintln!("!!! {name} failed with {status}");
-            failed.push(*name);
+fn main() -> ExitCode {
+    let jobs = default_jobs();
+    println!(
+        "running {} experiments on {jobs} worker thread(s)",
+        experiments::ALL.len()
+    );
+
+    let results = parallel_map(jobs, experiments::ALL.to_vec(), |(name, entry)| {
+        let (outcome, output) = capture_output(|| catch_unwind(AssertUnwindSafe(entry)));
+        // One locked write per experiment keeps blocks contiguous even
+        // when several finish close together.
+        let mut block = format!("=== {name} ===\n{output}");
+        if outcome.is_err() {
+            block.push_str(&format!("!!! {name} panicked\n"));
         }
-        println!();
-    }
+        block.push('\n');
+        let mut so = std::io::stdout().lock();
+        let _ = so.write_all(block.as_bytes());
+        let _ = so.flush();
+        (name, outcome.is_ok())
+    });
+
+    let failed: Vec<&str> = results
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(name, _)| *name)
+        .collect();
     if failed.is_empty() {
-        println!("all experiments completed; see results/");
+        println!("all {} experiments completed; see results/", results.len());
+        ExitCode::SUCCESS
     } else {
         eprintln!("failed experiments: {failed:?}");
-        std::process::exit(1);
+        ExitCode::FAILURE
     }
 }

@@ -1,32 +1,7 @@
-//! §3.3 claim: on the HeteroNoC's wide links, two flits can be combined
-//! ~40% of the time at low loads and ~80% at moderate-to-high loads. This
-//! binary measures the dual-transmission rate of busy wide-link cycles on
-//! Diagonal+BL under uniform-random traffic across the load range.
-
-use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, UniformRandom};
-use heteronoc::{mesh_config, Layout};
-use heteronoc_bench::{default_params, Report};
+//! Thin wrapper: the experiment lives in
+//! `heteronoc_bench::experiments::stat_combining` so `run_all` can execute it
+//! in-process on the sweep executor.
 
 fn main() {
-    let mut rep = Report::new("stat_combining");
-    rep.line("# §3.3 — flit-combining rate on wide links (Diagonal+BL, UR)");
-    rep.line(format!(
-        "{:<12}{:>22}{:>14}",
-        "rate", "combining rate [%]", "saturated"
-    ));
-    for rate in [0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06] {
-        let cfg = mesh_config(&Layout::DiagonalBL);
-        let net = Network::new(cfg).expect("valid");
-        let wide = net.wide_links().to_vec();
-        let out = run_open_loop(net, &mut UniformRandom, default_params(rate, 0x5747));
-        rep.line(format!(
-            "{:<12.3}{:>21.1}%{:>14}",
-            rate,
-            100.0 * out.stats.combining_rate(&wide),
-            out.saturated
-        ));
-    }
-    rep.line("");
-    rep.line("paper: ~40% at low load, ~80% at moderate-to-high load");
+    heteronoc_bench::experiments::stat_combining::run();
 }

@@ -1,0 +1,183 @@
+//! Content-addressed result cache for sweep points.
+//!
+//! Every sweep point is keyed by a 128-bit FNV-1a hash of its *canonical
+//! description* — the `Debug` rendering of the full network configuration
+//! and the point kind (layout, `SimParams`, traffic pattern, fault plan,
+//! seeds — everything that determines the simulation's output, and nothing
+//! that doesn't, such as display labels or worker count). Rust's `Debug`
+//! for `f64` uses shortest round-trip formatting, so the canonical string
+//! is stable across runs and platforms.
+//!
+//! Completed points are persisted as JSON-lines (one
+//! `{"key":…,"metrics":…}` object per line) in `results/cache/points.jsonl`.
+//! Corrupt or truncated lines are skipped on load — the cache is a pure
+//! accelerator, never a source of truth — and re-running the point simply
+//! rewrites its entry.
+//!
+//! All cache I/O happens on the sweep coordinator thread (lookups before
+//! points are scheduled, inserts as results arrive), so the file needs no
+//! locking beyond append-only writes.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, Json};
+
+/// Bump when the metrics schema or canonical-description format changes;
+/// old cache entries then miss instead of deserializing garbage.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over `bytes`, from `offset` (lets us derive two
+/// independent 64-bit streams for a 128-bit key).
+fn fnv1a64(bytes: &[u8], offset: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Content-address for a canonical point description: 32 hex chars
+/// (two independent FNV-1a-64 passes), prefixed with the schema version.
+pub fn content_key(canonical: &str) -> String {
+    const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325; // standard FNV offset basis
+    const OFFSET_B: u64 = 0x6c62_272e_07bb_0142; // high half of the 128-bit basis
+    let bytes = canonical.as_bytes();
+    format!(
+        "v{SCHEMA_VERSION}-{:016x}{:016x}",
+        fnv1a64(bytes, OFFSET_A),
+        fnv1a64(bytes, OFFSET_B)
+    )
+}
+
+/// The on-disk result cache: an in-memory map backed by an append-only
+/// JSON-lines file.
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    map: HashMap<String, Json>,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `dir`; loads every intact
+    /// entry from `points.jsonl`.
+    pub fn open(dir: &Path) -> std::io::Result<ResultCache> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join("points.jsonl");
+        let mut map = HashMap::new();
+        if let Ok(text) = fs::read_to_string(&path) {
+            for line in text.lines() {
+                let Ok(entry) = json::parse(line) else {
+                    continue; // torn write or hand edit: treat as a miss
+                };
+                let (Some(key), Some(metrics)) = (
+                    entry.get("key").and_then(Json::as_str),
+                    entry.get("metrics"),
+                ) else {
+                    continue;
+                };
+                map.insert(key.to_owned(), metrics.clone());
+            }
+        }
+        Ok(ResultCache { path, map })
+    }
+
+    /// Number of cached points.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a point by content key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.map.get(key)
+    }
+
+    /// Inserts a completed point and appends it to the backing file.
+    pub fn insert(&mut self, key: String, metrics: Json) -> std::io::Result<()> {
+        let line = Json::obj(vec![
+            ("key", Json::Str(key.clone())),
+            ("metrics", metrics.clone()),
+        ]);
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(f, "{line}")?;
+        self.map.insert(key, metrics);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let a = content_key("cfg=A|rate=0.01|seed=7");
+        let b = content_key("cfg=A|rate=0.01|seed=7");
+        assert_eq!(a, b, "same canonical description hashes identically");
+        // Any single-field change produces a different key.
+        for variant in [
+            "cfg=B|rate=0.01|seed=7",
+            "cfg=A|rate=0.02|seed=7",
+            "cfg=A|rate=0.01|seed=8",
+            "cfg=A|rate=0.01|seed=7 ",
+        ] {
+            assert_ne!(a, content_key(variant), "{variant}");
+        }
+        assert!(a.starts_with(&format!("v{SCHEMA_VERSION}-")));
+        assert_eq!(a.len(), format!("v{SCHEMA_VERSION}-").len() + 32);
+    }
+
+    #[test]
+    fn cache_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("heteronoc-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let metrics = Json::obj(vec![
+            ("latency_ns", Json::Num(23.75)),
+            ("delivered", Json::Int(15000)),
+        ]);
+        {
+            let mut c = ResultCache::open(&dir).unwrap();
+            assert!(c.is_empty());
+            c.insert(content_key("p1"), metrics.clone()).unwrap();
+            c.insert(content_key("p2"), Json::Null).unwrap();
+            assert_eq!(c.len(), 2);
+        }
+        {
+            let c = ResultCache::open(&dir).unwrap();
+            assert_eq!(c.len(), 2);
+            assert_eq!(c.get(&content_key("p1")), Some(&metrics));
+            assert_eq!(c.get(&content_key("p3")), None);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_skips_corrupt_lines() {
+        let dir = std::env::temp_dir().join(format!("heteronoc-cache-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("points.jsonl"),
+            "{\"key\":\"k1\",\"metrics\":{\"a\":1}}\nnot json at all\n{\"metrics\":{}}\n{\"key\":\"k2\",\"metrics\":2}\n",
+        )
+        .unwrap();
+        let c = ResultCache::open(&dir).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.get("k1").is_some());
+        assert_eq!(c.get("k2"), Some(&Json::Int(2)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

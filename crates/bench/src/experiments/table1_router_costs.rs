@@ -1,0 +1,97 @@
+//! Table 1: power / area / frequency of the three router design points,
+//! the network-level buffer-bit accounting, the §2 power-budget inequality
+//! and the §3.5 area totals — all from the calibrated models.
+
+use crate::Report;
+use heteronoc::power::model::AnalyticModel;
+use heteronoc::power::netpower::{Activity, NetworkPower, CALIBRATION_ACTIVITY};
+use heteronoc::power::table1;
+use heteronoc::resources;
+use heteronoc::Layout;
+
+pub fn run() {
+    let mut rep = Report::new("table1_router_costs");
+    let model = AnalyticModel::paper_calibrated();
+    let np = NetworkPower::paper_calibrated();
+
+    rep.line("# Table 1 — router design points (model vs paper)");
+    rep.line(format!(
+        "{:<10}{:>22}{:>14}{:>14}{:>12}{:>12}",
+        "router", "organization", "power model", "power paper", "area", "freq"
+    ));
+    for p in &table1::ALL {
+        let bd = np.router_power(
+            p.vcs,
+            p.width_bits,
+            p.buffer_depth,
+            p.ports,
+            p.freq_ghz,
+            Activity::uniform(CALIBRATION_ACTIVITY),
+        );
+        rep.line(format!(
+            "{:<10}{:>14} VCs/{}b{:>12.3} W{:>12.2} W{:>9.3} mm2{:>8.2} GHz",
+            p.name,
+            p.vcs,
+            p.width_bits,
+            bd.total(),
+            p.power_w,
+            model.area_mm2(p.vcs, p.width_bits),
+            model.freq_ghz(p.vcs),
+        ));
+    }
+
+    rep.line("");
+    rep.line("## Buffer accounting");
+    let homo = table1::buffer_bits(64, &table1::BASELINE);
+    let hetero = table1::buffer_bits(48, &table1::SMALL) + table1::buffer_bits(16, &table1::BIG);
+    rep.line(format!(
+        "homogeneous: 64 routers * 3 VCs * 5 PCs * 5 deep @ 192b = {homo} bits"
+    ));
+    rep.line(format!(
+        "heterogeneous: (48 * 2 + 16 * 6) VCs * 5 PCs * 5 deep @ 128b = {hetero} bits"
+    ));
+    rep.line(format!(
+        "reduction: {:.1}% (paper: 33%)",
+        100.0 * (1.0 - hetero as f64 / homo as f64)
+    ));
+
+    rep.line("");
+    rep.line("## Power-budget inequality (§2)");
+    rep.line(format!(
+        "minimum small routers for 8x8: {} (paper: 38, i.e. ns >= 37.4)",
+        table1::min_small_routers(8)
+    ));
+    rep.line(format!(
+        "chosen split: 48 small + 16 big -> {:.2} W <= {:.2} W budget",
+        48.0 * table1::SMALL.power_w + 16.0 * table1::BIG.power_w,
+        64.0 * table1::BASELINE.power_w
+    ));
+
+    rep.line("");
+    rep.line("## Area totals (§3.5)");
+    rep.line(format!(
+        "heterogeneous router area: {:.2} mm2 (paper 18.08), homogeneous: {:.2} mm2 (paper 18.56)",
+        48.0 * table1::SMALL.area_mm2 + 16.0 * table1::BIG.area_mm2,
+        64.0 * table1::BASELINE.area_mm2
+    ));
+
+    rep.line("");
+    rep.line("## Per-layout resource audit");
+    rep.line(format!(
+        "{:<14}{:>10}{:>14}{:>16}{:>12}{:>10}",
+        "layout", "VCs", "buffer bits", "bisection bits", "area mm2", "budget"
+    ));
+    for layout in Layout::all_seven() {
+        let a = resources::audit_mesh_layout(&layout);
+        rep.line(format!(
+            "{:<14}{:>10}{:>14}{:>11} /{:<4}{:>10.2}{:>10}",
+            a.layout,
+            a.total_vcs,
+            a.buffer_bits,
+            a.bisection_bits,
+            a.baseline_bisection_bits,
+            a.router_area_mm2,
+            if a.power_budget_ok { "ok" } else { "OVER" },
+        ));
+    }
+}

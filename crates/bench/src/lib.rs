@@ -9,14 +9,18 @@
 //! 100k) so the whole suite finishes in minutes on one core; set
 //! `HETERONOC_FULL=1` for paper-scale measurement batches.
 
+pub mod cache;
+pub mod experiments;
+pub mod json;
 pub mod plot;
+pub mod sweep;
 
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, Traffic};
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun, Traffic};
 use heteronoc::noc::stats::NetStats;
 use heteronoc::power::NetworkPower;
 use heteronoc::{mesh_config, Layout};
@@ -49,6 +53,21 @@ pub fn default_params(rate: f64, seed: u64) -> SimParams {
         process: InjectionProcess::Bernoulli,
         watchdog: Some(100_000),
     }
+}
+
+/// A point with the four summary measurements the paper's figure helpers
+/// need. Implemented by both the legacy [`LoadPoint`] and the sweep
+/// engine's [`sweep::PointMetrics`], so the saturation/zero-load helpers
+/// below work over either.
+pub trait Measured {
+    /// Mean packet latency in nanoseconds.
+    fn latency_ns(&self) -> f64;
+    /// Accepted throughput in packets/node/cycle.
+    fn throughput(&self) -> f64;
+    /// Network power in watts.
+    fn power_w(&self) -> f64;
+    /// Whether the point saturated (or otherwise failed to measure).
+    fn saturated(&self) -> bool;
 }
 
 /// One measured load point of a sweep.
@@ -86,7 +105,10 @@ where
             let graph = cfg.build_graph();
             let net = Network::new(cfg.clone()).expect("layout config is valid");
             let mut traffic = traffic_fn();
-            let out = run_open_loop(net, traffic.as_mut(), default_params(rate, seed));
+            let out = SimRun::new(net, default_params(rate, seed))
+                .traffic(traffic.as_mut())
+                .run()
+                .expect("simulation run");
             let power_w = power.evaluate(&cfg, &graph, &out.stats).total_w();
             LoadPoint {
                 rate,
@@ -100,35 +122,50 @@ where
         .collect()
 }
 
+impl Measured for LoadPoint {
+    fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+    fn throughput(&self) -> f64 {
+        self.throughput
+    }
+    fn power_w(&self) -> f64 {
+        self.power_w
+    }
+    fn saturated(&self) -> bool {
+        self.saturated
+    }
+}
+
 /// Zero-load latency estimate: the latency of the lowest load point.
-pub fn zero_load_latency_ns(points: &[LoadPoint]) -> f64 {
+pub fn zero_load_latency_ns<M: Measured>(points: &[M]) -> f64 {
     points
         .iter()
-        .filter(|p| !p.saturated)
-        .map(|p| p.latency_ns)
+        .filter(|p| !p.saturated())
+        .map(Measured::latency_ns)
         .fold(f64::INFINITY, f64::min)
 }
 
 /// Saturation throughput: the highest accepted throughput among points whose
 /// latency stays below `3x` the zero-load latency (a standard operational
 /// definition of the saturation point).
-pub fn saturation_throughput(points: &[LoadPoint]) -> f64 {
+pub fn saturation_throughput<M: Measured>(points: &[M]) -> f64 {
     let zl = zero_load_latency_ns(points);
     points
         .iter()
-        .filter(|p| !p.saturated && p.latency_ns <= 3.0 * zl)
-        .map(|p| p.throughput)
+        .filter(|p| !p.saturated() && p.latency_ns() <= 3.0 * zl)
+        .map(Measured::throughput)
         .fold(0.0, f64::max)
 }
 
 /// Mean latency over the unsaturated region (the "average latency" the
 /// paper summarizes per configuration in Figs. 7b/9b).
-pub fn mean_unsaturated_latency_ns(points: &[LoadPoint]) -> f64 {
+pub fn mean_unsaturated_latency_ns<M: Measured>(points: &[M]) -> f64 {
     let zl = zero_load_latency_ns(points);
     let sel: Vec<f64> = points
         .iter()
-        .filter(|p| !p.saturated && p.latency_ns <= 3.0 * zl)
-        .map(|p| p.latency_ns)
+        .filter(|p| !p.saturated() && p.latency_ns() <= 3.0 * zl)
+        .map(Measured::latency_ns)
         .collect();
     if sel.is_empty() {
         f64::NAN
@@ -138,12 +175,12 @@ pub fn mean_unsaturated_latency_ns(points: &[LoadPoint]) -> f64 {
 }
 
 /// Mean power over the unsaturated region.
-pub fn mean_unsaturated_power_w(points: &[LoadPoint]) -> f64 {
+pub fn mean_unsaturated_power_w<M: Measured>(points: &[M]) -> f64 {
     let zl = zero_load_latency_ns(points);
     let sel: Vec<f64> = points
         .iter()
-        .filter(|p| !p.saturated && p.latency_ns <= 3.0 * zl)
-        .map(|p| p.power_w)
+        .filter(|p| !p.saturated() && p.latency_ns() <= 3.0 * zl)
+        .map(Measured::power_w)
         .collect();
     if sel.is_empty() {
         f64::NAN
@@ -162,6 +199,23 @@ pub fn pct_gain(base: f64, new: f64) -> f64 {
     100.0 * (new - base) / base
 }
 
+std::thread_local! {
+    /// When set, [`Report::line`] appends here instead of printing — so
+    /// experiments running concurrently on worker threads (`run_all`)
+    /// produce contiguous per-experiment output blocks instead of
+    /// interleaved lines.
+    static CAPTURE: std::cell::RefCell<Option<String>> = const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's [`Report`] stdout output captured; returns
+/// `f`'s result and the captured text. Report files are still written.
+pub fn capture_output<R>(f: impl FnOnce() -> R) -> (R, String) {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(String::new()));
+    let r = f();
+    let text = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+    (r, text)
+}
+
 /// Output sink that tees stdout into `results/<name>.txt`.
 #[derive(Debug)]
 pub struct Report {
@@ -177,9 +231,23 @@ impl Report {
         Report { file }
     }
 
-    /// Writes a line to stdout and the report file.
+    /// Writes a line to stdout (or this thread's capture buffer) and the
+    /// report file.
     pub fn line(&mut self, s: impl AsRef<str>) {
-        println!("{}", s.as_ref());
+        let captured = CAPTURE.with(|c| {
+            let mut b = c.borrow_mut();
+            match b.as_mut() {
+                Some(buf) => {
+                    buf.push_str(s.as_ref());
+                    buf.push('\n');
+                    true
+                }
+                None => false,
+            }
+        });
+        if !captured {
+            println!("{}", s.as_ref());
+        }
         writeln!(self.file, "{}", s.as_ref()).expect("write report");
     }
 }

@@ -1,0 +1,877 @@
+//! Parallel sweep-orchestration engine.
+//!
+//! A [`Sweep`] describes a grid of simulation points — each a full network
+//! configuration plus a [`PointKind`] saying *what* to run on it (an
+//! open-loop load point, a closed-loop CMP workload, or a
+//! fault-degradation campaign). [`run_sweep`] shards the points across a
+//! configurable worker pool (std threads + channels; the offline `compat/`
+//! situation rules out rayon) and reassembles results in grid order, so
+//! the output is byte-identical regardless of worker count:
+//!
+//! * **Seeding discipline** — every point carries its own RNG seed inside
+//!   its `SimParams` / fault plan / workload spec. Workers never share
+//!   RNG state and never derive seeds from scheduling order, so a point's
+//!   result is a pure function of its spec.
+//! * **Order discipline** — results are tagged with their grid index and
+//!   re-sorted by the coordinator; wall-clock completion order never leaks
+//!   into the output.
+//!
+//! Completed points are memoized in a content-addressed cache
+//! (see [`crate::cache`]): re-running a sweep skips every point whose
+//! configuration hash is already on disk, making iterative figure work and
+//! CI incremental. [`SweepOutcome::write_json`] emits the machine-readable
+//! `results/<name>.json` (points, latency/throughput/power, wall time,
+//! cache hit rate) next to the human-readable text tables.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use heteronoc::noc::config::NetworkConfig;
+use heteronoc::noc::error::ConfigError;
+use heteronoc::noc::fault::FaultPlan;
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{SimParams, SimRun, Traffic, UniformRandom};
+use heteronoc::noc::types::{Bits, Cycle, NodeId};
+use heteronoc::power::NetworkPower;
+use heteronoc::traffic::patterns::{
+    BitComplement, BitReverse, Hotspot, NearestNeighbor, Shuffle, Tornado, Transpose,
+};
+use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
+use heteronoc::traffic::TraceSource;
+use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
+use heteronoc_verify::{run_with_degradation, Injection};
+
+use crate::cache::{content_key, ResultCache, SCHEMA_VERSION};
+use crate::json::Json;
+use crate::{results_dir, Measured};
+
+/// A traffic pattern as *data*, so sweep points can be hashed for the
+/// result cache and instantiated independently inside worker threads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficSpec {
+    /// Uniform-random destinations.
+    Uniform,
+    /// Nearest-neighbor on a `width x height` grid.
+    NearestNeighbor {
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+    /// Matrix-transpose on a `side x side` grid.
+    Transpose {
+        /// Grid side.
+        side: usize,
+    },
+    /// Bit-complement permutation.
+    BitComplement,
+    /// Bit-reversal permutation.
+    BitReverse,
+    /// Tornado (half-ring offset) on a `width x height` grid.
+    Tornado {
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+    /// Perfect-shuffle permutation.
+    Shuffle,
+    /// Hotspot: a fraction of packets targets the given nodes.
+    Hotspot {
+        /// Hot destinations (node ids).
+        hotspots: Vec<usize>,
+        /// Fraction of traffic aimed at a hotspot.
+        hot_fraction: f64,
+    },
+}
+
+impl TrafficSpec {
+    /// Short name for labels and CLI parsing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficSpec::Uniform => "ur",
+            TrafficSpec::NearestNeighbor { .. } => "nn",
+            TrafficSpec::Transpose { .. } => "transpose",
+            TrafficSpec::BitComplement => "bit-complement",
+            TrafficSpec::BitReverse => "bit-reverse",
+            TrafficSpec::Tornado { .. } => "tornado",
+            TrafficSpec::Shuffle => "shuffle",
+            TrafficSpec::Hotspot { .. } => "hotspot",
+        }
+    }
+
+    /// Builds the live pattern this spec describes.
+    pub fn instantiate(&self) -> Box<dyn Traffic> {
+        match self {
+            TrafficSpec::Uniform => Box::new(UniformRandom),
+            TrafficSpec::NearestNeighbor { width, height } => {
+                Box::new(NearestNeighbor::new(*width, *height))
+            }
+            TrafficSpec::Transpose { side } => Box::new(Transpose::new(*side)),
+            TrafficSpec::BitComplement => Box::new(BitComplement),
+            TrafficSpec::BitReverse => Box::new(BitReverse),
+            TrafficSpec::Tornado { width, height } => Box::new(Tornado::new(*width, *height)),
+            TrafficSpec::Shuffle => Box::new(Shuffle),
+            TrafficSpec::Hotspot {
+                hotspots,
+                hot_fraction,
+            } => Box::new(Hotspot::new(
+                hotspots.iter().map(|&n| NodeId(n)).collect(),
+                *hot_fraction,
+            )),
+        }
+    }
+}
+
+/// What to run on a point's network configuration.
+#[derive(Clone, Debug)]
+pub enum PointKind {
+    /// Open-loop synthetic-traffic load point (the paper's §4 methodology).
+    OpenLoop {
+        /// Simulation parameters (injection rate, batch sizes, seed …).
+        params: SimParams,
+        /// Traffic pattern.
+        traffic: TrafficSpec,
+        /// Optional fault-injection plan (transient BER and/or hard kills).
+        faults: Option<FaultPlan>,
+    },
+    /// Closed-loop CMP run: one synthetic workload on every tile.
+    CmpWorkload {
+        /// The workload.
+        benchmark: Benchmark,
+        /// Memory references per core.
+        refs_per_core: u64,
+        /// Trace RNG seed.
+        seed: u64,
+        /// Cycle budget for the drain.
+        max_cycles: Cycle,
+    },
+    /// All-pairs fault-degradation campaign with CDG-verified rerouting.
+    Degradation {
+        /// Fault plan (hard kills fire mid-campaign).
+        plan: FaultPlan,
+        /// Number of all-pairs bursts injected.
+        bursts: u64,
+        /// Cycles between consecutive injections.
+        spacing: Cycle,
+        /// Drain watchdog in cycles.
+        stall_limit: Cycle,
+    },
+}
+
+/// One point of a sweep: a network configuration plus what to run on it.
+#[derive(Clone, Debug)]
+pub struct PointSpec {
+    /// Display label (excluded from the cache key, so relabeling a sweep
+    /// does not invalidate its cached results).
+    pub label: String,
+    /// The full network configuration.
+    pub config: NetworkConfig,
+    /// What to simulate.
+    pub kind: PointKind,
+}
+
+impl PointSpec {
+    /// The canonical description hashed into the cache key: the `Debug`
+    /// rendering of everything that determines the result (config, params,
+    /// traffic, fault plan, seeds) and nothing that doesn't.
+    pub fn canonical(&self) -> String {
+        format!("v{SCHEMA_VERSION}|{:?}|{:?}", self.config, self.kind)
+    }
+
+    /// Content-address of this point for the result cache.
+    pub fn content_key(&self) -> String {
+        content_key(&self.canonical())
+    }
+}
+
+/// Measured results of one sweep point. Counters that a point kind does
+/// not produce are zero; latencies a kind does not measure are NaN
+/// (serialized as JSON `null`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointMetrics {
+    /// Display label, copied from the spec.
+    pub label: String,
+    /// Offered load in packets/node/cycle (NaN for closed-loop points).
+    pub rate: f64,
+    /// Mean packet latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Mean packet latency in cycles.
+    pub latency_cycles: f64,
+    /// Accepted throughput in packets/node/cycle.
+    pub throughput: f64,
+    /// Network power in watts (activity-based model).
+    pub power_w: f64,
+    /// Whether the run saturated.
+    pub saturated: bool,
+    /// Cycles simulated (for degradation points: drain cycle).
+    pub cycles: u64,
+    /// Packets retired.
+    pub delivered: u64,
+    /// Packets dropped by the fault layer.
+    pub dropped: u64,
+    /// Flit retransmissions (go-back-N replays).
+    pub retransmissions: u64,
+    /// Flits rejected by the link CRC.
+    pub flits_corrupted: u64,
+    /// CDG-verified reroutes performed (degradation points only).
+    pub reroutes: u64,
+    /// Mean per-core IPC (closed-loop points only; NaN otherwise).
+    pub mean_ipc: f64,
+    /// True when this result was served from the cache, not simulated.
+    pub cached: bool,
+    /// Why the point failed, if it did.
+    pub error: Option<String>,
+}
+
+impl PointMetrics {
+    fn failed(label: String, error: String) -> PointMetrics {
+        PointMetrics {
+            label,
+            rate: f64::NAN,
+            latency_ns: f64::NAN,
+            latency_cycles: f64::NAN,
+            throughput: f64::NAN,
+            power_w: f64::NAN,
+            saturated: false,
+            cycles: 0,
+            delivered: 0,
+            dropped: 0,
+            retransmissions: 0,
+            flits_corrupted: 0,
+            reroutes: 0,
+            mean_ipc: f64::NAN,
+            cached: false,
+            error: Some(error),
+        }
+    }
+
+    /// Serializes to the sweep-JSON schema. `cached` is included so the
+    /// sweep JSON records which points were simulated this run.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("rate", Json::Num(self.rate)),
+            ("latency_ns", Json::Num(self.latency_ns)),
+            ("latency_cycles", Json::Num(self.latency_cycles)),
+            ("throughput", Json::Num(self.throughput)),
+            ("power_w", Json::Num(self.power_w)),
+            ("saturated", Json::Bool(self.saturated)),
+            ("cycles", int(self.cycles)),
+            ("delivered", int(self.delivered)),
+            ("dropped", int(self.dropped)),
+            ("retransmissions", int(self.retransmissions)),
+            ("flits_corrupted", int(self.flits_corrupted)),
+            ("reroutes", int(self.reroutes)),
+            ("mean_ipc", Json::Num(self.mean_ipc)),
+            ("cached", Json::Bool(self.cached)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Deserializes from the sweep-JSON schema (used by the cache).
+    /// Returns `None` when a required member is missing or mistyped.
+    pub fn from_json(v: &Json) -> Option<PointMetrics> {
+        let num = |k: &str| -> f64 { v.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN) };
+        let count = |k: &str| -> Option<u64> { v.get(k).and_then(Json::as_u64) };
+        Some(PointMetrics {
+            label: v.get("label")?.as_str()?.to_owned(),
+            rate: num("rate"),
+            latency_ns: num("latency_ns"),
+            latency_cycles: num("latency_cycles"),
+            throughput: num("throughput"),
+            power_w: num("power_w"),
+            saturated: v.get("saturated")?.as_bool()?,
+            cycles: count("cycles")?,
+            delivered: count("delivered")?,
+            dropped: count("dropped")?,
+            retransmissions: count("retransmissions")?,
+            flits_corrupted: count("flits_corrupted")?,
+            reroutes: count("reroutes")?,
+            mean_ipc: num("mean_ipc"),
+            cached: false,
+            error: v.get("error").and_then(Json::as_str).map(str::to_owned),
+        })
+    }
+}
+
+impl Measured for PointMetrics {
+    fn latency_ns(&self) -> f64 {
+        self.latency_ns
+    }
+    fn throughput(&self) -> f64 {
+        self.throughput
+    }
+    fn power_w(&self) -> f64 {
+        self.power_w
+    }
+    fn saturated(&self) -> bool {
+        self.saturated || self.error.is_some()
+    }
+}
+
+fn int(v: u64) -> Json {
+    i64::try_from(v).map_or(Json::Num(v as f64), Json::Int)
+}
+
+/// A named grid of sweep points.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Sweep name; `results/<name>.json` is written from it.
+    pub name: String,
+    /// The points, in grid order.
+    pub points: Vec<PointSpec>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new(name: impl Into<String>) -> Sweep {
+        Sweep {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, spec: PointSpec) {
+        self.points.push(spec);
+    }
+
+    /// Builds the canonical open-loop grid: layout × pattern × seed ×
+    /// injection rate (iterated in that nesting order). `configs` pairs a
+    /// display name with a network configuration; `params` maps
+    /// `(rate, seed)` to the point's simulation parameters.
+    pub fn grid(
+        name: impl Into<String>,
+        configs: &[(String, NetworkConfig)],
+        patterns: &[TrafficSpec],
+        seeds: &[u64],
+        rates: &[f64],
+        params: impl Fn(f64, u64) -> SimParams,
+    ) -> Sweep {
+        let mut sweep = Sweep::new(name);
+        for (cfg_name, cfg) in configs {
+            for pattern in patterns {
+                for &seed in seeds {
+                    for &rate in rates {
+                        sweep.push(PointSpec {
+                            label: format!("{cfg_name}|{}|s{seed}|r{rate}", pattern.name()),
+                            config: cfg.clone(),
+                            kind: PointKind::OpenLoop {
+                                params: params(rate, seed),
+                                traffic: pattern.clone(),
+                                faults: None,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        sweep
+    }
+}
+
+/// Executor knobs.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads (1 = run on the coordinator thread).
+    pub jobs: usize,
+    /// Whether to consult/populate the result cache.
+    pub use_cache: bool,
+    /// Cache directory (default `results/cache/`).
+    pub cache_dir: PathBuf,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            jobs: default_jobs(),
+            use_cache: !matches!(std::env::var("HETERONOC_NO_CACHE"), Ok(v) if v == "1"),
+            cache_dir: results_dir().join("cache"),
+        }
+    }
+}
+
+/// Default worker count: `HETERONOC_JOBS` if set, else the machine's
+/// available parallelism.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("HETERONOC_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Why a sweep could not run.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A point's configuration failed validation (caught before any worker
+    /// is scheduled).
+    InvalidPoint {
+        /// The offending point's label.
+        label: String,
+        /// The validation failure.
+        error: ConfigError,
+    },
+    /// Cache or result file I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::InvalidPoint { label, error } => {
+                write!(f, "invalid sweep point '{label}': {error}")
+            }
+            SweepError::Io(e) => write!(f, "sweep I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> SweepError {
+        SweepError::Io(e)
+    }
+}
+
+/// Results of one sweep run.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The sweep's name.
+    pub name: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Per-point results, in grid order.
+    pub points: Vec<PointMetrics>,
+    /// Points served from the cache.
+    pub cache_hits: usize,
+    /// Points actually simulated this run.
+    pub simulated: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+}
+
+impl SweepOutcome {
+    /// Fraction of points served from the cache (0 for an empty sweep).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.points.len() as f64
+        }
+    }
+
+    /// The points array alone — identical across worker counts, which is
+    /// what the determinism tests compare (wall time and job count are
+    /// run-specific by nature).
+    pub fn points_json(&self) -> Json {
+        Json::Arr(self.points.iter().map(PointMetrics::to_json).collect())
+    }
+
+    /// The full machine-readable schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::Int(i64::from(SCHEMA_VERSION))),
+            ("name", Json::Str(self.name.clone())),
+            ("jobs", int(self.jobs as u64)),
+            ("num_points", int(self.points.len() as u64)),
+            ("cache_hits", int(self.cache_hits as u64)),
+            ("simulated", int(self.simulated as u64)),
+            ("cache_hit_rate", Json::Num(self.cache_hit_rate())),
+            ("wall_secs", Json::Num(self.wall_secs)),
+            ("points", self.points_json()),
+        ])
+    }
+
+    /// Writes `results/<name>.json`; returns the path.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+}
+
+/// Runs every point of `sweep`, using up to `opts.jobs` worker threads and
+/// the result cache. Results come back in grid order; a failing point is
+/// reported in its [`PointMetrics::error`] rather than aborting the sweep.
+///
+/// # Errors
+/// [`SweepError::InvalidPoint`] when any point's configuration fails
+/// validation (checked up front, before workers start);
+/// [`SweepError::Io`] when the cache or result file cannot be written.
+pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+    let start = Instant::now();
+
+    // Fail fast: validate every configuration before scheduling anything.
+    for p in &sweep.points {
+        p.config
+            .validate(&p.config.build_graph())
+            .map_err(|error| SweepError::InvalidPoint {
+                label: p.label.clone(),
+                error,
+            })?;
+    }
+
+    let mut cache = if opts.use_cache {
+        Some(ResultCache::open(&opts.cache_dir)?)
+    } else {
+        None
+    };
+
+    let keys: Vec<String> = sweep.points.iter().map(PointSpec::content_key).collect();
+    let mut results: Vec<Option<PointMetrics>> = vec![None; sweep.points.len()];
+    let mut pending: Vec<(usize, &PointSpec)> = Vec::new();
+    let mut cache_hits = 0usize;
+
+    for (i, spec) in sweep.points.iter().enumerate() {
+        let hit = cache
+            .as_ref()
+            .and_then(|c| c.get(&keys[i]))
+            .and_then(PointMetrics::from_json);
+        match hit {
+            Some(mut m) => {
+                m.label.clone_from(&spec.label);
+                m.cached = true;
+                results[i] = Some(m);
+                cache_hits += 1;
+            }
+            None => pending.push((i, spec)),
+        }
+    }
+
+    let simulated = pending.len();
+    let computed = parallel_map(opts.jobs, pending, |(i, spec)| (i, run_point(spec)));
+    for (i, metrics) in computed {
+        if let Some(c) = cache.as_mut() {
+            // Failures are not cached: a re-run should retry them.
+            if metrics.error.is_none() {
+                c.insert(keys[i].clone(), metrics.to_json())?;
+            }
+        }
+        results[i] = Some(metrics);
+    }
+
+    Ok(SweepOutcome {
+        name: sweep.name.clone(),
+        jobs: opts.jobs,
+        points: results
+            .into_iter()
+            .map(|r| r.expect("every point resolved"))
+            .collect(),
+        cache_hits,
+        simulated,
+        wall_secs: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs one point, converting panics and typed errors into
+/// [`PointMetrics::error`].
+pub fn run_point(spec: &PointSpec) -> PointMetrics {
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec.config, &spec.kind)));
+    match outcome {
+        Ok(Ok(mut m)) => {
+            m.label.clone_from(&spec.label);
+            m
+        }
+        Ok(Err(e)) => PointMetrics::failed(spec.label.clone(), e),
+        Err(payload) => PointMetrics::failed(spec.label.clone(), panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked".to_owned()
+    }
+}
+
+fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, String> {
+    match kind {
+        PointKind::OpenLoop {
+            params,
+            traffic,
+            faults,
+        } => {
+            let graph = config.build_graph();
+            let nodes = graph.num_nodes();
+            let net = match faults {
+                Some(plan) => Network::with_faults(config.clone(), plan.clone()),
+                None => Network::new(config.clone()),
+            }
+            .map_err(|e| e.to_string())?;
+            let mut pattern = traffic.instantiate();
+            let out = SimRun::new(net, *params)
+                .traffic(pattern.as_mut())
+                .run()
+                .map_err(|e| e.to_string())?;
+            let power_w = NetworkPower::paper_calibrated()
+                .evaluate(config, &graph, &out.stats)
+                .total_w();
+            Ok(PointMetrics {
+                label: String::new(),
+                rate: params.injection_rate,
+                latency_ns: out.latency_ns(),
+                latency_cycles: out.stats.latency.mean_total(),
+                throughput: out.stats.throughput_ppc(nodes),
+                power_w,
+                saturated: out.saturated,
+                cycles: out.cycles,
+                delivered: out.stats.packets_retired,
+                dropped: out.dropped,
+                retransmissions: out.fault_counters.retransmissions,
+                flits_corrupted: out.fault_counters.flits_corrupted,
+                reroutes: 0,
+                mean_ipc: f64::NAN,
+                cached: false,
+                error: None,
+            })
+        }
+        PointKind::CmpWorkload {
+            benchmark,
+            refs_per_core,
+            seed,
+            max_cycles,
+        } => {
+            let freq = config.frequency_ghz;
+            let graph = config.build_graph();
+            let nodes = graph.num_nodes();
+            let mk = || -> Vec<Box<dyn TraceSource + Send>> {
+                (0..nodes)
+                    .map(|t| {
+                        Box::new(SyntheticWorkload::new(*benchmark, t, *seed, *refs_per_core))
+                            as Box<dyn TraceSource + Send>
+                    })
+                    .collect()
+            };
+            let cmp_cfg = CmpConfig::paper_defaults(config.clone());
+            let mut sys = CmpSystem::new(cmp_cfg, vec![CoreParams::OUT_OF_ORDER; nodes], mk());
+            sys.prewarm(mk());
+            let cycles = sys.run(*max_cycles);
+            if !sys.finished() {
+                return Err(format!(
+                    "{benchmark} did not drain within {max_cycles} cycles"
+                ));
+            }
+            let ipcs = sys.ipcs();
+            let mean_ipc = ipcs.iter().sum::<f64>() / ipcs.len() as f64;
+            let stats = sys.network().stats();
+            let power_w = NetworkPower::paper_calibrated()
+                .evaluate(config, &graph, stats)
+                .total_w();
+            Ok(PointMetrics {
+                label: String::new(),
+                rate: f64::NAN,
+                latency_ns: stats.mean_latency_ns(freq),
+                latency_cycles: stats.latency.mean_total(),
+                throughput: stats.throughput_ppc(nodes),
+                power_w,
+                saturated: false,
+                cycles,
+                delivered: stats.packets_retired,
+                dropped: 0,
+                retransmissions: 0,
+                flits_corrupted: 0,
+                reroutes: 0,
+                mean_ipc,
+                cached: false,
+                error: None,
+            })
+        }
+        PointKind::Degradation {
+            plan,
+            bursts,
+            spacing,
+            stall_limit,
+        } => {
+            let graph = config.build_graph();
+            let nodes = graph.num_nodes();
+            let mut injections = Vec::new();
+            let mut k: Cycle = 0;
+            for _ in 0..*bursts {
+                for s in 0..nodes {
+                    for d in 0..nodes {
+                        if s == d {
+                            continue;
+                        }
+                        injections.push(Injection {
+                            cycle: k * spacing,
+                            src: NodeId(s),
+                            dst: NodeId(d),
+                            size: Bits(512),
+                        });
+                        k += 1;
+                    }
+                }
+            }
+            let r = run_with_degradation(config.clone(), plan.clone(), &injections, *stall_limit)
+                .map_err(|e| e.to_string())?;
+            let (lat_sum, del_sum): (u64, u64) = r
+                .phases
+                .iter()
+                .fold((0, 0), |(l, d), p| (l + p.latency_cycles, d + p.delivered));
+            let latency_cycles = if del_sum == 0 {
+                f64::NAN
+            } else {
+                lat_sum as f64 / del_sum as f64
+            };
+            Ok(PointMetrics {
+                label: String::new(),
+                rate: f64::NAN,
+                latency_ns: latency_cycles / config.frequency_ghz,
+                latency_cycles,
+                throughput: f64::NAN,
+                power_w: f64::NAN,
+                saturated: false,
+                cycles: r.finished_at,
+                delivered: r.delivered,
+                dropped: r.dropped.len() as u64,
+                retransmissions: r.counters.retransmissions,
+                flits_corrupted: r.counters.flits_corrupted,
+                reroutes: u64::from(r.reroutes),
+                mean_ipc: f64::NAN,
+                cached: false,
+                error: None,
+            })
+        }
+    }
+}
+
+/// Maps `f` over `items` with up to `jobs` worker threads, preserving the
+/// input order of the results. With `jobs <= 1` (or one item) everything
+/// runs on the calling thread — bit-identical to the parallel path because
+/// each item is processed independently.
+///
+/// Work is distributed through a shared queue (fast items don't idle a
+/// worker that drew them), results return through a channel tagged with
+/// their input index, and the coordinator reassembles them in order.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            s.spawn(move || {
+                loop {
+                    let next = queue.lock().expect("queue lock").pop_front();
+                    let Some((i, item)) = next else { return };
+                    // A disconnected receiver means the coordinator gave
+                    // up; stop quietly.
+                    if tx.send((i, f(item))).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("worker delivered every drawn item"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 4, 7] {
+            assert_eq!(parallel_map(jobs, items.clone(), |x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_singleton() {
+        assert_eq!(parallel_map(4, Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(4, vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn traffic_specs_instantiate() {
+        for spec in [
+            TrafficSpec::Uniform,
+            TrafficSpec::NearestNeighbor {
+                width: 8,
+                height: 8,
+            },
+            TrafficSpec::Transpose { side: 8 },
+            TrafficSpec::BitComplement,
+            TrafficSpec::BitReverse,
+            TrafficSpec::Tornado {
+                width: 8,
+                height: 8,
+            },
+            TrafficSpec::Shuffle,
+            TrafficSpec::Hotspot {
+                hotspots: vec![0, 63],
+                hot_fraction: 0.2,
+            },
+        ] {
+            let _pattern = spec.instantiate();
+            assert!(!spec.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn point_metrics_round_trip_json() {
+        let m = PointMetrics {
+            label: "baseline|ur|s7|r0.01".into(),
+            rate: 0.01,
+            latency_ns: 23.5,
+            latency_cycles: 48.6,
+            throughput: 0.0099,
+            power_w: 31.2,
+            saturated: false,
+            cycles: 123_456,
+            delivered: 15_000,
+            dropped: 0,
+            retransmissions: 0,
+            flits_corrupted: 0,
+            reroutes: 0,
+            mean_ipc: f64::NAN,
+            cached: false,
+            error: None,
+        };
+        let j = m.to_json();
+        let back = PointMetrics::from_json(&j).unwrap();
+        assert_eq!(back.label, m.label);
+        assert_eq!(back.delivered, m.delivered);
+        assert!((back.latency_ns - m.latency_ns).abs() < 1e-12);
+        assert!(back.mean_ipc.is_nan());
+        assert!(back.error.is_none());
+    }
+}

@@ -1,7 +1,7 @@
 //! `heteronoc` — command-line front end for the HeteroNoC simulator.
 //!
 //! ```text
-//! heteronoc sweep   --layout diagonal-bl --pattern ur --rates 0.01,0.02,0.04
+//! heteronoc sweep   --layouts all --pattern ur --rates 0.01,0.02,0.04 --jobs 4
 //! heteronoc compare --pattern transpose --rate 0.02
 //! heteronoc audit
 //! heteronoc heatmap --rate 0.05
@@ -14,13 +14,14 @@ mod args;
 use std::process::ExitCode;
 
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, Traffic};
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun, Traffic};
 use heteronoc::power::NetworkPower;
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::{
     BitComplement, BitReverse, NearestNeighbor, Shuffle, Tornado, Transpose, UniformRandom,
 };
 use heteronoc::{audit_mesh_layout, mesh_config, Layout};
+use heteronoc_bench::sweep::{default_jobs, run_sweep, Sweep, SweepOptions, TrafficSpec};
 
 use args::Args;
 
@@ -30,12 +31,16 @@ heteronoc — HeteroNoC (ISCA'11) network simulator
 USAGE: heteronoc <command> [options]
 
 COMMANDS
-  sweep      load sweep of one layout
-               --layout <name>      (default diagonal-bl)
+  sweep      parallel load sweep on the sweep engine (with result caching)
+               --layouts a,b,c      comma-separated, or 'all' (default diagonal-bl)
                --pattern <name>     ur|nn|transpose|bit-complement|bit-reverse|tornado|shuffle
                --rates a,b,c        packets/node/cycle (default 0.01,0.02,0.03,0.04,0.05)
+               --seeds a,b,c        RNG seeds, one sub-sweep per seed (default 42)
                --packets N          measured packets per point (default 5000)
-               --seed N             RNG seed (default 42)
+               --jobs N             worker threads (default: all cores, or $HETERONOC_JOBS)
+               --no-cache           re-simulate every point, ignore results/cache/
+               --name <name>        sweep name; JSON goes to results/<name>.json
+                                    (default cli_sweep)
   compare    all seven layouts at one load point
                --pattern, --rate, --packets, --seed as above
   audit      resource audit of every layout (Table 1 accounting)
@@ -70,6 +75,25 @@ WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
 fn layout_by_name(name: &str) -> Result<Layout, String> {
     name.parse()
         .map_err(|e: heteronoc::layout::ParseLayoutError| e.to_string())
+}
+
+fn traffic_spec_by_name(name: &str) -> Result<TrafficSpec, String> {
+    Ok(match name {
+        "ur" | "uniform" => TrafficSpec::Uniform,
+        "nn" | "nearest-neighbor" => TrafficSpec::NearestNeighbor {
+            width: 8,
+            height: 8,
+        },
+        "transpose" => TrafficSpec::Transpose { side: 8 },
+        "bit-complement" => TrafficSpec::BitComplement,
+        "bit-reverse" => TrafficSpec::BitReverse,
+        "tornado" => TrafficSpec::Tornado {
+            width: 8,
+            height: 8,
+        },
+        "shuffle" => TrafficSpec::Shuffle,
+        other => return Err(format!("unknown pattern '{other}' (see --help)")),
+    })
 }
 
 fn pattern_by_name(name: &str) -> Result<Box<dyn Traffic>, String> {
@@ -125,7 +149,10 @@ fn point(
     let graph = cfg.build_graph();
     let net = Network::new(cfg.clone()).map_err(|e| e.to_string())?;
     let mut traffic = pattern_by_name(pattern)?;
-    let out = run_open_loop(net, traffic.as_mut(), params(rate, packets, seed));
+    let out = SimRun::new(net, params(rate, packets, seed))
+        .traffic(traffic.as_mut())
+        .run()
+        .expect("simulation run");
     let power = NetworkPower::paper_calibrated()
         .evaluate(&cfg, &graph, &out.stats)
         .total_w();
@@ -146,25 +173,89 @@ fn point(
     })
 }
 
+/// `heteronoc sweep`: a (layout × pattern × seed × rate) grid on the
+/// parallel sweep engine, with content-addressed result caching.
 fn cmd_sweep(a: &Args) -> Result<(), String> {
-    let layout = layout_by_name(a.get("layout").unwrap_or("diagonal-bl"))?;
+    // `--layouts a,b,c` (or 'all'); `--layout` kept as a synonym.
+    let layout_arg = a
+        .get("layouts")
+        .or_else(|| a.get("layout"))
+        .unwrap_or("diagonal-bl");
+    let layouts: Vec<Layout> = if layout_arg == "all" {
+        Layout::all_seven().to_vec()
+    } else {
+        layout_arg
+            .split(',')
+            .map(|n| layout_by_name(n.trim()))
+            .collect::<Result<_, _>>()?
+    };
     let pattern = a.get("pattern").unwrap_or("ur").to_owned();
+    let spec = traffic_spec_by_name(&pattern)?;
     let rates = a
         .get_list::<f64>("rates")?
         .unwrap_or_else(|| vec![0.01, 0.02, 0.03, 0.04, 0.05]);
+    let seeds = a
+        .get_list::<u64>("seeds")?
+        .unwrap_or_else(|| vec![a.get_or("seed", 42u64).unwrap_or(42)]);
     let packets = a.get_or("packets", 5_000u64)?;
-    let seed = a.get_or("seed", 42u64)?;
+    let jobs = a.get_or("jobs", default_jobs())?.max(1);
+    let name = a.get("name").unwrap_or("cli_sweep").to_owned();
+
+    let configs: Vec<(String, _)> = layouts
+        .iter()
+        .map(|l| (l.name().to_owned(), mesh_config(l)))
+        .collect();
+    let sweep = Sweep::grid(name, &configs, &[spec], &seeds, &rates, |rate, seed| {
+        params(rate, packets, seed)
+    });
+    let opts = SweepOptions {
+        jobs,
+        use_cache: !a.flag("no-cache"),
+        ..SweepOptions::default()
+    };
     println!(
-        "layout {} · pattern {pattern} · {packets} packets/point",
-        layout.name()
+        "sweep '{}': {} point(s) · pattern {pattern} · {packets} packets/point · {jobs} worker(s) · cache {}",
+        sweep.name,
+        sweep.points.len(),
+        if opts.use_cache { "on" } else { "off" },
     );
-    println!(
-        "{:<8}{:>12}{:>14}{:>12}",
-        "rate", "latency", "throughput", "power"
-    );
-    for rate in rates {
-        println!("{}", point(&layout, &pattern, rate, packets, seed)?);
+    let outcome = run_sweep(&sweep, &opts).map_err(|e| e.to_string())?;
+
+    let per_layout = rates.len() * seeds.len();
+    for (l, chunk) in layouts.iter().zip(outcome.points.chunks(per_layout)) {
+        println!();
+        println!("layout {}", l.name());
+        println!(
+            "{:<8}{:>8}{:>12}{:>14}{:>12}{:>8}",
+            "rate", "seed", "latency", "throughput", "power", "cache"
+        );
+        for (i, p) in chunk.iter().enumerate() {
+            let seed = seeds[i / rates.len()];
+            let cached = if p.cached { "hit" } else { "run" };
+            match &p.error {
+                Some(e) => println!("{:<8.4}{seed:>8}  error: {e}", p.rate),
+                None if p.saturated => println!(
+                    "{:<8.4}{seed:>8}{:>12}{:>14.4}{:>10.1} W{cached:>8}",
+                    p.rate, "sat", p.throughput, p.power_w
+                ),
+                None => println!(
+                    "{:<8.4}{seed:>8}{:>9.2} ns{:>14.4}{:>10.1} W{cached:>8}",
+                    p.rate, p.latency_ns, p.throughput, p.power_w
+                ),
+            }
+        }
     }
+
+    let json_path = outcome.write_json().map_err(|e| e.to_string())?;
+    println!();
+    println!(
+        "wall {:.2}s · {} simulated · {} cache hit(s) ({:.0}%)",
+        outcome.wall_secs,
+        outcome.simulated,
+        outcome.cache_hits,
+        100.0 * outcome.cache_hit_rate()
+    );
+    println!("json: {}", json_path.display());
     Ok(())
 }
 
@@ -212,7 +303,9 @@ fn cmd_heatmap(a: &Args) -> Result<(), String> {
     let packets = a.get_or("packets", 8_000u64)?;
     let seed = a.get_or("seed", 42u64)?;
     let net = Network::new(mesh_config(&Layout::Baseline)).map_err(|e| e.to_string())?;
-    let out = run_open_loop(net, &mut UniformRandom, params(rate, packets, seed));
+    let out = SimRun::new(net, params(rate, packets, seed))
+        .run()
+        .expect("simulation run");
     println!("baseline 8x8 mesh, UR @ {rate}: buffer (VC) utilization [%]");
     for y in 0..8 {
         let row: Vec<String> = (0..8)

@@ -23,19 +23,17 @@
 //! ```
 //! use heteronoc::{Layout, mesh_config};
 //! use heteronoc::noc::network::Network;
-//! use heteronoc::noc::sim::{run_open_loop, SimParams, UniformRandom};
+//! use heteronoc::noc::sim::{SimParams, SimRun};
 //!
-//! # fn main() -> Result<(), heteronoc::noc::error::ConfigError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // The paper's best layout: big routers along both diagonals, with
 //! // combined buffer + link redistribution.
 //! let cfg = mesh_config(&Layout::DiagonalBL);
 //! let net = Network::new(cfg)?;
-//! let out = run_open_loop(
-//!     net,
-//!     &mut UniformRandom,
-//!     SimParams { injection_rate: 0.02, warmup_packets: 100,
-//!                 measure_packets: 1_000, ..SimParams::default() },
-//! );
+//! let out = SimRun::new(net, SimParams {
+//!     injection_rate: 0.02, warmup_packets: 100,
+//!     measure_packets: 1_000, ..SimParams::default()
+//! }).run()?;
 //! println!("Diagonal+BL latency: {:.2} ns", out.latency_ns());
 //! # Ok(())
 //! # }

@@ -309,9 +309,9 @@ impl NetworkConfig {
 ///     .router(27, RouterCfg::BIG)
 ///     .flit_width(Bits(128))
 ///     .frequency_ghz(2.07)
-///     .build();
+///     .build()
+///     .expect("a valid configuration");
 /// assert_eq!(cfg.routers[27].vcs_per_port, 6);
-/// assert!(cfg.validate(&cfg.build_graph()).is_ok());
 /// ```
 #[derive(Clone, Debug)]
 pub struct NetworkConfigBuilder {
@@ -379,15 +379,23 @@ impl NetworkConfigBuilder {
         self
     }
 
-    /// Finishes the build. When the flit width changed but the link widths
-    /// are still the uniform default, the links follow the flit width.
-    pub fn build(mut self) -> NetworkConfig {
+    /// Finishes the build, validating the assembled configuration against
+    /// its elaborated topology so invalid configurations fail here — before
+    /// a [`crate::network::Network`] is constructed or a sweep point is
+    /// scheduled onto a worker — rather than deep inside `Network::new`.
+    /// When the flit width changed but the link widths are still the
+    /// uniform default, the links follow the flit width.
+    ///
+    /// # Errors
+    /// The first [`ConfigError`] found by [`NetworkConfig::validate`].
+    pub fn build(mut self) -> Result<NetworkConfig, ConfigError> {
         if let LinkWidths::Uniform(w) = self.cfg.link_widths {
             if w != self.cfg.flit_width && w == Bits(192) {
                 self.cfg.link_widths = LinkWidths::Uniform(self.cfg.flit_width);
             }
         }
-        self.cfg
+        self.cfg.validate(&self.cfg.build_graph())?;
+        Ok(self.cfg)
     }
 }
 
@@ -503,7 +511,8 @@ mod tests {
             .router(5, RouterCfg::BIG)
             .flit_width(Bits(128))
             .frequency_ghz(2.07)
-            .build();
+            .build()
+            .expect("valid");
         assert_eq!(cfg.routers[5].vcs_per_port, 6);
         assert_eq!(cfg.routers[0].vcs_per_port, 2);
         // Uniform default links followed the flit width.
@@ -519,9 +528,27 @@ mod tests {
         })
         .flit_width(Bits(128))
         .link_widths(LinkWidths::Uniform(Bits(256)))
-        .build();
+        .build()
+        .expect("valid");
         assert!(matches!(cfg.link_widths, LinkWidths::Uniform(Bits(256))));
         assert!(cfg.validate(&cfg.build_graph()).is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configuration_at_build_time() {
+        // A torus with single-VC routers is rejected by build(), not
+        // deferred to Network::new.
+        let err = NetworkConfigBuilder::topology(TopologyKind::Torus {
+            width: 4,
+            height: 4,
+        })
+        .router_default(RouterCfg {
+            vcs_per_port: 1,
+            buffer_depth: 5,
+        })
+        .build()
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::TorusNeedsTwoVcs { .. }));
     }
 
     #[test]

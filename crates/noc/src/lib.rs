@@ -11,9 +11,9 @@
 //! ```
 //! use heteronoc_noc::config::NetworkConfig;
 //! use heteronoc_noc::network::Network;
-//! use heteronoc_noc::sim::{run_open_loop, SimParams, UniformRandom};
+//! use heteronoc_noc::sim::{SimParams, SimRun};
 //!
-//! # fn main() -> Result<(), heteronoc_noc::error::ConfigError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let net = Network::new(NetworkConfig::paper_baseline())?;
 //! let params = SimParams {
 //!     injection_rate: 0.01,
@@ -21,7 +21,7 @@
 //!     measure_packets: 1_000,
 //!     ..SimParams::default()
 //! };
-//! let out = run_open_loop(net, &mut UniformRandom, params);
+//! let out = SimRun::new(net, params).run()?;
 //! println!(
 //!     "latency {:.1} ns, throughput {:.4} packets/node/cycle",
 //!     out.latency_ns(),

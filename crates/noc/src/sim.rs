@@ -16,10 +16,10 @@ use crate::types::{Bits, Cycle, NodeId};
 
 /// Per-cycle hook over the live network state (cargo feature `verify`).
 ///
-/// [`run_open_loop`] drives the default [`StrictInvariants`] observer;
-/// pass a custom implementation to [`run_open_loop_observed`] to record,
-/// sample or tolerate violations instead. With the feature disabled the
-/// simulation loop contains no observer call at all.
+/// [`SimRun`] drives the default [`StrictInvariants`] observer; pass a
+/// custom implementation via [`SimRun::observer`] to record, sample or
+/// tolerate violations instead. With the feature disabled the simulation
+/// loop contains no observer call at all.
 #[cfg(feature = "verify")]
 pub trait InvariantObserver {
     /// Called after every [`Network::step`], before deliveries are drained.
@@ -178,16 +178,20 @@ fn pareto(rng: &mut StdRng, alpha: f64) -> u64 {
     (u.powf(-1.0 / alpha)).min(1e6) as u64 + 1
 }
 
-/// Runs one open-loop simulation on `net` (which should be freshly built).
+/// One configured open-loop simulation run: the unified entry point that
+/// replaced the `run_open_loop` / `run_open_loop_result` /
+/// `run_open_loop_observed` trio.
 ///
 /// Packets are generated per node per cycle according to
-/// [`SimParams::process`]; destinations come from `traffic`.
+/// [`SimParams::process`]; destinations come from the configured traffic
+/// pattern ([`UniformRandom`] unless [`SimRun::traffic`] is called). Stall
+/// and unrecoverable-fault conditions come back as typed [`SimError`]s.
 ///
 /// # Examples
 /// ```
 /// use heteronoc_noc::config::NetworkConfig;
 /// use heteronoc_noc::network::Network;
-/// use heteronoc_noc::sim::{run_open_loop, SimParams, UniformRandom};
+/// use heteronoc_noc::sim::{SimParams, SimRun, UniformRandom};
 /// let net = Network::new(NetworkConfig::paper_baseline())?;
 /// let params = SimParams {
 ///     injection_rate: 0.005,
@@ -195,61 +199,142 @@ fn pareto(rng: &mut StdRng, alpha: f64) -> u64 {
 ///     measure_packets: 500,
 ///     ..SimParams::default()
 /// };
-/// let out = run_open_loop(net, &mut UniformRandom, params);
+/// let out = SimRun::new(net, params).traffic(&mut UniformRandom).run()?;
 /// assert!(!out.saturated);
 /// assert!(out.stats.packets_retired >= 500);
-/// # Ok::<(), heteronoc_noc::error::ConfigError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn run_open_loop<T: Traffic + ?Sized>(
+pub struct SimRun<'a> {
     net: Network,
-    traffic: &mut T,
     params: SimParams,
-) -> SimOutcome {
-    run_open_loop_result(net, traffic, params)
+    traffic: Option<&'a mut dyn Traffic>,
+    #[cfg(feature = "verify")]
+    observer: Option<&'a mut dyn InvariantObserver>,
+}
+
+impl std::fmt::Debug for SimRun<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRun")
+            .field("params", &self.params)
+            .field("traffic", &self.traffic.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SimRun<'a> {
+    /// Prepares a run of `net` (which should be freshly built) under
+    /// `params`. Without further configuration the run uses
+    /// [`UniformRandom`] traffic and, with the `verify` feature, the
+    /// panicking [`StrictInvariants`] observer.
+    pub fn new(net: Network, params: SimParams) -> Self {
+        Self {
+            net,
+            params,
+            traffic: None,
+            #[cfg(feature = "verify")]
+            observer: None,
+        }
+    }
+
+    /// Sets the traffic pattern drawing each generated packet's
+    /// destination, size and class.
+    #[must_use]
+    pub fn traffic(mut self, traffic: &'a mut dyn Traffic) -> Self {
+        self.traffic = Some(traffic);
+        self
+    }
+
+    /// Installs a caller-supplied [`InvariantObserver`] instead of the
+    /// panicking [`StrictInvariants`] default (cargo feature `verify`).
+    #[cfg(feature = "verify")]
+    #[must_use]
+    pub fn observer(mut self, observer: &'a mut dyn InvariantObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Executes the run.
+    ///
+    /// # Errors
+    /// [`SimError::Stalled`] when the progress watchdog fires with packets
+    /// in flight; [`SimError::Unrecoverable`] when a faulty link exhausts
+    /// its retransmission attempts.
+    pub fn run(self) -> Result<SimOutcome, SimError> {
+        let SimRun {
+            net,
+            params,
+            traffic,
+            #[cfg(feature = "verify")]
+            observer,
+        } = self;
+        let mut default_traffic = UniformRandom;
+        let traffic = traffic.unwrap_or(&mut default_traffic);
+        #[cfg(feature = "verify")]
+        {
+            let mut strict = StrictInvariants;
+            let observer = observer.unwrap_or(&mut strict);
+            run_loop(net, traffic, params, observer)
+        }
+        #[cfg(not(feature = "verify"))]
+        {
+            run_loop(net, traffic, params)
+        }
+    }
+}
+
+/// Runs one open-loop simulation, panicking on typed failures.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SimRun::new(net, params).traffic(&mut t).run()`"
+)]
+pub fn run_open_loop(net: Network, traffic: &mut dyn Traffic, params: SimParams) -> SimOutcome {
+    SimRun::new(net, params)
+        .traffic(traffic)
+        .run()
         .unwrap_or_else(|e| panic!("simulation run failed: {e}"))
 }
 
-/// Like [`run_open_loop`], but returning stall and unrecoverable-fault
-/// conditions as typed [`SimError`]s instead of panicking. Fault-injection
-/// campaigns should prefer this entry point: a run that wedges (e.g. a hard
-/// fault with no surviving reroute) comes back as
-/// [`SimError::Stalled`] naming the stuck packets, and a link that
-/// exhausted its retries comes back as [`SimError::Unrecoverable`].
+/// Runs one open-loop simulation with typed errors.
 ///
 /// # Errors
 /// [`SimError::Stalled`] when the watchdog fires; [`SimError::Unrecoverable`]
 /// when a link gives up retrying.
-pub fn run_open_loop_result<T: Traffic + ?Sized>(
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SimRun::new(net, params).traffic(&mut t).run()`"
+)]
+pub fn run_open_loop_result(
     net: Network,
-    traffic: &mut T,
+    traffic: &mut dyn Traffic,
     params: SimParams,
 ) -> Result<SimOutcome, SimError> {
-    #[cfg(feature = "verify")]
-    {
-        run_loop(net, traffic, params, &mut StrictInvariants)
-    }
-    #[cfg(not(feature = "verify"))]
-    {
-        run_loop(net, traffic, params)
-    }
+    SimRun::new(net, params).traffic(traffic).run()
 }
 
-/// Like [`run_open_loop`], but with a caller-supplied [`InvariantObserver`]
-/// instead of the panicking default (cargo feature `verify`).
+/// Runs one open-loop simulation with a caller-supplied
+/// [`InvariantObserver`] (cargo feature `verify`), panicking on typed
+/// failures.
 #[cfg(feature = "verify")]
-pub fn run_open_loop_observed<T: Traffic + ?Sized>(
+#[deprecated(
+    since = "0.1.0",
+    note = "use `SimRun::new(net, params).traffic(&mut t).observer(&mut o).run()`"
+)]
+pub fn run_open_loop_observed(
     net: Network,
-    traffic: &mut T,
+    traffic: &mut dyn Traffic,
     params: SimParams,
     observer: &mut dyn InvariantObserver,
 ) -> SimOutcome {
-    run_loop(net, traffic, params, observer)
+    SimRun::new(net, params)
+        .traffic(traffic)
+        .observer(observer)
+        .run()
         .unwrap_or_else(|e| panic!("simulation run failed: {e}"))
 }
 
-fn run_loop<T: Traffic + ?Sized>(
+fn run_loop(
     mut net: Network,
-    traffic: &mut T,
+    traffic: &mut dyn Traffic,
     params: SimParams,
     #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
 ) -> Result<SimOutcome, SimError> {
@@ -403,7 +488,7 @@ mod tests {
     #[test]
     fn low_load_run_completes_unsaturated() {
         let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
-        let out = run_open_loop(net, &mut UniformRandom, quick_params(0.005));
+        let out = SimRun::new(net, quick_params(0.005)).run().unwrap();
         assert!(!out.saturated);
         assert!(out.stats.packets_retired >= 400);
         assert!(out.latency_ns() > 0.0);
@@ -413,7 +498,10 @@ mod tests {
     fn latency_grows_with_load() {
         let lat = |rate| {
             let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
-            run_open_loop(net, &mut UniformRandom, quick_params(rate)).latency_ns()
+            SimRun::new(net, quick_params(rate))
+                .run()
+                .unwrap()
+                .latency_ns()
         };
         let low = lat(0.002);
         let high = lat(0.05);
@@ -427,7 +515,7 @@ mod tests {
     fn deterministic_per_seed() {
         let run = || {
             let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
-            let out = run_open_loop(net, &mut UniformRandom, quick_params(0.02));
+            let out = SimRun::new(net, quick_params(0.02)).run().unwrap();
             (
                 out.stats.packets_retired,
                 out.stats.latency.total,
@@ -442,7 +530,7 @@ mod tests {
         let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
         let mut p = quick_params(0.9);
         p.max_cycles = 20_000;
-        let out = run_open_loop(net, &mut UniformRandom, p);
+        let out = SimRun::new(net, p).run().unwrap();
         assert!(out.saturated);
     }
 
@@ -454,7 +542,7 @@ mod tests {
             alpha_on: 1.9,
             alpha_off: 1.25,
         };
-        let out = run_open_loop(net, &mut UniformRandom, p);
+        let out = SimRun::new(net, p).run().unwrap();
         assert!(out.stats.packets_retired >= 400);
     }
 
@@ -505,7 +593,7 @@ mod tests {
             watchdog: Some(400),
             ..SimParams::default()
         };
-        let err = run_open_loop_result(net, &mut UniformRandom, params).unwrap_err();
+        let err = SimRun::new(net, params).run().unwrap_err();
         match err {
             SimError::Stalled(report) => {
                 let ids: Vec<_> = report.stuck.iter().map(|s| s.packet).collect();
@@ -522,7 +610,8 @@ mod tests {
         let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
         let mut p = quick_params(0.08);
         p.watchdog = Some(2_000);
-        let out = run_open_loop_result(net, &mut UniformRandom, p)
+        let out = SimRun::new(net, p)
+            .run()
             .expect("a healthy loaded network must never trip the watchdog");
         assert!(out.stats.packets_retired >= 400);
     }
@@ -535,7 +624,7 @@ mod tests {
             timeout: 4,
         };
         let net = faulted_mesh(plan);
-        let err = run_open_loop_result(net, &mut UniformRandom, quick_params(0.05)).unwrap_err();
+        let err = SimRun::new(net, quick_params(0.05)).run().unwrap_err();
         assert!(matches!(err, SimError::Unrecoverable(_)), "{err}");
     }
 }

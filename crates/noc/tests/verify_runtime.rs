@@ -11,9 +11,7 @@
 use heteronoc_noc::config::{NetworkConfig, NetworkConfigBuilder, RouterCfg};
 use heteronoc_noc::network::Network;
 use heteronoc_noc::routing::{RouteTable, RoutingKind};
-use heteronoc_noc::sim::{
-    run_open_loop, run_open_loop_observed, InvariantObserver, SimParams, UniformRandom,
-};
+use heteronoc_noc::sim::{InvariantObserver, SimParams, SimRun};
 use heteronoc_noc::topology::TopologyKind;
 use heteronoc_noc::types::Bits;
 
@@ -32,7 +30,7 @@ fn params(rate: f64) -> SimParams {
 #[test]
 fn homogeneous_mesh_holds_invariants_under_load() {
     let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
-    let out = run_open_loop(net, &mut UniformRandom, params(0.03));
+    let out = SimRun::new(net, params(0.03)).run().unwrap();
     assert!(out.stats.packets_retired >= 500);
 }
 
@@ -44,8 +42,8 @@ fn heterogeneous_routers_hold_invariants_under_load() {
     for r in [5usize, 6, 9, 10] {
         b = b.router(r, RouterCfg::BIG);
     }
-    let net = Network::new(b.build()).unwrap();
-    let out = run_open_loop(net, &mut UniformRandom, params(0.03));
+    let net = Network::new(b.build().expect("valid config")).unwrap();
+    let out = SimRun::new(net, params(0.03)).run().unwrap();
     assert!(out.stats.packets_retired >= 500);
 }
 
@@ -61,13 +59,15 @@ fn torus_dateline_routing_holds_invariants_under_load() {
         2.2,
     );
     let net = Network::new(cfg).unwrap();
-    let out = run_open_loop(net, &mut UniformRandom, params(0.03));
+    let out = SimRun::new(net, params(0.03)).run().unwrap();
     assert!(out.stats.packets_retired >= 500);
 }
 
 #[test]
 fn table_routing_with_escape_holds_invariants_under_load() {
-    let base = NetworkConfigBuilder::mesh(4, 4).build();
+    let base = NetworkConfigBuilder::mesh(4, 4)
+        .build()
+        .expect("valid config");
     let graph = base.build_graph();
     let hubs: Vec<_> = [0usize, 3, 12, 15]
         .into_iter()
@@ -75,9 +75,10 @@ fn table_routing_with_escape_holds_invariants_under_load() {
         .collect();
     let cfg = NetworkConfigBuilder::mesh(4, 4)
         .routing(RoutingKind::TableXy(RouteTable::for_hubs(&graph, &hubs)))
-        .build();
+        .build()
+        .expect("valid config");
     let net = Network::new(cfg).unwrap();
-    let out = run_open_loop(net, &mut UniformRandom, params(0.03));
+    let out = SimRun::new(net, params(0.03)).run().unwrap();
     assert!(out.stats.packets_retired >= 500);
 }
 
@@ -94,6 +95,9 @@ fn custom_observer_sees_every_cycle() {
     }
     let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
     let mut obs = Counting { cycles: 0 };
-    let out = run_open_loop_observed(net, &mut UniformRandom, params(0.02), &mut obs);
+    let out = SimRun::new(net, params(0.02))
+        .observer(&mut obs)
+        .run()
+        .unwrap();
     assert_eq!(obs.cycles, out.cycles, "one observer call per cycle");
 }

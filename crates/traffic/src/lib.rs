@@ -13,18 +13,15 @@
 //!
 //! ```
 //! use heteronoc_traffic::patterns::Transpose;
-//! use heteronoc_noc::sim::{run_open_loop, SimParams};
+//! use heteronoc_noc::sim::{SimParams, SimRun};
 //! use heteronoc_noc::{config::NetworkConfig, network::Network};
 //!
-//! # fn main() -> Result<(), heteronoc_noc::error::ConfigError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let net = Network::new(NetworkConfig::paper_baseline())?;
 //! let mut pattern = Transpose::new(8);
-//! let out = run_open_loop(
-//!     net,
-//!     &mut pattern,
-//!     SimParams { injection_rate: 0.01, warmup_packets: 50, measure_packets: 300,
-//!                 ..SimParams::default() },
-//! );
+//! let params = SimParams { injection_rate: 0.01, warmup_packets: 50, measure_packets: 300,
+//!                          ..SimParams::default() };
+//! let out = SimRun::new(net, params).traffic(&mut pattern).run()?;
 //! assert!(out.stats.packets_retired >= 300);
 //! # Ok(())
 //! # }

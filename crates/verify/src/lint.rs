@@ -162,7 +162,8 @@ mod tests {
                     buffer_depth: 5,
                 },
             )
-            .build();
+            .build()
+            .expect("valid config");
         let g = cfg.build_graph();
         let err = lint_budget(&cfg, &g, &baseline).unwrap_err();
         assert_eq!(
@@ -210,7 +211,8 @@ mod tests {
         );
         let cfg = NetworkConfigBuilder::mesh(8, 8)
             .routing(RoutingKind::TableXy(tbl))
-            .build();
+            .build()
+            .expect("valid config");
         let g = cfg.build_graph();
         assert_eq!(
             lint_structure(&cfg, &g).unwrap_err(),
@@ -229,7 +231,8 @@ mod tests {
         tbl.insert(RouterId(9), RouterId(0), vec![RouterId(9), RouterId(0)]);
         let cfg = NetworkConfigBuilder::mesh(8, 8)
             .routing(RoutingKind::TableXy(tbl))
-            .build();
+            .build()
+            .expect("valid config");
         let g = cfg.build_graph();
         // `pairs()` iteration order is unspecified, so either direction of
         // the broken pair may be reported first.

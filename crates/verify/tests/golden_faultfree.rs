@@ -9,7 +9,7 @@
 
 use heteronoc::{mesh_config, Layout};
 use heteronoc_noc::network::Network;
-use heteronoc_noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc_noc::sim::{InjectionProcess, SimParams, SimRun};
 
 fn pin_params() -> SimParams {
     SimParams {
@@ -25,7 +25,9 @@ fn pin_params() -> SimParams {
 
 /// (packets_retired, Σ latency cycles, Σ queuing cycles, total cycles).
 fn fingerprint(net: Network) -> (u64, u64, u64, u64) {
-    let out = run_open_loop(net, &mut UniformRandom, pin_params());
+    let out = SimRun::new(net, pin_params())
+        .run()
+        .expect("simulation run");
     assert!(!out.saturated);
     (
         out.stats.packets_retired,

@@ -11,7 +11,7 @@ use heteronoc::dse::{binomial, enumerate_canonical, sweep};
 use heteronoc::noc::config::{LinkWidths, NetworkConfig, RouterCfg};
 use heteronoc::noc::network::Network;
 use heteronoc::noc::routing::RoutingKind;
-use heteronoc::noc::sim::{run_open_loop, SimParams, UniformRandom};
+use heteronoc::noc::sim::{SimParams, SimRun};
 use heteronoc::noc::topology::TopologyKind;
 use heteronoc::noc::types::{Bits, RouterId};
 use heteronoc::Placement;
@@ -52,9 +52,8 @@ fn main() {
             eprintln!("  {evaluated}/{canon}");
         }
         let net = Network::new(config_for(p)).expect("valid");
-        let out = run_open_loop(
+        let out = SimRun::new(
             net,
-            &mut UniformRandom,
             SimParams {
                 injection_rate: 0.05,
                 warmup_packets: 100,
@@ -63,7 +62,9 @@ fn main() {
                 seed: 0xD5E,
                 ..SimParams::default()
             },
-        );
+        )
+        .run()
+        .expect("simulation run");
         if out.saturated {
             f64::MAX
         } else {

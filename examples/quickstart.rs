@@ -7,7 +7,7 @@
 //! ```
 
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, SimParams, UniformRandom};
+use heteronoc::noc::sim::{SimParams, SimRun};
 use heteronoc::power::NetworkPower;
 use heteronoc::{audit_mesh_layout, mesh_config, Layout};
 
@@ -23,16 +23,17 @@ fn main() {
         let cfg = mesh_config(&layout);
         let graph = cfg.build_graph();
         let net = Network::new(cfg.clone()).expect("paper layouts are valid");
-        let out = run_open_loop(
+        let out = SimRun::new(
             net,
-            &mut UniformRandom,
             SimParams {
                 injection_rate: 0.03,
                 warmup_packets: 500,
                 measure_packets: 8_000,
                 ..SimParams::default()
             },
-        );
+        )
+        .run()
+        .expect("simulation run");
         let power = power_model.evaluate(&cfg, &graph, &out.stats);
         let audit = audit_mesh_layout(&layout);
         println!(

@@ -8,7 +8,7 @@
 
 use heteronoc::mesh_config;
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, SimParams, UniformRandom};
+use heteronoc::noc::sim::{SimParams, SimRun};
 use heteronoc::Layout;
 
 const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
@@ -21,16 +21,17 @@ fn main() {
     println!("8x8 mesh, uniform random @ {rate} packets/node/cycle\n");
 
     let net = Network::new(mesh_config(&Layout::Baseline)).expect("valid baseline");
-    let out = run_open_loop(
+    let out = SimRun::new(
         net,
-        &mut UniformRandom,
         SimParams {
             injection_rate: rate,
             warmup_packets: 500,
             measure_packets: 10_000,
             ..SimParams::default()
         },
-    );
+    )
+    .run()
+    .expect("simulation run");
 
     let utils: Vec<f64> = (0..64).map(|r| out.stats.vc_utilization(r)).collect();
     let max = utils.iter().cloned().fold(f64::EPSILON, f64::max);

@@ -2,7 +2,7 @@
 //! the property that makes the paper reproduction auditable.
 
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc::{mesh_config, Layout};
@@ -24,7 +24,9 @@ fn params(seed: u64) -> SimParams {
 fn network_runs_identical_per_seed() {
     let fingerprint = |seed| {
         let net = Network::new(mesh_config(&Layout::DiagonalBL)).expect("valid");
-        let out = run_open_loop(net, &mut UniformRandom, params(seed));
+        let out = SimRun::new(net, params(seed))
+            .run()
+            .expect("simulation run");
         (
             out.cycles,
             out.stats.packets_retired,

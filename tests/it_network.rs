@@ -2,7 +2,7 @@
 //! simulator end-to-end with synthetic traffic.
 
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, Traffic, UniformRandom};
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun, Traffic, UniformRandom};
 use heteronoc::traffic::{BitComplement, NearestNeighbor, Transpose};
 use heteronoc::{mesh_config, network_config, Layout};
 use heteronoc_noc::topology::TopologyKind;
@@ -25,7 +25,10 @@ fn run_layout(
     rate: f64,
 ) -> heteronoc::noc::sim::SimOutcome {
     let net = Network::new(mesh_config(layout)).expect("valid layout");
-    run_open_loop(net, traffic, quick(rate))
+    SimRun::new(net, quick(rate))
+        .traffic(traffic)
+        .run()
+        .expect("simulation run")
 }
 
 #[test]
@@ -70,7 +73,7 @@ fn heterogeneous_layouts_save_power_under_identical_traffic() {
         let cfg = mesh_config(layout);
         let graph = cfg.build_graph();
         let net = Network::new(cfg.clone()).expect("valid");
-        let out = run_open_loop(net, &mut UniformRandom, quick(0.03));
+        let out = SimRun::new(net, quick(0.03)).run().expect("simulation run");
         np.evaluate(&cfg, &graph, &out.stats).total_w()
     };
     let base = measure(&Layout::Baseline);
@@ -92,11 +95,9 @@ fn torus_shortens_average_latency_vs_mesh() {
             height: 8,
         },
     );
-    let torus = run_open_loop(
-        Network::new(torus_cfg).expect("valid torus"),
-        &mut UniformRandom,
-        quick(0.01),
-    );
+    let torus = SimRun::new(Network::new(torus_cfg).expect("valid torus"), quick(0.01))
+        .run()
+        .expect("simulation run");
     assert!(
         torus.latency_ns() < mesh.latency_ns(),
         "torus {:.1} ns !< mesh {:.1} ns",
@@ -112,7 +113,7 @@ fn self_similar_traffic_has_heavier_tail_than_bernoulli() {
         let net = Network::new(cfg.clone()).expect("valid");
         let mut p = quick(0.02);
         p.process = process;
-        run_open_loop(net, &mut UniformRandom, p)
+        SimRun::new(net, p).run().expect("simulation run")
     };
     let bern = run(InjectionProcess::Bernoulli);
     let ss = run(InjectionProcess::SelfSimilar {
@@ -132,7 +133,9 @@ fn self_similar_traffic_has_heavier_tail_than_bernoulli() {
 fn packet_records_match_aggregates() {
     let mut net = Network::new(mesh_config(&Layout::CenterBL)).expect("valid");
     net.set_record_packets(true);
-    let out = run_open_loop(net, &mut UniformRandom, quick(0.015));
+    let out = SimRun::new(net, quick(0.015))
+        .run()
+        .expect("simulation run");
     let recs = &out.stats.records;
     assert_eq!(recs.len() as u64, out.stats.latency.count);
     let sum: u64 = recs.iter().map(|r| r.total()).sum();

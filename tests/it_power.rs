@@ -1,7 +1,7 @@
 //! Integration: the power model driven by real simulation statistics.
 
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{run_open_loop, InjectionProcess, SimParams, UniformRandom};
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
 use heteronoc::power::netpower::CALIBRATION_ACTIVITY;
 use heteronoc::power::{Activity, NetworkPower};
 use heteronoc::{mesh_config, Layout};
@@ -15,9 +15,8 @@ fn sim(
 ) {
     let cfg = mesh_config(layout);
     let net = Network::new(cfg.clone()).expect("valid");
-    let out = run_open_loop(
+    let out = SimRun::new(
         net,
-        &mut UniformRandom,
         SimParams {
             injection_rate: rate,
             warmup_packets: 200,
@@ -27,7 +26,9 @@ fn sim(
             process: InjectionProcess::Bernoulli,
             watchdog: Some(100_000),
         },
-    );
+    )
+    .run()
+    .expect("simulation run");
     (cfg, out.stats)
 }
 
