@@ -76,5 +76,47 @@ fn bench_open_loop_batch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_step_throughput, bench_open_loop_batch);
+/// Observability tax: the same open-loop batch with no observers (the
+/// hot-path configuration the `is_some()` guards must keep at baseline
+/// speed), with a streaming JSONL trace, and with epochs + profiling.
+fn bench_observability(c: &mut Criterion) {
+    use heteronoc::noc::trace::JsonlSink;
+
+    let run = |trace: bool, epochs: bool| -> u64 {
+        let net = Network::new(mesh_config(&Layout::Baseline)).expect("valid");
+        let mut run = SimRun::new(
+            net,
+            SimParams {
+                injection_rate: 0.02,
+                warmup_packets: 100,
+                measure_packets: 2_000,
+                max_cycles: 300_000,
+                seed: 1,
+                process: InjectionProcess::Bernoulli,
+                watchdog: Some(100_000),
+            },
+        );
+        if trace {
+            run = run.trace(Box::new(JsonlSink::new(std::io::sink())));
+        }
+        if epochs {
+            run = run.epochs(256).profile(true);
+        }
+        run.run().expect("simulation run").stats.latency.total
+    };
+
+    let mut g = c.benchmark_group("observability");
+    g.sample_size(10);
+    g.bench_function("off", |b| b.iter(|| black_box(run(false, false))));
+    g.bench_function("jsonl_trace", |b| b.iter(|| black_box(run(true, false))));
+    g.bench_function("epochs_profile", |b| b.iter(|| black_box(run(false, true))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_throughput,
+    bench_open_loop_batch,
+    bench_observability
+);
 criterion_main!(benches);

@@ -27,7 +27,7 @@ use crate::json::{self, Json};
 
 /// Bump when the metrics schema or canonical-description format changes;
 /// old cache entries then miss instead of deserializing garbage.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over `bytes`, from `offset` (lets us derive two
 /// independent 64-bit streams for a 128-bit key).

@@ -104,6 +104,7 @@ pub fn run() {
                     params: score_params(packets),
                     traffic: TrafficSpec::Uniform,
                     faults: None,
+                    epochs: None,
                 },
             });
         }

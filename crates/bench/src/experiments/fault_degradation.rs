@@ -74,6 +74,7 @@ pub fn run() {
                     },
                     traffic: TrafficSpec::Uniform,
                     faults: Some(FaultPlan::transient(ber, 0xFA17)),
+                    epochs: None,
                 },
             });
         }

@@ -13,7 +13,9 @@ pub mod cache;
 pub mod experiments;
 pub mod json;
 pub mod plot;
+pub mod report;
 pub mod sweep;
+pub mod tracecheck;
 
 use std::fs;
 use std::io::Write as _;

@@ -1,0 +1,259 @@
+//! Text rendering of epoch time-series embedded in sweep results.
+//!
+//! `heteronoc report <name>` loads `results/<name>.json` (written by
+//! [`crate::sweep::SweepOutcome::write_json`]) and, for every point that
+//! carries an epoch time-series, prints a per-epoch table plus a
+//! router-grid heatmap of mean buffer occupancy — the textual analogue of
+//! the paper's center-vs-edge utilization figures (Figs. 1–2).
+
+use crate::json::Json;
+
+/// Shade ramp for heatmaps, darkest last.
+const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Maps a 0.0–1.0 value onto the shade ramp. Values that are nonzero but
+/// would round to blank get the lightest visible mark, so a near-idle
+/// router is distinguishable from a dead one.
+pub fn shade(v: f64) -> char {
+    let v = if v.is_finite() {
+        v.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let i = (v * (SHADES.len() - 1) as f64).round() as usize;
+    if i == 0 && v > 1e-3 {
+        return SHADES[1];
+    }
+    SHADES[i.min(SHADES.len() - 1)]
+}
+
+/// Renders `values` (one per router, row-major) as a `side`-wide grid of
+/// shade characters, one router per cell.
+pub fn heatmap_grid(values: &[f64], side: usize) -> String {
+    let mut out = String::new();
+    for row in values.chunks(side.max(1)) {
+        out.push_str("    ");
+        for &v in row {
+            out.push(shade(v));
+            out.push(' ');
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn nums(v: Option<&Json>) -> Vec<f64> {
+    v.and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(Json::as_f64).collect())
+        .unwrap_or_default()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn pctl(epoch: &Json, component: &str, p: &str) -> u64 {
+    epoch
+        .get("latency")
+        .and_then(|l| l.get(component))
+        .and_then(|c| c.get(p))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+/// Renders one point's epoch time-series: a per-epoch table followed by a
+/// heatmap of mean buffer occupancy over the whole run. `label` heads the
+/// section; rows beyond `max_rows` are elided with a note.
+pub fn render_epochs(label: &str, epochs: &[Json], max_rows: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("point {label}: {} epochs\n", epochs.len()));
+    out.push_str(&format!(
+        "  {:>5} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}\n",
+        "epoch", "start", "end", "inj", "ej", "occ", "util", "maxutl", "p50", "p99"
+    ));
+    let shown = epochs.len().min(max_rows);
+    for (i, e) in epochs.iter().take(shown).enumerate() {
+        let occ = nums(e.get("buffer_occ"));
+        let util = nums(e.get("link_util"));
+        let max_util = util.iter().copied().fold(0.0, f64::max);
+        out.push_str(&format!(
+            "  {:>5} {:>9} {:>9} {:>7} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7} {:>7}\n",
+            i,
+            e.get("start").and_then(Json::as_u64).unwrap_or(0),
+            e.get("end").and_then(Json::as_u64).unwrap_or(0),
+            e.get("injected").and_then(Json::as_u64).unwrap_or(0),
+            e.get("ejected").and_then(Json::as_u64).unwrap_or(0),
+            mean(&occ),
+            mean(&util),
+            max_util,
+            pctl(e, "total", "p50"),
+            pctl(e, "total", "p99"),
+        ));
+    }
+    if shown < epochs.len() {
+        out.push_str(&format!(
+            "  … {} more epochs elided\n",
+            epochs.len() - shown
+        ));
+    }
+
+    // Run-wide mean occupancy per router, drawn as a square grid when the
+    // router count is a perfect square (meshes/tori), one row otherwise.
+    let mut totals: Vec<f64> = Vec::new();
+    for e in epochs {
+        let occ = nums(e.get("buffer_occ"));
+        if totals.is_empty() {
+            totals = vec![0.0; occ.len()];
+        }
+        for (t, v) in totals.iter_mut().zip(&occ) {
+            *t += v;
+        }
+    }
+    if !totals.is_empty() {
+        for t in &mut totals {
+            *t /= epochs.len() as f64;
+        }
+        let n = totals.len();
+        let side = (n as f64).sqrt().round() as usize;
+        let side = if side * side == n { side } else { n };
+        out.push_str("  mean buffer occupancy (router grid, ' '=0 '@'=1):\n");
+        out.push_str(&heatmap_grid(&totals, side));
+    }
+    out
+}
+
+/// Renders every epoch-carrying point of a sweep-results document
+/// (`results/<name>.json` parsed into [`Json`]).
+///
+/// # Errors
+/// A message when the document has no `points` array or no point carries
+/// an epoch time-series.
+pub fn render_results(doc: &Json, max_rows: usize) -> Result<String, String> {
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("results file has no \"points\" array")?;
+    let mut out = String::new();
+    let mut rendered = 0usize;
+    for p in points {
+        let label = p.get("label").and_then(Json::as_str).unwrap_or("?");
+        if let Some(epochs) = p.get("epochs").and_then(Json::as_arr) {
+            if !epochs.is_empty() {
+                out.push_str(&render_epochs(label, epochs, max_rows));
+                rendered += 1;
+            }
+        }
+    }
+    if rendered == 0 {
+        return Err(
+            "no point carries an epoch time-series (re-run the sweep with --epochs N)".into(),
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(start: u64, end: u64, occ: Vec<f64>) -> Json {
+        Json::obj(vec![
+            ("start", Json::Int(start as i64)),
+            ("end", Json::Int(end as i64)),
+            ("injected", Json::Int(4)),
+            ("ejected", Json::Int(3)),
+            (
+                "buffer_occ",
+                Json::Arr(occ.into_iter().map(Json::Num).collect()),
+            ),
+            ("vc_busy", Json::Arr(vec![])),
+            (
+                "link_util",
+                Json::Arr(vec![Json::Num(0.25), Json::Num(0.75)]),
+            ),
+            (
+                "latency",
+                Json::obj(vec![(
+                    "total",
+                    Json::obj(vec![
+                        ("p50", Json::Int(15)),
+                        ("p95", Json::Int(31)),
+                        ("p99", Json::Int(63)),
+                    ]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn shade_ramp_is_monotone() {
+        assert_eq!(shade(0.0), ' ');
+        assert_eq!(shade(1.0), '@');
+        assert_eq!(shade(f64::NAN), ' ');
+        let mut last = 0usize;
+        for i in 0..=10 {
+            let c = shade(i as f64 / 10.0);
+            let pos = SHADES.iter().position(|&s| s == c).unwrap();
+            assert!(pos >= last);
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn grid_is_square_for_square_counts() {
+        let g = heatmap_grid(&[0.0, 0.5, 0.9, 1.0], 2);
+        assert_eq!(g.lines().count(), 2);
+        assert!(g.contains('@'));
+    }
+
+    #[test]
+    fn renders_table_and_heatmap() {
+        let e = vec![
+            epoch(0, 100, vec![0.1, 0.9, 0.2, 0.4]),
+            epoch(100, 200, vec![0.3, 0.7, 0.2, 0.4]),
+        ];
+        let text = render_epochs("mesh|ur|s1|r0.02", &e, 64);
+        assert!(text.contains("2 epochs"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("63"));
+        assert!(text.contains("mean buffer occupancy"));
+    }
+
+    #[test]
+    fn elides_long_series() {
+        let e: Vec<Json> = (0..10)
+            .map(|i| epoch(i * 10, (i + 1) * 10, vec![0.5]))
+            .collect();
+        let text = render_epochs("p", &e, 3);
+        assert!(text.contains("7 more epochs elided"));
+    }
+
+    #[test]
+    fn render_results_requires_epochs() {
+        let doc = Json::obj(vec![(
+            "points",
+            Json::Arr(vec![Json::obj(vec![
+                ("label", Json::Str("a".into())),
+                ("epochs", Json::Null),
+            ])]),
+        )]);
+        assert!(render_results(&doc, 10).is_err());
+
+        let doc = Json::obj(vec![(
+            "points",
+            Json::Arr(vec![Json::obj(vec![
+                ("label", Json::Str("a".into())),
+                ("epochs", Json::Arr(vec![epoch(0, 50, vec![0.2])])),
+            ])]),
+        )]);
+        let text = render_results(&doc, 10).unwrap();
+        assert!(text.contains("point a"));
+    }
+}

@@ -32,6 +32,7 @@ use std::time::Instant;
 use heteronoc::noc::config::NetworkConfig;
 use heteronoc::noc::error::ConfigError;
 use heteronoc::noc::fault::FaultPlan;
+use heteronoc::noc::metrics::EpochSample;
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{SimParams, SimRun, Traffic, UniformRandom};
 use heteronoc::noc::types::{Bits, Cycle, NodeId};
@@ -137,6 +138,10 @@ pub enum PointKind {
         traffic: TrafficSpec,
         /// Optional fault-injection plan (transient BER and/or hard kills).
         faults: Option<FaultPlan>,
+        /// Epoch length for the time-series recorder (`None` = off). When
+        /// set, the point's [`PointMetrics::epochs`] carries one sample per
+        /// epoch into `results/<name>.json`.
+        epochs: Option<Cycle>,
     },
     /// Closed-loop CMP run: one synthetic workload on every tile.
     CmpWorkload {
@@ -223,6 +228,15 @@ pub struct PointMetrics {
     pub mean_ipc: f64,
     /// True when this result was served from the cache, not simulated.
     pub cached: bool,
+    /// Epoch time-series, pre-serialized to the sweep-JSON schema (`None`
+    /// unless the point kind asked for epochs). Deterministic per spec, so
+    /// it round-trips through the cache and the jobs-independence of the
+    /// sweep JSON is preserved.
+    pub epochs: Option<Json>,
+    /// Wall-clock seconds this point took to simulate. Run-specific by
+    /// nature, so it is *not* serialized (cached points report 0.0); the
+    /// CLI's `--profile` table reads it from fresh runs only.
+    pub wall_secs: f64,
     /// Why the point failed, if it did.
     pub error: Option<String>,
 }
@@ -245,6 +259,8 @@ impl PointMetrics {
             reroutes: 0,
             mean_ipc: f64::NAN,
             cached: false,
+            epochs: None,
+            wall_secs: 0.0,
             error: Some(error),
         }
     }
@@ -268,6 +284,7 @@ impl PointMetrics {
             ("reroutes", int(self.reroutes)),
             ("mean_ipc", Json::Num(self.mean_ipc)),
             ("cached", Json::Bool(self.cached)),
+            ("epochs", self.epochs.clone().unwrap_or(Json::Null)),
             (
                 "error",
                 match &self.error {
@@ -299,6 +316,11 @@ impl PointMetrics {
             reroutes: count("reroutes")?,
             mean_ipc: num("mean_ipc"),
             cached: false,
+            epochs: match v.get("epochs") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.clone()),
+            },
+            wall_secs: 0.0,
             error: v.get("error").and_then(Json::as_str).map(str::to_owned),
         })
     }
@@ -370,6 +392,7 @@ impl Sweep {
                                 params: params(rate, seed),
                                 traffic: pattern.clone(),
                                 faults: None,
+                                epochs: None,
                             },
                         });
                     }
@@ -377,6 +400,19 @@ impl Sweep {
             }
         }
         sweep
+    }
+
+    /// Turns on the epoch recorder (interval `every`) for every open-loop
+    /// point. Changes the content of each point's result, so it is part of
+    /// the cache key: a sweep with epochs does not collide with one without.
+    #[must_use]
+    pub fn with_epochs(mut self, every: Cycle) -> Sweep {
+        for p in &mut self.points {
+            if let PointKind::OpenLoop { epochs, .. } = &mut p.kind {
+                *epochs = Some(every);
+            }
+        }
+        self
     }
 }
 
@@ -581,15 +617,18 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
 /// Runs one point, converting panics and typed errors into
 /// [`PointMetrics::error`].
 pub fn run_point(spec: &PointSpec) -> PointMetrics {
+    let started = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec.config, &spec.kind)));
-    match outcome {
+    let mut m = match outcome {
         Ok(Ok(mut m)) => {
             m.label.clone_from(&spec.label);
             m
         }
         Ok(Err(e)) => PointMetrics::failed(spec.label.clone(), e),
         Err(payload) => PointMetrics::failed(spec.label.clone(), panic_message(&payload)),
-    }
+    };
+    m.wall_secs = started.elapsed().as_secs_f64();
+    m
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -608,6 +647,7 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
             params,
             traffic,
             faults,
+            epochs,
         } => {
             let graph = config.build_graph();
             let nodes = graph.num_nodes();
@@ -617,10 +657,11 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
             }
             .map_err(|e| e.to_string())?;
             let mut pattern = traffic.instantiate();
-            let out = SimRun::new(net, *params)
-                .traffic(pattern.as_mut())
-                .run()
-                .map_err(|e| e.to_string())?;
+            let mut run = SimRun::new(net, *params).traffic(pattern.as_mut());
+            if let Some(every) = epochs {
+                run = run.epochs(*every);
+            }
+            let out = run.run().map_err(|e| e.to_string())?;
             let power_w = NetworkPower::paper_calibrated()
                 .evaluate(config, &graph, &out.stats)
                 .total_w();
@@ -640,6 +681,12 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
                 reroutes: 0,
                 mean_ipc: f64::NAN,
                 cached: false,
+                epochs: if out.epochs.is_empty() {
+                    None
+                } else {
+                    Some(epochs_to_json(&out.epochs))
+                },
+                wall_secs: 0.0,
                 error: None,
             })
         }
@@ -691,6 +738,8 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
                 reroutes: 0,
                 mean_ipc,
                 cached: false,
+                epochs: None,
+                wall_secs: 0.0,
                 error: None,
             })
         }
@@ -747,10 +796,58 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
                 reroutes: u64::from(r.reroutes),
                 mean_ipc: f64::NAN,
                 cached: false,
+                epochs: None,
+                wall_secs: 0.0,
                 error: None,
             })
         }
     }
+}
+
+/// Serializes an epoch time-series to the sweep-JSON schema: one object
+/// per epoch, percentiles nested per latency component.
+pub fn epochs_to_json(samples: &[EpochSample]) -> Json {
+    let pctls = |p: &heteronoc::noc::stats::Pctls| {
+        Json::obj(vec![
+            ("p50", int(p.p50)),
+            ("p95", int(p.p95)),
+            ("p99", int(p.p99)),
+        ])
+    };
+    Json::Arr(
+        samples
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("start", int(s.start)),
+                    ("end", int(s.end)),
+                    ("injected", int(s.injected)),
+                    ("ejected", int(s.ejected)),
+                    (
+                        "buffer_occ",
+                        Json::Arr(s.buffer_occ.iter().map(|&x| Json::Num(x)).collect()),
+                    ),
+                    (
+                        "vc_busy",
+                        Json::Arr(s.vc_busy.iter().map(|&x| Json::Num(x)).collect()),
+                    ),
+                    (
+                        "link_util",
+                        Json::Arr(s.link_util.iter().map(|&x| Json::Num(x)).collect()),
+                    ),
+                    (
+                        "latency",
+                        Json::obj(vec![
+                            ("total", pctls(&s.latency.total)),
+                            ("queuing", pctls(&s.latency.queuing)),
+                            ("blocking", pctls(&s.latency.blocking)),
+                            ("transfer", pctls(&s.latency.transfer)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Maps `f` over `items` with up to `jobs` worker threads, preserving the
@@ -864,6 +961,8 @@ mod tests {
             reroutes: 0,
             mean_ipc: f64::NAN,
             cached: false,
+            epochs: Some(Json::Arr(vec![])),
+            wall_secs: 1.25,
             error: None,
         };
         let j = m.to_json();
@@ -873,5 +972,9 @@ mod tests {
         assert!((back.latency_ns - m.latency_ns).abs() < 1e-12);
         assert!(back.mean_ipc.is_nan());
         assert!(back.error.is_none());
+        // Epochs round-trip; wall time is run-specific and does not.
+        assert_eq!(back.epochs, m.epochs);
+        assert_eq!(back.wall_secs, 0.0);
+        assert!(!j.pretty().contains("wall_secs"));
     }
 }

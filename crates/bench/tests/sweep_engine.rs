@@ -46,6 +46,7 @@ fn tiny_spec(rate: f64, seed: u64) -> PointSpec {
             params: tiny_params(rate, seed),
             traffic: TrafficSpec::Uniform,
             faults: None,
+            epochs: None,
         },
     }
 }
@@ -88,6 +89,7 @@ fn cache_key_is_stable_and_sensitive_to_every_config_field() {
         params: tiny_params(0.01, 7),
         traffic: TrafficSpec::Transpose { side: 8 },
         faults: None,
+        epochs: None,
     };
     variants.push(other_traffic);
     let mut with_faults = tiny_spec(0.01, 7);
@@ -95,6 +97,7 @@ fn cache_key_is_stable_and_sensitive_to_every_config_field() {
         params: tiny_params(0.01, 7),
         traffic: TrafficSpec::Uniform,
         faults: Some(FaultPlan::transient(1e-7, 3)),
+        epochs: None,
     };
     variants.push(with_faults);
 

@@ -1,0 +1,104 @@
+//! Trace determinism: the observability layer must be a pure function of
+//! (config, seed) — independent of worker count, wall clock, and whether
+//! anyone is watching.
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
+use heteronoc::noc::trace::{JsonlSink, SharedBuffer};
+use heteronoc::{mesh_config, Layout};
+use heteronoc_bench::sweep::{
+    parallel_map, run_sweep, PointKind, PointSpec, Sweep, SweepOptions, TrafficSpec,
+};
+use heteronoc_bench::tracecheck::check_jsonl;
+
+fn tiny_params(seed: u64) -> SimParams {
+    SimParams {
+        injection_rate: 0.02,
+        warmup_packets: 50,
+        measure_packets: 300,
+        max_cycles: 200_000,
+        seed,
+        process: InjectionProcess::Bernoulli,
+        watchdog: Some(100_000),
+    }
+}
+
+fn traced_jsonl(seed: u64) -> String {
+    let buf = SharedBuffer::new();
+    let net = Network::new(mesh_config(&Layout::Baseline)).expect("valid config");
+    SimRun::new(net, tiny_params(seed))
+        .trace(Box::new(JsonlSink::new(buf.clone())))
+        .run()
+        .expect("simulation run");
+    buf.to_text()
+}
+
+#[test]
+fn jsonl_traces_are_byte_identical_across_worker_counts() {
+    let seeds: Vec<u64> = vec![11, 12, 13, 14];
+    let serial = parallel_map(1, seeds.clone(), traced_jsonl);
+    let parallel = parallel_map(4, seeds.clone(), traced_jsonl);
+    assert_eq!(serial, parallel, "worker count leaked into trace bytes");
+
+    // Re-running one seed reproduces the same bytes, and they validate.
+    assert_eq!(serial[0], traced_jsonl(seeds[0]));
+    for text in &serial {
+        let check = check_jsonl(text).expect("trace validates");
+        assert!(check.events > 0);
+        assert!(check.count("inject") > 0);
+        assert_eq!(check.count("sa_grant"), check.count("buffer_read"));
+    }
+}
+
+fn epoch_sweep(name: &str) -> Sweep {
+    let mut sweep = Sweep::new(name);
+    for seed in [5u64, 6] {
+        sweep.push(PointSpec {
+            label: format!("baseline|ur|s{seed}"),
+            config: mesh_config(&Layout::Baseline),
+            kind: PointKind::OpenLoop {
+                params: tiny_params(seed),
+                traffic: TrafficSpec::Uniform,
+                faults: None,
+                epochs: Some(100),
+            },
+        });
+    }
+    sweep
+}
+
+#[test]
+fn sweep_embeds_epochs_and_stays_jobs_independent() {
+    let run = |jobs: usize| {
+        let opts = SweepOptions {
+            jobs,
+            use_cache: false,
+            ..SweepOptions::default()
+        };
+        run_sweep(&epoch_sweep("trace_determinism_epochs"), &opts).expect("sweep runs")
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial.points_json().pretty(),
+        parallel.points_json().pretty(),
+        "worker count leaked into the sweep JSON"
+    );
+
+    // Every point carries a non-empty epoch time-series tiling the run.
+    for p in &serial.points {
+        assert!(p.error.is_none(), "{:?}", p.error);
+        let epochs = p.epochs.as_ref().expect("epochs recorded");
+        let arr = epochs.as_arr().expect("epochs are an array");
+        assert!(!arr.is_empty());
+        let last_end = arr
+            .last()
+            .and_then(|e| e.get("end"))
+            .and_then(heteronoc_bench::json::Json::as_u64)
+            .expect("epoch end");
+        assert_eq!(last_end, p.cycles);
+        // wall_secs is run-specific and must stay out of the JSON.
+        assert!(!p.to_json().pretty().contains("wall_secs"));
+        assert!(p.wall_secs > 0.0);
+    }
+}

@@ -41,6 +41,9 @@ COMMANDS
                --no-cache           re-simulate every point, ignore results/cache/
                --name <name>        sweep name; JSON goes to results/<name>.json
                                     (default cli_sweep)
+               --epochs N           record an epoch time-series every N cycles per
+                                    point, embedded in results/<name>.json
+               --profile            print per-point wall-time breakdown
   compare    all seven layouts at one load point
                --pattern, --rate, --packets, --seed as above
   audit      resource audit of every layout (Table 1 accounting)
@@ -48,6 +51,19 @@ COMMANDS
                --rate, --packets, --seed as above
   cmp        full 64-tile CMP run
                --layout <name>, --workload <name>, --refs N (default 1000)
+  trace      flit-level event tracing of one open-loop run
+               --layout <name>      (default baseline)
+               --rate, --packets, --seed as above (default 2000 packets)
+               --out <file>         JSONL trace (default results/trace.jsonl)
+               --chrome <file>      Chrome trace_event JSON for chrome://tracing
+                                    or https://ui.perfetto.dev
+               --epochs N           also print an epoch table every N cycles
+               --profile            print per-pipeline-stage wall-time table
+               --check <file>       validate a JSONL trace instead of simulating
+               --overhead           run traced and untraced, report wall times
+  report     render epoch time-series from a sweep's results JSON
+               --name <name>        reads results/<name>.json (default cli_sweep)
+               --rows N             epochs per point before eliding (default 24)
   verify     static deadlock & invariant analysis (channel-dependency graph
              acyclicity + iso-resource lint against the baseline)
                --layout <name>      verify one layout (default: every shipped
@@ -205,9 +221,18 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         .iter()
         .map(|l| (l.name().to_owned(), mesh_config(l)))
         .collect();
-    let sweep = Sweep::grid(name, &configs, &[spec], &seeds, &rates, |rate, seed| {
+    let mut sweep = Sweep::grid(name, &configs, &[spec], &seeds, &rates, |rate, seed| {
         params(rate, packets, seed)
     });
+    if let Some(every) = a.get("epochs") {
+        let every: u64 = every
+            .parse()
+            .map_err(|_| format!("invalid value '{every}' for --epochs"))?;
+        if every == 0 {
+            return Err("--epochs must be positive".into());
+        }
+        sweep = sweep.with_epochs(every);
+    }
     let opts = SweepOptions {
         jobs,
         use_cache: !a.flag("no-cache"),
@@ -220,6 +245,15 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         if opts.use_cache { "on" } else { "off" },
     );
     let outcome = run_sweep(&sweep, &opts).map_err(|e| e.to_string())?;
+
+    // One line per cache hit, keyed so a hit can be traced to its entry in
+    // results/cache/.
+    for (spec, p) in sweep.points.iter().zip(&outcome.points) {
+        if p.cached {
+            let key = spec.content_key();
+            println!("[cached {}] {}", &key[..key.len().min(12)], p.label);
+        }
+    }
 
     let per_layout = rates.len() * seeds.len();
     for (l, chunk) in layouts.iter().zip(outcome.points.chunks(per_layout)) {
@@ -246,6 +280,16 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         }
     }
 
+    if a.flag("profile") {
+        println!();
+        println!("per-point wall time (simulated points only; cached points cost ~0):");
+        for p in &outcome.points {
+            if !p.cached {
+                println!("  {:>9.3}s  {}", p.wall_secs, p.label);
+            }
+        }
+    }
+
     let json_path = outcome.write_json().map_err(|e| e.to_string())?;
     println!();
     println!(
@@ -256,6 +300,169 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         100.0 * outcome.cache_hit_rate()
     );
     println!("json: {}", json_path.display());
+    Ok(())
+}
+
+/// `heteronoc trace`: one traced open-loop run (or `--check` validation of
+/// an existing JSONL trace, or `--overhead` measurement).
+fn cmd_trace(a: &Args) -> Result<(), String> {
+    use heteronoc::noc::trace::{ChromeTraceSink, JsonlSink, TraceEvent, TraceSink, EVENT_KINDS};
+    use heteronoc_bench::tracecheck::check_jsonl;
+
+    if let Some(path) = a.get("check") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read trace '{path}': {e}"))?;
+        let check = check_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "ok: {} event(s) over {} cycle(s)",
+            check.events, check.last_cycle
+        );
+        for kind in EVENT_KINDS {
+            let n = check.count(kind);
+            if n > 0 {
+                println!("  {kind:<14} {n}");
+            }
+        }
+        return Ok(());
+    }
+
+    let layout = layout_by_name(a.get("layout").unwrap_or("baseline"))?;
+    let rate = a.get_or("rate", 0.02f64)?;
+    let packets = a.get_or("packets", 2_000u64)?;
+    let seed = a.get_or("seed", 42u64)?;
+    let p = params(rate, packets, seed);
+    let cfg = mesh_config(&layout);
+
+    if a.flag("overhead") {
+        // Same run twice: observability off, then fully on. The paired wall
+        // times quantify the tracing tax; the identical stats demonstrate
+        // the zero-perturbation property.
+        let run_once = |traced: bool| -> Result<(f64, u64, u64), String> {
+            let net = Network::new(cfg.clone()).map_err(|e| e.to_string())?;
+            let mut run = SimRun::new(net, p);
+            if traced {
+                run = run.trace(Box::new(JsonlSink::new(std::io::sink())));
+            }
+            let start = std::time::Instant::now();
+            let out = run.run().map_err(|e| e.to_string())?;
+            Ok((
+                start.elapsed().as_secs_f64(),
+                out.stats.packets_retired,
+                out.cycles,
+            ))
+        };
+        let (off, off_pkts, off_cycles) = run_once(false)?;
+        let (on, on_pkts, on_cycles) = run_once(true)?;
+        if (off_pkts, off_cycles) != (on_pkts, on_cycles) {
+            return Err(format!(
+                "tracing perturbed the run: {off_pkts} pkts/{off_cycles} cyc untraced \
+                 vs {on_pkts} pkts/{on_cycles} cyc traced"
+            ));
+        }
+        println!(
+            "overhead: untraced {off:.3}s · traced {on:.3}s · ratio {:.2} · identical results ({on_pkts} packets, {on_cycles} cycles)",
+            on / off.max(1e-9)
+        );
+        return Ok(());
+    }
+
+    let jsonl_path = a.get("out").unwrap_or("results/trace.jsonl").to_owned();
+    let epoch_every: u64 = a.get_or("epochs", 0u64)?;
+    if a.get("epochs").is_some() && epoch_every == 0 {
+        return Err("--epochs must be positive".into());
+    }
+
+    if let Some(parent) = std::path::Path::new(&jsonl_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let jsonl_file = std::fs::File::create(&jsonl_path)
+        .map_err(|e| format!("cannot create '{jsonl_path}': {e}"))?;
+
+    // Fan one event stream out to the JSONL sink and (optionally) the
+    // Chrome trace_event sink so a single run feeds both formats.
+    struct Fan(Vec<Box<dyn TraceSink>>);
+    impl TraceSink for Fan {
+        fn event(&mut self, ev: &TraceEvent) {
+            for s in &mut self.0 {
+                s.event(ev);
+            }
+        }
+        fn finish(&mut self) {
+            for s in &mut self.0 {
+                s.finish();
+            }
+        }
+    }
+    let mut sinks: Vec<Box<dyn TraceSink>> = vec![Box::new(JsonlSink::new(
+        std::io::BufWriter::new(jsonl_file),
+    ))];
+    if let Some(chrome_path) = a.get("chrome") {
+        if let Some(parent) = std::path::Path::new(chrome_path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        let f = std::fs::File::create(chrome_path)
+            .map_err(|e| format!("cannot create '{chrome_path}': {e}"))?;
+        sinks.push(Box::new(ChromeTraceSink::new(std::io::BufWriter::new(f))));
+    }
+
+    let net = Network::new(cfg).map_err(|e| e.to_string())?;
+    let mut run = SimRun::new(net, p).trace(Box::new(Fan(sinks)));
+    if epoch_every > 0 {
+        run = run.epochs(epoch_every);
+    }
+    if a.flag("profile") {
+        run = run.profile(true);
+    }
+    let out = run.run().map_err(|e| e.to_string())?;
+
+    println!(
+        "layout {} · rate {rate} · {} packets · {} cycles · latency {:.2} ns",
+        layout.name(),
+        out.stats.packets_retired,
+        out.cycles,
+        out.latency_ns()
+    );
+    println!("jsonl: {jsonl_path}");
+    if let Some(chrome_path) = a.get("chrome") {
+        println!(
+            "chrome trace: {chrome_path} (load in chrome://tracing or https://ui.perfetto.dev)"
+        );
+    }
+    if !out.epochs.is_empty() {
+        let rows = a.get_or("rows", 24usize)?;
+        let json = heteronoc_bench::sweep::epochs_to_json(&out.epochs);
+        let arr = json.as_arr().expect("epochs serialize to an array");
+        print!(
+            "{}",
+            heteronoc_bench::report::render_epochs("this run", arr, rows)
+        );
+    }
+    if let Some(prof) = out.profile {
+        println!("self-profile:");
+        println!("{prof}");
+    }
+    Ok(())
+}
+
+/// `heteronoc report`: render the epoch time-series embedded in a sweep's
+/// `results/<name>.json`.
+fn cmd_report(a: &Args) -> Result<(), String> {
+    use heteronoc_bench::json::parse;
+    use heteronoc_bench::report::render_results;
+    use heteronoc_bench::results_dir;
+
+    let name = a.get("name").unwrap_or("cli_sweep");
+    let path = results_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+    let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let rows = a.get_or("rows", 24usize)?;
+    let rendered = render_results(&doc, rows)?;
+    print!("{rendered}");
     Ok(())
 }
 
@@ -592,6 +799,8 @@ fn run() -> Result<(), String> {
         Some("audit") => cmd_audit(),
         Some("heatmap") => cmd_heatmap(&a),
         Some("cmp") => cmd_cmp(&a),
+        Some("trace") => cmd_trace(&a),
+        Some("report") => cmd_report(&a),
         Some("verify") => cmd_verify(&a),
         Some("faults") => cmd_faults(&a),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),

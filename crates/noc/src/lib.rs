@@ -39,7 +39,10 @@
 //! * [`config`] — per-router/per-link heterogeneous configuration;
 //! * [`network`] — the cycle-accurate engine;
 //! * [`sim`] — the open-loop synthetic-traffic driver;
-//! * [`stats`] — latency decomposition, utilizations, power-model events.
+//! * [`stats`] — latency decomposition, utilizations, power-model events;
+//! * [`trace`] — flit-level event tracing (JSONL / Chrome `trace_event`);
+//! * [`metrics`] — epoch time-series sampling of the live network;
+//! * [`profile`] — per-pipeline-stage wall-time self-profiling.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -47,13 +50,16 @@
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod network;
 pub mod packet;
+pub mod profile;
 pub mod router;
 pub mod routing;
 pub mod sim;
 pub mod stats;
 pub mod topology;
+pub mod trace;
 pub mod types;
 
 pub use config::{NetworkConfig, NetworkConfigBuilder, RouterCfg};
@@ -61,6 +67,9 @@ pub use fault::{
     DropReason, DroppedPacket, FaultCounters, FaultKind, FaultPlan, HardFault, RetryPolicy,
     UnrecoverableFault,
 };
+pub use metrics::{EpochRecorder, EpochSample};
 pub use network::{BlockedChannel, Delivered, Diagnostics, Network, StallReport, StuckPacket};
 pub use packet::{Flit, Packet, PacketClass};
+pub use profile::{ProfileReport, Stage, StageProfiler};
+pub use trace::{ChromeTraceSink, JsonlSink, SharedBuffer, TraceEvent, TraceSink};
 pub use types::{Bits, Coord, Cycle, NodeId, PacketId, PortId, RouterId, VcId};

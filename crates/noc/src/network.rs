@@ -37,12 +37,15 @@ use crate::error::ConfigError;
 use crate::fault::{
     DropReason, DroppedPacket, FaultCounters, FaultKind, FaultPlan, UnrecoverableFault,
 };
+use crate::metrics::{EpochRecorder, EpochSample};
 use crate::packet::{Flit, Packet, PacketClass};
+use crate::profile::{maybe_now, ProfileReport, Stage, StageProfiler};
 use crate::router::arbiter::RrArbiter;
 use crate::router::{InputVc, OutputPort, OutputTarget, OutputVc, RouterState};
 use crate::routing::{RouteChoice, RoutingKind, VcClass};
 use crate::stats::{NetStats, PacketRecord};
 use crate::topology::{PortKind, TopologyGraph};
+use crate::trace::{FaultUnit, TraceEvent, TraceSink};
 use crate::types::{Bits, Cycle, LinkId, NodeId, PacketId, PortId, RouterId, VcId};
 
 use fault_state::{FarEvent, FaultState, ReplayEntry};
@@ -237,6 +240,14 @@ pub struct Network {
     /// Fault-injection state; `None` keeps the engine on its exact
     /// fault-free fast path (no per-cycle overhead, identical schedules).
     faults: Option<Box<FaultState>>,
+    /// Flit-level event sink; `None` means each emission site costs one
+    /// `is_some()` branch and builds no event value.
+    tracer: Option<Box<dyn TraceSink>>,
+    /// Epoch time-series recorder; `None` means no per-cycle sampling work.
+    epochs: Option<Box<EpochRecorder>>,
+    /// Per-stage wall-time profiler; `None` means [`std::time::Instant`]
+    /// is never consulted on the hot path.
+    profiler: Option<Box<StageProfiler>>,
     // Scratch buffers reused across cycles to avoid per-cycle allocation.
     scratch_winners: Vec<(PortId, VcId)>,
 }
@@ -354,6 +365,9 @@ impl Network {
             stats,
             delivered: Vec::new(),
             faults: None,
+            tracer: None,
+            epochs: None,
+            profiler: None,
             scratch_winners: Vec::with_capacity(4),
         })
     }
@@ -417,6 +431,109 @@ impl Network {
     /// Enables per-packet [`PacketRecord`]s in [`NetStats::records`].
     pub fn set_record_packets(&mut self, on: bool) {
         self.record_packets = on;
+    }
+
+    /// Installs a flit-level [`TraceSink`]; every lifecycle event from the
+    /// next [`Network::step`] on is delivered to it. Tracing observes the
+    /// engine without touching schedules or RNG draws, so a traced run is
+    /// cycle-identical to an untraced one.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Some(sink);
+    }
+
+    /// True when a trace sink is installed.
+    pub fn has_trace_sink(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Removes and returns the installed trace sink, if any, without
+    /// calling [`TraceSink::finish`].
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
+    }
+
+    /// Finalizes and drops the installed trace sink (calls
+    /// [`TraceSink::finish`] exactly once). No-op without a sink.
+    pub fn finish_trace(&mut self) {
+        if let Some(mut sink) = self.tracer.take() {
+            sink.finish();
+        }
+    }
+
+    /// Starts epoch time-series sampling: every `every` cycles the network
+    /// closes an [`EpochSample`] of buffer occupancy, link utilization,
+    /// injection/ejection counts and latency percentiles. Sampling runs
+    /// from the next cycle regardless of the measurement window.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn enable_epochs(&mut self, every: Cycle) {
+        let caps = self.routers.iter().map(|r| u64::from(r.capacity)).collect();
+        let vcs = self
+            .routers
+            .iter()
+            .map(|r| u64::from(r.total_vcs))
+            .collect();
+        let lanes = self.link_lanes.iter().map(|&l| l as u64).collect();
+        self.epochs = Some(Box::new(EpochRecorder::new(every, caps, vcs, lanes)));
+    }
+
+    /// Stops epoch sampling, closes the partial epoch in progress (if it
+    /// covers at least one cycle) and returns all samples. Empty when
+    /// sampling was never enabled.
+    pub fn take_epochs(&mut self) -> Vec<EpochSample> {
+        match self.epochs.take() {
+            Some(mut rec) => {
+                rec.finish(self.now);
+                rec.into_samples()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Starts accumulating per-pipeline-stage wall time (see
+    /// [`crate::profile`]). Idempotent; the existing counters are kept.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::new(StageProfiler::new()));
+        }
+    }
+
+    /// Stops profiling and returns the accumulated breakdown, or `None`
+    /// when profiling was never enabled.
+    pub fn take_profile(&mut self) -> Option<ProfileReport> {
+        self.profiler.take().map(|p| p.report())
+    }
+
+    /// Delivers `ev` to the installed sink. Call sites guard with
+    /// `self.tracer.is_some()` so the event value is never built when
+    /// tracing is off.
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.event(&ev);
+        }
+    }
+
+    /// Starts a stage timer iff profiling is on (no `Instant::now` otherwise).
+    #[inline]
+    fn prof_start(&self) -> Option<std::time::Instant> {
+        maybe_now(self.profiler.is_some())
+    }
+
+    /// Charges the time since `since` to `stage` and restarts the timer.
+    #[inline]
+    fn prof_lap(
+        &mut self,
+        since: Option<std::time::Instant>,
+        stage: Stage,
+    ) -> Option<std::time::Instant> {
+        let t0 = since?;
+        let now = std::time::Instant::now();
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.add(stage, now.duration_since(t0));
+        }
+        Some(now)
     }
 
     /// Collected statistics.
@@ -704,21 +821,26 @@ impl Network {
 
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
+        let t = self.prof_start();
         if self.faults.is_some() {
             self.apply_hard_faults();
             self.drain_far_events();
         }
+        let t = self.prof_lap(t, Stage::LinkTraverse);
         let idx = (self.now % WHEEL as u64) as usize;
         let events = std::mem::take(&mut self.wheel[idx]);
         for ev in events {
             self.deliver(ev);
         }
+        let t = self.prof_lap(t, Stage::BufferWrite);
         if self.faults.is_some() {
             self.process_absorbing();
         }
+        let t = self.prof_lap(t, Stage::LinkTraverse);
         for n in 0..self.nodes.len() {
             self.node_inject(n);
         }
+        let _ = self.prof_lap(t, Stage::Inject);
         // Routers holding no flits have nothing to route, allocate or
         // traverse — skipping them keeps low-load cycles cheap. Dead
         // routers are frozen entirely (fail-stop).
@@ -732,12 +854,28 @@ impl Network {
                 self.switch_alloc(r);
             }
         }
+        // rc_and_va / switch_alloc charge RC/VA/SA/ST internally.
+        let t = self.prof_start();
         if self.measuring {
             self.stats.cycles += 1;
             for (i, r) in self.routers.iter().enumerate() {
                 self.stats.buffer_occ_integral[i] += u64::from(r.occupancy);
                 self.stats.vc_busy_integral[i] += u64::from(r.busy_vcs);
             }
+        }
+        if self.epochs.is_some() {
+            let now = self.now;
+            let routers = &self.routers;
+            if let Some(ep) = self.epochs.as_deref_mut() {
+                for (i, r) in routers.iter().enumerate() {
+                    ep.accumulate_router(i, u64::from(r.occupancy), u64::from(r.busy_vcs));
+                }
+                ep.maybe_close(now);
+            }
+        }
+        let _ = self.prof_lap(t, Stage::Stats);
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.note_step();
         }
         self.now += 1;
     }
@@ -764,6 +902,16 @@ impl Network {
                 );
                 if self.measuring {
                     self.stats.routers[router.index()].buffer_writes += 1;
+                }
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::BufferWrite {
+                        cycle: self.now,
+                        router,
+                        port,
+                        vc,
+                        packet: flit.packet,
+                        seq: flit.seq,
+                    });
                 }
             }
             Event::Credit { up, vc } => match up {
@@ -867,7 +1015,15 @@ impl Network {
         };
         match verdict {
             Verdict::Drop => {}
-            Verdict::Nack => self.schedule(1, Event::Nack { link, seq }),
+            Verdict::Nack => {
+                self.schedule(1, Event::Nack { link, seq });
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::Fault {
+                        cycle: self.now,
+                        unit: FaultUnit::Corrupt { link },
+                    });
+                }
+            }
             Verdict::Accept => {
                 self.schedule(1, Event::Ack { link, seq });
                 flit.buffered = self.now;
@@ -884,6 +1040,16 @@ impl Network {
                 );
                 if self.measuring {
                     self.stats.routers[router.index()].buffer_writes += 1;
+                }
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::BufferWrite {
+                        cycle: self.now,
+                        router,
+                        port,
+                        vc,
+                        packet: flit.packet,
+                        seq: flit.seq,
+                    });
                 }
             }
         }
@@ -982,6 +1148,13 @@ impl Network {
                 let p = fs.p_flit[li];
                 p > 0.0 && fs.rng.random::<f64>() < p
             };
+            if self.tracer.is_some() {
+                self.emit(TraceEvent::Retransmit {
+                    cycle: self.now,
+                    link,
+                    seq: e.seq,
+                });
+            }
             self.schedule(
                 2,
                 Event::LinkArrive {
@@ -1089,6 +1262,12 @@ impl Network {
             fs.dead_links.push(link);
             fs.counters.links_dead += 1;
         }
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Fault {
+                cycle: self.now,
+                unit: FaultUnit::LinkDead { link },
+            });
+        }
         let l = self.graph.links()[link.index()];
         if !self.router_dead(l.src.index()) {
             self.rescind_routes_to(l.src, l.src_port);
@@ -1135,6 +1314,12 @@ impl Network {
             fs.router_dead[router.index()] = true;
             fs.dead_routers.push(router);
             fs.counters.routers_dead += 1;
+        }
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Fault {
+                cycle: self.now,
+                unit: FaultUnit::RouterDead { router },
+            });
         }
         let incident: Vec<LinkId> = self
             .graph
@@ -1220,10 +1405,20 @@ impl Network {
             .expect("retired flit of unknown packet");
         meta.received += 1;
         debug_assert!(meta.received <= meta.total);
+        let done = meta.received == meta.total;
         if meta.measured && self.measuring {
             self.stats.flits_retired += 1;
         }
-        if meta.received == meta.total {
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::Eject {
+                cycle: self.now,
+                node: flit.dst,
+                packet: flit.packet,
+                seq: flit.seq,
+                done,
+            });
+        }
+        if done {
             let meta = self.in_flight.remove(&flit.packet).expect("present");
             let rec = PacketRecord {
                 src: meta.packet.src,
@@ -1235,11 +1430,15 @@ impl Network {
                 ideal: self.ideal_latency(meta.packet.src, meta.packet.dst, meta.total),
                 class: meta.packet.class,
             };
+            if let Some(ep) = self.epochs.as_deref_mut() {
+                ep.note_retired(&rec);
+            }
             if meta.measured {
                 self.stats.packets_retired += 1;
                 self.stats.latency.add(&rec);
                 self.stats.latency_by_class[NetStats::class_index(rec.class)].add(&rec);
-                self.stats.latency_hist.add(rec.total());
+                self.stats.latency_dist.add(&rec);
+                self.stats.dist_by_class[NetStats::class_index(rec.class)].add(&rec);
                 if self.record_packets {
                     self.stats.records.push(rec);
                 }
@@ -1305,12 +1504,24 @@ impl Network {
                 let packet = node.queue.pop_front().expect("non-empty");
                 node.vcs[v].owner = Some((PortId(0), VcId(0))); // occupied marker
                 let flits = Flit::fragment(&packet, self.cfg.flit_width, self.now);
+                let total = flits.len() as u32;
                 node.sending = Some(Sending {
                     vc: VcId(v),
                     flits: flits.into(),
                 });
                 if let Some(meta) = self.in_flight.get_mut(&packet.id) {
                     meta.inject = self.now;
+                }
+                if let Some(ep) = self.epochs.as_deref_mut() {
+                    ep.note_inject();
+                }
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::Inject {
+                        cycle: self.now,
+                        node: NodeId(n),
+                        packet: packet.id,
+                        flits: total,
+                    });
                 }
             }
         }
@@ -1344,6 +1555,7 @@ impl Network {
     }
 
     fn rc_and_va(&mut self, r: usize) {
+        let t = self.prof_start();
         let router_id = RouterId(r);
         let vcs_per_port = self.cfg.routers[r].vcs_per_port;
         let reserves_escape = self.cfg.routing.reserves_escape_vc();
@@ -1456,6 +1668,7 @@ impl Network {
         // --- VC allocation ----------------------------------------------
         // Separable output-side allocation: each output port grants free
         // downstream VCs to requesting heads in round-robin order.
+        let t = self.prof_lap(t, Stage::RouteCompute);
         let nout = self.routers[r].outputs.len();
         for o in 0..nout {
             if self.routers[r].outputs[o].vcs.is_empty() {
@@ -1514,8 +1727,25 @@ impl Network {
                 if self.measuring {
                     self.stats.routers[r].va_grants += 1;
                 }
+                if self.tracer.is_some() {
+                    let packet = self.routers[r].inputs[p][v]
+                        .fifo
+                        .front()
+                        .expect("requester has a head flit")
+                        .packet;
+                    self.emit(TraceEvent::VcAlloc {
+                        cycle: self.now,
+                        router: router_id,
+                        in_port: PortId(p),
+                        in_vc: VcId(v),
+                        out_port: PortId(o),
+                        out_vc: VcId(dv),
+                        packet,
+                    });
+                }
             }
         }
+        let _ = self.prof_lap(t, Stage::VcAlloc);
     }
 
     /// True when input VC `(p, v)` of router `r` can send its front flit.
@@ -1560,6 +1790,7 @@ impl Network {
     }
 
     fn switch_alloc(&mut self, r: usize) {
+        let mut t = self.prof_start();
         let nports = self.routers[r].inputs.len();
         let vcs_per_port = self.cfg.routers[r].vcs_per_port;
 
@@ -1656,12 +1887,21 @@ impl Network {
             primary[p1] = None;
 
             let count = winners.len();
+            // Lap only around non-empty commit batches: most outputs have
+            // no winner, and a clock read per idle output would swamp the
+            // quantity being measured.
+            if count > 0 {
+                t = self.prof_lap(t, Stage::SwitchAlloc);
+            }
             // Indexing (not iterating) because commit_flit needs &mut self
             // while `winners` stays borrowed otherwise.
             #[allow(clippy::needless_range_loop)]
             for k in 0..count {
                 let (wp, wv) = winners[k];
                 self.commit_flit(r, wp, wv, PortId(o));
+            }
+            if count > 0 {
+                t = self.prof_lap(t, Stage::SwitchTraverse);
             }
             // Link busy/dual accounting.
             if self.measuring {
@@ -1675,6 +1915,7 @@ impl Network {
             }
         }
         self.scratch_winners = winners;
+        let _ = self.prof_lap(t, Stage::SwitchAlloc);
     }
 
     /// Moves one flit from input VC `(p, v)` through output port `o`:
@@ -1701,6 +1942,25 @@ impl Network {
             let ev = &mut self.stats.routers[r];
             ev.buffer_reads += 1;
             ev.xbar_flits += 1;
+        }
+        if self.tracer.is_some() {
+            self.emit(TraceEvent::SaGrant {
+                cycle: self.now,
+                router: RouterId(r),
+                in_port: p,
+                in_vc: v,
+                out_port: o,
+                packet: flit.packet,
+                seq: flit.seq,
+            });
+            self.emit(TraceEvent::BufferRead {
+                cycle: self.now,
+                router: RouterId(r),
+                port: p,
+                vc: v,
+                packet: flit.packet,
+                seq: flit.seq,
+            });
         }
 
         // Credit to whoever feeds input port `p`.
@@ -1732,6 +1992,17 @@ impl Network {
                 }
                 if self.measuring {
                     self.stats.links[link.index()].flits += 1;
+                }
+                if let Some(ep) = self.epochs.as_deref_mut() {
+                    ep.note_link_flit(link.index());
+                }
+                if self.tracer.is_some() {
+                    self.emit(TraceEvent::LinkTraverse {
+                        cycle: self.now,
+                        link,
+                        packet: flit.packet,
+                        seq: flit.seq,
+                    });
                 }
                 if self.faults.is_some() {
                     self.fault_send(link, dst, dst_port, out_vc, flit);

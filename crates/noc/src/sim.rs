@@ -9,9 +9,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::fault::{FaultCounters, UnrecoverableFault};
+use crate::metrics::EpochSample;
 use crate::network::{Network, StallReport};
 use crate::packet::PacketClass;
+use crate::profile::ProfileReport;
 use crate::stats::NetStats;
+use crate::trace::TraceSink;
 use crate::types::{Bits, Cycle, NodeId};
 
 /// Per-cycle hook over the live network state (cargo feature `verify`).
@@ -151,6 +154,11 @@ pub struct SimOutcome {
     pub dropped: u64,
     /// Fault-campaign counters (all zero without fault injection).
     pub fault_counters: FaultCounters,
+    /// Epoch time-series (empty unless [`SimRun::epochs`] was called).
+    pub epochs: Vec<EpochSample>,
+    /// Per-stage wall-time breakdown (`None` unless [`SimRun::profile`]
+    /// enabled it).
+    pub profile: Option<ProfileReport>,
 }
 
 impl SimOutcome {
@@ -208,6 +216,9 @@ pub struct SimRun<'a> {
     net: Network,
     params: SimParams,
     traffic: Option<&'a mut dyn Traffic>,
+    trace: Option<Box<dyn TraceSink>>,
+    epoch_every: Option<Cycle>,
+    profile: bool,
     #[cfg(feature = "verify")]
     observer: Option<&'a mut dyn InvariantObserver>,
 }
@@ -217,6 +228,9 @@ impl std::fmt::Debug for SimRun<'_> {
         f.debug_struct("SimRun")
             .field("params", &self.params)
             .field("traffic", &self.traffic.is_some())
+            .field("trace", &self.trace.is_some())
+            .field("epoch_every", &self.epoch_every)
+            .field("profile", &self.profile)
             .finish_non_exhaustive()
     }
 }
@@ -231,6 +245,9 @@ impl<'a> SimRun<'a> {
             net,
             params,
             traffic: None,
+            trace: None,
+            epoch_every: None,
+            profile: false,
             #[cfg(feature = "verify")]
             observer: None,
         }
@@ -241,6 +258,36 @@ impl<'a> SimRun<'a> {
     #[must_use]
     pub fn traffic(mut self, traffic: &'a mut dyn Traffic) -> Self {
         self.traffic = Some(traffic);
+        self
+    }
+
+    /// Streams every flit-lifecycle event of the run into `sink`
+    /// (see [`crate::trace`]). The sink's `finish` runs before the
+    /// [`SimOutcome`] is built, so buffered sinks are complete on return.
+    #[must_use]
+    pub fn trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Records an epoch time-series sample every `every` cycles
+    /// (see [`crate::metrics`]); the samples come back in
+    /// [`SimOutcome::epochs`].
+    ///
+    /// # Panics
+    /// The run panics if `every` is zero.
+    #[must_use]
+    pub fn epochs(mut self, every: Cycle) -> Self {
+        self.epoch_every = Some(every);
+        self
+    }
+
+    /// Enables per-pipeline-stage wall-time self-profiling
+    /// (see [`crate::profile`]); the breakdown comes back in
+    /// [`SimOutcome::profile`].
+    #[must_use]
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -261,12 +308,24 @@ impl<'a> SimRun<'a> {
     /// its retransmission attempts.
     pub fn run(self) -> Result<SimOutcome, SimError> {
         let SimRun {
-            net,
+            mut net,
             params,
             traffic,
+            trace,
+            epoch_every,
+            profile,
             #[cfg(feature = "verify")]
             observer,
         } = self;
+        if let Some(sink) = trace {
+            net.set_trace_sink(sink);
+        }
+        if let Some(every) = epoch_every {
+            net.enable_epochs(every);
+        }
+        if profile {
+            net.enable_profiling();
+        }
         let mut default_traffic = UniformRandom;
         let traffic = traffic.unwrap_or(&mut default_traffic);
         #[cfg(feature = "verify")]
@@ -443,6 +502,9 @@ fn run_loop(
 
     let cycles = net.now();
     let frequency_ghz = net.config().frequency_ghz;
+    net.finish_trace();
+    let epochs = net.take_epochs();
+    let profile = net.take_profile();
     Ok(SimOutcome {
         stats: net.stats().clone(),
         saturated,
@@ -450,6 +512,8 @@ fn run_loop(
         frequency_ghz,
         dropped: dropped_total,
         fault_counters: net.fault_counters(),
+        epochs,
+        profile,
     })
 }
 
@@ -552,6 +616,72 @@ mod tests {
         for _ in 0..1000 {
             assert!(pareto(&mut rng, 1.9) >= 1);
         }
+    }
+
+    // --- observability ---------------------------------------------------
+
+    #[test]
+    fn observability_run_produces_trace_epochs_and_profile() {
+        use crate::trace::SharedCounts;
+        let counts = SharedCounts::new();
+        let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let out = SimRun::new(net, quick_params(0.01))
+            .trace(Box::new(counts.clone()))
+            .epochs(100)
+            .profile(true)
+            .run()
+            .unwrap();
+
+        let snap = counts.snapshot();
+        // Every retired packet was injected and ejected exactly once, and
+        // the ejects are visible whole (head..tail => eject >= inject).
+        assert!(snap.count("inject") > 0);
+        assert!(snap.count("eject") >= snap.count("inject"));
+        assert!(snap.count("link_traverse") > 0);
+        assert!(snap.count("vc_alloc") > 0);
+        assert_eq!(snap.count("sa_grant"), snap.count("buffer_read"));
+        assert_eq!(snap.count("fault"), 0);
+
+        // Epochs tile the run: contiguous, 100 cycles each except the tail.
+        assert!(!out.epochs.is_empty());
+        assert_eq!(out.epochs[0].start, 0);
+        for w in out.epochs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].cycles(), 100);
+        }
+        assert_eq!(out.epochs.last().unwrap().end, out.cycles);
+        let injected: u64 = out.epochs.iter().map(|e| e.injected).sum();
+        let ejected: u64 = out.epochs.iter().map(|e| e.ejected).sum();
+        assert_eq!(injected, snap.count("inject"));
+        assert!(ejected <= injected);
+        assert!(out.epochs.iter().any(|e| e.max_link_util() > 0.0));
+
+        // The profiler saw every cycle and spent time somewhere.
+        let prof = out.profile.expect("profiling was enabled");
+        assert_eq!(prof.steps, out.cycles);
+        assert!(prof.total_nanos() > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let fingerprint = |traced: bool| {
+            let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+            let mut run = SimRun::new(net, quick_params(0.02));
+            if traced {
+                run = run
+                    .trace(Box::new(crate::trace::SharedCounts::new()))
+                    .epochs(64)
+                    .profile(true);
+            }
+            let out = run.run().unwrap();
+            (
+                out.stats.packets_retired,
+                out.stats.latency.total,
+                out.stats.latency.queuing,
+                out.cycles,
+            )
+        };
+        assert_eq!(fingerprint(false), fingerprint(true));
     }
 
     // --- watchdog & fault propagation -----------------------------------

@@ -185,6 +185,83 @@ impl LatencyHistogram {
     }
 }
 
+/// Conservative p50/p95/p99 upper bounds read off a [`LatencyHistogram`]
+/// (all zero when the histogram is empty).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pctls {
+    /// Median upper bound (cycles).
+    pub p50: u64,
+    /// 95th-percentile upper bound (cycles).
+    pub p95: u64,
+    /// 99th-percentile upper bound (cycles).
+    pub p99: u64,
+}
+
+impl Pctls {
+    /// Reads the three percentiles off `h`.
+    pub fn of(h: &LatencyHistogram) -> Self {
+        Self {
+            p50: h.quantile_upper_bound(0.50),
+            p95: h.quantile_upper_bound(0.95),
+            p99: h.quantile_upper_bound(0.99),
+        }
+    }
+}
+
+/// Histograms of the paper's full latency decomposition (Fig. 8a): total,
+/// queuing, blocking, and transfer components each get their own
+/// [`LatencyHistogram`], so percentiles are available per component — not
+/// just the means [`LatencyAgg`] exposes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyDist {
+    /// Total latency (queue entry to tail ejection).
+    pub total: LatencyHistogram,
+    /// Source-queuing component.
+    pub queuing: LatencyHistogram,
+    /// Blocking (contention) component.
+    pub blocking: LatencyHistogram,
+    /// Contention-free transfer component.
+    pub transfer: LatencyHistogram,
+}
+
+impl LatencyDist {
+    /// Accumulates one completed packet's decomposition.
+    pub fn add(&mut self, rec: &PacketRecord) {
+        self.total.add(rec.total());
+        self.queuing.add(rec.queuing());
+        self.blocking.add(rec.blocking());
+        self.transfer.add(rec.network() - rec.blocking());
+    }
+
+    /// Packets accumulated.
+    pub fn count(&self) -> u64 {
+        self.total.count()
+    }
+
+    /// p50/p95/p99 of every component.
+    pub fn percentiles(&self) -> LatencyPctls {
+        LatencyPctls {
+            total: Pctls::of(&self.total),
+            queuing: Pctls::of(&self.queuing),
+            blocking: Pctls::of(&self.blocking),
+            transfer: Pctls::of(&self.transfer),
+        }
+    }
+}
+
+/// The [`Pctls`] of each latency component of a [`LatencyDist`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyPctls {
+    /// Total latency percentiles.
+    pub total: Pctls,
+    /// Queuing-component percentiles.
+    pub queuing: Pctls,
+    /// Blocking-component percentiles.
+    pub blocking: Pctls,
+    /// Transfer-component percentiles.
+    pub transfer: Pctls,
+}
+
 /// All statistics collected during the measurement window.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct NetStats {
@@ -200,8 +277,11 @@ pub struct NetStats {
     pub latency: LatencyAgg,
     /// Latency aggregate per class (Data, Control, Expedited).
     pub latency_by_class: [LatencyAgg; 3],
-    /// Histogram of total packet latencies (cycles).
-    pub latency_hist: LatencyHistogram,
+    /// Latency-component histograms over all measured packets (percentiles
+    /// via [`LatencyDist::percentiles`]).
+    pub latency_dist: LatencyDist,
+    /// Latency-component histograms per class (Data, Control, Expedited).
+    pub dist_by_class: [LatencyDist; 3],
     /// Σ over measured cycles of occupied input-buffer slots, per router.
     pub buffer_occ_integral: Vec<u64>,
     /// Σ over measured cycles of non-empty input VCs, per router.
@@ -314,6 +394,17 @@ impl NetStats {
     pub fn mean_latency_ns(&self, frequency_ghz: f64) -> f64 {
         self.latency.mean_total() / frequency_ghz
     }
+
+    /// p50/p95/p99 of every latency component over all measured packets.
+    pub fn percentiles(&self) -> LatencyPctls {
+        self.latency_dist.percentiles()
+    }
+
+    /// p50/p95/p99 of every latency component for one message class
+    /// (index via [`NetStats::class_index`]).
+    pub fn class_percentiles(&self, class: PacketClass) -> LatencyPctls {
+        self.dist_by_class[Self::class_index(class)].percentiles()
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +491,46 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.add(0);
         assert_eq!(h.buckets()[0], 1);
+    }
+
+    #[test]
+    fn latency_dist_percentiles_track_the_decomposition() {
+        let mut d = LatencyDist::default();
+        // 9 fast packets and one slow straggler: p50 stays small while p99
+        // must cover the outlier in every affected component.
+        for _ in 0..9 {
+            d.add(&rec(0, 1, 9, 8)); // total 9, queuing 1, blocking 0
+        }
+        d.add(&rec(0, 40, 140, 8)); // total 140, queuing 40, blocking 92
+        assert_eq!(d.count(), 10);
+        let p = d.percentiles();
+        assert!(p.total.p50 <= 15, "p50 {p:?}");
+        assert!(p.total.p99 >= 140, "p99 {p:?}");
+        assert!(p.queuing.p99 >= 40);
+        assert!(p.blocking.p50 <= 1);
+        assert!(p.blocking.p99 >= 92);
+        assert!(p.total.p50 <= p.total.p95 && p.total.p95 <= p.total.p99);
+    }
+
+    #[test]
+    fn empty_dist_has_zero_percentiles() {
+        let p = LatencyDist::default().percentiles();
+        assert_eq!(p, LatencyPctls::default());
+    }
+
+    #[test]
+    fn class_percentiles_separate_classes() {
+        let mut s = NetStats::new(1, 1, vec![4], vec![2]);
+        let mut fast = rec(0, 1, 5, 4);
+        fast.class = PacketClass::Control;
+        let slow = rec(0, 1, 500, 4);
+        s.dist_by_class[NetStats::class_index(fast.class)].add(&fast);
+        s.dist_by_class[NetStats::class_index(slow.class)].add(&slow);
+        s.latency_dist.add(&fast);
+        s.latency_dist.add(&slow);
+        assert!(s.class_percentiles(PacketClass::Control).total.p99 < 16);
+        assert!(s.class_percentiles(PacketClass::Data).total.p99 >= 500);
+        assert!(s.percentiles().total.p99 >= 500);
     }
 
     #[test]

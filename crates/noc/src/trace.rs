@@ -1,0 +1,818 @@
+//! Flit-level event tracing.
+//!
+//! A [`TraceSink`] installed on a [`crate::network::Network`] receives one
+//! typed [`TraceEvent`] per flit-lifecycle step — injection, buffer
+//! write/read, VC allocation, switch-allocation grant, link traversal,
+//! ejection, retransmission and fault — stamped with the cycle and the
+//! router/link coordinates where it happened. With no sink installed the
+//! engine's hot path contains a single `Option::is_some()` branch per
+//! potential event and builds no event values at all, so fault-free golden
+//! fingerprints (and wall time) are unaffected.
+//!
+//! Two serializing sinks ship with the crate:
+//!
+//! * [`JsonlSink`] — one compact JSON object per line, a fixed field order
+//!   per event kind, fully deterministic byte-for-byte per (config, seed).
+//! * [`ChromeTraceSink`] — the Chrome `trace_event` array format, loadable
+//!   directly in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! [`SharedBuffer`] is a small `Arc<Mutex<Vec<u8>>>` writer so callers can
+//! recover a trace after [`crate::sim::SimRun::run`] has consumed the
+//! network that owned the sink.
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::types::{Cycle, LinkId, NodeId, PacketId, PortId, RouterId, VcId};
+
+/// The unit a fault event names.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultUnit {
+    /// A flit was corrupted in flight on `link` (CRC detected; NACKed).
+    Corrupt {
+        /// Link the corrupted flit was traversing.
+        link: LinkId,
+    },
+    /// A hard fault killed one direction of a channel.
+    LinkDead {
+        /// The dead link.
+        link: LinkId,
+    },
+    /// A hard fault killed a whole router.
+    RouterDead {
+        /// The dead router.
+        router: RouterId,
+    },
+}
+
+/// One flit-lifecycle event, stamped with the cycle it happened on.
+///
+/// Events are emitted in nondecreasing cycle order; within a cycle the
+/// order follows the engine's phase order (event delivery, injection, RC/VA,
+/// SA/ST) and is deterministic per (config, seed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A packet's head flit left its source queue and entered the network.
+    Inject {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Injecting endpoint.
+        node: NodeId,
+        /// The packet.
+        packet: PacketId,
+        /// Total flits in the packet.
+        flits: u32,
+    },
+    /// A flit was written into an input buffer (BW stage).
+    BufferWrite {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Receiving router.
+        router: RouterId,
+        /// Input port written.
+        port: PortId,
+        /// Virtual channel written.
+        vc: VcId,
+        /// Owning packet.
+        packet: PacketId,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// An output virtual channel was allocated to a packet (VA stage).
+    VcAlloc {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Router granting the allocation.
+        router: RouterId,
+        /// Input port holding the requesting head flit.
+        in_port: PortId,
+        /// Input virtual channel of the requester.
+        in_vc: VcId,
+        /// Output port allocated.
+        out_port: PortId,
+        /// Output virtual channel allocated.
+        out_vc: VcId,
+        /// Owning packet.
+        packet: PacketId,
+    },
+    /// A flit won switch allocation (SA stage).
+    SaGrant {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Router granting the crossbar slot.
+        router: RouterId,
+        /// Input port of the winning flit.
+        in_port: PortId,
+        /// Input virtual channel of the winning flit.
+        in_vc: VcId,
+        /// Output port won.
+        out_port: PortId,
+        /// Owning packet.
+        packet: PacketId,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// A flit was read out of its input buffer and crossed the crossbar
+    /// (ST stage). Always follows an `SaGrant` in the same cycle.
+    BufferRead {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Router the flit is leaving.
+        router: RouterId,
+        /// Input port read.
+        port: PortId,
+        /// Virtual channel read.
+        vc: VcId,
+        /// Owning packet.
+        packet: PacketId,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// A flit was launched onto a router-to-router channel (LT stage).
+    LinkTraverse {
+        /// Cycle of the event (launch cycle; arrival is two cycles later).
+        cycle: Cycle,
+        /// The channel traversed.
+        link: LinkId,
+        /// Owning packet.
+        packet: PacketId,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// A flit reached its destination endpoint.
+    Eject {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Destination endpoint.
+        node: NodeId,
+        /// Owning packet.
+        packet: PacketId,
+        /// Flit sequence number within the packet.
+        seq: u32,
+        /// True when this flit completed the packet.
+        done: bool,
+    },
+    /// The link layer re-sent a flit (go-back-N recovery).
+    Retransmit {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// Link re-sending.
+        link: LinkId,
+        /// Link-layer sequence number being replayed.
+        seq: u64,
+    },
+    /// A fault fired: corruption detected, or equipment died.
+    Fault {
+        /// Cycle of the event.
+        cycle: Cycle,
+        /// What failed.
+        unit: FaultUnit,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle stamped on the event.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::Inject { cycle, .. }
+            | TraceEvent::BufferWrite { cycle, .. }
+            | TraceEvent::VcAlloc { cycle, .. }
+            | TraceEvent::SaGrant { cycle, .. }
+            | TraceEvent::BufferRead { cycle, .. }
+            | TraceEvent::LinkTraverse { cycle, .. }
+            | TraceEvent::Eject { cycle, .. }
+            | TraceEvent::Retransmit { cycle, .. }
+            | TraceEvent::Fault { cycle, .. } => cycle,
+        }
+    }
+
+    /// The event's kind name as it appears in the JSONL `"ev"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Inject { .. } => "inject",
+            TraceEvent::BufferWrite { .. } => "buffer_write",
+            TraceEvent::VcAlloc { .. } => "vc_alloc",
+            TraceEvent::SaGrant { .. } => "sa_grant",
+            TraceEvent::BufferRead { .. } => "buffer_read",
+            TraceEvent::LinkTraverse { .. } => "link_traverse",
+            TraceEvent::Eject { .. } => "eject",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::Fault { .. } => "fault",
+        }
+    }
+}
+
+/// Every event kind name a JSONL trace may contain, in schema order.
+pub const EVENT_KINDS: [&str; 9] = [
+    "inject",
+    "buffer_write",
+    "vc_alloc",
+    "sa_grant",
+    "buffer_read",
+    "link_traverse",
+    "eject",
+    "retransmit",
+    "fault",
+];
+
+/// Receiver of flit-lifecycle events.
+///
+/// Implementations must not assume `finish` is called (a panicking run may
+/// drop the network), but the simulation driver calls it exactly once after
+/// the last cycle, so file formats needing a footer (Chrome traces) close
+/// properly on every normal run.
+pub trait TraceSink: Send {
+    /// Called once per event, in emission order.
+    fn event(&mut self, ev: &TraceEvent);
+
+    /// Called once after the final cycle; write footers/flush here.
+    fn finish(&mut self) {}
+}
+
+impl std::fmt::Debug for dyn TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn TraceSink")
+    }
+}
+
+/// Writes one compact JSON object per event per line.
+///
+/// Field order is fixed per kind (`ev`, `cycle`, then coordinates), all ids
+/// are raw integers, and no floating point is involved, so the byte stream
+/// is deterministic per (config, seed).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `out`. Consider a `BufWriter` for file targets.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+}
+
+/// Formats `ev` as its single-line JSONL record (no trailing newline).
+pub fn jsonl_line(ev: &TraceEvent) -> String {
+    match *ev {
+        TraceEvent::Inject {
+            cycle,
+            node,
+            packet,
+            flits,
+        } => format!(
+            "{{\"ev\":\"inject\",\"cycle\":{cycle},\"node\":{},\"packet\":{},\"flits\":{flits}}}",
+            node.index(),
+            packet.index()
+        ),
+        TraceEvent::BufferWrite {
+            cycle,
+            router,
+            port,
+            vc,
+            packet,
+            seq,
+        } => format!(
+            "{{\"ev\":\"buffer_write\",\"cycle\":{cycle},\"router\":{},\"port\":{},\"vc\":{},\"packet\":{},\"seq\":{seq}}}",
+            router.index(),
+            port.index(),
+            vc.index(),
+            packet.index()
+        ),
+        TraceEvent::VcAlloc {
+            cycle,
+            router,
+            in_port,
+            in_vc,
+            out_port,
+            out_vc,
+            packet,
+        } => format!(
+            "{{\"ev\":\"vc_alloc\",\"cycle\":{cycle},\"router\":{},\"in_port\":{},\"in_vc\":{},\"out_port\":{},\"out_vc\":{},\"packet\":{}}}",
+            router.index(),
+            in_port.index(),
+            in_vc.index(),
+            out_port.index(),
+            out_vc.index(),
+            packet.index()
+        ),
+        TraceEvent::SaGrant {
+            cycle,
+            router,
+            in_port,
+            in_vc,
+            out_port,
+            packet,
+            seq,
+        } => format!(
+            "{{\"ev\":\"sa_grant\",\"cycle\":{cycle},\"router\":{},\"in_port\":{},\"in_vc\":{},\"out_port\":{},\"packet\":{},\"seq\":{seq}}}",
+            router.index(),
+            in_port.index(),
+            in_vc.index(),
+            out_port.index(),
+            packet.index()
+        ),
+        TraceEvent::BufferRead {
+            cycle,
+            router,
+            port,
+            vc,
+            packet,
+            seq,
+        } => format!(
+            "{{\"ev\":\"buffer_read\",\"cycle\":{cycle},\"router\":{},\"port\":{},\"vc\":{},\"packet\":{},\"seq\":{seq}}}",
+            router.index(),
+            port.index(),
+            vc.index(),
+            packet.index()
+        ),
+        TraceEvent::LinkTraverse {
+            cycle,
+            link,
+            packet,
+            seq,
+        } => format!(
+            "{{\"ev\":\"link_traverse\",\"cycle\":{cycle},\"link\":{},\"packet\":{},\"seq\":{seq}}}",
+            link.index(),
+            packet.index()
+        ),
+        TraceEvent::Eject {
+            cycle,
+            node,
+            packet,
+            seq,
+            done,
+        } => format!(
+            "{{\"ev\":\"eject\",\"cycle\":{cycle},\"node\":{},\"packet\":{},\"seq\":{seq},\"done\":{done}}}",
+            node.index(),
+            packet.index()
+        ),
+        TraceEvent::Retransmit { cycle, link, seq } => format!(
+            "{{\"ev\":\"retransmit\",\"cycle\":{cycle},\"link\":{},\"seq\":{seq}}}",
+            link.index()
+        ),
+        TraceEvent::Fault { cycle, unit } => match unit {
+            FaultUnit::Corrupt { link } => format!(
+                "{{\"ev\":\"fault\",\"cycle\":{cycle},\"what\":\"corrupt\",\"link\":{}}}",
+                link.index()
+            ),
+            FaultUnit::LinkDead { link } => format!(
+                "{{\"ev\":\"fault\",\"cycle\":{cycle},\"what\":\"link_dead\",\"link\":{}}}",
+                link.index()
+            ),
+            FaultUnit::RouterDead { router } => format!(
+                "{{\"ev\":\"fault\",\"cycle\":{cycle},\"what\":\"router_dead\",\"router\":{}}}",
+                router.index()
+            ),
+        },
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        let line = jsonl_line(ev);
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Writes the Chrome `trace_event` JSON array format.
+///
+/// Each event becomes an instant event (`"ph":"i"`): `ts` is the cycle (the
+/// viewer's microsecond axis reads as cycles), `pid` groups by router (or
+/// `100000 + link` for link-scoped events, `200000 + node` for endpoint
+/// events) and `tid` is the port. Load the file in `chrome://tracing` or
+/// drop it on <https://ui.perfetto.dev>.
+#[derive(Debug)]
+pub struct ChromeTraceSink<W: Write + Send> {
+    out: W,
+    first: bool,
+}
+
+/// `pid` offset for link-scoped Chrome-trace events.
+const CHROME_LINK_PID: usize = 100_000;
+/// `pid` offset for endpoint-scoped Chrome-trace events.
+const CHROME_NODE_PID: usize = 200_000;
+
+impl<W: Write + Send> ChromeTraceSink<W> {
+    /// Wraps `out` and writes the array header.
+    pub fn new(mut out: W) -> Self {
+        let _ = out.write_all(b"[\n");
+        Self { out, first: true }
+    }
+
+    fn emit(&mut self, name: &str, ts: Cycle, pid: usize, tid: usize, args: &str) {
+        let sep = if self.first { "" } else { ",\n" };
+        self.first = false;
+        let _ = write!(
+            self.out,
+            "{sep}{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\"args\":{{{args}}}}}"
+        );
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeTraceSink<W> {
+    fn event(&mut self, ev: &TraceEvent) {
+        let name = ev.kind();
+        let ts = ev.cycle();
+        match *ev {
+            TraceEvent::Inject {
+                node,
+                packet,
+                flits,
+                ..
+            } => self.emit(
+                name,
+                ts,
+                CHROME_NODE_PID + node.index(),
+                0,
+                &format!("\"packet\":{},\"flits\":{flits}", packet.index()),
+            ),
+            TraceEvent::BufferWrite {
+                router,
+                port,
+                vc,
+                packet,
+                seq,
+                ..
+            } => self.emit(
+                name,
+                ts,
+                router.index(),
+                port.index(),
+                &format!(
+                    "\"vc\":{},\"packet\":{},\"seq\":{seq}",
+                    vc.index(),
+                    packet.index()
+                ),
+            ),
+            TraceEvent::VcAlloc {
+                router,
+                in_port,
+                in_vc,
+                out_port,
+                out_vc,
+                packet,
+                ..
+            } => self.emit(
+                name,
+                ts,
+                router.index(),
+                in_port.index(),
+                &format!(
+                    "\"in_vc\":{},\"out_port\":{},\"out_vc\":{},\"packet\":{}",
+                    in_vc.index(),
+                    out_port.index(),
+                    out_vc.index(),
+                    packet.index()
+                ),
+            ),
+            TraceEvent::SaGrant {
+                router,
+                in_port,
+                in_vc,
+                out_port,
+                packet,
+                seq,
+                ..
+            } => self.emit(
+                name,
+                ts,
+                router.index(),
+                in_port.index(),
+                &format!(
+                    "\"in_vc\":{},\"out_port\":{},\"packet\":{},\"seq\":{seq}",
+                    in_vc.index(),
+                    out_port.index(),
+                    packet.index()
+                ),
+            ),
+            TraceEvent::BufferRead {
+                router,
+                port,
+                vc,
+                packet,
+                seq,
+                ..
+            } => self.emit(
+                name,
+                ts,
+                router.index(),
+                port.index(),
+                &format!(
+                    "\"vc\":{},\"packet\":{},\"seq\":{seq}",
+                    vc.index(),
+                    packet.index()
+                ),
+            ),
+            TraceEvent::LinkTraverse {
+                link, packet, seq, ..
+            } => self.emit(
+                name,
+                ts,
+                CHROME_LINK_PID + link.index(),
+                0,
+                &format!("\"packet\":{},\"seq\":{seq}", packet.index()),
+            ),
+            TraceEvent::Eject {
+                node,
+                packet,
+                seq,
+                done,
+                ..
+            } => self.emit(
+                name,
+                ts,
+                CHROME_NODE_PID + node.index(),
+                0,
+                &format!(
+                    "\"packet\":{},\"seq\":{seq},\"done\":{done}",
+                    packet.index()
+                ),
+            ),
+            TraceEvent::Retransmit { link, seq, .. } => self.emit(
+                name,
+                ts,
+                CHROME_LINK_PID + link.index(),
+                0,
+                &format!("\"seq\":{seq}"),
+            ),
+            TraceEvent::Fault { unit, .. } => match unit {
+                FaultUnit::Corrupt { link } => self.emit(
+                    name,
+                    ts,
+                    CHROME_LINK_PID + link.index(),
+                    0,
+                    "\"what\":\"corrupt\"",
+                ),
+                FaultUnit::LinkDead { link } => self.emit(
+                    name,
+                    ts,
+                    CHROME_LINK_PID + link.index(),
+                    0,
+                    "\"what\":\"link_dead\"",
+                ),
+                FaultUnit::RouterDead { router } => {
+                    self.emit(name, ts, router.index(), 0, "\"what\":\"router_dead\"")
+                }
+            },
+        }
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.write_all(b"\n]\n");
+        let _ = self.out.flush();
+    }
+}
+
+/// A clonable in-memory byte buffer implementing [`Write`].
+///
+/// [`crate::sim::SimRun::run`] consumes the network (and with it any
+/// installed sink), so tests hand a `SharedBuffer` clone to a
+/// [`JsonlSink`]/[`ChromeTraceSink`] and read the bytes back from their own
+/// clone after the run.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuffer {
+    inner: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything written so far.
+    ///
+    /// # Panics
+    /// Panics if a writer panicked while holding the lock.
+    pub fn contents(&self) -> Vec<u8> {
+        self.inner.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// `contents()` as UTF-8 (lossy).
+    pub fn to_text(&self) -> String {
+        String::from_utf8_lossy(&self.contents()).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner
+            .lock()
+            .expect("trace buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that counts events per kind (cheap smoke-testing aid).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CountingSink {
+    /// Event counts indexed like [`EVENT_KINDS`].
+    pub counts: [u64; EVENT_KINDS.len()],
+}
+
+impl CountingSink {
+    /// Count for kind `name`, or 0 for unknown names.
+    pub fn count(&self, name: &str) -> u64 {
+        EVENT_KINDS
+            .iter()
+            .position(|k| *k == name)
+            .map_or(0, |i| self.counts[i])
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        if let Some(i) = EVENT_KINDS.iter().position(|k| *k == ev.kind()) {
+            self.counts[i] += 1;
+        }
+    }
+}
+
+/// Forwards events to a [`CountingSink`] behind a shared handle, so counts
+/// survive the network being consumed by the run.
+#[derive(Clone, Debug, Default)]
+pub struct SharedCounts {
+    inner: Arc<Mutex<CountingSink>>,
+}
+
+impl SharedCounts {
+    /// An empty shared counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the counts so far.
+    ///
+    /// # Panics
+    /// Panics if a writer panicked while holding the lock.
+    pub fn snapshot(&self) -> CountingSink {
+        *self.inner.lock().expect("trace counts poisoned")
+    }
+}
+
+impl TraceSink for SharedCounts {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.inner.lock().expect("trace counts poisoned").event(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Inject {
+                cycle: 1,
+                node: NodeId(3),
+                packet: PacketId(7),
+                flits: 6,
+            },
+            TraceEvent::BufferWrite {
+                cycle: 2,
+                router: RouterId(4),
+                port: PortId(1),
+                vc: VcId(0),
+                packet: PacketId(7),
+                seq: 0,
+            },
+            TraceEvent::VcAlloc {
+                cycle: 3,
+                router: RouterId(4),
+                in_port: PortId(1),
+                in_vc: VcId(0),
+                out_port: PortId(2),
+                out_vc: VcId(1),
+                packet: PacketId(7),
+            },
+            TraceEvent::SaGrant {
+                cycle: 4,
+                router: RouterId(4),
+                in_port: PortId(1),
+                in_vc: VcId(0),
+                out_port: PortId(2),
+                packet: PacketId(7),
+                seq: 0,
+            },
+            TraceEvent::BufferRead {
+                cycle: 4,
+                router: RouterId(4),
+                port: PortId(1),
+                vc: VcId(0),
+                packet: PacketId(7),
+                seq: 0,
+            },
+            TraceEvent::LinkTraverse {
+                cycle: 4,
+                link: LinkId(9),
+                packet: PacketId(7),
+                seq: 0,
+            },
+            TraceEvent::Eject {
+                cycle: 8,
+                node: NodeId(5),
+                packet: PacketId(7),
+                seq: 5,
+                done: true,
+            },
+            TraceEvent::Retransmit {
+                cycle: 9,
+                link: LinkId(9),
+                seq: 17,
+            },
+            TraceEvent::Fault {
+                cycle: 10,
+                unit: FaultUnit::RouterDead {
+                    router: RouterId(12),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_cover_every_kind_once() {
+        let events = sample_events();
+        assert_eq!(events.len(), EVENT_KINDS.len());
+        for (ev, kind) in events.iter().zip(EVENT_KINDS) {
+            assert_eq!(ev.kind(), kind);
+            let line = jsonl_line(ev);
+            assert!(
+                line.contains(&format!("\"ev\":\"{kind}\"")),
+                "line {line} must name its kind"
+            );
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf = SharedBuffer::new();
+        let mut sink = JsonlSink::new(buf.clone());
+        for ev in sample_events() {
+            sink.event(&ev);
+        }
+        sink.finish();
+        let text = buf.to_text();
+        assert_eq!(text.lines().count(), EVENT_KINDS.len());
+        assert!(text.lines().all(|l| l.starts_with('{')));
+    }
+
+    #[test]
+    fn chrome_sink_produces_a_json_array() {
+        let buf = SharedBuffer::new();
+        let mut sink = ChromeTraceSink::new(buf.clone());
+        for ev in sample_events() {
+            sink.event(&ev);
+        }
+        sink.finish();
+        let text = buf.to_text();
+        let trimmed = text.trim();
+        assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{text}");
+        assert_eq!(text.matches("\"ph\":\"i\"").count(), EVENT_KINDS.len());
+        // No trailing comma before the closing bracket.
+        assert!(!text.contains(",\n]"), "{text}");
+    }
+
+    #[test]
+    fn chrome_sink_empty_trace_is_still_an_array() {
+        let buf = SharedBuffer::new();
+        let mut sink = ChromeTraceSink::new(buf.clone());
+        sink.finish();
+        assert_eq!(buf.to_text(), "[\n\n]\n");
+    }
+
+    #[test]
+    fn counting_sink_counts_by_kind() {
+        let shared = SharedCounts::new();
+        let mut sink = shared.clone();
+        for ev in sample_events() {
+            sink.event(&ev);
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.total(), EVENT_KINDS.len() as u64);
+        assert_eq!(snap.count("inject"), 1);
+        assert_eq!(snap.count("no_such_kind"), 0);
+    }
+
+    #[test]
+    fn cycle_accessor_matches_payload() {
+        for (i, ev) in sample_events().iter().enumerate() {
+            assert!(ev.cycle() >= 1, "event {i} has a cycle");
+        }
+    }
+}

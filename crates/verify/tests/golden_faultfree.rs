@@ -52,3 +52,33 @@ fn diagonal_bl_fingerprint_unchanged() {
     println!("diagonal-bl fingerprint: {got:?}");
     assert_eq!(got, (2002, 65373, 1051, 1833));
 }
+
+/// The observability layer (tracing + epoch metrics + self-profiling) must
+/// be a pure observer: with every hook enabled, the pinned fingerprint is
+/// bit-identical to the plain run above.
+#[test]
+fn full_observability_keeps_the_golden_fingerprint() {
+    use heteronoc_noc::trace::{JsonlSink, SharedBuffer};
+
+    let buf = SharedBuffer::new();
+    let net = Network::new(mesh_config(&Layout::Baseline)).unwrap();
+    let out = SimRun::new(net, pin_params())
+        .trace(Box::new(JsonlSink::new(buf.clone())))
+        .epochs(128)
+        .profile(true)
+        .run()
+        .expect("simulation run");
+    assert!(!out.saturated);
+    let got = (
+        out.stats.packets_retired,
+        out.stats.latency.total,
+        out.stats.latency.queuing,
+        out.cycles,
+    );
+    assert_eq!(got, (2000, 57748, 626, 1825));
+
+    // And the observers actually observed.
+    assert!(!buf.contents().is_empty());
+    assert_eq!(out.epochs.last().expect("epochs recorded").end, out.cycles);
+    assert_eq!(out.profile.expect("profile recorded").steps, out.cycles);
+}
