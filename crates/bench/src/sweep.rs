@@ -23,7 +23,7 @@
 //! `results/<name>.json` (points, latency/throughput/power, wall time,
 //! cache hit rate) next to the human-readable text tables.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{mpsc, Mutex};
@@ -43,7 +43,7 @@ use heteronoc::traffic::patterns::{
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
-use heteronoc_verify::{run_with_degradation, Injection};
+use heteronoc_verify::{lint_config, run_with_degradation, Injection, LintOptions};
 
 use crate::cache::{content_key, ResultCache, SCHEMA_VERSION};
 use crate::json::Json;
@@ -589,6 +589,41 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
         }
     }
 
+    // Lint gate: run the static-analysis suite over each distinct pending
+    // configuration before burning simulation time on it. Error-level
+    // diagnostics (deadlock cycles, broken tables, partitioning fault
+    // plans) fail the point fast; gate failures are never cached, so a
+    // fixed configuration re-runs cleanly. Cached points passed the gate
+    // when they were first simulated.
+    let gate_opts = LintOptions {
+        // Rates are point-specific and `HN-W005` is warning-level anyway;
+        // the gate only acts on errors.
+        rates: Vec::new(),
+        ..LintOptions::default()
+    };
+    let mut gate_verdicts: HashMap<String, Option<String>> = HashMap::new();
+    let mut gated: Vec<(usize, &PointSpec)> = Vec::with_capacity(pending.len());
+    for (i, spec) in pending {
+        let verdict = gate_verdicts
+            .entry(format!("{:?}", spec.config))
+            .or_insert_with(|| {
+                lint_config(&spec.label, &spec.config, &gate_opts)
+                    .errors()
+                    .next()
+                    .map(ToString::to_string)
+            });
+        match verdict {
+            Some(e) => {
+                results[i] = Some(PointMetrics::failed(
+                    spec.label.clone(),
+                    format!("lint: {e}"),
+                ));
+            }
+            None => gated.push((i, spec)),
+        }
+    }
+    let pending = gated;
+
     let simulated = pending.len();
     let computed = parallel_map(opts.jobs, pending, |(i, spec)| (i, run_point(spec)));
     for (i, metrics) in computed {
@@ -941,6 +976,52 @@ mod tests {
             let _pattern = spec.instantiate();
             assert!(!spec.name().is_empty());
         }
+    }
+
+    #[test]
+    fn lint_gate_fails_broken_points_without_simulating() {
+        use heteronoc::noc::routing::{RouteTable, RoutingKind};
+        use heteronoc::noc::types::RouterId;
+
+        // A one-way route table passes `validate` but is a lint error
+        // (HN-E011): the gate must fail the point before any simulation.
+        let mut cfg = NetworkConfig::paper_baseline();
+        let mut tbl = RouteTable::new();
+        tbl.insert(
+            RouterId(0),
+            RouterId(2),
+            vec![RouterId(0), RouterId(1), RouterId(2)],
+        );
+        cfg.routing = RoutingKind::TableXy(tbl);
+        let mut sweep = Sweep::new("lint-gate-test");
+        sweep.push(PointSpec {
+            label: "broken|ur|s1|r0.01".into(),
+            config: cfg,
+            kind: PointKind::OpenLoop {
+                params: SimParams {
+                    injection_rate: 0.01,
+                    warmup_packets: 10,
+                    measure_packets: 10,
+                    max_cycles: 1_000,
+                    seed: 1,
+                    process: heteronoc::noc::sim::InjectionProcess::Bernoulli,
+                    watchdog: None,
+                },
+                traffic: TrafficSpec::Uniform,
+                faults: None,
+                epochs: None,
+            },
+        });
+        let opts = SweepOptions {
+            jobs: 1,
+            use_cache: false,
+            cache_dir: std::env::temp_dir(),
+        };
+        let outcome = run_sweep(&sweep, &opts).unwrap();
+        assert_eq!(outcome.simulated, 0, "gate must fire before simulation");
+        let err = outcome.points[0].error.as_deref().unwrap();
+        assert!(err.starts_with("lint:"), "{err}");
+        assert!(err.contains("HN-E011"), "{err}");
     }
 
     #[test]

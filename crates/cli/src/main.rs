@@ -70,6 +70,22 @@ COMMANDS
                                     configuration, incl. torus/cmesh/fbfly and
                                     the table-routed case study)
                --hubs a,b,c         add table routing through these routers
+               --deny-warnings      exit non-zero when any warning is reported
+  lint       full static-analysis suite: structure, CDG deadlock, protocol
+             (message-class) deadlock, credit-loop sizing, starvation, and
+             fault-plan reachability, reported as stable-coded diagnostics
+               --layout <name>      lint one layout (default: every shipped
+                                    configuration, like verify)
+               --hubs a,b,c         add table routing through these routers
+               --rates a,b,c        injection rates for the credit-sizing pass
+                                    (default 0.01,0.02,0.03,0.04,0.05)
+               --plan <file>        also run fault-plan reachability on this plan
+               --baseline           also lint iso-resource budgets against the
+                                    homogeneous baseline (paper layouts only)
+               --json               emit a JSON array of per-config reports
+               --deny-warnings      exit non-zero when any warning is reported
+               --explain <CODE>     print the registry entry for a diagnostic
+                                    code (e.g. --explain HN-E010) and exit
   faults     fault-injection campaign with graceful-degradation rerouting
              (every regenerated route table is CDG-verified before install)
                --layout <name>      (default diagonal-bl)
@@ -640,22 +656,193 @@ fn cmd_verify(a: &Args) -> Result<(), String> {
         }
     }
 
+    // Identical warnings repeat across layouts (e.g. every +BL layout
+    // shares the same lane warning); print each distinct warning once,
+    // naming the configurations it applies to.
     let mut failures = 0usize;
+    let mut warning_count = 0usize;
+    let mut deduped: std::collections::BTreeMap<String, Vec<String>> =
+        std::collections::BTreeMap::new();
     for r in &reports {
         match r {
-            Ok(report) => println!("ok   {report}"),
+            Ok(report) => {
+                println!("ok   {}", report.summary());
+                warning_count += report.warnings.len();
+                for w in &report.warnings {
+                    deduped
+                        .entry(w.to_string())
+                        .or_default()
+                        .push(report.name.clone());
+                }
+            }
             Err(e) => {
                 failures += 1;
                 println!("FAIL {e}");
             }
         }
     }
+    for (text, names) in &deduped {
+        println!("warning: {text} [{}]", names.join(", "));
+    }
     println!(
-        "{} configuration(s) verified, {failures} rejected",
-        reports.len() - failures
+        "{} configuration(s) verified, {failures} rejected, {warning_count} warning(s) ({} distinct)",
+        reports.len() - failures,
+        deduped.len()
     );
     if failures > 0 {
         return Err(format!("{failures} configuration(s) failed verification"));
+    }
+    if a.flag("deny-warnings") && warning_count > 0 {
+        return Err(format!(
+            "{warning_count} warning(s) denied by --deny-warnings"
+        ));
+    }
+    Ok(())
+}
+
+/// `heteronoc lint`: the full static-analysis suite over one or all
+/// shipped configurations, reported as stable-coded diagnostics.
+fn cmd_lint(a: &Args) -> Result<(), String> {
+    use heteronoc::mesh_config_with_table;
+    use heteronoc::noc::config::NetworkConfig;
+    use heteronoc::noc::fault::FaultPlan;
+    use heteronoc::noc::topology::TopologyKind;
+    use heteronoc::noc::types::{Bits, RouterId};
+    use heteronoc::noc::RouterCfg;
+    use heteronoc_verify::{lint_config, Code, LintOptions};
+
+    if let Some(code) = a.get("explain") {
+        let Some(c) = Code::parse(code) else {
+            let known: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+            return Err(format!(
+                "unknown diagnostic code '{code}'; known codes: {}",
+                known.join(", ")
+            ));
+        };
+        println!("{} {} ({})", c.as_str(), c.name(), c.severity());
+        println!("  {}", c.summary());
+        println!();
+        println!("{}", c.explanation());
+        return Ok(());
+    }
+
+    let hubs: Option<Vec<usize>> = a.get_list::<usize>("hubs")?;
+    if let Some(h) = &hubs {
+        if let Some(&r) = h.iter().find(|&&r| r >= 64) {
+            return Err(format!(
+                "--hubs router {r} is out of range for the 8x8 mesh (0..=63)"
+            ));
+        }
+    }
+
+    let mut opts = LintOptions::default();
+    if let Some(rates) = a.get_list::<f64>("rates")? {
+        opts.rates = rates;
+    }
+    if let Some(path) = a.get("plan") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
+        opts.fault_plan = Some(FaultPlan::from_text(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let against_baseline = a.flag("baseline");
+
+    // (name, config, is a paper mesh layout) — the budget lint only makes
+    // sense against the Fig. 3 mesh baseline.
+    let mut targets: Vec<(String, NetworkConfig, bool)> = Vec::new();
+    if let Some(name) = a.get("layout") {
+        let layout = layout_by_name(name)?;
+        match &hubs {
+            Some(h) => {
+                let hubs: Vec<RouterId> = h.iter().map(|&r| RouterId(r)).collect();
+                targets.push((
+                    format!("{} (table)", layout.name()),
+                    mesh_config_with_table(&layout, &hubs),
+                    true,
+                ));
+            }
+            None => targets.push((layout.name().to_owned(), mesh_config(&layout), true)),
+        }
+    } else {
+        for layout in Layout::all_seven() {
+            targets.push((layout.name().to_owned(), mesh_config(&layout), true));
+        }
+        let corners: Vec<RouterId> = hubs
+            .unwrap_or_else(|| vec![0, 7, 56, 63])
+            .into_iter()
+            .map(RouterId)
+            .collect();
+        targets.push((
+            format!("{} (table)", Layout::DiagonalBL.name()),
+            mesh_config_with_table(&Layout::DiagonalBL, &corners),
+            true,
+        ));
+        for (name, kind) in [
+            (
+                "torus-8x8",
+                TopologyKind::Torus {
+                    width: 8,
+                    height: 8,
+                },
+            ),
+            (
+                "cmesh-4x4x4",
+                TopologyKind::CMesh {
+                    width: 4,
+                    height: 4,
+                    concentration: 4,
+                },
+            ),
+            (
+                "fbfly-4x4x4",
+                TopologyKind::FlattenedButterfly {
+                    width: 4,
+                    height: 4,
+                    concentration: 4,
+                },
+            ),
+        ] {
+            let cfg = NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2);
+            targets.push((name.to_owned(), cfg, false));
+        }
+    }
+
+    let reports: Vec<_> = targets
+        .iter()
+        .map(|(name, cfg, is_mesh_layout)| {
+            let mut o = opts.clone();
+            if against_baseline && *is_mesh_layout {
+                o.baseline = Some(mesh_config(&Layout::Baseline));
+            }
+            lint_config(name, cfg, &o)
+        })
+        .collect();
+
+    let errors: usize = reports.iter().map(|r| r.errors().count()).sum();
+    let warnings: usize = reports.iter().map(|r| r.warnings().count()).sum();
+
+    if a.flag("json") {
+        let objs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", objs.join(","));
+    } else {
+        for r in &reports {
+            print!("{}", r.render_human());
+        }
+        println!(
+            "{} configuration(s) linted: {errors} error(s), {warnings} warning(s)",
+            reports.len()
+        );
+        if errors == 0 && warnings == 0 {
+            println!("all configurations pass the static-analysis suite");
+        }
+    }
+
+    if errors > 0 {
+        return Err(format!("{errors} error-level diagnostic(s)"));
+    }
+    if a.flag("deny-warnings") && warnings > 0 {
+        return Err(format!(
+            "{warnings} warning-level diagnostic(s) denied by --deny-warnings"
+        ));
     }
     Ok(())
 }
@@ -802,6 +989,7 @@ fn run() -> Result<(), String> {
         Some("trace") => cmd_trace(&a),
         Some("report") => cmd_report(&a),
         Some("verify") => cmd_verify(&a),
+        Some("lint") => cmd_lint(&a),
         Some("faults") => cmd_faults(&a),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => {

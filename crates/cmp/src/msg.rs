@@ -15,6 +15,75 @@ pub const CONTROL_BITS: Bits = Bits(64);
 /// Size of a cache-line data packet.
 pub const DATA_BITS: Bits = Bits(1024);
 
+/// Virtual-network (message) class of a protocol message, ordered by
+/// dependency depth for protocol-deadlock analysis.
+///
+/// The classic protocol-deadlock argument (and the one
+/// `heteronoc-verify`'s `HN-E010` analysis machine-checks) partitions
+/// messages into classes such that an endpoint *blocked* processing a
+/// message of one class only ever waits on sends of a strictly deeper
+/// class. The directory MESI protocol here needs three levels:
+///
+/// * **Request** — L1-originated transactions (`GetS`/`GetM`/`PutM`).
+///   Processing one at the home may block until forwards/responses for
+///   it complete.
+/// * **Forward** — home-originated interventions and memory commands
+///   (`FwdS`/`FwdM`/`Inv`/`MemRead`/`MemWrite`). Processing one at an
+///   owner/sharer/memory controller may block until its response sends.
+/// * **Response** — terminal messages (`InvAck`/`Data*`/`WbData`/
+///   `MemData`). Consuming one never blocks on further network traffic:
+///   the requester reserved its MSHR when the transaction began, and the
+///   home's `MemData -> Data*` relay writes into space reserved at
+///   `MemRead` issue, so same-class relays are non-blocking by
+///   construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ProtocolClass {
+    /// L1-originated requests.
+    Request,
+    /// Home-originated forwards/interventions and memory commands.
+    Forward,
+    /// Terminal responses (guaranteed sinkable).
+    Response,
+}
+
+impl ProtocolClass {
+    /// All classes, in dependency-depth order.
+    pub const ALL: [ProtocolClass; 3] = [
+        ProtocolClass::Request,
+        ProtocolClass::Forward,
+        ProtocolClass::Response,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolClass::Request => "Request",
+            ProtocolClass::Forward => "Forward",
+            ProtocolClass::Response => "Response",
+        }
+    }
+
+    /// Position in [`ProtocolClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            ProtocolClass::Request => 0,
+            ProtocolClass::Forward => 1,
+            ProtocolClass::Response => 2,
+        }
+    }
+
+    /// Classes an endpoint may *block awaiting* while it processes a
+    /// message of this class (the class-dependency edges of the
+    /// protocol-deadlock proof). Responses are terminal.
+    pub fn blocks_on(self) -> &'static [ProtocolClass] {
+        match self {
+            ProtocolClass::Request => &[ProtocolClass::Forward, ProtocolClass::Response],
+            ProtocolClass::Forward => &[ProtocolClass::Response],
+            ProtocolClass::Response => &[],
+        }
+    }
+}
+
 /// Protocol message kinds (directory MESI, plus the memory interface).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 #[repr(u8)]
@@ -62,6 +131,22 @@ impl MsgKind {
                 | MsgKind::MemWrite
                 | MsgKind::MemData
         )
+    }
+
+    /// The message class this kind travels in (see [`ProtocolClass`]).
+    pub fn protocol_class(self) -> ProtocolClass {
+        match self {
+            MsgKind::GetS | MsgKind::GetM | MsgKind::PutM => ProtocolClass::Request,
+            MsgKind::FwdS | MsgKind::FwdM | MsgKind::Inv | MsgKind::MemRead | MsgKind::MemWrite => {
+                ProtocolClass::Forward
+            }
+            MsgKind::InvAck
+            | MsgKind::DataS
+            | MsgKind::DataE
+            | MsgKind::DataM
+            | MsgKind::WbData
+            | MsgKind::MemData => ProtocolClass::Response,
+        }
     }
 
     /// Packet payload size for this message.
@@ -183,5 +268,28 @@ mod tests {
     #[should_panic(expected = "block number too large")]
     fn encode_rejects_huge_blocks() {
         let _ = Msg::new(MsgKind::GetS, 1 << 47, 0).encode();
+    }
+
+    #[test]
+    fn protocol_classes_form_a_dag() {
+        // Every kind has a class; blocking edges go strictly deeper, so the
+        // class-dependency graph is acyclic by construction.
+        for k in 0..14u8 {
+            let class = MsgKind::from_u8(k).protocol_class();
+            for dep in class.blocks_on() {
+                assert!(
+                    dep.index() > class.index(),
+                    "{} must only block on deeper classes, not {}",
+                    class.name(),
+                    dep.name()
+                );
+            }
+        }
+        // The deepest class is terminal: responses always drain.
+        assert!(ProtocolClass::Response.blocks_on().is_empty());
+        // Spot-check the MESI mapping.
+        assert_eq!(MsgKind::GetM.protocol_class(), ProtocolClass::Request);
+        assert_eq!(MsgKind::MemRead.protocol_class(), ProtocolClass::Forward);
+        assert_eq!(MsgKind::WbData.protocol_class(), ProtocolClass::Response);
     }
 }

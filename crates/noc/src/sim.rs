@@ -341,56 +341,6 @@ impl<'a> SimRun<'a> {
     }
 }
 
-/// Runs one open-loop simulation, panicking on typed failures.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `SimRun::new(net, params).traffic(&mut t).run()`"
-)]
-pub fn run_open_loop(net: Network, traffic: &mut dyn Traffic, params: SimParams) -> SimOutcome {
-    SimRun::new(net, params)
-        .traffic(traffic)
-        .run()
-        .unwrap_or_else(|e| panic!("simulation run failed: {e}"))
-}
-
-/// Runs one open-loop simulation with typed errors.
-///
-/// # Errors
-/// [`SimError::Stalled`] when the watchdog fires; [`SimError::Unrecoverable`]
-/// when a link gives up retrying.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `SimRun::new(net, params).traffic(&mut t).run()`"
-)]
-pub fn run_open_loop_result(
-    net: Network,
-    traffic: &mut dyn Traffic,
-    params: SimParams,
-) -> Result<SimOutcome, SimError> {
-    SimRun::new(net, params).traffic(traffic).run()
-}
-
-/// Runs one open-loop simulation with a caller-supplied
-/// [`InvariantObserver`] (cargo feature `verify`), panicking on typed
-/// failures.
-#[cfg(feature = "verify")]
-#[deprecated(
-    since = "0.1.0",
-    note = "use `SimRun::new(net, params).traffic(&mut t).observer(&mut o).run()`"
-)]
-pub fn run_open_loop_observed(
-    net: Network,
-    traffic: &mut dyn Traffic,
-    params: SimParams,
-    observer: &mut dyn InvariantObserver,
-) -> SimOutcome {
-    SimRun::new(net, params)
-        .traffic(traffic)
-        .observer(observer)
-        .run()
-        .unwrap_or_else(|e| panic!("simulation run failed: {e}"))
-}
-
 fn run_loop(
     mut net: Network,
     traffic: &mut dyn Traffic,

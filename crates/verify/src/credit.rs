@@ -1,0 +1,209 @@
+//! Credit-loop sizing analysis — `HN-W005`.
+//!
+//! Credit-based flow control bounds a VC buffer's sustainable throughput:
+//! a buffer slot can forward at most one flit per credit round-trip, so a
+//! port with `vcs x depth` total slots sustains at most
+//! `vcs x depth / CREDIT_RTT` flits per cycle into its link, regardless of
+//! how wide the wire is. The engine's loop is 4 cycles — the downstream
+//! buffer write lands 2 cycles after the upstream switch grant (ST then
+//! LT), the freed slot's credit is sent with the downstream grant and
+//! takes the 1-cycle reverse wire, and the upstream allocator sees it one
+//! cycle later (the in-tree credit tests pin this as "the 4-cycle credit
+//! round-trip").
+//!
+//! The pass computes the static uniform-random channel load of every link
+//! from the routing function — `pairs_crossing x rate / (N - 1) x
+//! flits_per_packet` — and flags links whose credit ceiling is below both
+//! their wire bandwidth and the demand at one of the sweep's injection
+//! rates: at that point the sweep measures buffer starvation, not the
+//! link contention it claims to.
+
+use heteronoc_cmp::msg::DATA_BITS;
+use heteronoc_noc::config::{lanes, NetworkConfig};
+use heteronoc_noc::topology::TopologyGraph;
+use heteronoc_noc::types::NodeId;
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Cycles from a flit's switch grant to the upstream allocator seeing the
+/// credit for the slot it freed (2-stage router pipeline + 1-cycle link +
+/// 1-cycle credit return).
+pub const CREDIT_RTT: u64 = 4;
+
+/// The switch allocator issues at most a primary and a secondary grant
+/// per output per cycle, so wire bandwidth caps at two flit lanes.
+const MAX_DRIVEN_LANES: usize = 2;
+
+/// Static per-link pair counts under uniform-random traffic: how many
+/// `(src, dst)` endpoint pairs the routing function sends across each
+/// link. Pairs whose walk exceeds the hop bound are skipped (divergence is
+/// `HN-E004`, reported by the CDG pass).
+pub fn channel_pair_loads(cfg: &NetworkConfig, graph: &TopologyGraph) -> Vec<u64> {
+    let mut load = vec![0u64; graph.num_links()];
+    let bound = 2 * graph.num_routers() + 4;
+    for s in 0..graph.num_nodes() {
+        for d in 0..graph.num_nodes() {
+            if s == d {
+                continue;
+            }
+            let (src, dst) = (NodeId(s), NodeId(d));
+            let mut cur = graph.attachment(src).router;
+            let mut path = Vec::new();
+            let mut ok = true;
+            while let Some(choice) = cfg.routing.route(graph, cur, src, dst, false, false) {
+                if path.len() >= bound {
+                    ok = false;
+                    break;
+                }
+                let link = graph
+                    .out_link(cur, choice.port)
+                    .expect("route() returns link ports");
+                path.push(link);
+                cur = graph.links()[link.index()].dst;
+            }
+            if ok {
+                for l in path {
+                    load[l.index()] += 1;
+                }
+            }
+        }
+    }
+    load
+}
+
+/// Runs the credit-sizing analysis for the given injection `rates`
+/// (packets per node per cycle, the sweep's x-axis).
+pub fn analyze_credit(
+    cfg: &NetworkConfig,
+    graph: &TopologyGraph,
+    rates: &[f64],
+) -> Vec<Diagnostic> {
+    let n = graph.num_nodes();
+    if rates.is_empty() || n < 2 {
+        return Vec::new();
+    }
+    let mut rates: Vec<f64> = rates.iter().copied().filter(|r| *r > 0.0).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+
+    let load = channel_pair_loads(cfg, graph);
+    let widths = cfg.link_widths.resolve(graph);
+    // Open-loop sweeps inject cache-line-sized packets (`Traffic::size`
+    // defaults to 1024 bits, the `DATA_BITS` cache line).
+    let flits_per_packet = DATA_BITS.flits(cfg.flit_width) as f64;
+
+    let mut out = Vec::new();
+    for (i, link) in graph.links().iter().enumerate() {
+        let rc = &cfg.routers[link.dst.index()];
+        let credit_cap = (rc.vcs_per_port * rc.buffer_depth) as f64 / CREDIT_RTT as f64;
+        let wire_cap = lanes(widths[i], cfg.flit_width).min(MAX_DRIVEN_LANES) as f64;
+        if credit_cap >= wire_cap {
+            // Buffering can keep the wire saturated; credits never bind.
+            continue;
+        }
+        for &rate in &rates {
+            let demand = load[i] as f64 * rate / (n - 1) as f64 * flits_per_packet;
+            if demand > credit_cap + 1e-9 {
+                out.push(Diagnostic::new(
+                    Code::CreditLimitedLink,
+                    Span::Link(heteronoc_noc::types::LinkId(i)),
+                    format!(
+                        "credit loop caps {link_name} at {credit_cap:.2} \
+                         flits/cycle ({vcs} VC x depth {depth} / {rtt}-cycle \
+                         round-trip) but uniform-random load at rate {rate} \
+                         is {demand:.2} flits/cycle ({pairs} pairs x {fpp} \
+                         flits/packet); the sweep would measure buffer \
+                         starvation, not link contention",
+                        link_name = format_args!("r{}->r{}", link.src.index(), link.dst.index()),
+                        vcs = rc.vcs_per_port,
+                        depth = rc.buffer_depth,
+                        rtt = CREDIT_RTT,
+                        pairs = load[i],
+                        fpp = flits_per_packet,
+                    ),
+                ));
+                break; // one diagnostic per link, at the lowest failing rate
+            }
+        }
+    }
+    out
+}
+
+/// The credit ceiling of a `(vcs, depth)` port in flits per cycle
+/// (exposed for the CLI's `--explain` examples and the tests).
+pub fn credit_ceiling(vcs: usize, depth: usize) -> f64 {
+    (vcs * depth) as f64 / CREDIT_RTT as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteronoc_noc::config::{NetworkConfig, RouterCfg};
+    use heteronoc_noc::topology::TopologyKind;
+    use heteronoc_noc::types::Bits;
+
+    fn mesh(rc: RouterCfg) -> (NetworkConfig, TopologyGraph) {
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 8,
+                height: 8,
+            },
+            rc,
+            Bits(192),
+            2.2,
+        );
+        let g = cfg.build_graph();
+        (cfg, g)
+    }
+
+    #[test]
+    fn baseline_buffers_saturate_the_wire() {
+        // 3 VCs x 5 deep / 4 = 3.75 flits/cycle >= 1-lane wire: clean at
+        // every sweep rate.
+        let (cfg, g) = mesh(RouterCfg::BASELINE);
+        assert!(analyze_credit(&cfg, &g, &[0.01, 0.05, 0.5, 1.0]).is_empty());
+    }
+
+    #[test]
+    fn starved_single_slot_buffers_are_flagged() {
+        // 1 VC x 1 slot / 4 = 0.25 flits/cycle. The busiest 8x8 X-Y mesh
+        // link carries 128 pairs: demand at 0.05 pkt/node/cycle is
+        // 128 x 0.05 / 63 x 6 ~ 0.61 flits/cycle > 0.25.
+        let (cfg, g) = mesh(RouterCfg {
+            vcs_per_port: 1,
+            buffer_depth: 1,
+        });
+        let diags = analyze_credit(&cfg, &g, &[0.05]);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.code == Code::CreditLimitedLink));
+        assert!(diags[0].message.contains("4-cycle"), "{}", diags[0].message);
+        // But a rate low enough for the ceiling passes.
+        assert!(analyze_credit(&cfg, &g, &[0.001]).is_empty());
+    }
+
+    #[test]
+    fn mesh_center_load_matches_the_closed_form() {
+        // The max-load X-Y mesh link is the horizontal mid-column crossing:
+        // 32 sources on one side x 4... no — pairs crossing a vertical cut
+        // in one direction through one row-link: 8 x (4 x 4) / 8... Pin the
+        // known value instead: busiest link of an 8x8 X-Y mesh carries
+        // (w/2)^2 * h / h = 16 * 8 = 128 pairs.
+        let (cfg, g) = mesh(RouterCfg::BASELINE);
+        let load = channel_pair_loads(&cfg, &g);
+        assert_eq!(load.iter().copied().max(), Some(128));
+        // Conservation: every pair contributes its hop count once.
+        let total: u64 = load.iter().sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn ceiling_helper_matches_the_pass() {
+        assert!((credit_ceiling(3, 5) - 3.75).abs() < 1e-12);
+        assert!((credit_ceiling(1, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_are_deterministic() {
+        let (cfg, g) = mesh(RouterCfg::BASELINE);
+        assert_eq!(channel_pair_loads(&cfg, &g), channel_pair_loads(&cfg, &g));
+    }
+}

@@ -1,0 +1,337 @@
+//! Fault-plan reachability analysis — `HN-E013` / `HN-W006`.
+//!
+//! A fault campaign is only meaningful if delivery stays *possible*: once
+//! the cumulative kill schedule cuts the surviving routers into more than
+//! one island of attached nodes, every cross-island packet is guaranteed
+//! lost and the campaign measures the plan, not the network. This pass
+//! replays the plan's hard kills statically — [`FaultKind::Link`] removes
+//! both directions of the physical channel, [`FaultKind::Router`] removes
+//! the router, its incident links and its attached nodes — and proves
+//! after each kill cycle that the alive subgraph still connects every
+//! alive node (`HN-E013` names the first cycle where it does not).
+//!
+//! Separately, route-table paths that cross killed equipment are flagged
+//! (`HN-W006`): the network is still connected, but packets pinned to the
+//! dead path stall until graceful degradation regenerates the table, so
+//! the campaign should expect a rerouting transient at the named cycle.
+
+use std::collections::BTreeMap;
+
+use heteronoc_noc::config::NetworkConfig;
+use heteronoc_noc::fault::{FaultKind, FaultPlan};
+use heteronoc_noc::routing::RoutingKind;
+use heteronoc_noc::topology::TopologyGraph;
+use heteronoc_noc::types::Cycle;
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Per-component death cycles after cumulatively applying a plan's kills.
+struct DeathMap {
+    /// Cycle each unidirectional link dies (killing a link kills its
+    /// reverse; killing a router kills every incident link).
+    link: Vec<Option<Cycle>>,
+    /// Cycle each router dies.
+    router: Vec<Option<Cycle>>,
+}
+
+impl DeathMap {
+    fn build(plan: &FaultPlan, graph: &TopologyGraph) -> DeathMap {
+        let mut dm = DeathMap {
+            link: vec![None; graph.num_links()],
+            router: vec![None; graph.num_routers()],
+        };
+        // (src, dst) -> link index, to find a killed link's reverse.
+        let by_ends: BTreeMap<(usize, usize), usize> = graph
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((l.src.index(), l.dst.index()), i))
+            .collect();
+        let mark = |slot: &mut Option<Cycle>, cycle: Cycle| {
+            if slot.is_none_or(|c| c > cycle) {
+                *slot = Some(cycle);
+            }
+        };
+        for f in plan.sorted_hard() {
+            match f.kind {
+                FaultKind::Link(l) => {
+                    let d = &graph.links()[l.index()];
+                    mark(&mut dm.link[l.index()], f.cycle);
+                    if let Some(&rev) = by_ends.get(&(d.dst.index(), d.src.index())) {
+                        mark(&mut dm.link[rev], f.cycle);
+                    }
+                }
+                FaultKind::Router(r) => {
+                    mark(&mut dm.router[r.index()], f.cycle);
+                    for (i, l) in graph.links().iter().enumerate() {
+                        if l.src == r || l.dst == r {
+                            mark(&mut dm.link[i], f.cycle);
+                        }
+                    }
+                }
+            }
+        }
+        dm
+    }
+
+    fn router_alive(&self, r: usize, at: Cycle) -> bool {
+        self.router[r].is_none_or(|c| c > at)
+    }
+
+    fn link_alive(&self, l: usize, at: Cycle) -> bool {
+        self.link[l].is_none_or(|c| c > at)
+    }
+
+    /// Earliest death cycle among a table path's routers and hop links.
+    fn path_death(
+        &self,
+        graph: &TopologyGraph,
+        path: &[heteronoc_noc::types::RouterId],
+    ) -> Option<Cycle> {
+        let by_ends: BTreeMap<(usize, usize), usize> = graph
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((l.src.index(), l.dst.index()), i))
+            .collect();
+        let mut earliest: Option<Cycle> = None;
+        let mut fold = |c: Option<Cycle>| {
+            if let Some(c) = c {
+                earliest = Some(earliest.map_or(c, |e: Cycle| e.min(c)));
+            }
+        };
+        for r in path {
+            fold(self.router[r.index()]);
+        }
+        for hop in path.windows(2) {
+            if let Some(&l) = by_ends.get(&(hop[0].index(), hop[1].index())) {
+                fold(self.link[l]);
+            }
+        }
+        earliest
+    }
+}
+
+/// Island sizes (alive attached-node counts per connected component) of
+/// the alive subgraph at cycle `at`, largest first.
+fn islands(graph: &TopologyGraph, dm: &DeathMap, at: Cycle) -> Vec<usize> {
+    let n = graph.num_routers();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX || !dm.router_alive(start, at) {
+            continue;
+        }
+        comp[start] = next;
+        let mut stack = vec![start];
+        while let Some(r) = stack.pop() {
+            for (i, l) in graph.links().iter().enumerate() {
+                if !dm.link_alive(i, at) {
+                    continue;
+                }
+                // Links are directed but come in pairs; walk both ways.
+                let other = if l.src.index() == r {
+                    l.dst.index()
+                } else if l.dst.index() == r {
+                    l.src.index()
+                } else {
+                    continue;
+                };
+                if comp[other] == usize::MAX && dm.router_alive(other, at) {
+                    comp[other] = next;
+                    stack.push(other);
+                }
+            }
+        }
+        next += 1;
+    }
+    let mut sizes = vec![0usize; next];
+    for a in graph.nodes() {
+        let r = a.router.index();
+        if dm.router_alive(r, at) && comp[r] != usize::MAX {
+            sizes[comp[r]] += 1;
+        }
+    }
+    let mut sizes: Vec<usize> = sizes.into_iter().filter(|&s| s > 0).collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Runs the fault-plan reachability analysis.
+pub fn analyze_fault_plan(
+    cfg: &NetworkConfig,
+    graph: &TopologyGraph,
+    plan: &FaultPlan,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Err(e) = plan.validate(graph.num_links(), graph.num_routers()) {
+        out.push(Diagnostic::new(
+            Code::InvalidConfig,
+            Span::Config,
+            format!("fault plan: {e}"),
+        ));
+        return out;
+    }
+    let dm = DeathMap::build(plan, graph);
+
+    // Partition proof after each distinct kill cycle, earliest first; the
+    // first cut is reported and later ones are subsumed by it.
+    let mut cycles: Vec<Cycle> = plan.sorted_hard().iter().map(|f| f.cycle).collect();
+    cycles.dedup();
+    for at in cycles {
+        let sizes = islands(graph, &dm, at);
+        if sizes.len() > 1 {
+            out.push(Diagnostic::new(
+                Code::FaultPartition,
+                Span::Config,
+                format!(
+                    "cumulative kills at cycle {at} split the network into \
+                     {} islands of attached nodes (sizes: {}); every \
+                     cross-island packet after this point is undeliverable",
+                    sizes.len(),
+                    sizes
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            ));
+            break;
+        }
+        if sizes.is_empty() {
+            out.push(Diagnostic::new(
+                Code::FaultPartition,
+                Span::Config,
+                format!("cumulative kills at cycle {at} leave no alive attached node"),
+            ));
+            break;
+        }
+    }
+
+    // Stranded table paths (network may still be connected).
+    let table = match &cfg.routing {
+        RoutingKind::TableXy(t) | RoutingKind::FullTable(t) => Some(t),
+        RoutingKind::DimensionOrder => None,
+    };
+    if let Some(t) = table {
+        // `pairs()` order is unspecified; collect keyed for determinism.
+        let mut stranded: BTreeMap<(usize, usize), Cycle> = BTreeMap::new();
+        for ((a, b), path) in t.pairs() {
+            if let Some(cycle) = dm.path_death(graph, path) {
+                stranded.insert((a.index(), b.index()), cycle);
+            }
+        }
+        for ((a, b), cycle) in stranded {
+            out.push(Diagnostic::new(
+                Code::StrandedTablePath,
+                Span::Router(heteronoc_noc::types::RouterId(a)),
+                format!(
+                    "table path r{a}->r{b} crosses equipment killed at cycle \
+                     {cycle}; expedited traffic on it stalls until degraded \
+                     rerouting regenerates the table"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heteronoc_noc::config::NetworkConfig;
+    use heteronoc_noc::fault::HardFault;
+    use heteronoc_noc::routing::RouteTable;
+    use heteronoc_noc::types::{LinkId, RouterId};
+
+    fn kill_link(l: usize, cycle: Cycle) -> HardFault {
+        HardFault {
+            cycle,
+            kind: FaultKind::Link(LinkId(l)),
+        }
+    }
+
+    fn plan_with(hard: Vec<HardFault>) -> FaultPlan {
+        FaultPlan {
+            hard,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn benign_plan_is_clean() {
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        assert!(analyze_fault_plan(&cfg, &g, &FaultPlan::default()).is_empty());
+    }
+
+    #[test]
+    fn corner_isolation_is_a_partition() {
+        // 8x8 mesh, row-major, E-then-S connect order: router 0's only
+        // links are l0/l1 (r0<->r1) and l2/l3 (r0<->r8). Killing physical
+        // channels l0 and l2 isolates r0's node.
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        let plan = plan_with(vec![kill_link(0, 100), kill_link(2, 100)]);
+        let diags = analyze_fault_plan(&cfg, &g, &plan);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::FaultPartition);
+        assert!(
+            diags[0].message.contains("cycle 100"),
+            "{}",
+            diags[0].message
+        );
+        assert!(diags[0].message.contains("63"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn single_link_kill_keeps_the_mesh_connected() {
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        let plan = plan_with(vec![kill_link(0, 100)]);
+        assert!(analyze_fault_plan(&cfg, &g, &plan).is_empty());
+    }
+
+    #[test]
+    fn router_kill_takes_its_node_out_of_the_island_count() {
+        // Killing one interior router does not partition the rest: its own
+        // node dies with it and is not counted as an island.
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        let plan = plan_with(vec![HardFault {
+            cycle: 50,
+            kind: FaultKind::Router(RouterId(27)),
+        }]);
+        assert!(analyze_fault_plan(&cfg, &g, &plan).is_empty());
+    }
+
+    #[test]
+    fn dead_hub_link_strands_the_table_path() {
+        let mut cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        let tbl = RouteTable::for_hubs(&g, &[RouterId(0), RouterId(63)]);
+        cfg.routing = RoutingKind::TableXy(tbl);
+        // Kill the hub router itself: both directions of the r0<->r63
+        // zig-zag cross it, and the rest of the mesh stays connected.
+        let plan = plan_with(vec![HardFault {
+            cycle: 500,
+            kind: FaultKind::Router(RouterId(0)),
+        }]);
+        let diags = analyze_fault_plan(&cfg, &g, &plan);
+        assert!(
+            diags.iter().any(|d| d.code == Code::StrandedTablePath),
+            "{diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.code != Code::FaultPartition));
+    }
+
+    #[test]
+    fn out_of_range_kill_is_invalid_config() {
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        let plan = plan_with(vec![kill_link(10_000, 1)]);
+        let diags = analyze_fault_plan(&cfg, &g, &plan);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::InvalidConfig);
+    }
+}

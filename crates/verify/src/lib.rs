@@ -25,20 +25,32 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cdg;
+pub mod credit;
 pub mod degraded;
+pub mod diag;
+pub mod engine;
 pub mod error;
+pub mod faultplan;
 pub mod lint;
+pub mod protocol;
+pub mod starvation;
 
 use heteronoc::{mesh_config, mesh_config_with_table, Layout};
 use heteronoc_noc::config::NetworkConfig;
 use heteronoc_noc::types::RouterId;
 
 pub use cdg::{Cdg, EscapeModel};
+pub use credit::{analyze_credit, credit_ceiling, CREDIT_RTT};
 pub use degraded::{
     run_with_degradation, verify_degraded_routing, DegradedRunError, DegradedRunReport, Injection,
     PhaseStats, VerifiedDegradedRouting,
 };
+pub use diag::{Code, Diagnostic, Severity, Span};
+pub use engine::{lint_config, LintOptions, LintReport};
 pub use error::{CdgChannel, LintWarning, VerifyError};
+pub use faultplan::analyze_fault_plan;
+pub use protocol::{analyze_protocol, ProtocolModel};
+pub use starvation::{analyze_starvation, ArbiterModel};
 
 /// Summary of a successful verification.
 #[derive(Clone, Debug)]
@@ -59,10 +71,11 @@ pub struct VerifyReport {
     pub warnings: Vec<LintWarning>,
 }
 
-impl std::fmt::Display for VerifyReport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
+impl VerifyReport {
+    /// The one-line summary without the warnings (the CLI de-duplicates
+    /// warnings across layouts and prints them separately).
+    pub fn summary(&self) -> String {
+        format!(
             "{}: {} channels, {} deps ({} escape-relieved), {} VCs, bisection {}b",
             self.name,
             self.channels,
@@ -70,7 +83,13 @@ impl std::fmt::Display for VerifyReport {
             self.relieved,
             self.total_vcs,
             self.bisection_bits
-        )?;
+        )
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.summary())?;
         for w in &self.warnings {
             write!(f, "\n  warning: {w}")?;
         }
