@@ -27,7 +27,8 @@ use crate::json::{self, Json};
 
 /// Bump when the metrics schema or canonical-description format changes;
 /// old cache entries then miss instead of deserializing garbage.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: sweep points carry `attempts`; campaign points share the cache.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// 64-bit FNV-1a over `bytes`, from `offset` (lets us derive two
 /// independent 64-bit streams for a 128-bit key).
@@ -117,6 +118,192 @@ impl ResultCache {
     }
 }
 
+/// Per-line verdict classes of a cache-file audit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LineVerdict {
+    /// Parses and has the expected `{key, metrics}` shape with a
+    /// well-formed `v<N>-<32 hex>` key of the current schema version.
+    Valid,
+    /// Well-formed but keyed by an older schema version (a guaranteed
+    /// miss; `--gc` prunes these).
+    StaleSchema,
+    /// Parses as JSON but the shape is wrong (missing/mistyped `key` or
+    /// `metrics`, malformed key format).
+    BadShape,
+    /// Does not parse as JSON at all (torn write, hand edit).
+    Undecodable,
+}
+
+/// Audit results for one cache file.
+#[derive(Clone, Debug)]
+pub struct CacheFileReport {
+    /// The audited file.
+    pub path: PathBuf,
+    /// Lines with [`LineVerdict::Valid`].
+    pub valid: usize,
+    /// Lines with [`LineVerdict::StaleSchema`].
+    pub stale: usize,
+    /// Lines with [`LineVerdict::BadShape`].
+    pub bad_shape: usize,
+    /// Lines with [`LineVerdict::Undecodable`].
+    pub undecodable: usize,
+}
+
+impl CacheFileReport {
+    /// True when every line is valid under the current schema.
+    pub fn is_clean(&self) -> bool {
+        self.stale == 0 && self.bad_shape == 0 && self.undecodable == 0
+    }
+}
+
+/// Classifies one cache line.
+pub fn classify_line(line: &str) -> LineVerdict {
+    let Ok(entry) = json::parse(line) else {
+        return LineVerdict::Undecodable;
+    };
+    let (Some(key), Some(_metrics)) = (
+        entry.get("key").and_then(Json::as_str),
+        entry.get("metrics"),
+    ) else {
+        return LineVerdict::BadShape;
+    };
+    // Expected key shape: v<digits>-<32 lowercase hex>.
+    let Some(rest) = key.strip_prefix('v') else {
+        return LineVerdict::BadShape;
+    };
+    let Some((version, hash)) = rest.split_once('-') else {
+        return LineVerdict::BadShape;
+    };
+    let Ok(version) = version.parse::<u32>() else {
+        return LineVerdict::BadShape;
+    };
+    if hash.len() != 32
+        || !hash
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+    {
+        return LineVerdict::BadShape;
+    }
+    if version != SCHEMA_VERSION {
+        return LineVerdict::StaleSchema;
+    }
+    LineVerdict::Valid
+}
+
+/// Audits every `*.jsonl` file under `dir` line by line. Missing or empty
+/// directories audit clean (no files).
+///
+/// # Errors
+/// Propagates I/O failures reading the directory or a file.
+pub fn verify_dir(dir: &Path) -> std::io::Result<Vec<CacheFileReport>> {
+    let mut reports = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(reports),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let mut r = CacheFileReport {
+            path: path.clone(),
+            valid: 0,
+            stale: 0,
+            bad_shape: 0,
+            undecodable: 0,
+        };
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match classify_line(line) {
+                LineVerdict::Valid => r.valid += 1,
+                LineVerdict::StaleSchema => r.stale += 1,
+                LineVerdict::BadShape => r.bad_shape += 1,
+                LineVerdict::Undecodable => r.undecodable += 1,
+            }
+        }
+        reports.push(r);
+    }
+    Ok(reports)
+}
+
+/// What [`gc_dir`] did to one file.
+#[derive(Clone, Debug)]
+pub enum GcAction {
+    /// File was clean; left untouched.
+    Clean(PathBuf),
+    /// File held undecodable lines: renamed to `<name>.corrupt` so the
+    /// damage is preserved for inspection instead of silently read past.
+    Quarantined {
+        /// Original path.
+        from: PathBuf,
+        /// Quarantine path.
+        to: PathBuf,
+    },
+    /// File was rewritten keeping only current-schema valid lines.
+    Pruned {
+        /// The rewritten file.
+        path: PathBuf,
+        /// Lines kept.
+        kept: usize,
+        /// Lines dropped (stale schema or bad shape).
+        dropped: usize,
+    },
+}
+
+/// Garbage-collects the cache directory: files with undecodable lines are
+/// quarantined (renamed to `.corrupt`); files with only stale-schema or
+/// bad-shape lines are rewritten keeping the valid ones.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn gc_dir(dir: &Path) -> std::io::Result<Vec<GcAction>> {
+    let mut actions = Vec::new();
+    for report in verify_dir(dir)? {
+        if report.is_clean() {
+            actions.push(GcAction::Clean(report.path));
+            continue;
+        }
+        if report.undecodable > 0 {
+            let mut name = report
+                .path
+                .file_name()
+                .map_or_else(|| "cache".to_owned(), |n| n.to_string_lossy().into_owned());
+            name.push_str(".corrupt");
+            let to = report.path.with_file_name(name);
+            fs::rename(&report.path, &to)?;
+            actions.push(GcAction::Quarantined {
+                from: report.path,
+                to,
+            });
+            continue;
+        }
+        let text = fs::read_to_string(&report.path)?;
+        let kept_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && classify_line(l) == LineVerdict::Valid)
+            .collect();
+        let dropped = report.stale + report.bad_shape;
+        let mut out = kept_lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        // Atomic replace: never leave a half-written cache behind.
+        let tmp = report.path.with_extension("jsonl.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, &report.path)?;
+        actions.push(GcAction::Pruned {
+            path: report.path,
+            kept: kept_lines.len(),
+            dropped,
+        });
+    }
+    Ok(actions)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +365,77 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.get("k1").is_some());
         assert_eq!(c.get("k2"), Some(&Json::Int(2)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn line_classification_covers_the_shapes() {
+        let good = format!(
+            "{{\"key\":\"{}\",\"metrics\":{{}}}}",
+            content_key("some point")
+        );
+        assert_eq!(classify_line(&good), LineVerdict::Valid);
+        let stale = format!(
+            "{{\"key\":\"v{}-{}\",\"metrics\":{{}}}}",
+            SCHEMA_VERSION - 1,
+            "0".repeat(32)
+        );
+        assert_eq!(classify_line(&stale), LineVerdict::StaleSchema);
+        for bad in [
+            "{\"metrics\":{}}",                                // no key
+            "{\"key\":\"v3-zz\",\"metrics\":{}}",              // short hash
+            "{\"key\":\"plainstring\",\"metrics\":{}}",        // no v prefix
+            &format!("{{\"key\":\"v3-{}\"}}", "a".repeat(32)), // no metrics
+        ] {
+            assert_eq!(classify_line(bad), LineVerdict::BadShape, "{bad}");
+        }
+        assert_eq!(classify_line("not json"), LineVerdict::Undecodable);
+    }
+
+    #[test]
+    fn gc_quarantines_undecodable_and_prunes_stale() {
+        let dir = std::env::temp_dir().join(format!("heteronoc-cache-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let good = format!("{{\"key\":\"{}\",\"metrics\":{{}}}}", content_key("p"));
+        let stale = format!("{{\"key\":\"v1-{}\",\"metrics\":{{}}}}", "0".repeat(32));
+        // One file mixing valid + stale lines, one with an undecodable line.
+        fs::write(dir.join("points.jsonl"), format!("{good}\n{stale}\n")).unwrap();
+        fs::write(dir.join("torn.jsonl"), format!("{good}\n{{\"key\": tru")).unwrap();
+
+        let reports = verify_dir(&dir).unwrap();
+        assert_eq!(reports.len(), 2);
+        let points = reports
+            .iter()
+            .find(|r| r.path.ends_with("points.jsonl"))
+            .unwrap();
+        assert_eq!((points.valid, points.stale), (1, 1));
+        assert!(!points.is_clean());
+        let torn = reports
+            .iter()
+            .find(|r| r.path.ends_with("torn.jsonl"))
+            .unwrap();
+        assert_eq!(torn.undecodable, 1);
+
+        let actions = gc_dir(&dir).unwrap();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            GcAction::Pruned {
+                kept: 1,
+                dropped: 1,
+                ..
+            }
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, GcAction::Quarantined { .. })));
+        assert!(dir.join("torn.jsonl.corrupt").exists());
+        assert!(!dir.join("torn.jsonl").exists());
+        // The pruned file now audits clean and kept only the valid line.
+        let after = verify_dir(&dir).unwrap();
+        assert_eq!(after.len(), 1);
+        assert!(after[0].is_clean());
+        assert_eq!(after[0].valid, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,7 @@
 //! `HETERONOC_FULL=1` for paper-scale measurement batches.
 
 pub mod cache;
+pub mod campaign;
 pub mod experiments;
 pub mod json;
 pub mod plot;

@@ -159,6 +159,77 @@ pub fn render_results(doc: &Json, max_rows: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders a campaign manifest (`results/campaigns/<name>.json`) as
+/// per-layout reliability-curve tables — one row per dead-link count with
+/// delivery ratio (mean and worst sample), p99 latency relative to the
+/// fault-free baseline, reconfiguration downtime and recovery-traffic
+/// overhead. Partial manifests (a campaign killed mid-run) render the
+/// completed cells and show the remaining count.
+///
+/// # Errors
+/// A message when the document is not a campaign manifest.
+pub fn render_campaign(doc: &Json) -> Result<String, String> {
+    if doc.get("kind").and_then(Json::as_str) != Some("campaign") {
+        return Err("document is not a campaign manifest (no kind: \"campaign\")".into());
+    }
+    let name = doc.get("name").and_then(Json::as_str).unwrap_or("?");
+    let total = doc.get("total").and_then(Json::as_u64).unwrap_or(0);
+    let completed = doc.get("completed").and_then(Json::as_u64).unwrap_or(0);
+    let curves = doc
+        .get("curves")
+        .and_then(Json::as_arr)
+        .ok_or("campaign manifest has no \"curves\" array")?;
+
+    let fnum = |row: &Json, key: &str, width: usize, prec: usize| -> String {
+        match row.get(key).and_then(Json::as_f64) {
+            Some(v) if v.is_finite() => format!("{v:>width$.prec$}"),
+            _ => format!("{:>width$}", "-"),
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign {name}: {completed}/{total} points complete\n"
+    ));
+    let mut current = String::new();
+    for row in curves {
+        let layout = row.get("layout").and_then(Json::as_str).unwrap_or("?");
+        if layout != current {
+            current = layout.to_owned();
+            out.push_str(&format!(
+                "\n{layout}\n{:>6}{:>7}{:>7}{:>10}{:>10}{:>9}{:>11}{:>10}{:>9}\n",
+                "kills",
+                "plans",
+                "failed",
+                "deliv",
+                "worst",
+                "p99x",
+                "downtime",
+                "ovh f/p",
+                "reroute"
+            ));
+        }
+        let kills = row.get("kills").and_then(Json::as_u64).unwrap_or(0);
+        let plans = row.get("plans").and_then(Json::as_u64).unwrap_or(0);
+        let failed = row.get("failed").and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "{kills:>6}{plans:>7}{failed:>7}{}{}{}{}{}{}\n",
+            fnum(row, "delivery_mean", 10, 4),
+            fnum(row, "delivery_min", 10, 4),
+            fnum(row, "p99_x_baseline", 9, 2),
+            fnum(row, "downtime_cycles", 11, 0),
+            fnum(row, "recovery_overhead", 10, 3),
+            fnum(row, "reroutes_mean", 9, 1),
+        ));
+    }
+    if completed < total {
+        out.push_str(&format!(
+            "\n{} points pending — re-run `heteronoc campaign` to resume\n",
+            total - completed
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

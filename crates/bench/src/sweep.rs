@@ -228,6 +228,9 @@ pub struct PointMetrics {
     pub mean_ipc: f64,
     /// True when this result was served from the cache, not simulated.
     pub cached: bool,
+    /// Execution attempts this result took (2 when the first attempt
+    /// panicked and the retry ran; cached results keep the recorded count).
+    pub attempts: u64,
     /// Epoch time-series, pre-serialized to the sweep-JSON schema (`None`
     /// unless the point kind asked for epochs). Deterministic per spec, so
     /// it round-trips through the cache and the jobs-independence of the
@@ -259,6 +262,7 @@ impl PointMetrics {
             reroutes: 0,
             mean_ipc: f64::NAN,
             cached: false,
+            attempts: 1,
             epochs: None,
             wall_secs: 0.0,
             error: Some(error),
@@ -284,6 +288,7 @@ impl PointMetrics {
             ("reroutes", int(self.reroutes)),
             ("mean_ipc", Json::Num(self.mean_ipc)),
             ("cached", Json::Bool(self.cached)),
+            ("attempts", int(self.attempts)),
             ("epochs", self.epochs.clone().unwrap_or(Json::Null)),
             (
                 "error",
@@ -316,6 +321,7 @@ impl PointMetrics {
             reroutes: count("reroutes")?,
             mean_ipc: num("mean_ipc"),
             cached: false,
+            attempts: count("attempts").unwrap_or(1),
             epochs: match v.get("epochs") {
                 None | Some(Json::Null) => None,
                 Some(j) => Some(j.clone()),
@@ -649,19 +655,42 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
     })
 }
 
+/// Maximum execution attempts per point: a panicking first attempt gets
+/// exactly one retry under a fresh `catch_unwind` (transient poison —
+/// e.g. an allocation failure mid-run — should not cost the whole sweep a
+/// point), then the panic is recorded as the point's error.
+const MAX_POINT_ATTEMPTS: u64 = 2;
+
 /// Runs one point, converting panics and typed errors into
-/// [`PointMetrics::error`].
+/// [`PointMetrics::error`]. A panic is retried once; typed errors are
+/// deterministic and fail immediately.
 pub fn run_point(spec: &PointSpec) -> PointMetrics {
+    run_point_with(spec, || execute(&spec.config, &spec.kind))
+}
+
+/// [`run_point`] with the execution body injected (unit tests substitute
+/// a panicking body to exercise the retry path).
+fn run_point_with(
+    spec: &PointSpec,
+    body: impl Fn() -> Result<PointMetrics, String>,
+) -> PointMetrics {
     let started = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec.config, &spec.kind)));
-    let mut m = match outcome {
-        Ok(Ok(mut m)) => {
-            m.label.clone_from(&spec.label);
-            m
+    let mut attempts = 0u64;
+    let mut m = loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(&body)) {
+            Ok(Ok(mut m)) => {
+                m.label.clone_from(&spec.label);
+                break m;
+            }
+            Ok(Err(e)) => break PointMetrics::failed(spec.label.clone(), e),
+            Err(_payload) if attempts < MAX_POINT_ATTEMPTS => continue,
+            Err(payload) => {
+                break PointMetrics::failed(spec.label.clone(), panic_message(payload.as_ref()))
+            }
         }
-        Ok(Err(e)) => PointMetrics::failed(spec.label.clone(), e),
-        Err(payload) => PointMetrics::failed(spec.label.clone(), panic_message(&payload)),
     };
+    m.attempts = attempts;
     m.wall_secs = started.elapsed().as_secs_f64();
     m
 }
@@ -716,6 +745,7 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
                 reroutes: 0,
                 mean_ipc: f64::NAN,
                 cached: false,
+                attempts: 1,
                 epochs: if out.epochs.is_empty() {
                     None
                 } else {
@@ -773,6 +803,7 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
                 reroutes: 0,
                 mean_ipc,
                 cached: false,
+                attempts: 1,
                 epochs: None,
                 wall_secs: 0.0,
                 error: None,
@@ -831,6 +862,7 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
                 reroutes: u64::from(r.reroutes),
                 mean_ipc: f64::NAN,
                 cached: false,
+                attempts: 1,
                 epochs: None,
                 wall_secs: 0.0,
                 error: None,
@@ -1042,6 +1074,7 @@ mod tests {
             reroutes: 0,
             mean_ipc: f64::NAN,
             cached: false,
+            attempts: 1,
             epochs: Some(Json::Arr(vec![])),
             wall_secs: 1.25,
             error: None,
@@ -1055,7 +1088,65 @@ mod tests {
         assert!(back.error.is_none());
         // Epochs round-trip; wall time is run-specific and does not.
         assert_eq!(back.epochs, m.epochs);
+        assert_eq!(back.attempts, m.attempts);
         assert_eq!(back.wall_secs, 0.0);
         assert!(!j.pretty().contains("wall_secs"));
+    }
+
+    fn trivial_spec() -> PointSpec {
+        PointSpec {
+            label: "retry-probe".into(),
+            config: NetworkConfig::paper_baseline(),
+            kind: PointKind::CmpWorkload {
+                benchmark: Benchmark::Sap,
+                refs_per_core: 1,
+                seed: 1,
+                max_cycles: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn panicking_point_is_retried_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let spec = trivial_spec();
+        let m = run_point_with(&spec, || {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient poison");
+            }
+            let mut ok = PointMetrics::failed(String::new(), String::new());
+            ok.error = None;
+            Ok(ok)
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(m.attempts, 2);
+        assert!(m.error.is_none(), "{:?}", m.error);
+        assert_eq!(m.label, "retry-probe");
+    }
+
+    #[test]
+    fn persistent_panic_fails_after_the_retry() {
+        let spec = trivial_spec();
+        let m = run_point_with(&spec, || -> Result<PointMetrics, String> {
+            panic!("hard poison")
+        });
+        assert_eq!(m.attempts, MAX_POINT_ATTEMPTS);
+        let err = m.error.as_deref().unwrap();
+        assert!(err.contains("hard poison"), "{err}");
+    }
+
+    #[test]
+    fn typed_errors_are_deterministic_and_not_retried() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let spec = trivial_spec();
+        let m = run_point_with(&spec, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err("config rejected".to_owned())
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(m.attempts, 1);
+        assert_eq!(m.error.as_deref(), Some("config rejected"));
     }
 }

@@ -61,8 +61,11 @@ COMMANDS
                --profile            print per-pipeline-stage wall-time table
                --check <file>       validate a JSONL trace instead of simulating
                --overhead           run traced and untraced, report wall times
-  report     render epoch time-series from a sweep's results JSON
-               --name <name>        reads results/<name>.json (default cli_sweep)
+  report     render epoch time-series from a sweep's results JSON, or the
+             reliability curves of a campaign manifest
+               --name <name>        reads results/<name>.json, falling back to
+                                    results/campaigns/<name>.json (default
+                                    cli_sweep)
                --rows N             epochs per point before eliding (default 24)
   verify     static deadlock & invariant analysis (channel-dependency graph
              acyclicity + iso-resource lint against the baseline)
@@ -98,6 +101,32 @@ COMMANDS
                --bursts N           all-pairs injection bursts (default 1)
                --spacing N          cycles between injections (default 2)
                --stall-limit N      drain watchdog in cycles (default 100000)
+  campaign   resumable Monte Carlo reliability campaign: sampled random
+             link-kill plans per (layout x kill-count) cell, sharded over
+             the sweep worker pool with result caching and a periodically
+             rewritten atomic manifest (kill it any time; re-run resumes)
+               --layouts a,b,c      comma-separated, or 'all' (default
+                                    baseline,diagonal-bl)
+               --kills a,b,c        dead-link counts (default 1,2,4); the
+                                    fault-free baseline cell is always run
+               --plans N            sampled plans per cell (default 8)
+               --seed N             master seed (default 42)
+               --bursts, --spacing, --stall-limit as for faults
+                                    (defaults 1, 2, 100000)
+               --recover A,T,R      e2e recovery: attempts,timeout,retention
+                                    (default 4,512,16)
+               --no-recover         disable end-to-end delivery guarantees
+               --jobs N             worker threads (default: all cores)
+               --no-cache           ignore results/cache/
+               --max-points N       simulate at most N pending points, then
+                                    stop with a resumable manifest
+               --name <name>        manifest results/campaigns/<name>.json
+                                    (default cli_campaign)
+  cache      result-cache maintenance for results/cache/
+               --verify             audit every cache file line by line and
+                                    exit non-zero when any line is invalid
+               --gc                 quarantine undecodable files (renamed to
+                                    *.corrupt) and prune stale-schema lines
 
 LAYOUTS  baseline, center-b, row25-b, diagonal-b, center-bl, row25-bl, diagonal-bl
 WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
@@ -467,17 +496,30 @@ fn cmd_trace(a: &Args) -> Result<(), String> {
 /// `heteronoc report`: render the epoch time-series embedded in a sweep's
 /// `results/<name>.json`.
 fn cmd_report(a: &Args) -> Result<(), String> {
-    use heteronoc_bench::json::parse;
-    use heteronoc_bench::report::render_results;
+    use heteronoc_bench::json::{parse, Json};
+    use heteronoc_bench::report::{render_campaign, render_results};
     use heteronoc_bench::results_dir;
 
     let name = a.get("name").unwrap_or("cli_sweep");
-    let path = results_dir().join(format!("{name}.json"));
-    let text = std::fs::read_to_string(&path)
+    // Sweep results live at results/<name>.json, campaign manifests at
+    // results/campaigns/<name>.json; take whichever exists.
+    let candidates = [
+        results_dir().join(format!("{name}.json")),
+        results_dir().join("campaigns").join(format!("{name}.json")),
+    ];
+    let path = candidates
+        .iter()
+        .find(|p| p.exists())
+        .ok_or_else(|| format!("no results named '{name}' (looked for results/{name}.json and results/campaigns/{name}.json)"))?;
+    let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
     let doc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    let rows = a.get_or("rows", 24usize)?;
-    let rendered = render_results(&doc, rows)?;
+    let rendered = if doc.get("kind").and_then(Json::as_str) == Some("campaign") {
+        render_campaign(&doc)?
+    } else {
+        let rows = a.get_or("rows", 24usize)?;
+        render_results(&doc, rows)?
+    };
     print!("{rendered}");
     Ok(())
 }
@@ -974,6 +1016,165 @@ fn cmd_faults(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `heteronoc campaign`: resumable Monte Carlo reliability campaign over
+/// sampled random link-kill plans, with shared result caching and an
+/// atomically rewritten manifest (kill + re-run resumes).
+fn cmd_campaign(a: &Args) -> Result<(), String> {
+    use heteronoc::noc::fault::{RecoveryPolicy, RetryPolicy};
+    use heteronoc_bench::campaign::{run_campaign, CampaignOptions, CampaignSpec};
+    use heteronoc_bench::report::render_campaign;
+    use heteronoc_bench::results_dir;
+
+    let layout_arg = a
+        .get("layouts")
+        .or_else(|| a.get("layout"))
+        .unwrap_or("baseline,diagonal-bl");
+    let layouts: Vec<Layout> = if layout_arg == "all" {
+        Layout::all_seven().to_vec()
+    } else {
+        layout_arg
+            .split(',')
+            .map(|n| layout_by_name(n.trim()))
+            .collect::<Result<_, _>>()?
+    };
+    let kills = a
+        .get_list::<usize>("kills")?
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let recovery = if a.flag("no-recover") {
+        None
+    } else {
+        let spec = a
+            .get_list::<u64>("recover")?
+            .unwrap_or_else(|| vec![4, 512, 16]);
+        let [attempts, timeout, retention] = spec[..] else {
+            return Err("--recover takes exactly attempts,timeout,retention".into());
+        };
+        Some(RecoveryPolicy {
+            retry: RetryPolicy {
+                max_attempts: u32::try_from(attempts)
+                    .map_err(|_| "--recover attempts out of range".to_owned())?,
+                timeout,
+            },
+            retention: usize::try_from(retention)
+                .map_err(|_| "--recover retention out of range".to_owned())?,
+        })
+    };
+    let spec = CampaignSpec {
+        name: a.get("name").unwrap_or("cli_campaign").to_owned(),
+        layouts: layouts
+            .iter()
+            .map(|l| (l.name().to_owned(), mesh_config(l)))
+            .collect(),
+        kills,
+        plans_per_cell: a.get_or("plans", 8usize)?.max(1),
+        seed: a.get_or("seed", 42u64)?,
+        bursts: a.get_or("bursts", 1u64)?.max(1),
+        spacing: a.get_or("spacing", 2u64)?.max(1),
+        stall_limit: a.get_or("stall-limit", 100_000u64)?,
+        recovery,
+    };
+    let opts = CampaignOptions {
+        jobs: a.get_or("jobs", default_jobs())?.max(1),
+        use_cache: !a.flag("no-cache"),
+        cache_dir: results_dir().join("cache"),
+        manifest_dir: results_dir().join("campaigns"),
+        max_points: match a.get("max-points") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value '{v}' for --max-points"))?,
+            ),
+            None => None,
+        },
+    };
+    println!(
+        "campaign '{}': {} layout(s) x kills {:?} x {} plan(s)/cell · recovery {} · {} worker(s) · cache {}",
+        spec.name,
+        spec.layouts.len(),
+        spec.kills,
+        spec.plans_per_cell,
+        spec.recovery
+            .as_ref()
+            .map_or("off".to_owned(), |r| format!(
+                "{}/{}/{}",
+                r.retry.max_attempts, r.retry.timeout, r.retention
+            )),
+        opts.jobs,
+        if opts.use_cache { "on" } else { "off" },
+    );
+    let outcome = run_campaign(&spec, &opts)?;
+    println!(
+        "{} point(s): {} simulated · {} from cache · {} from manifest · {} deferred",
+        outcome.total,
+        outcome.simulated,
+        outcome.from_cache,
+        outcome.from_manifest,
+        outcome.deferred
+    );
+    print!("{}", render_campaign(&outcome.doc)?);
+    println!("manifest: {}", outcome.manifest_path.display());
+    Ok(())
+}
+
+/// `heteronoc cache`: result-cache maintenance (audit and garbage
+/// collection of `results/cache/`).
+fn cmd_cache(a: &Args) -> Result<(), String> {
+    use heteronoc_bench::cache::{gc_dir, verify_dir, GcAction};
+    use heteronoc_bench::results_dir;
+
+    let dir = results_dir().join("cache");
+    if a.flag("gc") {
+        let actions = gc_dir(&dir).map_err(|e| format!("cache gc: {e}"))?;
+        if actions.is_empty() {
+            println!("cache is empty: {}", dir.display());
+        }
+        for act in actions {
+            match act {
+                GcAction::Clean(p) => println!("clean       {}", p.display()),
+                GcAction::Quarantined { from, to } => {
+                    println!("quarantined {} -> {}", from.display(), to.display());
+                }
+                GcAction::Pruned {
+                    path,
+                    kept,
+                    dropped,
+                } => println!(
+                    "pruned      {} ({kept} kept, {dropped} dropped)",
+                    path.display()
+                ),
+            }
+        }
+        return Ok(());
+    }
+    let reports = verify_dir(&dir).map_err(|e| format!("cache verify: {e}"))?;
+    if reports.is_empty() {
+        println!("cache is empty: {}", dir.display());
+        return Ok(());
+    }
+    let mut dirty = false;
+    println!(
+        "{:<40}{:>8}{:>8}{:>10}{:>12}",
+        "file", "valid", "stale", "bad-shape", "undecodable"
+    );
+    for r in &reports {
+        let name = r.path.file_name().map_or_else(
+            || r.path.display().to_string(),
+            |n| n.to_string_lossy().into_owned(),
+        );
+        println!(
+            "{name:<40}{:>8}{:>8}{:>10}{:>12}",
+            r.valid, r.stale, r.bad_shape, r.undecodable
+        );
+        dirty |= !r.is_clean();
+    }
+    if dirty {
+        if a.flag("verify") {
+            return Err("cache contains invalid entries (run `heteronoc cache --gc`)".into());
+        }
+        println!("cache contains invalid entries (run `heteronoc cache --gc`)");
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let a = Args::parse(std::env::args().skip(1))?;
     if a.flag("help") || a.command.as_deref() == Some("help") {
@@ -991,6 +1192,8 @@ fn run() -> Result<(), String> {
         Some("verify") => cmd_verify(&a),
         Some("lint") => cmd_lint(&a),
         Some("faults") => cmd_faults(&a),
+        Some("campaign") => cmd_campaign(&a),
+        Some("cache") => cmd_cache(&a),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => {
             print!("{USAGE}");

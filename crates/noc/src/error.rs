@@ -68,6 +68,9 @@ pub enum ConfigError {
         /// The minimum admissible timeout.
         min: u64,
     },
+    /// The end-to-end recovery retention depth is zero, so no source could
+    /// ever inject a packet.
+    ZeroRetentionDepth,
     /// A hard fault is scheduled at or beyond the simulation horizon, so it
     /// could never fire.
     FaultBeyondHorizon {
@@ -135,6 +138,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "retry timeout {timeout} cycles is shorter than the link round trip ({min} cycles)"
             ),
+            ConfigError::ZeroRetentionDepth => {
+                write!(f, "recovery retention depth must be at least 1")
+            }
             ConfigError::FaultBeyondHorizon { cycle, horizon } => write!(
                 f,
                 "hard fault at cycle {cycle} lies at or beyond the simulation horizon {horizon}"

@@ -74,6 +74,41 @@ impl RetryPolicy {
     }
 }
 
+/// End-to-end delivery policy: per-source sequence numbers, a bounded
+/// retention buffer at the network interface, ejection-side acks, and
+/// timeout-driven reinjection with exponential backoff.
+///
+/// When enabled on a [`FaultPlan`], every injected packet is retained at
+/// its source until the destination's ack arrives; packets lost to hard
+/// faults (wedged wormholes, unreachable absorption) are reinjected from
+/// retention until [`RetryPolicy::max_attempts`] copies have been tried.
+/// Duplicates created by the ack race are suppressed at ejection. The
+/// layer is strictly additive: with `recovery: None` the engine's
+/// behavior is bit-for-bit unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Reinjection budget and base ack timeout per retained packet. The
+    /// timeout should comfortably cover the packet's round trip (delivery
+    /// plus the returning ack); it doubles after every reinjection.
+    pub retry: RetryPolicy,
+    /// Maximum packets a source retains awaiting acks; injection of *new*
+    /// packets stalls at a full retention buffer (reinjections bypass the
+    /// bound — they re-use their original slot). Must be at least 1.
+    pub retention: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy {
+                max_attempts: 8,
+                timeout: 1024,
+            },
+            retention: 16,
+        }
+    }
+}
+
 /// What a hard fault takes down.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -105,6 +140,9 @@ pub struct FaultPlan {
     pub hard: Vec<HardFault>,
     /// Retransmission policy shared by every link.
     pub retry: RetryPolicy,
+    /// End-to-end delivery guarantees (`None` disables the layer and keeps
+    /// the engine bit-for-bit identical to a plan without it).
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for FaultPlan {
@@ -115,6 +153,7 @@ impl Default for FaultPlan {
             link_ber: Vec::new(),
             hard: Vec::new(),
             retry: RetryPolicy::default(),
+            recovery: None,
         }
     }
 }
@@ -173,6 +212,20 @@ impl FaultPlan {
                 min: MIN_RETRY_TIMEOUT,
             });
         }
+        if let Some(rec) = &self.recovery {
+            if rec.retry.max_attempts == 0 {
+                return Err(ConfigError::ZeroRetryLimit);
+            }
+            if rec.retry.timeout < MIN_RETRY_TIMEOUT {
+                return Err(ConfigError::RetryTimeoutTooShort {
+                    timeout: rec.retry.timeout,
+                    min: MIN_RETRY_TIMEOUT,
+                });
+            }
+            if rec.retention == 0 {
+                return Err(ConfigError::ZeroRetentionDepth);
+            }
+        }
         for &(l, _) in &self.link_ber {
             if l.index() >= links {
                 return Err(ConfigError::FaultLinkOutOfRange {
@@ -229,6 +282,13 @@ impl FaultPlan {
             "retry {} {}",
             self.retry.max_attempts, self.retry.timeout
         );
+        if let Some(rec) = &self.recovery {
+            let _ = writeln!(
+                s,
+                "recover {} {} {}",
+                rec.retry.max_attempts, rec.retry.timeout, rec.retention
+            );
+        }
         for &(l, p) in &self.link_ber {
             let _ = writeln!(s, "link-ber {} {:e}", l.index(), p);
         }
@@ -299,6 +359,24 @@ impl FaultPlan {
                         max_attempts: attempts,
                         timeout,
                     };
+                }
+                "recover" => {
+                    let attempts = field("max attempts")?
+                        .parse()
+                        .map_err(|_| err("recover attempts is not a u32".into()))?;
+                    let timeout = field("timeout")?
+                        .parse()
+                        .map_err(|_| err("recover timeout is not a cycle count".into()))?;
+                    let retention = field("retention depth")?
+                        .parse()
+                        .map_err(|_| err("recover retention is not a count".into()))?;
+                    plan.recovery = Some(RecoveryPolicy {
+                        retry: RetryPolicy {
+                            max_attempts: attempts,
+                            timeout,
+                        },
+                        retention,
+                    });
                 }
                 "link-ber" => {
                     let l: usize = field("link id")?
@@ -405,6 +483,13 @@ pub enum DropReason {
     /// No route to the destination exists in the installed (degraded)
     /// routing; the packet was absorbed where it stood.
     Unreachable,
+    /// The packet's wormhole wedged in dead equipment (a link whose
+    /// receiver stopped acknowledging) and was abandoned after link-level
+    /// retries exhausted; end-to-end recovery may reinject it.
+    Wedged,
+    /// End-to-end reinjection exhausted [`RetryPolicy::max_attempts`]
+    /// copies without one being delivered: the loss is permanent.
+    RecoveryExhausted,
 }
 
 impl fmt::Display for DropReason {
@@ -413,6 +498,8 @@ impl fmt::Display for DropReason {
             DropReason::SourceDead => write!(f, "source router dead"),
             DropReason::DestinationDead => write!(f, "destination router dead"),
             DropReason::Unreachable => write!(f, "destination unreachable"),
+            DropReason::Wedged => write!(f, "wormhole wedged in dead equipment"),
+            DropReason::RecoveryExhausted => write!(f, "end-to-end reinjection budget exhausted"),
         }
     }
 }
@@ -426,6 +513,10 @@ pub struct DroppedPacket {
     pub cycle: Cycle,
     /// Why it was dropped.
     pub reason: DropReason,
+    /// True when the packet was still retained at its source (end-to-end
+    /// recovery enabled), so a reinjected copy can still deliver it; false
+    /// means the loss is permanent.
+    pub recoverable: bool,
 }
 
 /// Campaign-level fault event counters (counted over the whole run, not
@@ -448,6 +539,28 @@ pub struct FaultCounters {
     pub links_dead: u64,
     /// Routers currently dead.
     pub routers_dead: u64,
+}
+
+/// End-to-end recovery event counters (whole-run, like [`FaultCounters`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Ejection-side acks delivered back to sources.
+    pub acks: u64,
+    /// Packet copies reinjected from retention after an ack timeout.
+    pub reinjections: u64,
+    /// Flits carried by those reinjected copies (recovery traffic).
+    pub reinjected_flits: u64,
+    /// Duplicate ejections suppressed (a retained copy raced its own ack).
+    pub duplicates_suppressed: u64,
+    /// Packets that needed at least one reinjection and were delivered.
+    pub recovered: u64,
+    /// Packets permanently lost (dead endpoint or reinjection budget
+    /// exhausted) despite recovery being enabled.
+    pub lost: u64,
+    /// High-water mark of any single source's retention buffer.
+    pub retention_peak: u64,
+    /// Cycles × nodes where a full retention buffer stalled new injection.
+    pub retention_stalls: u64,
 }
 
 #[cfg(test)]
@@ -474,10 +587,26 @@ mod tests {
                 max_attempts: 5,
                 timeout: 64,
             },
+            recovery: Some(RecoveryPolicy {
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    timeout: 512,
+                },
+                retention: 8,
+            }),
         };
         let text = plan.to_text();
+        assert!(text.contains("recover 3 512 8"));
         let back = FaultPlan::from_text(&text).expect("round trip");
         assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn recovery_absent_round_trips_as_none() {
+        let text = FaultPlan::default().to_text();
+        assert!(!text.contains("recover"));
+        let back = FaultPlan::from_text(&text).unwrap();
+        assert_eq!(back.recovery, None);
     }
 
     #[test]
@@ -495,6 +624,8 @@ mod tests {
             ("ber 1e-3\nbogus 1", 2, "unknown directive"),
             ("kill-link 3 5 9", 1, "trailing"),
             ("retry 3", 1, "missing timeout"),
+            ("recover 3 512", 1, "missing retention"),
+            ("recover x 512 8", 1, "not a u32"),
         ] {
             let e = FaultPlan::from_text(text).unwrap_err();
             assert_eq!(e.line, line, "{text:?}");
@@ -525,6 +656,43 @@ mod tests {
         let mut plan = FaultPlan::default();
         plan.retry.max_attempts = 0;
         assert_eq!(plan.validate(10, 4), Err(ConfigError::ZeroRetryLimit));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_recovery() {
+        let recovering = |policy: RecoveryPolicy| FaultPlan {
+            recovery: Some(policy),
+            ..FaultPlan::default()
+        };
+        let plan = recovering(RecoveryPolicy {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                timeout: 512,
+            },
+            retention: 8,
+        });
+        assert_eq!(plan.validate(10, 4), Err(ConfigError::ZeroRetryLimit));
+        let plan = recovering(RecoveryPolicy {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                timeout: MIN_RETRY_TIMEOUT - 1,
+            },
+            retention: 8,
+        });
+        assert!(matches!(
+            plan.validate(10, 4),
+            Err(ConfigError::RetryTimeoutTooShort { .. })
+        ));
+        let plan = recovering(RecoveryPolicy {
+            retry: RetryPolicy::default(),
+            retention: 0,
+        });
+        assert_eq!(plan.validate(10, 4), Err(ConfigError::ZeroRetentionDepth));
+        let plan = FaultPlan {
+            recovery: Some(RecoveryPolicy::default()),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(10, 4).is_ok());
     }
 
     #[test]

@@ -35,7 +35,8 @@ use rand::Rng;
 use crate::config::{lanes, NetworkConfig};
 use crate::error::ConfigError;
 use crate::fault::{
-    DropReason, DroppedPacket, FaultCounters, FaultKind, FaultPlan, UnrecoverableFault,
+    DropReason, DroppedPacket, FaultCounters, FaultKind, FaultPlan, RecoveryCounters,
+    UnrecoverableFault,
 };
 use crate::metrics::{EpochRecorder, EpochSample};
 use crate::packet::{Flit, Packet, PacketClass};
@@ -48,7 +49,7 @@ use crate::topology::{PortKind, TopologyGraph};
 use crate::trace::{FaultUnit, TraceEvent, TraceSink};
 use crate::types::{Bits, Cycle, LinkId, NodeId, PacketId, PortId, RouterId, VcId};
 
-use fault_state::{FarEvent, FaultState, ReplayEntry};
+use fault_state::{E2eState, FarEvent, FaultState, ReplayEntry, Retained};
 
 /// Point-in-time liveness snapshot (see [`Network::diagnostics`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -541,9 +542,39 @@ impl Network {
         &self.stats
     }
 
-    /// Packets currently queued or flying.
+    /// End-to-end recovery state, if the plan enables it.
+    #[inline]
+    fn e2e(&self) -> Option<&E2eState> {
+        self.faults.as_ref().and_then(|f| f.e2e.as_deref())
+    }
+
+    /// True when `id` was abandoned to dead equipment: its frozen flits keep
+    /// the tracking entry alive, but the packet can make no progress and a
+    /// fresh copy is (or was) the source's responsibility.
+    #[inline]
+    fn is_zombie(&self, id: PacketId) -> bool {
+        self.e2e()
+            .is_some_and(|e| !e.zombies.is_empty() && e.zombies.contains(&id))
+    }
+
+    /// Packets currently queued or flying. Packets abandoned to dead
+    /// equipment under end-to-end recovery are excluded: they can never
+    /// finish and their fate is accounted through the recovery layer.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+        let zombies = self.e2e().map_or(0, |e| e.zombies.len());
+        self.in_flight.len() - zombies
+    }
+
+    /// Packets retained at their sources awaiting an end-to-end ack (zero
+    /// without recovery). A run has fully settled only when both this and
+    /// [`Network::in_flight`] reach zero.
+    pub fn recovery_pending(&self) -> usize {
+        self.e2e().map_or(0, E2eState::pending)
+    }
+
+    /// End-to-end recovery counters (all zero without recovery).
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        self.e2e().map(|e| e.counters).unwrap_or_default()
     }
 
     /// Length of `node`'s source queue (packets not yet fully injected).
@@ -643,6 +674,7 @@ impl Network {
         let oldest_packet_age = self
             .in_flight
             .values()
+            .filter(|m| !self.is_zombie(m.packet.id))
             .map(|m| self.now.saturating_sub(m.packet.birth))
             .max()
             .unwrap_or(0);
@@ -654,7 +686,7 @@ impl Network {
             .max()
             .unwrap_or(0);
         Diagnostics {
-            in_flight: self.in_flight.len(),
+            in_flight: self.in_flight(),
             source_queued: queued,
             buffered_flits: occupancy,
             oldest_packet_age,
@@ -668,7 +700,11 @@ impl Network {
     /// "no forward progress" into an actionable diagnostic instead of a
     /// hang.
     pub fn stall_report(&self) -> StallReport {
-        let mut metas: Vec<_> = self.in_flight.values().collect();
+        let mut metas: Vec<_> = self
+            .in_flight
+            .values()
+            .filter(|m| !self.is_zombie(m.packet.id))
+            .collect();
         metas.sort_by_key(|m| (m.packet.birth, m.packet.id));
         let stuck = metas
             .iter()
@@ -700,7 +736,7 @@ impl Network {
         blocked.truncate(8);
         StallReport {
             cycle: self.now,
-            in_flight: self.in_flight.len(),
+            in_flight: self.in_flight(),
             stuck,
             blocked,
         }
@@ -888,6 +924,25 @@ impl Network {
                 vc,
                 mut flit,
             } => {
+                // A flit of an abandoned packet arriving at a live router is
+                // squashed on arrival: counted as absorbed, its buffer slot
+                // credited straight back. (At a dead router it freezes in
+                // the buffer like everything else there.) Under recovery,
+                // `FlitArrive` only carries node-injected flits —
+                // router-to-router traffic travels as `LinkArrive`.
+                if !self.router_dead(router.index()) && self.is_zombie(flit.packet) {
+                    let up = match self.graph.router(router).ports[port.index()].kind {
+                        PortKind::Local { node } => Upstream::Node(node),
+                        PortKind::Link { into, .. } => {
+                            let l = self.graph.links()[into.index()];
+                            Upstream::Router(l.src, l.src_port)
+                        }
+                    };
+                    let fs = self.faults.as_mut().expect("zombies imply fault mode");
+                    *fs.absorbed.entry(flit.packet).or_insert(0) += 1;
+                    self.schedule(1, Event::Credit { up, vc });
+                    return;
+                }
                 flit.buffered = self.now;
                 let r = &mut self.routers[router.index()];
                 if r.inputs[port.index()][vc.index()].fifo.is_empty() {
@@ -991,6 +1046,7 @@ impl Network {
             Nack,
             Accept,
         }
+        let squash = self.is_zombie(flit.packet);
         let verdict = {
             let fs = self.faults.as_mut().expect("fault event without faults");
             let li = link.index();
@@ -1026,6 +1082,23 @@ impl Network {
             }
             Verdict::Accept => {
                 self.schedule(1, Event::Ack { link, seq });
+                // An accepted flit of an abandoned packet is squashed
+                // instead of buffered: the link protocol advances normally
+                // (ack sent, sequence consumed) but the flit is counted as
+                // absorbed and its reserved buffer slot credited back.
+                if squash {
+                    let l = self.graph.links()[link.index()];
+                    let fs = self.faults.as_mut().expect("fault event without faults");
+                    *fs.absorbed.entry(flit.packet).or_insert(0) += 1;
+                    self.schedule(
+                        1,
+                        Event::Credit {
+                            up: Upstream::Router(l.src, l.src_port),
+                            vc,
+                        },
+                    );
+                    return;
+                }
                 flit.buffered = self.now;
                 let r = &mut self.routers[router.index()];
                 if r.inputs[port.index()][vc.index()].fifo.is_empty() {
@@ -1206,8 +1279,154 @@ impl Network {
                     }
                 }
                 FarEvent::Resend { link, epoch } => self.link_resend(link, epoch),
+                FarEvent::E2eAck { node, seq } => self.e2e_ack(node, seq),
+                FarEvent::E2eTimeout { node, seq, attempt } => self.e2e_timeout(node, seq, attempt),
             }
         }
+    }
+
+    /// Delivery ack reaching the source NI: the retained copy is freed.
+    fn e2e_ack(&mut self, node: NodeId, seq: u64) {
+        let fs = self.faults.as_mut().expect("fault mode");
+        let e2e = fs.e2e.as_deref_mut().expect("e2e event without recovery");
+        let src = &mut e2e.sources[node.index()];
+        if let Some(r) = src.retained.remove(&seq) {
+            e2e.counters.acks += 1;
+            if r.attempts > 1 {
+                e2e.counters.recovered += 1;
+            }
+        }
+    }
+
+    /// Ack-timeout firing at the source NI for retained sequence `seq`.
+    /// Stale stamps (a reinjection already re-armed with a higher attempt
+    /// count) and already-resolved sequences are no-ops; an alive copy
+    /// re-arms (it may be stalled behind backpressure, not lost); a dead
+    /// copy is reinjected until the attempt budget runs out.
+    fn e2e_timeout(&mut self, node: NodeId, seq: u64, attempt: u32) {
+        enum Action {
+            Nothing,
+            Rearm(u32),
+            Reinject,
+            GiveUp,
+        }
+        let Some(policy) = self.e2e().map(|e| e.policy) else {
+            return;
+        };
+        let action = {
+            let fs = self.faults.as_mut().expect("fault mode");
+            let e2e = fs.e2e.as_deref_mut().expect("e2e event without recovery");
+            let src = &mut e2e.sources[node.index()];
+            match src.retained.get(&seq) {
+                None => Action::Nothing,
+                Some(r) if r.attempts != attempt => Action::Nothing,
+                Some(r) if r.current_alive => Action::Rearm(r.attempts),
+                _ if src.is_resolved(seq) => Action::Nothing,
+                Some(r) if r.attempts >= policy.retry.max_attempts => Action::GiveUp,
+                Some(_) => Action::Reinject,
+            }
+        };
+        match action {
+            Action::Nothing => {}
+            Action::Rearm(attempts) => {
+                let at = self.now + policy.retry.backoff(attempts);
+                let fs = self.faults.as_mut().expect("fault mode");
+                fs.schedule_far(
+                    at,
+                    FarEvent::E2eTimeout {
+                        node,
+                        seq,
+                        attempt: attempts,
+                    },
+                );
+            }
+            Action::Reinject => self.e2e_reinject(node, seq),
+            Action::GiveUp => {
+                let fs = self.faults.as_mut().expect("fault mode");
+                let e2e = fs.e2e.as_deref_mut().expect("e2e event without recovery");
+                let src = &mut e2e.sources[node.index()];
+                let r = src.retained.remove(&seq).expect("checked above");
+                src.resolve(seq);
+                e2e.counters.lost += 1;
+                e2e.by_packet.remove(&r.current);
+                let packet = Packet {
+                    id: r.current,
+                    src: node,
+                    dst: r.dst,
+                    size: r.size,
+                    class: r.class,
+                    tag: r.tag,
+                    birth: r.first_birth,
+                };
+                fs.record_drop(DroppedPacket {
+                    packet,
+                    cycle: self.now,
+                    reason: DropReason::RecoveryExhausted,
+                    recoverable: false,
+                });
+            }
+        }
+    }
+
+    /// Injects a fresh copy of retained sequence `seq` at `node` and arms
+    /// its (backed-off) ack timeout.
+    fn e2e_reinject(&mut self, node: NodeId, seq: u64) {
+        let id = PacketId(self.next_packet);
+        self.next_packet += 1;
+        let (packet, total, measured, attempts) = {
+            let flit_width = self.cfg.flit_width;
+            let fs = self.faults.as_mut().expect("fault mode");
+            let e2e = fs.e2e.as_deref_mut().expect("e2e event without recovery");
+            let src = &mut e2e.sources[node.index()];
+            let r = src.retained.get_mut(&seq).expect("reinject of retained");
+            r.attempts += 1;
+            r.current = id;
+            r.current_alive = true;
+            let packet = Packet {
+                id,
+                src: node,
+                dst: r.dst,
+                size: r.size,
+                class: r.class,
+                tag: r.tag,
+                birth: r.first_birth,
+            };
+            let total = r.size.flits(flit_width);
+            e2e.by_packet.insert(id, (node, seq));
+            e2e.counters.reinjections += 1;
+            e2e.counters.reinjected_flits += u64::from(total);
+            (packet, total, r.measured, r.attempts)
+        };
+        let at = self.now
+            + self
+                .e2e()
+                .expect("still enabled")
+                .policy
+                .retry
+                .backoff(attempts);
+        let fs = self.faults.as_mut().expect("fault mode");
+        fs.schedule_far(
+            at,
+            FarEvent::E2eTimeout {
+                node,
+                seq,
+                attempt: attempts,
+            },
+        );
+        self.in_flight.insert(
+            id,
+            PacketMeta {
+                packet,
+                inject: self.now,
+                received: 0,
+                total,
+                measured,
+            },
+        );
+        // Reinjections go to the queue *front*: they already own a retention
+        // slot, so they must not starve behind a new packet that a full
+        // retention buffer is gating.
+        self.nodes[node.index()].queue.push_front(packet);
     }
 
     fn apply_hard_faults(&mut self) {
@@ -1332,6 +1551,160 @@ impl Network {
         for l in incident {
             self.kill_one_direction(l);
         }
+        self.abandon_router_traffic(router);
+    }
+
+    /// Abandons every packet with flits wedged in a freshly killed router so
+    /// end-to-end recovery can reinject it. The packet becomes a *zombie*:
+    /// its frozen flits stay resident forever (flit conservation keeps
+    /// holding), progress accounting ignores it, and its flits elsewhere in
+    /// the network are scrubbed so the grants they hold cannot wedge live
+    /// traffic. No-op unless the plan enables [`RecoveryPolicy`].
+    fn abandon_router_traffic(&mut self, router: RouterId) {
+        if self.e2e().is_none() {
+            return;
+        }
+        // 1. Packets frozen inside the dead router or caught in the replay
+        //    window of an inbound link. Inbound link epochs are bumped so
+        //    pending retry timeouts go stale: the receiver is gone, and the
+        //    link layer must not count to retry exhaustion on its behalf.
+        let mut frozen: Vec<PacketId> = Vec::new();
+        for inputs in &self.routers[router.index()].inputs {
+            for vc in inputs {
+                frozen.extend(vc.fifo.iter().map(|f| f.packet));
+            }
+        }
+        {
+            let fs = self.faults.as_mut().expect("fault mode");
+            for (li, l) in self.graph.links().iter().enumerate() {
+                if l.dst != router {
+                    continue;
+                }
+                let lt = &mut fs.links[li];
+                frozen.extend(lt.replay.iter().map(|e| e.flit.packet));
+                lt.epoch += 1;
+            }
+        }
+        frozen.sort_unstable();
+        frozen.dedup();
+        for pid in frozen {
+            self.abandon_packet(pid, DropReason::Wedged);
+        }
+        // 2. Nodes attached to the dead router: a mid-injection packet can
+        //    never finish sending. Its unsent flits are charged to the
+        //    absorbed ledger (conservation slack for flits that never enter
+        //    the network) and the packet abandoned as source-dead.
+        for n in 0..self.nodes.len() {
+            if self.nodes[n].router != router {
+                continue;
+            }
+            let Some(s) = self.nodes[n].sending.take() else {
+                continue;
+            };
+            let pid = s.flits.front().expect("in-progress send has flits").packet;
+            {
+                let fs = self.faults.as_mut().expect("fault mode");
+                *fs.absorbed.entry(pid).or_insert(0) += s.flits.len() as u32;
+            }
+            self.nodes[n].vcs[s.vc.index()].owner = None;
+            self.abandon_packet(pid, DropReason::SourceDead);
+        }
+        // 3. Scrub every live router: zombie flits parked anywhere are
+        //    removed (their buffer slots credited back upstream) and any
+        //    input VC whose grant a zombie holds is released so the output
+        //    VC frees for live traffic.
+        let zombies = self.e2e().expect("checked above").zombies.clone();
+        if zombies.is_empty() {
+            return;
+        }
+        for ri in 0..self.routers.len() {
+            if self.router_dead(ri) {
+                continue;
+            }
+            let nports = self.routers[ri].inputs.len();
+            let nvcs = self.cfg.routers[ri].vcs_per_port;
+            for p in 0..nports {
+                let up = match self.graph.router(RouterId(ri)).ports[p].kind {
+                    PortKind::Local { node } => Upstream::Node(node),
+                    PortKind::Link { into, .. } => {
+                        let l = self.graph.links()[into.index()];
+                        Upstream::Router(l.src, l.src_port)
+                    }
+                };
+                for v in 0..nvcs {
+                    let mut scrubbed: Vec<PacketId> = Vec::new();
+                    {
+                        let fifo = &mut self.routers[ri].inputs[p][v].fifo;
+                        fifo.retain(|f| {
+                            if zombies.contains(&f.packet) {
+                                scrubbed.push(f.packet);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                    if !scrubbed.is_empty() {
+                        let removed = scrubbed.len() as u32;
+                        self.routers[ri].occupancy -= removed;
+                        if self.routers[ri].inputs[p][v].fifo.is_empty() {
+                            self.routers[ri].busy_vcs -= 1;
+                        }
+                        for _ in 0..removed {
+                            self.schedule(1, Event::Credit { up, vc: VcId(v) });
+                        }
+                        let fs = self.faults.as_mut().expect("fault mode");
+                        for pid in scrubbed {
+                            *fs.absorbed.entry(pid).or_insert(0) += 1;
+                        }
+                    }
+                    let holder = self.routers[ri].inputs[p][v].holder;
+                    if holder.is_some_and(|h| zombies.contains(&h)) {
+                        let (route, out_vc) = {
+                            let vc = &self.routers[ri].inputs[p][v];
+                            (vc.route, vc.out_vc)
+                        };
+                        if let (Some(rt), Some(ov)) = (route, out_vc) {
+                            let op = rt.port.index();
+                            let ovcs = &mut self.routers[ri].outputs[op].vcs;
+                            if !ovcs.is_empty()
+                                && ovcs[ov.index()].owner == Some((PortId(p), VcId(v)))
+                            {
+                                ovcs[ov.index()].owner = None;
+                            }
+                        }
+                        let fs = self.faults.as_mut().expect("fault mode");
+                        fs.absorbing.remove(&(RouterId(ri), PortId(p), VcId(v)));
+                        self.routers[ri].inputs[p][v].release();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Marks one in-flight packet as permanently wedged in dead equipment.
+    /// It joins the zombie set (its engine metadata stays so conservation
+    /// invariants hold) and the drop is recorded with its recoverability
+    /// under the end-to-end layer.
+    fn abandon_packet(&mut self, pid: PacketId, reason: DropReason) {
+        let Some(meta) = self.in_flight.get(&pid) else {
+            return;
+        };
+        let packet = meta.packet;
+        let fs = self.faults.as_mut().expect("fault mode");
+        let recoverable = {
+            let e2e = fs.e2e.as_deref_mut().expect("abandon requires recovery");
+            if !e2e.zombies.insert(pid) {
+                return; // already abandoned by an earlier kill
+            }
+            e2e.note_drop(pid, reason)
+        };
+        fs.record_drop(DroppedPacket {
+            packet,
+            cycle: self.now,
+            reason,
+            recoverable,
+        });
     }
 
     /// Drains flits of unroutable packets from their input VCs: buffer
@@ -1373,23 +1746,56 @@ impl Network {
                 let fs = self.faults.as_mut().expect("fault mode");
                 *fs.absorbed.entry(flit.packet).or_insert(0) += 1;
                 if flit.kind.is_tail() {
-                    let meta = self
-                        .in_flight
-                        .remove(&flit.packet)
-                        .expect("absorbed packet is tracked");
-                    let dst_router = self.graph.attachment(meta.packet.dst).router;
+                    // A zombie reaching absorption was already recorded
+                    // dropped at kill time; just free the VC.
+                    if self.is_zombie(flit.packet) {
+                        let fs = self.faults.as_mut().expect("fault mode");
+                        fs.absorbing.remove(&(router, port, vc));
+                        self.routers[r].inputs[port.index()][vc.index()].release();
+                        break;
+                    }
+                    let (packet, received, total) = {
+                        let meta = self
+                            .in_flight
+                            .get(&flit.packet)
+                            .expect("absorbed packet is tracked");
+                        (meta.packet, meta.received, meta.total)
+                    };
+                    let dst_router = self.graph.attachment(packet.dst).router;
                     let fs = self.faults.as_mut().expect("fault mode");
                     let reason = if fs.router_dead[dst_router.index()] {
                         DropReason::DestinationDead
                     } else {
                         DropReason::Unreachable
                     };
-                    fs.absorbed.remove(&flit.packet);
+                    let absorbed = fs.absorbed.get(&flit.packet).copied().unwrap_or(0);
+                    // Flits of this packet frozen in dead equipment keep the
+                    // packet resident: it becomes a zombie instead of being
+                    // fully retired from the ledger.
+                    let keep_zombie = received + absorbed != total && fs.e2e.is_some();
+                    let recoverable = match fs.e2e.as_deref_mut() {
+                        Some(e2e) => e2e.note_drop(flit.packet, reason),
+                        None => false,
+                    };
+                    let fs = self.faults.as_mut().expect("fault mode");
+                    if keep_zombie {
+                        fs.e2e
+                            .as_deref_mut()
+                            .expect("zombies only under recovery")
+                            .zombies
+                            .insert(flit.packet);
+                    } else {
+                        self.in_flight.remove(&flit.packet);
+                        let fs = self.faults.as_mut().expect("fault mode");
+                        fs.absorbed.remove(&flit.packet);
+                    }
+                    let fs = self.faults.as_mut().expect("fault mode");
                     fs.absorbing.remove(&(router, port, vc));
                     fs.record_drop(DroppedPacket {
-                        packet: meta.packet,
+                        packet,
                         cycle: self.now,
                         reason,
+                        recoverable,
                     });
                     self.routers[r].inputs[port.index()][vc.index()].release();
                     break;
@@ -1420,6 +1826,39 @@ impl Network {
         }
         if done {
             let meta = self.in_flight.remove(&flit.packet).expect("present");
+            // End-to-end accounting: mark the sequence resolved and send the
+            // ack back to the source NI. A copy of an already-resolved
+            // sequence (the reinjection raced the original's delivery) is
+            // suppressed — consumed silently, invisible to the client layer.
+            let mut suppress = false;
+            let mut ack: Option<(NodeId, u64)> = None;
+            if let Some(fs) = self.faults.as_mut() {
+                if let Some(e2e) = fs.e2e.as_deref_mut() {
+                    if let Some((node, seq)) = e2e.by_packet.remove(&flit.packet) {
+                        let src = &mut e2e.sources[node.index()];
+                        if let Some(r) = src.retained.get_mut(&seq) {
+                            if r.current == flit.packet {
+                                r.current_alive = false;
+                            }
+                        }
+                        if src.is_resolved(seq) {
+                            suppress = true;
+                            e2e.counters.duplicates_suppressed += 1;
+                        } else {
+                            src.resolve(seq);
+                            ack = Some((node, seq));
+                        }
+                    }
+                }
+            }
+            if let Some((node, seq)) = ack {
+                let at = self.now + self.ideal_latency(flit.dst, flit.src, 1);
+                let fs = self.faults.as_mut().expect("fault mode");
+                fs.schedule_far(at, FarEvent::E2eAck { node, seq });
+            }
+            if suppress {
+                return;
+            }
             let rec = PacketRecord {
                 src: meta.packet.src,
                 dst: meta.packet.dst,
@@ -1481,18 +1920,37 @@ impl Network {
                 } else {
                     DropReason::DestinationDead
                 };
-                let drop = DroppedPacket {
-                    packet,
-                    cycle: self.now,
-                    reason,
-                };
                 if let Some(fs) = self.faults.as_mut() {
-                    fs.record_drop(drop);
+                    let recoverable = match fs.e2e.as_deref_mut() {
+                        Some(e2e) => e2e.note_drop(packet.id, reason),
+                        None => false,
+                    };
+                    fs.record_drop(DroppedPacket {
+                        packet,
+                        cycle: self.now,
+                        reason,
+                        recoverable,
+                    });
+                }
+            }
+        }
+        // A full retention buffer blocks *new* packets only; a reinjection
+        // at the queue front carries its original retention slot through.
+        let mut gated = false;
+        if self.nodes[n].sending.is_none() {
+            if let Some(front) = self.nodes[n].queue.front().map(|p| p.id) {
+                if let Some(e2e) = self.faults.as_mut().and_then(|fs| fs.e2e.as_deref_mut()) {
+                    if !e2e.by_packet.contains_key(&front)
+                        && e2e.sources[n].retained.len() >= e2e.policy.retention
+                    {
+                        e2e.counters.retention_stalls += 1;
+                        gated = true;
+                    }
                 }
             }
         }
         // Start a new packet if idle.
-        if self.nodes[n].sending.is_none() && !self.nodes[n].queue.is_empty() {
+        if !gated && self.nodes[n].sending.is_none() && !self.nodes[n].queue.is_empty() {
             let class = self.injection_class(self.nodes[n].queue[0].class);
             let node = &mut self.nodes[n];
             let vccount = node.vcs.len();
@@ -1522,6 +1980,53 @@ impl Network {
                         packet: packet.id,
                         flits: total,
                     });
+                }
+                // End-to-end: the first injection of a new packet assigns
+                // its sequence number, retains a copy at the NI until the
+                // destination's ack arrives, and arms the ack timeout.
+                // Reinjections already own a slot and re-use it.
+                if self.faults.as_ref().is_some_and(|fs| fs.e2e.is_some()) {
+                    let measured = self.in_flight.get(&packet.id).is_some_and(|m| m.measured);
+                    let fs = self.faults.as_mut().expect("checked above");
+                    let arm = {
+                        let e2e = fs.e2e.as_deref_mut().expect("checked above");
+                        if e2e.by_packet.contains_key(&packet.id) {
+                            None
+                        } else {
+                            let src = &mut e2e.sources[n];
+                            let seq = src.next_seq;
+                            src.next_seq += 1;
+                            src.retained.insert(
+                                seq,
+                                Retained {
+                                    dst: packet.dst,
+                                    size: packet.size,
+                                    class: packet.class,
+                                    tag: packet.tag,
+                                    measured,
+                                    first_birth: packet.birth,
+                                    attempts: 1,
+                                    current: packet.id,
+                                    current_alive: true,
+                                },
+                            );
+                            e2e.by_packet.insert(packet.id, (NodeId(n), seq));
+                            e2e.counters.retention_peak =
+                                e2e.counters.retention_peak.max(src.retained.len() as u64);
+                            Some((e2e.policy.retry.timeout, seq))
+                        }
+                    };
+                    if let Some((timeout, seq)) = arm {
+                        let at = self.now + timeout;
+                        fs.schedule_far(
+                            at,
+                            FarEvent::E2eTimeout {
+                                node: NodeId(n),
+                                seq,
+                                attempt: 1,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -1565,10 +2070,11 @@ impl Network {
         let nports = self.routers[r].inputs.len();
         for p in 0..nports {
             for v in 0..vcs_per_port {
-                let (is_head, src, dst, class, has_route, _has_grant, sent, wait) = {
+                let (pkt, is_head, src, dst, class, has_route, _has_grant, sent, wait) = {
                     let vc = &self.routers[r].inputs[p][v];
                     match vc.fifo.front() {
                         Some(f) if f.kind.is_head() || vc.route.is_some() => (
+                            f.packet,
                             f.kind.is_head(),
                             f.src,
                             f.dst,
@@ -1596,7 +2102,9 @@ impl Network {
                         in_escape,
                     ) {
                         Some(rc) => {
-                            self.routers[r].inputs[p][v].route = Some(rc);
+                            let vc = &mut self.routers[r].inputs[p][v];
+                            vc.route = Some(rc);
+                            vc.holder = Some(pkt);
                         }
                         None => {
                             let at = self.graph.attachment(dst);
@@ -1612,6 +2120,7 @@ impl Network {
                                 if let Some(fs) = self.faults.as_mut() {
                                     fs.absorbing.insert((router_id, PortId(p), VcId(v)));
                                 }
+                                self.routers[r].inputs[p][v].holder = Some(pkt);
                                 continue;
                             }
                             // At destination router: eject through the local
@@ -1622,6 +2131,7 @@ impl Network {
                                 class: VcClass::Any,
                             });
                             vc.out_vc = Some(VcId(0)); // sink: dummy grant
+                            vc.holder = Some(pkt);
                         }
                     }
                 } else if expedited
@@ -2533,5 +3043,169 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("no progress"), "{text}");
         assert!(text.contains("n15"), "{text}");
+    }
+
+    // --- end-to-end recovery --------------------------------------------
+
+    use crate::fault::RecoveryPolicy;
+
+    /// Steps until both the network and the retention buffers drain.
+    fn run_until_recovered(net: &mut Network, max: u64) -> Vec<Delivered> {
+        let mut delivered = Vec::new();
+        let mut cycles = 0;
+        while net.in_flight() > 0 || net.recovery_pending() > 0 {
+            net.step();
+            reroute_if_stale(net);
+            delivered.extend(net.drain_delivered());
+            cycles += 1;
+            assert!(cycles < max, "recovery failed to converge within {max}");
+        }
+        delivered
+    }
+
+    #[test]
+    fn recovery_reinjects_wedged_packets_after_router_kill() {
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 40,
+            kind: FaultKind::Router(RouterId(5)),
+        });
+        plan.recovery = Some(RecoveryPolicy::default());
+        let mut net = small_mesh_with(plan);
+        all_pairs_burst(&mut net);
+        let delivered = run_until_recovered(&mut net, 60_000);
+        // Every pair whose source and destination survive delivers exactly
+        // once (pairs touching node 5 may have delivered before the kill).
+        let mut pairs: Vec<(NodeId, NodeId)> = delivered
+            .iter()
+            .map(|d| (d.packet.src, d.packet.dst))
+            .collect();
+        pairs.sort_unstable();
+        let before = pairs.len();
+        pairs.dedup();
+        assert_eq!(before, pairs.len(), "duplicate delivery reached a client");
+        for s in 0..16 {
+            for d in 0..16 {
+                if s != d && s != 5 && d != 5 {
+                    assert!(
+                        pairs.contains(&(NodeId(s), NodeId(d))),
+                        "surviving pair n{s}->n{d} was never delivered"
+                    );
+                }
+            }
+        }
+        // Every permanent loss names a dead endpoint; surviving-pair drops
+        // are transient (recovered by reinjection) — never silently lost.
+        let dropped = net.drain_dropped();
+        for d in &dropped {
+            let touches_dead = d.packet.src == NodeId(5) || d.packet.dst == NodeId(5);
+            assert!(
+                d.recoverable || touches_dead,
+                "permanent loss on a surviving pair: {d:?}"
+            );
+        }
+        // Full ledger: every offered packet either delivered or was
+        // recorded as a permanent loss.
+        let permanent = dropped.iter().filter(|d| !d.recoverable).count();
+        assert_eq!(delivered.len() + permanent, 16 * 15);
+        let counters = net.recovery_counters();
+        assert!(counters.reinjections > 0, "the kill must wedge something");
+        assert_eq!(
+            counters.acks,
+            delivered.len() as u64,
+            "one ack per delivery"
+        );
+    }
+
+    #[test]
+    fn recovery_keeps_benign_plans_cycle_identical() {
+        let plan = FaultPlan {
+            recovery: Some(RecoveryPolicy::default()),
+            ..FaultPlan::default()
+        };
+        let mut plain = small_mesh();
+        let mut recovering = small_mesh_with(plan);
+        all_pairs_burst(&mut plain);
+        all_pairs_burst(&mut recovering);
+        let mut got_plain = Vec::new();
+        let mut got_rec = Vec::new();
+        let mut cycles = 0;
+        while plain.in_flight() > 0 || recovering.in_flight() > 0 {
+            plain.step();
+            recovering.step();
+            got_plain.extend(
+                plain
+                    .drain_delivered()
+                    .iter()
+                    .map(|d| (d.packet.id, d.retire)),
+            );
+            got_rec.extend(
+                recovering
+                    .drain_delivered()
+                    .iter()
+                    .map(|d| (d.packet.id, d.retire)),
+            );
+            cycles += 1;
+            assert!(cycles < 20_000);
+        }
+        assert_eq!(
+            got_plain, got_rec,
+            "an idle recovery layer must not perturb delivery schedules"
+        );
+        let counters = recovering.recovery_counters();
+        assert_eq!(counters.reinjections, 0);
+        assert_eq!(counters.duplicates_suppressed, 0);
+        assert_eq!(counters.retention_stalls, 0);
+        assert_eq!(counters.lost, 0);
+    }
+
+    #[test]
+    fn recovery_gives_up_across_a_partition() {
+        // Cut the 2x2 mesh into {0,2} | {1,3}: a packet from n0 to n1 is
+        // reinjected until the budget runs out, then reported permanently
+        // lost — bounded, typed, and drained.
+        let cfg = NetworkConfig::homogeneous(
+            TopologyKind::Mesh {
+                width: 2,
+                height: 2,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        let probe = Network::new(cfg.clone()).expect("valid");
+        let mut plan = FaultPlan::default();
+        for (a, b) in [(RouterId(0), RouterId(1)), (RouterId(2), RouterId(3))] {
+            plan.hard.push(HardFault {
+                cycle: 2,
+                kind: FaultKind::Link(link_between(&probe, a, b)),
+            });
+        }
+        plan.recovery = Some(RecoveryPolicy {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                timeout: 64,
+            },
+            retention: 4,
+        });
+        let mut net = Network::with_faults(cfg, plan).expect("valid");
+        net.enqueue(NodeId(0), NodeId(1), Bits(1024), PacketClass::Data, 7);
+        let delivered = run_until_recovered(&mut net, 10_000);
+        assert!(delivered.is_empty());
+        let dropped = net.drain_dropped();
+        let exhausted: Vec<_> = dropped
+            .iter()
+            .filter(|d| d.reason == DropReason::RecoveryExhausted)
+            .collect();
+        assert_eq!(exhausted.len(), 1, "{dropped:?}");
+        assert!(!exhausted[0].recoverable);
+        assert!(dropped
+            .iter()
+            .filter(|d| d.reason == DropReason::Unreachable)
+            .all(|d| d.recoverable));
+        let counters = net.recovery_counters();
+        assert_eq!(counters.reinjections, 2, "attempts 2 and 3");
+        assert_eq!(counters.lost, 1);
+        assert_eq!(net.recovery_pending(), 0);
     }
 }

@@ -27,15 +27,18 @@
 //! buffer awaiting retry), and the `verify`-feature checker adds it to the
 //! usual credits + wheel + FIFO sum.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::fault::{DroppedPacket, FaultCounters, FaultPlan, HardFault, UnrecoverableFault};
-use crate::packet::Flit;
+use crate::fault::{
+    DropReason, DroppedPacket, FaultCounters, FaultPlan, HardFault, RecoveryCounters,
+    RecoveryPolicy, UnrecoverableFault,
+};
+use crate::packet::{Flit, PacketClass};
 use crate::topology::TopologyGraph;
-use crate::types::{Bits, Cycle, LinkId, PacketId, PortId, RouterId, VcId};
+use crate::types::{Bits, Cycle, LinkId, NodeId, PacketId, PortId, RouterId, VcId};
 
 /// A transmitted-but-unacknowledged flit held for possible retransmission.
 #[derive(Clone, Debug)]
@@ -107,6 +110,149 @@ pub(super) enum FarEvent {
         /// Epoch at scheduling time.
         epoch: u64,
     },
+    /// End-to-end ack travelling back to the source: retention slot `seq`
+    /// of `node` was delivered and may be freed.
+    E2eAck {
+        /// Source node whose retention buffer holds the slot.
+        node: NodeId,
+        /// Per-source sequence number.
+        seq: u64,
+    },
+    /// End-to-end ack timeout: retention slot `seq` of `node` saw no ack.
+    /// `attempt` stamps the copy being watched so a timeout armed for an
+    /// earlier copy is ignored after a reinjection.
+    E2eTimeout {
+        /// Source node whose retention buffer holds the slot.
+        node: NodeId,
+        /// Per-source sequence number.
+        seq: u64,
+        /// Copy count at scheduling time (1 = first injection).
+        attempt: u32,
+    },
+}
+
+/// One packet retained at its source network interface awaiting an
+/// end-to-end ack: everything needed to rebuild and reinject a copy.
+#[derive(Clone, Copy, Debug)]
+pub(super) struct Retained {
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Payload size.
+    pub size: Bits,
+    /// Message class.
+    pub class: PacketClass,
+    /// Client correlation tag.
+    pub tag: u64,
+    /// Whether the original injection fell inside the measurement window.
+    pub measured: bool,
+    /// Birth cycle of the *first* copy (reinjected copies keep it, so
+    /// end-to-end latency spans the whole recovery).
+    pub first_birth: Cycle,
+    /// Copies injected so far (1 = original only).
+    pub attempts: u32,
+    /// Packet id of the newest copy.
+    pub current: PacketId,
+    /// False once the newest copy was delivered or dropped; a timeout then
+    /// reinjects (or gives up) instead of re-arming.
+    pub current_alive: bool,
+}
+
+/// Per-source end-to-end sequencing state.
+#[derive(Clone, Debug, Default)]
+pub(super) struct SourceE2e {
+    /// Next sequence number this source will assign.
+    pub next_seq: u64,
+    /// Unacknowledged packets by sequence number.
+    pub retained: BTreeMap<u64, Retained>,
+    /// All sequence numbers below this are resolved (delivered or
+    /// permanently lost).
+    pub contig: u64,
+    /// Resolved sequence numbers at or above `contig` (kept sparse; merged
+    /// into `contig` as the watermark advances).
+    pub sparse: BTreeSet<u64>,
+}
+
+impl SourceE2e {
+    /// Marks `seq` resolved (delivered once, or permanently lost).
+    pub fn resolve(&mut self, seq: u64) {
+        if seq < self.contig {
+            return;
+        }
+        self.sparse.insert(seq);
+        while self.sparse.remove(&self.contig) {
+            self.contig += 1;
+        }
+    }
+
+    /// True when `seq` has been resolved; a further ejection of the same
+    /// sequence number is a duplicate.
+    pub fn is_resolved(&self, seq: u64) -> bool {
+        seq < self.contig || self.sparse.contains(&seq)
+    }
+}
+
+/// End-to-end delivery-guarantee state (present only when the plan enables
+/// [`RecoveryPolicy`]).
+#[derive(Clone, Debug)]
+pub(super) struct E2eState {
+    /// The enabled policy.
+    pub policy: RecoveryPolicy,
+    /// Per-source sequencing and retention.
+    pub sources: Vec<SourceE2e>,
+    /// Maps every live copy's packet id to its retention slot.
+    pub by_packet: HashMap<PacketId, (NodeId, u64)>,
+    /// Abandoned packets whose flits are frozen in dead equipment. They
+    /// stay in the engine's `in_flight` map forever so flit-conservation
+    /// invariants keep holding; [`super::Network::in_flight`] subtracts
+    /// them.
+    pub zombies: HashSet<PacketId>,
+    /// Recovery event counters.
+    pub counters: RecoveryCounters,
+}
+
+impl E2eState {
+    fn new(policy: RecoveryPolicy, nodes: usize) -> Self {
+        Self {
+            policy,
+            sources: vec![SourceE2e::default(); nodes],
+            by_packet: HashMap::new(),
+            zombies: HashSet::new(),
+            counters: RecoveryCounters::default(),
+        }
+    }
+
+    /// Total packets currently retained across all sources.
+    pub fn pending(&self) -> usize {
+        self.sources.iter().map(|s| s.retained.len()).sum()
+    }
+
+    /// Updates retention state for a dropped copy of `packet` and returns
+    /// whether the loss is recoverable (a retained copy can be reinjected).
+    /// Dead-endpoint drops resolve the slot as a permanent loss.
+    pub fn note_drop(&mut self, packet: PacketId, reason: DropReason) -> bool {
+        let Some((node, seq)) = self.by_packet.remove(&packet) else {
+            return false; // untracked (never injected) — permanent
+        };
+        let src = &mut self.sources[node.index()];
+        if let Some(r) = src.retained.get_mut(&seq) {
+            if r.current == packet {
+                r.current_alive = false;
+            }
+        }
+        let permanent = matches!(reason, DropReason::SourceDead | DropReason::DestinationDead);
+        if permanent {
+            let had = src.retained.remove(&seq).is_some();
+            if had && !src.is_resolved(seq) {
+                src.resolve(seq);
+                self.counters.lost += 1;
+                return false;
+            }
+            // The slot was already resolved (a copy delivered, or the loss
+            // was already accounted): this copy was redundant.
+            return true;
+        }
+        src.retained.contains_key(&seq) || src.is_resolved(seq)
+    }
 }
 
 /// All fault-mode engine state (boxed inside [`super::Network`]).
@@ -150,6 +296,9 @@ pub(super) struct FaultState {
     /// Set by hard faults: the installed routing no longer matches the
     /// surviving topology and should be regenerated.
     pub routing_stale: bool,
+    /// End-to-end delivery-guarantee state (`None` unless the plan enables
+    /// it; the engine's schedules are then bit-for-bit unchanged).
+    pub e2e: Option<Box<E2eState>>,
 }
 
 impl FaultState {
@@ -170,6 +319,9 @@ impl FaultState {
             .collect();
         let hard = plan.sorted_hard();
         let rng = StdRng::seed_from_u64(plan.seed);
+        let e2e = plan
+            .recovery
+            .map(|policy| Box::new(E2eState::new(policy, graph.nodes().len())));
         Self {
             rng,
             p_flit,
@@ -186,6 +338,7 @@ impl FaultState {
             counters: FaultCounters::default(),
             error: None,
             routing_stale: false,
+            e2e,
             plan,
         }
     }
@@ -253,5 +406,36 @@ mod tests {
         assert_eq!(due.len(), 2);
         assert!(matches!(due[0], FarEvent::Resend { .. }), "cycle order");
         assert!(fs.due_far(100).is_empty());
+    }
+
+    #[test]
+    fn resolved_watermark_advances_and_stays_sparse() {
+        let mut s = SourceE2e::default();
+        assert!(!s.is_resolved(0));
+        s.resolve(2);
+        assert!(s.is_resolved(2) && !s.is_resolved(0) && !s.is_resolved(1));
+        assert_eq!(s.contig, 0);
+        s.resolve(0);
+        assert_eq!(s.contig, 1, "0 merges, 2 stays sparse");
+        s.resolve(1);
+        assert_eq!(s.contig, 3, "1 then sparse 2 merge into the watermark");
+        assert!(s.sparse.is_empty());
+        s.resolve(1); // duplicate resolution below the watermark is a no-op
+        assert_eq!(s.contig, 3);
+    }
+
+    #[test]
+    fn e2e_state_built_only_when_plan_enables_recovery() {
+        let g = mesh::build(2, 2);
+        let fs = FaultState::new(FaultPlan::default(), &g, Bits(192), &[2; 4]);
+        assert!(fs.e2e.is_none());
+        let plan = FaultPlan {
+            recovery: Some(RecoveryPolicy::default()),
+            ..FaultPlan::default()
+        };
+        let fs = FaultState::new(plan, &g, Bits(192), &[2; 4]);
+        let e2e = fs.e2e.expect("enabled");
+        assert_eq!(e2e.sources.len(), 4);
+        assert_eq!(e2e.pending(), 0);
     }
 }

@@ -609,6 +609,49 @@ mod tests {
     }
 
     #[test]
+    fn invariants_hold_through_router_kill_with_recovery() {
+        use crate::fault::{FaultKind, FaultPlan, HardFault, RecoveryPolicy};
+        use crate::routing::degraded::degraded_routing;
+        use crate::routing::RoutingKind;
+        use crate::types::RouterId;
+
+        // A mid-burst router kill with end-to-end recovery enabled: zombie
+        // packets frozen in the dead router, scrubbed wormhole fragments,
+        // and reinjected copies must all keep the conservation ledgers
+        // exact, every cycle.
+        let cfg = NetworkConfig::paper_baseline();
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 60,
+            kind: FaultKind::Router(RouterId(27)),
+        });
+        plan.recovery = Some(RecoveryPolicy::default());
+        let mut net = Network::with_faults(cfg, plan).unwrap();
+        let n = net.graph().num_nodes();
+        for c in 0..3_000u64 {
+            if c % 4 == 0 && c < 200 {
+                for node in 0..n {
+                    let dst = (node + 9) % n;
+                    net.enqueue(NodeId(node), NodeId(dst), Bits(1024), PacketClass::Data, 0);
+                }
+            }
+            net.step();
+            if net.take_routing_stale() {
+                let d = degraded_routing(net.graph(), net.dead_links(), net.dead_routers());
+                net.install_routing(RoutingKind::FullTable(d.table));
+            }
+            net.check_invariants()
+                .unwrap_or_else(|e| panic!("cycle {c}: {e}"));
+            if net.in_flight() == 0 && net.recovery_pending() == 0 {
+                break;
+            }
+        }
+        assert_eq!(net.in_flight(), 0, "recovery must drain");
+        assert_eq!(net.recovery_pending(), 0, "retention must drain");
+        assert!(net.recovery_counters().reinjections > 0);
+    }
+
+    #[test]
     fn violation_display_names_the_state() {
         let v = InvariantViolation::CreditLeak {
             router: RouterId(3),

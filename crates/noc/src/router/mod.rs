@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 
 use crate::packet::Flit;
 use crate::routing::RouteChoice;
-use crate::types::{Cycle, LinkId, NodeId, PortId, RouterId, VcId};
+use crate::types::{Cycle, LinkId, NodeId, PacketId, PortId, RouterId, VcId};
 
 use arbiter::RrArbiter;
 
@@ -42,6 +42,11 @@ pub struct InputVc {
     /// Cycles the head flit has been waiting for/with a grant without
     /// sending (escape-diversion timeout).
     pub head_wait: u32,
+    /// Packet that owns the VC's current route/grant (set at route
+    /// computation, cleared on release). Lets the fault layer identify the
+    /// occupant of a granted VC even while its FIFO is momentarily empty
+    /// (flits in flight between routers).
+    pub holder: Option<PacketId>,
 }
 
 impl InputVc {
@@ -52,6 +57,7 @@ impl InputVc {
         self.in_escape_grant = false;
         self.sent_on_grant = 0;
         self.head_wait = 0;
+        self.holder = None;
     }
 }
 
@@ -190,10 +196,12 @@ mod tests {
             in_escape_grant: true,
             sent_on_grant: 3,
             head_wait: 9,
+            holder: Some(PacketId(7)),
             ..Default::default()
         };
         vc.release();
         assert!(vc.out_vc.is_none());
+        assert!(vc.holder.is_none());
         assert!(!vc.in_escape_grant);
         assert_eq!(vc.sent_on_grant, 0);
         assert_eq!(vc.head_wait, 0);

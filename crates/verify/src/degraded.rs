@@ -15,7 +15,9 @@
 //! is a typed [`DegradedRunError::Deadlock`] naming the cycle, never a hang.
 
 use heteronoc_noc::config::NetworkConfig;
-use heteronoc_noc::fault::{DroppedPacket, FaultCounters, FaultPlan, UnrecoverableFault};
+use heteronoc_noc::fault::{
+    DroppedPacket, FaultCounters, FaultPlan, RecoveryCounters, UnrecoverableFault,
+};
 use heteronoc_noc::network::{Network, StallReport};
 use heteronoc_noc::packet::PacketClass;
 use heteronoc_noc::routing::degraded::degraded_routing;
@@ -109,6 +111,10 @@ pub struct PhaseStats {
     pub delivered: u64,
     /// Packets dropped during the phase.
     pub dropped: u64,
+    /// Of those drops, how many were permanent (no retained copy left to
+    /// reinject). `dropped - permanent` losses were recovered by the
+    /// end-to-end layer in a later phase.
+    pub permanent: u64,
     /// Σ (retire − inject) over the phase's deliveries.
     pub latency_cycles: u64,
 }
@@ -135,14 +141,56 @@ pub struct DegradedRunReport {
     pub phases: Vec<PhaseStats>,
     /// Total packets retired.
     pub delivered: u64,
-    /// Every packet dropped, with its typed reason.
+    /// Every packet dropped, with its typed reason. With end-to-end
+    /// recovery enabled, entries with `recoverable: true` are transient
+    /// (a reinjected copy delivered or will be accounted separately).
     pub dropped: Vec<DroppedPacket>,
     /// Fault-campaign counters from the engine.
     pub counters: FaultCounters,
+    /// End-to-end recovery counters (all zero when recovery is disabled).
+    pub recovery: RecoveryCounters,
     /// Number of CDG-verified reroutes performed.
     pub reroutes: u32,
     /// Cycle the last packet left the network.
     pub finished_at: Cycle,
+    /// Per-delivery latencies in cycles, sorted ascending (so percentile
+    /// queries are a direct index). One entry per retired packet.
+    pub latencies: Vec<Cycle>,
+}
+
+impl DegradedRunReport {
+    /// Packets permanently lost (no retained copy could or can deliver
+    /// them). Without recovery every drop is permanent.
+    pub fn permanent_losses(&self) -> u64 {
+        self.dropped.iter().filter(|d| !d.recoverable).count() as u64
+    }
+
+    /// Delivered fraction of all packets that reached a final outcome:
+    /// `delivered / (delivered + permanent losses)`. 1.0 when nothing was
+    /// permanently lost.
+    pub fn delivery_ratio(&self) -> f64 {
+        let lost = self.permanent_losses();
+        if self.delivered + lost == 0 {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.delivered as f64 / (self.delivered + lost) as f64
+        }
+    }
+
+    /// The `p`-th latency percentile in cycles (nearest-rank; `p` in
+    /// 0.0..=1.0). 0 when nothing delivered.
+    pub fn latency_percentile(&self, p: f64) -> Cycle {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let idx = ((self.latencies.len() as f64 * p).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.latencies.len() - 1);
+        self.latencies[idx]
+    }
 }
 
 /// Why a degradation campaign could not complete.
@@ -156,7 +204,16 @@ pub enum DegradedRunError {
     /// A link exhausted its retransmission attempts.
     Unrecoverable(UnrecoverableFault),
     /// No forward progress for longer than the stall limit.
-    Stalled(Box<StallReport>),
+    Stalled {
+        /// Engine stall report naming the stuck packets.
+        report: Box<StallReport>,
+        /// Routing phase (reroutes completed so far) in which progress
+        /// stopped — phase 0 is the pre-fault table; a stall in phase
+        /// `n > 0` happened inside the `n`-th reconfiguration window.
+        phase: u32,
+        /// First cycle of that phase.
+        phase_start: Cycle,
+    },
 }
 
 impl std::fmt::Display for DegradedRunError {
@@ -167,7 +224,14 @@ impl std::fmt::Display for DegradedRunError {
                 write!(f, "regenerated routing failed the deadlock proof: {e}")
             }
             DegradedRunError::Unrecoverable(e) => write!(f, "unrecoverable fault: {e}"),
-            DegradedRunError::Stalled(r) => write!(f, "campaign stalled: {r}"),
+            DegradedRunError::Stalled {
+                report,
+                phase,
+                phase_start,
+            } => write!(
+                f,
+                "campaign stalled in routing phase {phase} (since cycle {phase_start}): {report}"
+            ),
         }
     }
 }
@@ -208,6 +272,7 @@ pub fn run_with_degradation(
         to_cycle: 0,
         delivered: 0,
         dropped: 0,
+        permanent: 0,
         latency_cycles: 0,
     };
     let mut all_dropped: Vec<DroppedPacket> = Vec::new();
@@ -215,8 +280,10 @@ pub fn run_with_degradation(
     let mut reroutes = 0u32;
     let mut last_progress: Cycle = 0;
     let mut finished_at: Cycle = 0;
+    let mut last_recovery = RecoveryCounters::default();
+    let mut latencies: Vec<Cycle> = Vec::new();
 
-    while next < pending.len() || net.in_flight() > 0 {
+    while next < pending.len() || net.in_flight() > 0 || net.recovery_pending() > 0 {
         let now = net.now();
         while next < pending.len() && pending[next].cycle <= now {
             let inj = pending[next];
@@ -234,12 +301,22 @@ pub fn run_with_degradation(
             last_progress = net.now();
             finished_at = net.now();
         }
+        // Recovery activity (acks arriving, copies reinjected) is forward
+        // progress even when nothing retired this cycle; so is an empty
+        // network waiting out an ack-timeout backoff.
+        let recovery = net.recovery_counters();
+        if recovery != last_recovery || net.in_flight() == 0 {
+            last_progress = net.now();
+            last_recovery = recovery;
+        }
         for d in &delivered {
             phase.delivered += 1;
             phase.latency_cycles += d.retire.saturating_sub(d.inject);
+            latencies.push(d.retire.saturating_sub(d.inject));
         }
         delivered_total += delivered.len() as u64;
         phase.dropped += dropped.len() as u64;
+        phase.permanent += dropped.iter().filter(|d| !d.recoverable).count() as u64;
         all_dropped.extend(dropped);
 
         if net.take_routing_stale() {
@@ -255,25 +332,33 @@ pub fn run_with_degradation(
                 to_cycle: 0,
                 delivered: 0,
                 dropped: 0,
+                permanent: 0,
                 latency_cycles: 0,
             };
             last_progress = net.now();
         }
 
         if net.in_flight() > 0 && net.now().saturating_sub(last_progress) > stall_limit {
-            return Err(DegradedRunError::Stalled(Box::new(net.stall_report())));
+            return Err(DegradedRunError::Stalled {
+                report: Box::new(net.stall_report()),
+                phase: reroutes,
+                phase_start: phase.from_cycle,
+            });
         }
     }
 
     phase.to_cycle = net.now();
     phases.push(phase);
+    latencies.sort_unstable();
     Ok(DegradedRunReport {
         phases,
         delivered: delivered_total,
         dropped: all_dropped,
         counters: net.fault_counters(),
+        recovery: net.recovery_counters(),
         reroutes,
         finished_at,
+        latencies,
     })
 }
 
@@ -401,10 +486,87 @@ mod tests {
         assert!(
             matches!(
                 err,
-                DegradedRunError::Unrecoverable(_) | DegradedRunError::Stalled(_)
+                DegradedRunError::Unrecoverable(_) | DegradedRunError::Stalled { .. }
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn straddled_router_kill_recovers_with_e2e_enabled() {
+        // The same mid-flight router kill as above, but with end-to-end
+        // recovery: every wedged wormhole is reinjected by its source over
+        // the proven degraded table. Delivery must reach 100% of the pairs
+        // whose endpoints survive; only node 36's own traffic is lost.
+        use heteronoc_noc::fault::RecoveryPolicy;
+        let mut plan = FaultPlan::default();
+        plan.hard.push(HardFault {
+            cycle: 200,
+            kind: FaultKind::Router(RouterId(36)),
+        });
+        plan.recovery = Some(RecoveryPolicy::default());
+        let inj = all_pairs_burst(64, 1);
+        let total = inj.len() as u64;
+        let report = run_with_degradation(mesh8(), plan, &inj, 50_000).unwrap();
+        assert_eq!(report.reroutes, 1);
+        let permanent = report.permanent_losses();
+        assert_eq!(
+            report.delivered + permanent,
+            total,
+            "every packet reaches a final outcome"
+        );
+        assert!(
+            permanent <= 126,
+            "at most n36's own traffic may be lost, got {permanent}"
+        );
+        assert!(
+            report
+                .dropped
+                .iter()
+                .filter(|d| !d.recoverable)
+                .all(|d| d.packet.src == NodeId(36) || d.packet.dst == NodeId(36)),
+            "every permanent loss must name a dead endpoint"
+        );
+        assert!(
+            report.recovery.reinjections > 0,
+            "the kill wedged wormholes"
+        );
+        let expected_ratio = (total - permanent) as f64 / total as f64;
+        assert!((report.delivery_ratio() - expected_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfiguration_window_stall_carries_phase_context() {
+        // Wedge wormholes in a dead router with a retry budget too large to
+        // exhaust and no recovery: the watchdog must fire *inside* the
+        // post-kill reconfiguration window and say so.
+        let mut plan = FaultPlan {
+            retry: RetryPolicy {
+                max_attempts: 1_000,
+                timeout: 8,
+            },
+            ..FaultPlan::default()
+        };
+        plan.hard.push(HardFault {
+            cycle: 200,
+            kind: FaultKind::Router(RouterId(36)),
+        });
+        let inj = all_pairs_burst(64, 1);
+        let err = run_with_degradation(mesh8(), plan, &inj, 3_000).unwrap_err();
+        match &err {
+            DegradedRunError::Stalled {
+                report,
+                phase,
+                phase_start,
+            } => {
+                assert_eq!(*phase, 1, "stall happens after the one reroute");
+                assert!(*phase_start >= 200, "phase started at the kill");
+                assert!(!report.stuck.is_empty());
+                let text = err.to_string();
+                assert!(text.contains("phase 1"), "{text}");
+            }
+            other => panic!("expected a stall with phase context, got {other}"),
+        }
     }
 
     #[test]

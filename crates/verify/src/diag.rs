@@ -78,11 +78,14 @@ pub enum Code {
     /// `HN-W006` — a fault plan strands a route-table path on dead
     /// equipment (degraded rerouting must regenerate it).
     StrandedTablePath,
+    /// `HN-W007` — a fault plan cuts live sources from live destinations
+    /// while end-to-end recovery is disabled (losses go unaccounted).
+    PartitionWithoutRecovery,
 }
 
 impl Code {
     /// Every shipped code, in code order (the `--explain` registry).
-    pub const ALL: [Code; 19] = [
+    pub const ALL: [Code; 20] = [
         Code::InvalidConfig,
         Code::CyclicDependency,
         Code::CyclicEscape,
@@ -102,6 +105,7 @@ impl Code {
         Code::MissingClassSeparation,
         Code::CreditLimitedLink,
         Code::StrandedTablePath,
+        Code::PartitionWithoutRecovery,
     ];
 
     /// The stable code string, e.g. `"HN-E010"`.
@@ -126,6 +130,7 @@ impl Code {
             Code::MissingClassSeparation => "HN-W004",
             Code::CreditLimitedLink => "HN-W005",
             Code::StrandedTablePath => "HN-W006",
+            Code::PartitionWithoutRecovery => "HN-W007",
         }
     }
 
@@ -151,6 +156,7 @@ impl Code {
             Code::MissingClassSeparation => "MissingClassSeparation",
             Code::CreditLimitedLink => "CreditLimitedLink",
             Code::StrandedTablePath => "StrandedTablePath",
+            Code::PartitionWithoutRecovery => "PartitionWithoutRecovery",
         }
     }
 
@@ -162,7 +168,8 @@ impl Code {
             | Code::BufferBitsExceedBudget
             | Code::MissingClassSeparation
             | Code::CreditLimitedLink
-            | Code::StrandedTablePath => Severity::Warning,
+            | Code::StrandedTablePath
+            | Code::PartitionWithoutRecovery => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -202,6 +209,9 @@ impl Code {
             }
             Code::StrandedTablePath => {
                 "the fault plan strands a route-table path on dead equipment"
+            }
+            Code::PartitionWithoutRecovery => {
+                "the plan cuts live node pairs while end-to-end recovery is disabled"
             }
         }
     }
@@ -331,6 +341,18 @@ impl Code {
                  or link. The network stays connected (otherwise HN-E013 fires), but \
                  packets on this path stall until graceful degradation regenerates the \
                  table — expect a rerouting transient at the named cycle."
+            }
+            Code::PartitionWithoutRecovery => {
+                "The kill schedule separates at least one pair of alive attached nodes \
+                 (HN-E013 names the cut) and the plan does not enable end-to-end \
+                 recovery (`recover attempts timeout retention`). Without it, flits \
+                 caught in flight at the cut wedge in dead equipment and the campaign's \
+                 delivery ledger cannot attribute them: losses show up as missing \
+                 packets, not as accounted permanent drops. With recovery enabled the \
+                 source retains every unacknowledged packet, retries across the \
+                 reconfigured network, and records a RecoveryExhausted drop when the \
+                 destination is truly unreachable — so delivered + permanent always \
+                 equals offered. Enable recovery, or expect an open ledger."
             }
         }
     }

@@ -1,4 +1,4 @@
-//! Fault-plan reachability analysis — `HN-E013` / `HN-W006`.
+//! Fault-plan reachability analysis — `HN-E013` / `HN-W006` / `HN-W007`.
 //!
 //! A fault campaign is only meaningful if delivery stays *possible*: once
 //! the cumulative kill schedule cuts the surviving routers into more than
@@ -14,6 +14,12 @@
 //! (`HN-W006`): the network is still connected, but packets pinned to the
 //! dead path stall until graceful degradation regenerates the table, so
 //! the campaign should expect a rerouting transient at the named cycle.
+//!
+//! Finally, a partitioning plan that also *disables* end-to-end recovery
+//! gets `HN-W007`: the cut losses are inevitable either way, but without
+//! the recovery layer they leave no per-packet drop record, so the
+//! campaign's delivery ledger (delivered + permanent == offered) cannot
+//! close.
 
 use std::collections::BTreeMap;
 
@@ -112,9 +118,9 @@ impl DeathMap {
     }
 }
 
-/// Island sizes (alive attached-node counts per connected component) of
-/// the alive subgraph at cycle `at`, largest first.
-fn islands(graph: &TopologyGraph, dm: &DeathMap, at: Cycle) -> Vec<usize> {
+/// Connected-component id per router (`usize::MAX` for dead routers) of
+/// the alive subgraph at cycle `at`.
+fn components(graph: &TopologyGraph, dm: &DeathMap, at: Cycle) -> Vec<usize> {
     let n = graph.num_routers();
     let mut comp = vec![usize::MAX; n];
     let mut next = 0;
@@ -145,16 +151,47 @@ fn islands(graph: &TopologyGraph, dm: &DeathMap, at: Cycle) -> Vec<usize> {
         }
         next += 1;
     }
+    comp
+}
+
+/// Island sizes (alive attached-node counts per connected component) of
+/// the alive subgraph at cycle `at`, largest first.
+fn islands(graph: &TopologyGraph, comp: &[usize]) -> Vec<usize> {
+    let next = comp
+        .iter()
+        .filter(|&&c| c != usize::MAX)
+        .max()
+        .map_or(0, |&c| c + 1);
     let mut sizes = vec![0usize; next];
     for a in graph.nodes() {
         let r = a.router.index();
-        if dm.router_alive(r, at) && comp[r] != usize::MAX {
+        if comp[r] != usize::MAX {
             sizes[comp[r]] += 1;
         }
     }
     let mut sizes: Vec<usize> = sizes.into_iter().filter(|&s| s > 0).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     sizes
+}
+
+/// First (lowest-id) pair of alive attached nodes in different alive
+/// components — a representative source the cut separates from a live
+/// destination.
+fn first_cut_pair(graph: &TopologyGraph, comp: &[usize]) -> Option<(usize, usize)> {
+    let alive: Vec<(usize, usize)> = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(n, a)| {
+            let c = comp[a.router.index()];
+            (c != usize::MAX).then_some((n, c))
+        })
+        .collect();
+    let (first, fc) = *alive.first()?;
+    alive
+        .iter()
+        .find(|&&(_, c)| c != fc)
+        .map(|&(n, _)| (first, n))
 }
 
 /// Runs the fault-plan reachability analysis.
@@ -179,7 +216,8 @@ pub fn analyze_fault_plan(
     let mut cycles: Vec<Cycle> = plan.sorted_hard().iter().map(|f| f.cycle).collect();
     cycles.dedup();
     for at in cycles {
-        let sizes = islands(graph, &dm, at);
+        let comp = components(graph, &dm, at);
+        let sizes = islands(graph, &comp);
         if sizes.len() > 1 {
             out.push(Diagnostic::new(
                 Code::FaultPartition,
@@ -196,6 +234,28 @@ pub fn analyze_fault_plan(
                         .join(", "),
                 ),
             ));
+            // The cut is fatal either way; without end-to-end recovery it
+            // is also *unaccounted* — flits in flight at the cut wedge in
+            // dead equipment with no per-packet drop record, so the
+            // campaign ledger cannot close (HN-W007).
+            if plan.recovery.is_none() {
+                if let Some((a, b)) = first_cut_pair(graph, &comp) {
+                    out.push(Diagnostic::new(
+                        Code::PartitionWithoutRecovery,
+                        Span::Route {
+                            src: heteronoc_noc::types::NodeId(a),
+                            dst: heteronoc_noc::types::NodeId(b),
+                        },
+                        format!(
+                            "live source n{a} is cut from live destination \
+                             n{b} at cycle {at} and the plan disables \
+                             end-to-end recovery; in-flight losses at the \
+                             cut will not appear in the delivery ledger \
+                             (add `recover` to the plan to account them)"
+                        ),
+                    ));
+                }
+            }
             break;
         }
         if sizes.is_empty() {
@@ -274,7 +334,7 @@ mod tests {
         let g = cfg.build_graph();
         let plan = plan_with(vec![kill_link(0, 100), kill_link(2, 100)]);
         let diags = analyze_fault_plan(&cfg, &g, &plan);
-        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags.len(), 2, "{diags:?}");
         assert_eq!(diags[0].code, Code::FaultPartition);
         assert!(
             diags[0].message.contains("cycle 100"),
@@ -282,6 +342,39 @@ mod tests {
             diags[0].message
         );
         assert!(diags[0].message.contains("63"), "{}", diags[0].message);
+        // No `recover` stanza: the cut losses are also unaccounted.
+        assert_eq!(diags[1].code, Code::PartitionWithoutRecovery);
+    }
+
+    #[test]
+    fn partition_with_recovery_enabled_skips_the_ledger_warning() {
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        let mut plan = plan_with(vec![kill_link(0, 100), kill_link(2, 100)]);
+        plan.recovery = Some(heteronoc_noc::fault::RecoveryPolicy::default());
+        let diags = analyze_fault_plan(&cfg, &g, &plan);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::FaultPartition);
+    }
+
+    #[test]
+    fn ledger_warning_names_a_concrete_cut_pair() {
+        // Isolating r0's node cuts n0 from every other node; the warning
+        // anchors to a representative route span.
+        let cfg = NetworkConfig::paper_baseline();
+        let g = cfg.build_graph();
+        let plan = plan_with(vec![kill_link(0, 100), kill_link(2, 100)]);
+        let diags = analyze_fault_plan(&cfg, &g, &plan);
+        let w = diags
+            .iter()
+            .find(|d| d.code == Code::PartitionWithoutRecovery)
+            .expect("HN-W007 fires");
+        assert!(
+            matches!(w.span, Span::Route { src, dst } if src != dst),
+            "{:?}",
+            w.span
+        );
+        assert!(w.message.contains("recover"), "{}", w.message);
     }
 
     #[test]
