@@ -23,6 +23,22 @@ pub mod rngs {
 use rngs::StdRng;
 
 impl StdRng {
+    /// Returns the raw xoshiro256++ state, for checkpoint serialization.
+    ///
+    /// Together with [`StdRng::from_state`] this makes the generator
+    /// resumable: a restored generator produces the exact stream the
+    /// original would have produced from this point on.
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`StdRng::state`].
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+
     #[inline]
     fn next(&mut self) -> u64 {
         // xoshiro256++ (Blackman & Vigna, public domain reference).

@@ -18,10 +18,12 @@
 //! points are scheduled, inserts as results arrive), so the file needs no
 //! locking beyond append-only writes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+use heteronoc_noc::checkpoint::Checkpoint;
 
 use crate::json::{self, Json};
 
@@ -156,6 +158,18 @@ impl CacheFileReport {
     }
 }
 
+/// Parses a content key's schema version, or `None` when the shape is not
+/// `v<digits>-<32 lowercase hex>`.
+fn key_schema(key: &str) -> Option<u32> {
+    let (version, hash) = key.strip_prefix('v')?.split_once('-')?;
+    let version = version.parse::<u32>().ok()?;
+    (hash.len() == 32
+        && hash
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()))
+    .then_some(version)
+}
+
 /// Classifies one cache line.
 pub fn classify_line(line: &str) -> LineVerdict {
     let Ok(entry) = json::parse(line) else {
@@ -167,27 +181,11 @@ pub fn classify_line(line: &str) -> LineVerdict {
     ) else {
         return LineVerdict::BadShape;
     };
-    // Expected key shape: v<digits>-<32 lowercase hex>.
-    let Some(rest) = key.strip_prefix('v') else {
-        return LineVerdict::BadShape;
-    };
-    let Some((version, hash)) = rest.split_once('-') else {
-        return LineVerdict::BadShape;
-    };
-    let Ok(version) = version.parse::<u32>() else {
-        return LineVerdict::BadShape;
-    };
-    if hash.len() != 32
-        || !hash
-            .bytes()
-            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
-    {
-        return LineVerdict::BadShape;
+    match key_schema(key) {
+        None => LineVerdict::BadShape,
+        Some(v) if v != SCHEMA_VERSION => LineVerdict::StaleSchema,
+        Some(_) => LineVerdict::Valid,
     }
-    if version != SCHEMA_VERSION {
-        return LineVerdict::StaleSchema;
-    }
-    LineVerdict::Valid
 }
 
 /// Audits every `*.jsonl` file under `dir` line by line. Missing or empty
@@ -230,13 +228,118 @@ pub fn verify_dir(dir: &Path) -> std::io::Result<Vec<CacheFileReport>> {
     Ok(reports)
 }
 
+/// Verdict classes for one `.ckpt` file in the cache directory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CkptVerdict {
+    /// Loads (header + CRC intact) and is named by a current-schema
+    /// content key that has no completed cache entry: a resumable
+    /// in-progress checkpoint.
+    Resumable {
+        /// The checkpointed simulation cycle.
+        cycle: u64,
+    },
+    /// Loads, but its content key already has a completed cache entry —
+    /// the run finished, so the checkpoint is dead weight (`--gc` deletes
+    /// these).
+    Orphaned {
+        /// The checkpointed simulation cycle.
+        cycle: u64,
+    },
+    /// Named by an older-schema or malformed key: it can never be matched
+    /// by a resume lookup (`--gc` deletes these).
+    StaleName,
+    /// Fails to load: truncated, bad magic/version, or a CRC mismatch
+    /// (`--gc` quarantines these as `.corrupt`).
+    Corrupt(String),
+}
+
+/// Audit result for one `.ckpt` file.
+#[derive(Clone, Debug)]
+pub struct CkptReport {
+    /// The audited checkpoint file.
+    pub path: PathBuf,
+    /// Its verdict.
+    pub verdict: CkptVerdict,
+}
+
+/// Content keys of every valid current-schema line across the `*.jsonl`
+/// files under `dir` — the set of *completed* points a checkpoint could be
+/// orphaned by.
+fn completed_keys(dir: &Path) -> std::io::Result<HashSet<String>> {
+    let mut keys = HashSet::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(keys),
+        Err(e) => return Err(e),
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.extension().is_none_or(|x| x != "jsonl") {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        for line in text.lines() {
+            if classify_line(line) != LineVerdict::Valid {
+                continue;
+            }
+            if let Some(key) = json::parse(line)
+                .ok()
+                .and_then(|e| e.get("key").and_then(Json::as_str).map(str::to_owned))
+            {
+                keys.insert(key);
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Audits every `<content_key>.ckpt` file under `dir`: CRC-checks each via
+/// [`Checkpoint::load`] and cross-references the completed-point cache to
+/// flag orphans. Missing directories audit clean (no files).
+///
+/// # Errors
+/// Propagates I/O failures reading the directory or the cache files.
+pub fn verify_checkpoints(dir: &Path) -> std::io::Result<Vec<CkptReport>> {
+    let completed = completed_keys(dir)?;
+    let mut reports = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(reports),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let verdict = if key_schema(&stem) != Some(SCHEMA_VERSION) {
+            CkptVerdict::StaleName
+        } else {
+            match Checkpoint::load(&path) {
+                Ok(c) if completed.contains(&stem) => CkptVerdict::Orphaned { cycle: c.cycle },
+                Ok(c) => CkptVerdict::Resumable { cycle: c.cycle },
+                Err(e) => CkptVerdict::Corrupt(e.to_string()),
+            }
+        };
+        reports.push(CkptReport { path, verdict });
+    }
+    Ok(reports)
+}
+
 /// What [`gc_dir`] did to one file.
 #[derive(Clone, Debug)]
 pub enum GcAction {
     /// File was clean; left untouched.
     Clean(PathBuf),
-    /// File held undecodable lines: renamed to `<name>.corrupt` so the
-    /// damage is preserved for inspection instead of silently read past.
+    /// File held undecodable lines (or a checkpoint failed its CRC):
+    /// renamed to `<name>.corrupt` so the damage is preserved for
+    /// inspection instead of silently read past.
     Quarantined {
         /// Original path.
         from: PathBuf,
@@ -252,11 +355,21 @@ pub enum GcAction {
         /// Lines dropped (stale schema or bad shape).
         dropped: usize,
     },
+    /// A checkpoint file was deleted (orphaned by a completed point, or
+    /// named by a stale/malformed key).
+    RemovedCheckpoint {
+        /// The deleted file.
+        path: PathBuf,
+        /// Why it was removed.
+        reason: String,
+    },
 }
 
 /// Garbage-collects the cache directory: files with undecodable lines are
 /// quarantined (renamed to `.corrupt`); files with only stale-schema or
-/// bad-shape lines are rewritten keeping the valid ones.
+/// bad-shape lines are rewritten keeping the valid ones. `.ckpt` files are
+/// swept too: corrupt ones are quarantined, stale-named and orphaned ones
+/// (their point already completed) deleted, resumable ones kept.
 ///
 /// # Errors
 /// Propagates I/O failures.
@@ -300,6 +413,38 @@ pub fn gc_dir(dir: &Path) -> std::io::Result<Vec<GcAction>> {
             kept: kept_lines.len(),
             dropped,
         });
+    }
+    for report in verify_checkpoints(dir)? {
+        match report.verdict {
+            CkptVerdict::Resumable { .. } => actions.push(GcAction::Clean(report.path)),
+            CkptVerdict::Orphaned { .. } => {
+                fs::remove_file(&report.path)?;
+                actions.push(GcAction::RemovedCheckpoint {
+                    path: report.path,
+                    reason: "point already completed".to_owned(),
+                });
+            }
+            CkptVerdict::StaleName => {
+                fs::remove_file(&report.path)?;
+                actions.push(GcAction::RemovedCheckpoint {
+                    path: report.path,
+                    reason: "stale or malformed content key".to_owned(),
+                });
+            }
+            CkptVerdict::Corrupt(_) => {
+                let mut name = report
+                    .path
+                    .file_name()
+                    .map_or_else(|| "ckpt".to_owned(), |n| n.to_string_lossy().into_owned());
+                name.push_str(".corrupt");
+                let to = report.path.with_file_name(name);
+                fs::rename(&report.path, &to)?;
+                actions.push(GcAction::Quarantined {
+                    from: report.path,
+                    to,
+                });
+            }
+        }
     }
     Ok(actions)
 }
@@ -390,6 +535,75 @@ mod tests {
             assert_eq!(classify_line(bad), LineVerdict::BadShape, "{bad}");
         }
         assert_eq!(classify_line("not json"), LineVerdict::Undecodable);
+    }
+
+    #[test]
+    fn checkpoint_audit_and_gc_cover_the_verdicts() {
+        let dir = std::env::temp_dir().join(format!("heteronoc-cache-ckpt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        let done_key = content_key("finished point");
+        let live_key = content_key("in-flight point");
+        // The cache records the finished point only.
+        fs::write(
+            dir.join("points.jsonl"),
+            format!("{{\"key\":\"{done_key}\",\"metrics\":{{}}}}\n"),
+        )
+        .unwrap();
+
+        let ckpt = Checkpoint {
+            config_hash: 1,
+            params_hash: 2,
+            cycle: 777,
+            body: vec![1, 2, 3],
+        };
+        ckpt.save(&dir.join(format!("{done_key}.ckpt"))).unwrap(); // orphaned
+        ckpt.save(&dir.join(format!("{live_key}.ckpt"))).unwrap(); // resumable
+        let stale_key = format!("v{}-{}", SCHEMA_VERSION - 1, "0".repeat(32));
+        ckpt.save(&dir.join(format!("{stale_key}.ckpt"))).unwrap(); // stale name
+        let torn = dir.join(format!("{}.ckpt", content_key("torn point")));
+        let mut bytes = ckpt.to_bytes();
+        bytes.truncate(bytes.len() - 2);
+        fs::write(&torn, bytes).unwrap(); // corrupt
+
+        let reports = verify_checkpoints(&dir).unwrap();
+        assert_eq!(reports.len(), 4);
+        let verdict = |key: &str| {
+            reports
+                .iter()
+                .find(|r| r.path.file_stem().unwrap().to_string_lossy() == key)
+                .map(|r| r.verdict.clone())
+                .unwrap()
+        };
+        assert_eq!(verdict(&done_key), CkptVerdict::Orphaned { cycle: 777 });
+        assert_eq!(verdict(&live_key), CkptVerdict::Resumable { cycle: 777 });
+        assert_eq!(verdict(&stale_key), CkptVerdict::StaleName);
+        assert!(matches!(
+            verdict(&content_key("torn point")),
+            CkptVerdict::Corrupt(_)
+        ));
+
+        let actions = gc_dir(&dir).unwrap();
+        let removed = actions
+            .iter()
+            .filter(|a| matches!(a, GcAction::RemovedCheckpoint { .. }))
+            .count();
+        assert_eq!(removed, 2, "{actions:?}");
+        assert!(!dir.join(format!("{done_key}.ckpt")).exists());
+        assert!(!dir.join(format!("{stale_key}.ckpt")).exists());
+        // The resumable checkpoint survives, still loadable.
+        let kept = dir.join(format!("{live_key}.ckpt"));
+        assert_eq!(Checkpoint::load(&kept).unwrap(), ckpt);
+        // The corrupt one is quarantined, not deleted.
+        assert!(!torn.exists());
+        assert!(torn
+            .with_file_name(format!(
+                "{}.corrupt",
+                torn.file_name().unwrap().to_string_lossy()
+            ))
+            .exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

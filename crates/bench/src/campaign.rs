@@ -28,6 +28,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use heteronoc::noc::config::NetworkConfig;
 use heteronoc::noc::fault::{FaultKind, FaultPlan, HardFault, RecoveryPolicy};
@@ -38,7 +40,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::cache::{content_key, ResultCache, SCHEMA_VERSION};
 use crate::json::{self, Json};
-use crate::sweep::parallel_map;
+use crate::sweep::parallel_map_until;
 
 /// Packet payload used by every campaign injection (matches the sweep's
 /// degradation points, so results are comparable).
@@ -320,6 +322,12 @@ pub struct CampaignOptions {
     /// stop with the manifest partially complete (CI uses this to test
     /// resume; `None` = run to completion).
     pub max_points: Option<usize>,
+    /// Cooperative-shutdown flag (set by the CLI's signal handler). When
+    /// it rises, workers stop drawing new points, in-flight points finish,
+    /// their results land in the manifest (flushed atomically), and the
+    /// campaign returns with [`CampaignOutcome::interrupted`] set — a
+    /// re-run resumes from the manifest exactly like after a crash.
+    pub shutdown: Option<Arc<AtomicBool>>,
 }
 
 /// Outcome of a campaign invocation: where each point's result came from
@@ -338,6 +346,9 @@ pub struct CampaignOutcome {
     pub from_manifest: usize,
     /// Points left pending by `max_points`.
     pub deferred: usize,
+    /// True when the shutdown flag rose mid-campaign: the run stopped
+    /// early with the manifest flushed, and undrawn points stayed pending.
+    pub interrupted: bool,
     /// The full manifest document as last written.
     pub doc: Json,
 }
@@ -402,19 +413,32 @@ pub fn run_campaign(
         }
         _ => 0,
     };
-    let simulated = pending.len();
-
     std::fs::create_dir_all(&opts.manifest_dir).map_err(|e| format!("manifest dir: {e}"))?;
     // Write an initial manifest so even a campaign killed inside its
     // first batch leaves a resumable fingerprinted state behind.
     let mut doc = manifest_doc(spec, &fingerprint, &points, &keys, &results);
     write_atomic(&manifest_path, &doc)?;
 
+    let stop = opts.shutdown.as_deref();
+    let stopped = || stop.is_some_and(|s| s.load(Ordering::SeqCst));
+    let mut interrupted = false;
+    let mut simulated = 0usize;
     let batch = opts.jobs.max(2) * 2;
     for chunk in pending.chunks(batch) {
+        if stopped() {
+            interrupted = true;
+            break;
+        }
         let specs: Vec<&CampaignPoint> = chunk.iter().map(|&i| &points[i]).collect();
-        let metrics = parallel_map(opts.jobs, specs, run_campaign_point);
+        let metrics = parallel_map_until(opts.jobs, specs, stop, run_campaign_point);
         for (&i, m) in chunk.iter().zip(metrics) {
+            // `None` = the shutdown flag rose before the point was drawn;
+            // it stays pending in the manifest and a re-run retries it.
+            let Some(m) = m else {
+                interrupted = true;
+                continue;
+            };
+            simulated += 1;
             if let Some(c) = &mut cache {
                 // Failed points are never cached: a re-run retries them.
                 if m.get("error") == Some(&Json::Null) {
@@ -424,6 +448,8 @@ pub fn run_campaign(
             }
             results[i] = Some(m);
         }
+        // Flush even (especially) when interrupted: every finished
+        // in-flight point must land in the manifest before we return.
         doc = manifest_doc(spec, &fingerprint, &points, &keys, &results);
         write_atomic(&manifest_path, &doc)?;
     }
@@ -435,6 +461,7 @@ pub fn run_campaign(
         from_cache,
         from_manifest,
         deferred,
+        interrupted,
         doc,
     })
 }
@@ -700,7 +727,34 @@ mod tests {
             cache_dir,
             manifest_dir,
             max_points: None,
+            shutdown: None,
         }
+    }
+
+    #[test]
+    fn raised_shutdown_flag_stops_before_dispatch_and_flushes_the_manifest() {
+        let spec = tiny_spec("shutdown");
+        let flag = Arc::new(AtomicBool::new(true));
+        let first = CampaignOptions {
+            use_cache: false,
+            shutdown: Some(Arc::clone(&flag)),
+            ..opts("shutdown")
+        };
+        let o1 = run_campaign(&spec, &first).unwrap();
+        assert!(o1.interrupted);
+        assert_eq!(o1.simulated, 0);
+        // The fingerprinted manifest flushed with every point pending.
+        assert!(o1.manifest_path.exists());
+        assert_eq!(o1.doc.get("completed").and_then(Json::as_u64), Some(0));
+        // Lowering the flag resumes from that manifest and completes.
+        let second = CampaignOptions {
+            shutdown: None,
+            ..first.clone()
+        };
+        let o2 = run_campaign(&spec, &second).unwrap();
+        assert!(!o2.interrupted);
+        assert_eq!(o2.simulated, 3);
+        assert_eq!(o2.doc.get("completed").and_then(Json::as_u64), Some(3));
     }
 
     #[test]

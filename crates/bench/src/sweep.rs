@@ -26,15 +26,17 @@
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
+use heteronoc::noc::checkpoint::{config_hash, Checkpoint};
 use heteronoc::noc::config::NetworkConfig;
 use heteronoc::noc::error::ConfigError;
 use heteronoc::noc::fault::FaultPlan;
 use heteronoc::noc::metrics::EpochSample;
 use heteronoc::noc::network::Network;
-use heteronoc::noc::sim::{SimParams, SimRun, Traffic, UniformRandom};
+use heteronoc::noc::sim::{params_hash, SimError, SimParams, SimRun, Traffic, UniformRandom};
 use heteronoc::noc::types::{Bits, Cycle, NodeId};
 use heteronoc::power::NetworkPower;
 use heteronoc::traffic::patterns::{
@@ -431,6 +433,16 @@ pub struct SweepOptions {
     pub use_cache: bool,
     /// Cache directory (default `results/cache/`).
     pub cache_dir: PathBuf,
+    /// Cooperative-shutdown flag (set by the CLI's signal handler). When
+    /// it rises, workers stop drawing new points; in-flight points finish
+    /// — or checkpoint and bail, if `checkpoint_every` is set — and the
+    /// cache and result file still flush.
+    pub shutdown: Option<Arc<AtomicBool>>,
+    /// Auto-checkpoint open-loop points every N cycles into
+    /// `<cache_dir>/<content_key>.ckpt`. A pending point with a matching
+    /// valid checkpoint resumes from it instead of re-simulating from
+    /// cycle 0; completed points delete their checkpoint.
+    pub checkpoint_every: Option<Cycle>,
 }
 
 impl Default for SweepOptions {
@@ -439,6 +451,8 @@ impl Default for SweepOptions {
             jobs: default_jobs(),
             use_cache: !matches!(std::env::var("HETERONOC_NO_CACHE"), Ok(v) if v == "1"),
             cache_dir: results_dir().join("cache"),
+            shutdown: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -501,6 +515,10 @@ pub struct SweepOutcome {
     pub cache_hits: usize,
     /// Points actually simulated this run.
     pub simulated: usize,
+    /// Points never started because the shutdown flag rose (their grid
+    /// slots carry an `interrupted` error and are not cached, so a re-run
+    /// retries them).
+    pub interrupted: usize,
     /// Wall-clock seconds for the whole sweep.
     pub wall_secs: f64,
 }
@@ -531,6 +549,7 @@ impl SweepOutcome {
             ("num_points", int(self.points.len() as u64)),
             ("cache_hits", int(self.cache_hits as u64)),
             ("simulated", int(self.simulated as u64)),
+            ("interrupted", int(self.interrupted as u64)),
             ("cache_hit_rate", Json::Num(self.cache_hit_rate())),
             ("wall_secs", Json::Num(self.wall_secs)),
             ("points", self.points_json()),
@@ -630,9 +649,19 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
     }
     let pending = gated;
 
-    let simulated = pending.len();
-    let computed = parallel_map(opts.jobs, pending, |(i, spec)| (i, run_point(spec)));
-    for (i, metrics) in computed {
+    let scheduled = pending.len();
+    let stop = opts.shutdown.clone();
+    let labels: Vec<(usize, String)> = pending
+        .iter()
+        .map(|&(i, spec)| (i, spec.label.clone()))
+        .collect();
+    let computed = parallel_map_until(opts.jobs, pending, stop.as_deref(), |(i, spec)| {
+        (i, run_point_ctx(spec, &point_ctx(&keys[i], opts)))
+    });
+    let mut simulated = 0usize;
+    for slot in computed.into_iter().flatten() {
+        let (i, metrics) = slot;
+        simulated += 1;
         if let Some(c) = cache.as_mut() {
             // Failures are not cached: a re-run should retry them.
             if metrics.error.is_none() {
@@ -640,6 +669,17 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
             }
         }
         results[i] = Some(metrics);
+    }
+    // Points the shutdown flag kept from starting: record them as
+    // interrupted so the grid stays complete; never cached.
+    let interrupted = scheduled - simulated;
+    for (i, label) in labels {
+        if results[i].is_none() {
+            results[i] = Some(PointMetrics::failed(
+                label,
+                "interrupted: shutdown requested before the point started".to_owned(),
+            ));
+        }
     }
 
     Ok(SweepOutcome {
@@ -651,8 +691,26 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
             .collect(),
         cache_hits,
         simulated,
+        interrupted,
         wall_secs: start.elapsed().as_secs_f64(),
     })
+}
+
+/// Per-point execution context: where to checkpoint (if anywhere) and the
+/// cooperative-shutdown flag to hand the simulator.
+#[derive(Clone, Debug, Default)]
+struct PointCtx {
+    ckpt: Option<(PathBuf, Cycle)>,
+    shutdown: Option<Arc<AtomicBool>>,
+}
+
+fn point_ctx(key: &str, opts: &SweepOptions) -> PointCtx {
+    PointCtx {
+        ckpt: opts
+            .checkpoint_every
+            .map(|every| (opts.cache_dir.join(format!("{key}.ckpt")), every)),
+        shutdown: opts.shutdown.clone(),
+    }
 }
 
 /// Maximum execution attempts per point: a panicking first attempt gets
@@ -665,7 +723,13 @@ const MAX_POINT_ATTEMPTS: u64 = 2;
 /// [`PointMetrics::error`]. A panic is retried once; typed errors are
 /// deterministic and fail immediately.
 pub fn run_point(spec: &PointSpec) -> PointMetrics {
-    run_point_with(spec, || execute(&spec.config, &spec.kind))
+    run_point_ctx(spec, &PointCtx::default())
+}
+
+/// [`run_point`] with a checkpoint/shutdown context (the sweep engine's
+/// entry point).
+fn run_point_ctx(spec: &PointSpec, ctx: &PointCtx) -> PointMetrics {
+    run_point_with(spec, || execute(&spec.config, &spec.kind, ctx))
 }
 
 /// [`run_point`] with the execution body injected (unit tests substitute
@@ -705,7 +769,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, String> {
+fn execute(
+    config: &NetworkConfig,
+    kind: &PointKind,
+    ctx: &PointCtx,
+) -> Result<PointMetrics, String> {
     match kind {
         PointKind::OpenLoop {
             params,
@@ -715,6 +783,7 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
         } => {
             let graph = config.build_graph();
             let nodes = graph.num_nodes();
+            let cfg_hash = config_hash(config);
             let net = match faults {
                 Some(plan) => Network::with_faults(config.clone(), plan.clone()),
                 None => Network::new(config.clone()),
@@ -725,7 +794,39 @@ fn execute(config: &NetworkConfig, kind: &PointKind) -> Result<PointMetrics, Str
             if let Some(every) = epochs {
                 run = run.epochs(*every);
             }
-            let out = run.run().map_err(|e| e.to_string())?;
+            let mut ckpt_path = None;
+            if let Some((path, every)) = &ctx.ckpt {
+                run = run.checkpoint_every(path.clone(), *every);
+                ckpt_path = Some(path.clone());
+                // Resume a prior interrupted attempt when its checkpoint
+                // still matches this spec; anything incompatible or
+                // unreadable is ignored (a fresh run overwrites it).
+                if let Ok(c) = Checkpoint::load(path) {
+                    if c.check_compat(cfg_hash, params_hash(params)).is_ok() {
+                        run = run.resume_from(c);
+                    }
+                }
+            }
+            if let Some(flag) = &ctx.shutdown {
+                run = run.shutdown_flag(Arc::clone(flag));
+            }
+            let out = match run.run() {
+                Ok(out) => out,
+                Err(SimError::Interrupted { cycle, checkpoint }) => {
+                    return Err(match checkpoint {
+                        Some(p) => format!(
+                            "interrupted at cycle {cycle}; checkpoint saved to {}",
+                            p.display()
+                        ),
+                        None => format!("interrupted at cycle {cycle}"),
+                    });
+                }
+                Err(e) => return Err(e.to_string()),
+            };
+            // The point finished: its checkpoint (if any) is dead weight.
+            if let Some(path) = ckpt_path {
+                let _ = std::fs::remove_file(path);
+            }
             let power_w = NetworkPower::paper_calibrated()
                 .evaluate(config, &graph, &out.stats)
                 .total_w();
@@ -931,9 +1032,34 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_until(jobs, items, None, f)
+        .into_iter()
+        .map(|r| r.expect("no stop flag: every item runs"))
+        .collect()
+}
+
+/// [`parallel_map`] with a cooperative stop flag: workers check `stop`
+/// before drawing each item and quit once it rises, so in-flight items
+/// always finish while undrawn ones come back as `None` (in input order).
+/// With `stop = None` the behavior is exactly [`parallel_map`]'s.
+pub fn parallel_map_until<T, R, F>(
+    jobs: usize,
+    items: Vec<T>,
+    stop: Option<&AtomicBool>,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let stopped = || stop.is_some_and(|s| s.load(Ordering::SeqCst));
     let n = items.len();
     if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .map(|item| (!stopped()).then(|| f(item)))
+            .collect();
     }
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -942,8 +1068,12 @@ where
             let tx = tx.clone();
             let queue = &queue;
             let f = &f;
+            let stopped = &stopped;
             s.spawn(move || {
                 loop {
+                    if stopped() {
+                        return;
+                    }
                     let next = queue.lock().expect("queue lock").pop_front();
                     let Some((i, item)) = next else { return };
                     // A disconnected receiver means the coordinator gave
@@ -959,9 +1089,7 @@ where
         for (i, r) in rx {
             out[i] = Some(r);
         }
-        out.into_iter()
-            .map(|r| r.expect("worker delivered every drawn item"))
-            .collect()
+        out
     })
 }
 
@@ -1048,12 +1176,127 @@ mod tests {
             jobs: 1,
             use_cache: false,
             cache_dir: std::env::temp_dir(),
+            shutdown: None,
+            checkpoint_every: None,
         };
         let outcome = run_sweep(&sweep, &opts).unwrap();
         assert_eq!(outcome.simulated, 0, "gate must fire before simulation");
         let err = outcome.points[0].error.as_deref().unwrap();
         assert!(err.starts_with("lint:"), "{err}");
         assert!(err.contains("HN-E011"), "{err}");
+    }
+
+    fn open_loop_spec(tag: &str) -> PointSpec {
+        PointSpec {
+            label: format!("{tag}|ur|s7|r0.02"),
+            config: NetworkConfig::paper_baseline(),
+            kind: PointKind::OpenLoop {
+                params: SimParams {
+                    injection_rate: 0.02,
+                    warmup_packets: 20,
+                    measure_packets: 100,
+                    max_cycles: 100_000,
+                    seed: 7,
+                    process: heteronoc::noc::sim::InjectionProcess::Bernoulli,
+                    watchdog: None,
+                },
+                traffic: TrafficSpec::Uniform,
+                faults: None,
+                epochs: None,
+            },
+        }
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("heteronoc-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn raised_shutdown_flag_interrupts_undrawn_points() {
+        let mut sweep = Sweep::new("shutdown-probe");
+        sweep.push(open_loop_spec("a"));
+        sweep.push(open_loop_spec("b"));
+        let flag = Arc::new(AtomicBool::new(true));
+        let opts = SweepOptions {
+            jobs: 1,
+            use_cache: false,
+            cache_dir: scratch_dir("shutdown"),
+            shutdown: Some(Arc::clone(&flag)),
+            checkpoint_every: None,
+        };
+        let out = run_sweep(&sweep, &opts).unwrap();
+        assert_eq!(out.simulated, 0);
+        assert_eq!(out.interrupted, 2);
+        for p in &out.points {
+            let err = p.error.as_deref().unwrap();
+            assert!(err.contains("interrupted"), "{err}");
+        }
+        // Lowering the flag lets the same sweep complete.
+        flag.store(false, Ordering::SeqCst);
+        let out = run_sweep(&sweep, &opts).unwrap();
+        assert_eq!(out.simulated, 2);
+        assert_eq!(out.interrupted, 0);
+        assert!(out.points.iter().all(|p| p.error.is_none()));
+    }
+
+    #[test]
+    fn sweep_resumes_a_point_from_its_checkpoint_and_deletes_it_on_completion() {
+        use heteronoc::noc::sim::{Stepper, UniformRandom};
+
+        let spec = open_loop_spec("ckpt");
+        let PointKind::OpenLoop { params, .. } = &spec.kind else {
+            unreachable!()
+        };
+
+        // Reference: the point simulated fresh, no checkpointing.
+        let mut fresh = Sweep::new("ckpt-fresh");
+        fresh.push(spec.clone());
+        let fresh_out = run_sweep(
+            &fresh,
+            &SweepOptions {
+                jobs: 1,
+                use_cache: false,
+                cache_dir: scratch_dir("ckpt-fresh"),
+                shutdown: None,
+                checkpoint_every: None,
+            },
+        )
+        .unwrap();
+
+        // Plant a genuine mid-run checkpoint at the key the sweep derives.
+        let cache_dir = scratch_dir("ckpt-resume");
+        std::fs::create_dir_all(&cache_dir).unwrap();
+        let net = Network::new(spec.config.clone()).unwrap();
+        let mut stepper = Stepper::fresh(net, *params, Box::new(UniformRandom));
+        stepper.run_to(150).unwrap();
+        let ckpt_path = cache_dir.join(format!("{}.ckpt", spec.content_key()));
+        stepper.checkpoint().save(&ckpt_path).unwrap();
+
+        let mut resumed = Sweep::new("ckpt-resumed");
+        resumed.push(spec);
+        let resumed_out = run_sweep(
+            &resumed,
+            &SweepOptions {
+                jobs: 1,
+                use_cache: false,
+                cache_dir,
+                shutdown: None,
+                checkpoint_every: Some(1_000_000), // periodic saves never fire
+            },
+        )
+        .unwrap();
+
+        // Resuming mid-run must not change the measured physics one bit…
+        assert_eq!(
+            fresh_out.points_json().to_string(),
+            resumed_out.points_json().to_string(),
+            "a resumed point must be byte-identical to a fresh one"
+        );
+        // …and the completed point cleans its checkpoint up.
+        assert!(!ckpt_path.exists(), "completed point must delete its .ckpt");
     }
 
     #[test]

@@ -120,6 +120,8 @@ fn parallel_sweep_output_is_byte_identical_to_serial() {
             jobs: 1,
             use_cache: false,
             cache_dir: scratch_cache_dir("serial"),
+            shutdown: None,
+            checkpoint_every: None,
         },
     )
     .expect("serial sweep");
@@ -129,6 +131,8 @@ fn parallel_sweep_output_is_byte_identical_to_serial() {
             jobs: 4,
             use_cache: false,
             cache_dir: scratch_cache_dir("parallel"),
+            shutdown: None,
+            checkpoint_every: None,
         },
     )
     .expect("parallel sweep");
@@ -149,6 +153,8 @@ fn second_run_is_fully_cached() {
         jobs: 2,
         use_cache: true,
         cache_dir: cache_dir.clone(),
+        shutdown: None,
+        checkpoint_every: None,
     };
 
     let first = run_sweep(&sweep, &opts).expect("first run");
@@ -186,6 +192,8 @@ fn no_cache_option_forces_resimulation() {
             jobs: 1,
             use_cache: true,
             cache_dir: cache_dir.clone(),
+            shutdown: None,
+            checkpoint_every: None,
         },
     )
     .expect("warm-up run");
@@ -197,6 +205,8 @@ fn no_cache_option_forces_resimulation() {
             jobs: 1,
             use_cache: false,
             cache_dir: cache_dir.clone(),
+            shutdown: None,
+            checkpoint_every: None,
         },
     )
     .expect("bypass run");
@@ -219,6 +229,8 @@ fn invalid_point_fails_fast_before_any_simulation() {
             jobs: 1,
             use_cache: false,
             cache_dir: scratch_cache_dir("invalid"),
+            shutdown: None,
+            checkpoint_every: None,
         },
     );
     assert!(err.is_err(), "invalid configs must be rejected up front");

@@ -10,6 +10,7 @@
 //! ```
 
 mod args;
+mod signals;
 
 use std::process::ExitCode;
 
@@ -43,7 +44,39 @@ COMMANDS
                                     (default cli_sweep)
                --epochs N           record an epoch time-series every N cycles per
                                     point, embedded in results/<name>.json
+               --checkpoint-every N checkpoint long points every N cycles so an
+                                    interrupted sweep resumes mid-point
+                                    (default 200000; 0 disables)
                --profile            print per-point wall-time breakdown
+  run        one crash-safe open-loop run with periodic checkpointing and
+             cooperative SIGINT/SIGTERM shutdown (exit code 130/143; the
+             final checkpoint is flushed first, so `--resume` continues the
+             run byte-identically)
+               --layout <name>      (default baseline)
+               --pattern, --rate, --packets, --seed as for sweep
+               --checkpoint-dir <d> checkpoint directory
+                                    (default results/checkpoints)
+               --checkpoint-every N checkpoint interval in cycles
+                                    (default 50000)
+               --resume             resume from this run's checkpoint if one
+                                    exists (deleted again on completion)
+               --trace <file>       JSONL flit trace; on --resume the file is
+                                    truncated to the checkpointed cursor and
+                                    continued byte-identically
+  replay     bisect the first diverging cycle between two trajectories of
+             one configured run: two checkpoints, or a checkpoint vs a
+             fresh replay from cycle 0 (exits non-zero on divergence and
+             prints a field-level report)
+               --a <file>           checkpoint for trajectory A
+               --b <file>           checkpoint for trajectory B (omit either
+                                    for a fresh-from-0 trajectory)
+               --layout/--pattern/--rate/--packets/--seed
+                                    must match the checkpoints' original run
+                                    (enforced via the header hashes)
+               --horizon N          search window end cycle
+                                    (default: later start + 50000)
+               --max-fields N       field diffs reported at the diverging
+                                    cycle (default 16)
   compare    all seven layouts at one load point
                --pattern, --rate, --packets, --seed as above
   audit      resource audit of every layout (Table 1 accounting)
@@ -83,6 +116,9 @@ COMMANDS
                --rates a,b,c        injection rates for the credit-sizing pass
                                     (default 0.01,0.02,0.03,0.04,0.05)
                --plan <file>        also run fault-plan reachability on this plan
+               --checkpoint-every N with --watchdog: warn (HN-W008) when the
+               --watchdog N         checkpoint interval exceeds the
+                                    progress-watchdog window
                --baseline           also lint iso-resource budgets against the
                                     homogeneous baseline (paper layouts only)
                --json               emit a JSON array of per-config reports
@@ -123,10 +159,14 @@ COMMANDS
                --name <name>        manifest results/campaigns/<name>.json
                                     (default cli_campaign)
   cache      result-cache maintenance for results/cache/
-               --verify             audit every cache file line by line and
-                                    exit non-zero when any line is invalid
+               --verify             audit every cache file line by line, CRC-
+                                    check every *.ckpt checkpoint, and exit
+                                    non-zero when anything is invalid
                --gc                 quarantine undecodable files (renamed to
-                                    *.corrupt) and prune stale-schema lines
+                                    *.corrupt), prune stale-schema lines, and
+                                    sweep checkpoints: corrupt ones are
+                                    quarantined; orphaned (point already
+                                    completed) and stale-named ones deleted
 
 LAYOUTS  baseline, center-b, row25-b, diagonal-b, center-bl, row25-bl, diagonal-bl
 WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
@@ -278,9 +318,14 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         }
         sweep = sweep.with_epochs(every);
     }
+    // Long points checkpoint periodically into the cache dir; an
+    // interrupted sweep (SIGINT/SIGTERM) resumes them mid-point next run.
+    let ckpt_every = a.get_or("checkpoint-every", 200_000u64)?;
     let opts = SweepOptions {
         jobs,
         use_cache: !a.flag("no-cache"),
+        shutdown: Some(signals::install()),
+        checkpoint_every: (ckpt_every > 0).then_some(ckpt_every),
         ..SweepOptions::default()
     };
     println!(
@@ -344,8 +389,218 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         outcome.cache_hits,
         100.0 * outcome.cache_hit_rate()
     );
+    if outcome.interrupted > 0 {
+        println!(
+            "{} point(s) interrupted by shutdown; completed work is cached and \
+             in-flight points checkpointed — re-run the same sweep to resume",
+            outcome.interrupted
+        );
+    }
     println!("json: {}", json_path.display());
     Ok(())
+}
+
+/// `heteronoc run`: one crash-safe open-loop run — periodic atomic
+/// checkpoints, cooperative SIGINT/SIGTERM shutdown (final checkpoint
+/// flushed, exit 130/143), and `--resume` continuing byte-identically.
+fn cmd_run(a: &Args) -> Result<(), String> {
+    use heteronoc::noc::checkpoint::{config_hash, Checkpoint};
+    use heteronoc::noc::sim::{checkpoint_trace_cursor, params_hash, SimError};
+    use heteronoc::noc::trace::JsonlSink;
+    use std::io::{BufWriter, Seek, SeekFrom};
+
+    let layout = layout_by_name(a.get("layout").unwrap_or("baseline"))?;
+    let pattern = a.get("pattern").unwrap_or("ur").to_owned();
+    let rate = a.get_or("rate", 0.02f64)?;
+    let packets = a.get_or("packets", 5_000u64)?;
+    let seed = a.get_or("seed", 42u64)?;
+    let p = params(rate, packets, seed);
+    let cfg = mesh_config(&layout);
+
+    let dir = a
+        .get("checkpoint-dir")
+        .unwrap_or("results/checkpoints")
+        .to_owned();
+    let every: u64 = a.get_or("checkpoint-every", 50_000u64)?;
+    if every == 0 {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create '{dir}': {e}"))?;
+    // One deterministic checkpoint path per run identity, so `--resume`
+    // finds the interrupted run's file without bookkeeping.
+    let ckpt_path = std::path::Path::new(&dir).join(format!(
+        "run-{}-{pattern}-r{rate}-p{packets}-s{seed}.ckpt",
+        layout.name()
+    ));
+
+    // Load the checkpoint (if resuming) before building the run: the trace
+    // sink's continuation cursor comes out of the checkpoint body.
+    let resume = if a.flag("resume") && ckpt_path.exists() {
+        let ckpt =
+            Checkpoint::load(&ckpt_path).map_err(|e| format!("{}: {e}", ckpt_path.display()))?;
+        ckpt.check_compat(config_hash(&cfg), params_hash(&p))
+            .map_err(|e| {
+                format!(
+                    "{}: {e} (pass the same --layout/--pattern/--rate/--packets/--seed \
+                 as the original run)",
+                    ckpt_path.display()
+                )
+            })?;
+        Some(ckpt)
+    } else {
+        if a.flag("resume") {
+            println!("no checkpoint at {}; starting fresh", ckpt_path.display());
+        }
+        None
+    };
+
+    let net = Network::new(cfg).map_err(|e| e.to_string())?;
+    let mut traffic = pattern_by_name(&pattern)?;
+    let flag = signals::install();
+    let mut run = SimRun::new(net, p)
+        .traffic(traffic.as_mut())
+        .checkpoint_every(&ckpt_path, every)
+        .shutdown_flag(flag);
+
+    if let Some(trace_path) = a.get("trace") {
+        if let Some(parent) = std::path::Path::new(trace_path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        let cursor = match &resume {
+            Some(ckpt) => checkpoint_trace_cursor(ckpt)
+                .map_err(|e| format!("{}: {e}", ckpt_path.display()))?,
+            None => None,
+        };
+        let sink: Box<dyn heteronoc::noc::trace::TraceSink> = match cursor {
+            Some(cursor) => {
+                // Truncate to the bytes the interrupted run had durably
+                // emitted by the checkpointed cycle, then append: the
+                // combined trace equals an uninterrupted run's.
+                let mut f = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(trace_path)
+                    .map_err(|e| format!("cannot open '{trace_path}': {e}"))?;
+                f.set_len(cursor)
+                    .map_err(|e| format!("cannot truncate '{trace_path}': {e}"))?;
+                f.seek(SeekFrom::End(0)).map_err(|e| e.to_string())?;
+                Box::new(JsonlSink::resumed(BufWriter::new(f), cursor))
+            }
+            None => {
+                let f = std::fs::File::create(trace_path)
+                    .map_err(|e| format!("cannot create '{trace_path}': {e}"))?;
+                Box::new(JsonlSink::new(BufWriter::new(f)))
+            }
+        };
+        run = run.trace(sink);
+    }
+
+    let resumed_at = resume.as_ref().map(|c| c.cycle);
+    if let Some(ckpt) = resume {
+        run = run.resume_from(ckpt);
+    }
+
+    match run.run() {
+        Ok(out) => {
+            println!(
+                "layout {} · pattern {pattern} · rate {rate}{} · {} packets · {} cycles · latency {:.2} ns",
+                layout.name(),
+                resumed_at.map_or(String::new(), |c| format!(" · resumed from cycle {c}")),
+                out.stats.packets_retired,
+                out.cycles,
+                out.latency_ns()
+            );
+            // The run completed; its checkpoint is dead weight now.
+            if ckpt_path.exists() {
+                std::fs::remove_file(&ckpt_path).map_err(|e| e.to_string())?;
+                println!("checkpoint {} removed (run complete)", ckpt_path.display());
+            }
+            Ok(())
+        }
+        Err(SimError::Interrupted { cycle, checkpoint }) => {
+            // Not an error for the harness: the state is durable. `main`
+            // still exits 130/143 via the recorded signal.
+            match checkpoint {
+                Some(path) => println!(
+                    "interrupted at cycle {cycle}; checkpoint {} (re-run with --resume to continue)",
+                    path.display()
+                ),
+                None => println!("interrupted at cycle {cycle}"),
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// `heteronoc replay`: bisect the first diverging cycle between two
+/// trajectories of one configured run and print the field-level report.
+fn cmd_replay(a: &Args) -> Result<(), String> {
+    use heteronoc::noc::checkpoint::{config_hash, Checkpoint};
+    use heteronoc::noc::replay::{ReplayDriver, Trajectory};
+    use heteronoc::noc::sim::params_hash;
+
+    let layout = layout_by_name(a.get("layout").unwrap_or("baseline"))?;
+    let pattern = a.get("pattern").unwrap_or("ur").to_owned();
+    let rate = a.get_or("rate", 0.02f64)?;
+    let packets = a.get_or("packets", 5_000u64)?;
+    let seed = a.get_or("seed", 42u64)?;
+    let p = params(rate, packets, seed);
+    let cfg = mesh_config(&layout);
+
+    let load = |key: &str| -> Result<Trajectory, String> {
+        match a.get(key) {
+            None => Ok(Trajectory::Fresh),
+            Some(path) => {
+                let ckpt = Checkpoint::load(std::path::Path::new(path))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                ckpt.check_compat(config_hash(&cfg), params_hash(&p))
+                    .map_err(|e| {
+                        format!(
+                            "{path}: {e} (pass the same --layout/--pattern/--rate/\
+                         --packets/--seed as the checkpoint's original run)"
+                        )
+                    })?;
+                Ok(Trajectory::Resumed(ckpt))
+            }
+        }
+    };
+    let ta = load("a")?;
+    let tb = load("b")?;
+    if matches!((&ta, &tb), (Trajectory::Fresh, Trajectory::Fresh)) {
+        return Err("replay wants at least one checkpoint (--a <file> and/or --b <file>)".into());
+    }
+    let start = ta.start().max(tb.start());
+    let horizon = a.get_or("horizon", start + 50_000)?.max(start);
+    let max_fields = a.get_or("max-fields", 16usize)?;
+
+    println!(
+        "replay: layout {} · pattern {pattern} · rate {rate} · seed {seed} · \
+         window [{start}, {horizon}]",
+        layout.name()
+    );
+    let driver = ReplayDriver::new(
+        p,
+        || Network::new(mesh_config(&layout)).expect("the same configuration built above"),
+        || pattern_by_name(&pattern).expect("the pattern name validated above"),
+    );
+    match driver
+        .first_divergence(&ta, &tb, horizon, max_fields)
+        .map_err(|e| e.to_string())?
+    {
+        None => {
+            println!("no divergence: the trajectories agree over the whole window");
+            Ok(())
+        }
+        Some(report) => {
+            print!("{report}");
+            Err(format!("trajectories diverge at cycle {}", report.cycle))
+        }
+    }
 }
 
 /// `heteronoc trace`: one traced open-loop run (or `--check` validation of
@@ -786,6 +1041,18 @@ fn cmd_lint(a: &Args) -> Result<(), String> {
             .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
         opts.fault_plan = Some(FaultPlan::from_text(&text).map_err(|e| format!("{path}: {e}"))?);
     }
+    if let Some(v) = a.get("checkpoint-every") {
+        opts.checkpoint_every = Some(
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --checkpoint-every"))?,
+        );
+    }
+    if let Some(v) = a.get("watchdog") {
+        opts.watchdog = Some(
+            v.parse()
+                .map_err(|_| format!("invalid value '{v}' for --watchdog"))?,
+        );
+    }
     let against_baseline = a.flag("baseline");
 
     // (name, config, is a paper mesh layout) — the budget lint only makes
@@ -1085,6 +1352,7 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
             ),
             None => None,
         },
+        shutdown: Some(signals::install()),
     };
     println!(
         "campaign '{}': {} layout(s) x kills {:?} x {} plan(s)/cell · recovery {} · {} worker(s) · cache {}",
@@ -1110,6 +1378,12 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
         outcome.from_manifest,
         outcome.deferred
     );
+    if outcome.interrupted {
+        println!(
+            "campaign interrupted by shutdown; the manifest is flushed and \
+             unfinished points stay pending — re-run the same campaign to resume"
+        );
+    }
     print!("{}", render_campaign(&outcome.doc)?);
     println!("manifest: {}", outcome.manifest_path.display());
     Ok(())
@@ -1118,7 +1392,7 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
 /// `heteronoc cache`: result-cache maintenance (audit and garbage
 /// collection of `results/cache/`).
 fn cmd_cache(a: &Args) -> Result<(), String> {
-    use heteronoc_bench::cache::{gc_dir, verify_dir, GcAction};
+    use heteronoc_bench::cache::{gc_dir, verify_checkpoints, verify_dir, CkptVerdict, GcAction};
     use heteronoc_bench::results_dir;
 
     let dir = results_dir().join("cache");
@@ -1141,30 +1415,59 @@ fn cmd_cache(a: &Args) -> Result<(), String> {
                     "pruned      {} ({kept} kept, {dropped} dropped)",
                     path.display()
                 ),
+                GcAction::RemovedCheckpoint { path, reason } => {
+                    println!("removed     {} ({reason})", path.display());
+                }
             }
         }
         return Ok(());
     }
     let reports = verify_dir(&dir).map_err(|e| format!("cache verify: {e}"))?;
-    if reports.is_empty() {
+    let ckpts = verify_checkpoints(&dir).map_err(|e| format!("cache verify: {e}"))?;
+    if reports.is_empty() && ckpts.is_empty() {
         println!("cache is empty: {}", dir.display());
         return Ok(());
     }
     let mut dirty = false;
-    println!(
-        "{:<40}{:>8}{:>8}{:>10}{:>12}",
-        "file", "valid", "stale", "bad-shape", "undecodable"
-    );
-    for r in &reports {
+    if !reports.is_empty() {
+        println!(
+            "{:<40}{:>8}{:>8}{:>10}{:>12}",
+            "file", "valid", "stale", "bad-shape", "undecodable"
+        );
+        for r in &reports {
+            let name = r.path.file_name().map_or_else(
+                || r.path.display().to_string(),
+                |n| n.to_string_lossy().into_owned(),
+            );
+            println!(
+                "{name:<40}{:>8}{:>8}{:>10}{:>12}",
+                r.valid, r.stale, r.bad_shape, r.undecodable
+            );
+            dirty |= !r.is_clean();
+        }
+    }
+    for r in &ckpts {
         let name = r.path.file_name().map_or_else(
             || r.path.display().to_string(),
             |n| n.to_string_lossy().into_owned(),
         );
-        println!(
-            "{name:<40}{:>8}{:>8}{:>10}{:>12}",
-            r.valid, r.stale, r.bad_shape, r.undecodable
-        );
-        dirty |= !r.is_clean();
+        match &r.verdict {
+            CkptVerdict::Resumable { cycle } => {
+                println!("ckpt {name:<40} resumable (cycle {cycle})");
+            }
+            CkptVerdict::Orphaned { cycle } => {
+                println!("ckpt {name:<40} orphaned: point already completed (cycle {cycle})");
+                dirty = true;
+            }
+            CkptVerdict::StaleName => {
+                println!("ckpt {name:<40} stale or malformed content key");
+                dirty = true;
+            }
+            CkptVerdict::Corrupt(e) => {
+                println!("ckpt {name:<40} corrupt: {e}");
+                dirty = true;
+            }
+        }
     }
     if dirty {
         if a.flag("verify") {
@@ -1182,6 +1485,8 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     match a.command.as_deref() {
+        Some("run") => cmd_run(&a),
+        Some("replay") => cmd_replay(&a),
         Some("sweep") => cmd_sweep(&a),
         Some("compare") => cmd_compare(&a),
         Some("audit") => cmd_audit(),
@@ -1203,11 +1508,19 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let result = run();
+    if let Err(e) = &result {
+        eprintln!("error: {e}");
+    }
+    // A graceful SIGINT/SIGTERM shutdown already flushed checkpoints and
+    // manifests on the cooperative path; report it with the conventional
+    // 128 + signo exit code (130 / 143) so callers can tell "interrupted
+    // but resumable" from ordinary failure.
+    if let Some(sig) = signals::received() {
+        return ExitCode::from(signals::exit_code(sig));
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        Err(_) => ExitCode::FAILURE,
     }
 }

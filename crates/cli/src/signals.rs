@@ -1,0 +1,80 @@
+//! Minimal, dependency-free SIGINT/SIGTERM handling for crash-safe runs.
+//!
+//! The handlers do the only async-signal-safe thing possible: store the
+//! signal number and raise a shared [`AtomicBool`]. Long-running commands
+//! thread that flag into the simulation/sweep/campaign engines as a
+//! cooperative shutdown request; the engines then write a final checkpoint
+//! and flush their manifests before returning. `main` translates a received
+//! signal into the conventional `128 + signo` exit code (130 for SIGINT,
+//! 143 for SIGTERM) so callers can distinguish "interrupted but resumable"
+//! from ordinary failure.
+
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// POSIX SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// POSIX SIGTERM (polite kill).
+pub const SIGTERM: i32 = 15;
+
+/// Last signal delivered (0 = none yet).
+static RECEIVED: AtomicI32 = AtomicI32::new(0);
+/// The cooperative-shutdown flag shared with the engines.
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_signal(sig: i32) {
+    RECEIVED.store(sig, Ordering::SeqCst);
+    if let Some(flag) = FLAG.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+extern "C" {
+    // ISO C `signal(2)`; declared by hand to stay free of a libc crate
+    // dependency. The return value (previous handler) is unused.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent) and returns the
+/// shared shutdown flag to thread into a run, sweep, or campaign.
+pub fn install() -> Arc<AtomicBool> {
+    let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+    flag
+}
+
+/// The signal received so far, if any.
+pub fn received() -> Option<i32> {
+    match RECEIVED.load(Ordering::SeqCst) {
+        0 => None,
+        s => Some(s),
+    }
+}
+
+/// Conventional shell exit code for dying of `sig`: `128 + signo`.
+pub fn exit_code(sig: i32) -> u8 {
+    128u8.wrapping_add(u8::try_from(sig & 0x7f).unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_128_plus_signo_convention() {
+        assert_eq!(exit_code(SIGINT), 130);
+        assert_eq!(exit_code(SIGTERM), 143);
+    }
+
+    #[test]
+    fn install_is_idempotent_and_the_flag_is_shared() {
+        let a = install();
+        let b = install();
+        a.store(true, Ordering::SeqCst);
+        assert!(b.load(Ordering::SeqCst));
+        a.store(false, Ordering::SeqCst);
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod fault;
@@ -54,6 +55,7 @@ pub mod metrics;
 pub mod network;
 pub mod packet;
 pub mod profile;
+pub mod replay;
 pub mod router;
 pub mod routing;
 pub mod sim;
@@ -62,14 +64,17 @@ pub mod topology;
 pub mod trace;
 pub mod types;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{NetworkConfig, NetworkConfigBuilder, RouterCfg};
 pub use fault::{
     DropReason, DroppedPacket, FaultCounters, FaultKind, FaultPlan, HardFault, RetryPolicy,
     UnrecoverableFault,
 };
 pub use metrics::{EpochRecorder, EpochSample};
+pub use network::snapshot::Divergence;
 pub use network::{BlockedChannel, Delivered, Diagnostics, Network, StallReport, StuckPacket};
 pub use packet::{Flit, Packet, PacketClass};
 pub use profile::{ProfileReport, Stage, StageProfiler};
+pub use replay::{DivergenceReport, ReplayDriver, Trajectory};
 pub use trace::{ChromeTraceSink, JsonlSink, SharedBuffer, TraceEvent, TraceSink};
 pub use types::{Bits, Coord, Cycle, NodeId, PacketId, PortId, RouterId, VcId};

@@ -83,18 +83,20 @@ fn mean(xs: &[f64]) -> f64 {
 /// measurement window so the time-series covers warmup and drain too.
 #[derive(Clone, Debug)]
 pub struct EpochRecorder {
-    every: Cycle,
-    epoch_start: Cycle,
-    router_cap: Vec<u64>,
-    router_vcs: Vec<u64>,
-    link_lanes: Vec<u64>,
-    occ_integral: Vec<u64>,
-    busy_integral: Vec<u64>,
-    link_flits: Vec<u64>,
-    injected: u64,
-    ejected: u64,
-    dist: LatencyDist,
-    samples: Vec<EpochSample>,
+    // Fields are crate-visible so `network::snapshot` can checkpoint the
+    // open epoch's accumulators and closed samples losslessly.
+    pub(crate) every: Cycle,
+    pub(crate) epoch_start: Cycle,
+    pub(crate) router_cap: Vec<u64>,
+    pub(crate) router_vcs: Vec<u64>,
+    pub(crate) link_lanes: Vec<u64>,
+    pub(crate) occ_integral: Vec<u64>,
+    pub(crate) busy_integral: Vec<u64>,
+    pub(crate) link_flits: Vec<u64>,
+    pub(crate) injected: u64,
+    pub(crate) ejected: u64,
+    pub(crate) dist: LatencyDist,
+    pub(crate) samples: Vec<EpochSample>,
 }
 
 impl EpochRecorder {

@@ -23,6 +23,8 @@
 //! the reference used by [`Network::ideal_latency`].
 
 mod fault_state;
+pub mod snapshot;
+
 #[cfg(feature = "verify")]
 pub mod invariant;
 #[cfg(feature = "verify")]

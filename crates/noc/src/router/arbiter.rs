@@ -48,6 +48,17 @@ impl RrArbiter {
         None
     }
 
+    /// Rotating-pointer position, for checkpoint serialization.
+    pub(crate) fn pointer(&self) -> usize {
+        self.next
+    }
+
+    /// Rebuilds an arbiter from a pointer captured by
+    /// [`RrArbiter::pointer`].
+    pub(crate) fn from_pointer(next: usize) -> Self {
+        Self { next }
+    }
+
     /// Like [`RrArbiter::grant`] but does not move the pointer; used to
     /// *peek* a nomination that a later pipeline stage may reject.
     pub fn peek<F: FnMut(usize) -> bool>(&self, n: usize, mut eligible: F) -> Option<usize> {

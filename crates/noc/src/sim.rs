@@ -5,9 +5,14 @@
 //! batch, reporting latency/throughput/utilization as a function of the
 //! offered load in packets/node/cycle.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::{config_hash, fnv1a64, Checkpoint, CheckpointError, Dec, Enc};
 use crate::fault::{FaultCounters, UnrecoverableFault};
 use crate::metrics::EpochSample;
 use crate::network::{Network, StallReport};
@@ -59,6 +64,21 @@ pub trait Traffic {
     /// Message class (defaults to [`PacketClass::Data`]).
     fn class(&mut self, _src: NodeId) -> PacketClass {
         PacketClass::Data
+    }
+
+    /// Appends any internal pattern state to a checkpoint body. Stateless
+    /// patterns (all the built-ins — their draws come entirely from the
+    /// driver RNG, which is checkpointed separately) need not override
+    /// this.
+    fn save_state(&self, _e: &mut Enc) {}
+
+    /// Restores state written by [`Traffic::save_state`]. Must consume
+    /// exactly the bytes `save_state` wrote.
+    ///
+    /// # Errors
+    /// [`CheckpointError`] when the recorded state cannot be decoded.
+    fn load_state(&mut self, _d: &mut Dec) -> Result<(), CheckpointError> {
+        Ok(())
     }
 }
 
@@ -125,6 +145,19 @@ pub enum SimError {
     Stalled(Box<StallReport>),
     /// A link exhausted its retransmission attempts (fault injection).
     Unrecoverable(UnrecoverableFault),
+    /// The shutdown flag ([`SimRun::shutdown_flag`]) was raised; the run
+    /// stopped at an iteration boundary, writing a final checkpoint first
+    /// when one was configured.
+    Interrupted {
+        /// Cycle the run stopped at.
+        cycle: Cycle,
+        /// Where the final checkpoint went (`None` without
+        /// [`SimRun::checkpoint_every`]).
+        checkpoint: Option<PathBuf>,
+    },
+    /// Writing a checkpoint failed, or the checkpoint passed to
+    /// [`SimRun::resume_from`] could not be restored.
+    Checkpoint(Arc<CheckpointError>),
 }
 
 impl std::fmt::Display for SimError {
@@ -132,11 +165,59 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Stalled(report) => write!(f, "simulation stalled: {report}"),
             SimError::Unrecoverable(e) => write!(f, "unrecoverable fault: {e}"),
+            SimError::Interrupted { cycle, checkpoint } => match checkpoint {
+                Some(path) => write!(
+                    f,
+                    "interrupted at cycle {cycle}; checkpoint written to {}",
+                    path.display()
+                ),
+                None => write!(f, "interrupted at cycle {cycle} (no checkpoint configured)"),
+            },
+            SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Checkpoint(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(Arc::new(e))
+    }
+}
+
+/// Hash of the simulation parameters, as recorded in checkpoint headers:
+/// a resumed run must use the same parameters or the checkpointed loop
+/// state (warmup thresholds, RNG stream, injection schedule) would not
+/// describe it.
+pub fn params_hash(p: &SimParams) -> u64 {
+    fnv1a64(format!("{p:?}").as_bytes())
+}
+
+/// Byte cursor of the trace sink recorded in a run checkpoint, without
+/// decoding the rest of the body.
+///
+/// A resuming caller truncates its trace file to this length (the bytes the
+/// interrupted run had durably emitted by the checkpointed cycle) and
+/// installs the reopened writer via
+/// [`crate::trace::JsonlSink::resumed`], making the combined trace
+/// byte-identical to an uninterrupted run's.
+///
+/// # Errors
+/// [`CheckpointError`] when the body does not start with a sim section
+/// (not a run checkpoint).
+pub fn checkpoint_trace_cursor(ckpt: &Checkpoint) -> Result<Option<u64>, CheckpointError> {
+    let mut d = Dec::new(&ckpt.body);
+    d.sec(SEC_SIM, "sim")?;
+    d.opt_u64()
+}
 
 /// Result of one open-loop run.
 #[derive(Clone, Debug)]
@@ -219,6 +300,9 @@ pub struct SimRun<'a> {
     trace: Option<Box<dyn TraceSink>>,
     epoch_every: Option<Cycle>,
     profile: bool,
+    checkpoint: Option<(PathBuf, Cycle)>,
+    resume: Option<Checkpoint>,
+    shutdown: Option<Arc<AtomicBool>>,
     #[cfg(feature = "verify")]
     observer: Option<&'a mut dyn InvariantObserver>,
 }
@@ -231,6 +315,8 @@ impl std::fmt::Debug for SimRun<'_> {
             .field("trace", &self.trace.is_some())
             .field("epoch_every", &self.epoch_every)
             .field("profile", &self.profile)
+            .field("checkpoint", &self.checkpoint)
+            .field("resume", &self.resume.as_ref().map(|c| c.cycle))
             .finish_non_exhaustive()
     }
 }
@@ -248,6 +334,9 @@ impl<'a> SimRun<'a> {
             trace: None,
             epoch_every: None,
             profile: false,
+            checkpoint: None,
+            resume: None,
+            shutdown: None,
             #[cfg(feature = "verify")]
             observer: None,
         }
@@ -291,6 +380,45 @@ impl<'a> SimRun<'a> {
         self
     }
 
+    /// Writes a checkpoint of the complete run state to `path` every
+    /// `every` cycles (atomically — the previous checkpoint at `path` is
+    /// replaced only by a complete new one), and a final one when the
+    /// shutdown flag interrupts the run. Resuming from any of these
+    /// checkpoints reproduces the uninterrupted run byte-for-byte.
+    ///
+    /// # Panics
+    /// The run panics if `every` is zero.
+    #[must_use]
+    pub fn checkpoint_every(mut self, path: impl Into<PathBuf>, every: Cycle) -> Self {
+        assert!(every > 0, "checkpoint interval must be non-zero");
+        self.checkpoint = Some((path.into(), every));
+        self
+    }
+
+    /// Resumes the run from `ckpt` instead of starting at cycle 0. The
+    /// network passed to [`SimRun::new`] must be freshly built from the
+    /// same configuration, and `params` must equal the original run's
+    /// (both are enforced via the checkpoint header hashes).
+    ///
+    /// When the original run traced, install the reopened sink (truncated
+    /// to [`checkpoint_trace_cursor`]) via [`SimRun::trace`] before
+    /// running; the trace then continues byte-identically.
+    #[must_use]
+    pub fn resume_from(mut self, ckpt: Checkpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
+    }
+
+    /// Installs a cooperative shutdown flag (typically raised from a
+    /// SIGINT/SIGTERM handler). The run polls it at every iteration
+    /// boundary; once raised, a final checkpoint is written (when
+    /// configured) and the run returns [`SimError::Interrupted`].
+    #[must_use]
+    pub fn shutdown_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.shutdown = Some(flag);
+        self
+    }
+
     /// Installs a caller-supplied [`InvariantObserver`] instead of the
     /// panicking [`StrictInvariants`] default (cargo feature `verify`).
     #[cfg(feature = "verify")]
@@ -305,7 +433,9 @@ impl<'a> SimRun<'a> {
     /// # Errors
     /// [`SimError::Stalled`] when the progress watchdog fires with packets
     /// in flight; [`SimError::Unrecoverable`] when a faulty link exhausts
-    /// its retransmission attempts.
+    /// its retransmission attempts; [`SimError::Interrupted`] when the
+    /// shutdown flag is raised; [`SimError::Checkpoint`] when a
+    /// checkpoint cannot be written or restored.
     pub fn run(self) -> Result<SimOutcome, SimError> {
         let SimRun {
             mut net,
@@ -314,6 +444,9 @@ impl<'a> SimRun<'a> {
             trace,
             epoch_every,
             profile,
+            checkpoint,
+            resume,
+            shutdown,
             #[cfg(feature = "verify")]
             observer,
         } = self;
@@ -328,143 +461,426 @@ impl<'a> SimRun<'a> {
         }
         let mut default_traffic = UniformRandom;
         let traffic = traffic.unwrap_or(&mut default_traffic);
+        let mut core = SimCore::new(net, params);
+        let resumed_at = match resume {
+            Some(ckpt) => {
+                core.restore(&ckpt, traffic)?;
+                Some(ckpt.cycle)
+            }
+            None => None,
+        };
         #[cfg(feature = "verify")]
         {
             let mut strict = StrictInvariants;
             let observer = observer.unwrap_or(&mut strict);
-            run_loop(net, traffic, params, observer)
+            drive(core, traffic, checkpoint, shutdown, resumed_at, observer)
         }
         #[cfg(not(feature = "verify"))]
         {
-            run_loop(net, traffic, params)
+            drive(core, traffic, checkpoint, shutdown, resumed_at)
         }
     }
 }
 
-fn run_loop(
-    mut net: Network,
-    traffic: &mut dyn Traffic,
+/// Section tag of the driver-loop state at the start of every run
+/// checkpoint body (trace cursor first — see [`checkpoint_trace_cursor`]).
+const SEC_SIM: u8 = 11;
+/// Section tag of the traffic-pattern state at the end of the body.
+const SEC_TRAFFIC: u8 = 12;
+
+/// The open-loop driver state machine: the network plus everything the
+/// per-cycle loop in the old `run_loop` kept on its stack, factored into a
+/// struct so a checkpoint can capture it mid-run and the replay bisector
+/// can single-step it ([`SimCore::tick`] is exactly one loop iteration).
+struct SimCore {
+    net: Network,
     params: SimParams,
-    #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
-) -> Result<SimOutcome, SimError> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let n = net.graph().num_nodes();
-    let mut onoff = vec![
-        OnOff {
-            on: false,
-            remaining: 0,
+    rng: StdRng,
+    onoff: Vec<OnOff>,
+    on_prob: f64,
+    delivered_total: u64,
+    dropped_total: u64,
+    measuring: bool,
+    saturated: bool,
+    last_progress: Cycle,
+}
+
+impl SimCore {
+    fn new(net: Network, params: SimParams) -> Self {
+        let rng = StdRng::seed_from_u64(params.seed);
+        let n = net.graph().num_nodes();
+        let onoff = vec![
+            OnOff {
+                on: false,
+                remaining: 0,
+            };
+            n
+        ];
+        // For the ON/OFF process the per-cycle ON probability is scaled so
+        // the long-run rate equals `injection_rate`:
+        // rate_on = rate * (E[on]+E[off])/E[on].
+        let on_prob = match params.process {
+            InjectionProcess::Bernoulli => params.injection_rate,
+            InjectionProcess::SelfSimilar {
+                alpha_on,
+                alpha_off,
+            } => {
+                let e_on = alpha_on / (alpha_on - 1.0);
+                let e_off = alpha_off / (alpha_off - 1.0);
+                (params.injection_rate * (e_on + e_off) / e_on).min(1.0)
+            }
         };
-        n
-    ];
-    // For the ON/OFF process the per-cycle ON probability is scaled so the
-    // long-run rate equals `injection_rate`: rate_on = rate * (E[on]+E[off])/E[on].
-    let on_prob = match params.process {
-        InjectionProcess::Bernoulli => params.injection_rate,
-        InjectionProcess::SelfSimilar {
-            alpha_on,
-            alpha_off,
-        } => {
-            let e_on = alpha_on / (alpha_on - 1.0);
-            let e_off = alpha_off / (alpha_off - 1.0);
-            (params.injection_rate * (e_on + e_off) / e_on).min(1.0)
+        Self {
+            net,
+            params,
+            rng,
+            onoff,
+            on_prob,
+            delivered_total: 0,
+            dropped_total: 0,
+            measuring: false,
+            saturated: false,
+            last_progress: 0,
         }
-    };
+    }
 
-    let mut delivered_total: u64 = 0;
-    let mut dropped_total: u64 = 0;
-    let mut measuring = false;
-    let mut saturated = false;
-    let mut last_progress: Cycle = 0;
-
-    while net.now() < params.max_cycles {
+    /// Runs one loop iteration: traffic generation, one network cycle,
+    /// delivery/drop draining, watchdog, warmup transition and the two
+    /// early-exit checks. Returns `Ok(false)` when the run is complete
+    /// (measurement batch retired, or saturation bail-out).
+    fn tick(
+        &mut self,
+        traffic: &mut dyn Traffic,
+        #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
+    ) -> Result<bool, SimError> {
+        let n = self.onoff.len();
         // Generate traffic for this cycle (index used both for the ON/OFF
         // state and as the NodeId).
         #[allow(clippy::needless_range_loop)]
         for node in 0..n {
-            let fire = match params.process {
-                InjectionProcess::Bernoulli => rng.random::<f64>() < on_prob,
+            let fire = match self.params.process {
+                InjectionProcess::Bernoulli => self.rng.random::<f64>() < self.on_prob,
                 InjectionProcess::SelfSimilar {
                     alpha_on,
                     alpha_off,
                 } => {
-                    let s = &mut onoff[node];
+                    let s = &mut self.onoff[node];
                     if s.remaining == 0 {
                         s.on = !s.on;
-                        s.remaining = pareto(&mut rng, if s.on { alpha_on } else { alpha_off });
+                        s.remaining =
+                            pareto(&mut self.rng, if s.on { alpha_on } else { alpha_off });
                     }
                     s.remaining -= 1;
-                    s.on && rng.random::<f64>() < on_prob
+                    s.on && self.rng.random::<f64>() < self.on_prob
                 }
             };
             if fire {
                 let src = NodeId(node);
-                let dst = traffic.destination(src, n, &mut rng);
-                let size = traffic.size(src, &mut rng);
+                let dst = traffic.destination(src, n, &mut self.rng);
+                let size = traffic.size(src, &mut self.rng);
                 let class = traffic.class(src);
-                net.enqueue(src, dst, size, class, 0);
+                self.net.enqueue(src, dst, size, class, 0);
             }
         }
-        net.step();
+        self.net.step();
         #[cfg(feature = "verify")]
-        observer.after_cycle(&net);
-        if let Some(e) = net.fault_error() {
+        observer.after_cycle(&self.net);
+        if let Some(e) = self.net.fault_error() {
             return Err(SimError::Unrecoverable(e));
         }
-        let newly = net.drain_delivered().len() as u64;
-        delivered_total += newly;
-        let newly_dropped = net.drain_dropped().len() as u64;
-        dropped_total += newly_dropped;
+        let newly = self.net.drain_delivered().len() as u64;
+        self.delivered_total += newly;
+        let newly_dropped = self.net.drain_dropped().len() as u64;
+        self.dropped_total += newly_dropped;
 
         // Progress watchdog: completions and typed drops both count as
         // forward progress; an idle network is not stalled.
-        if newly + newly_dropped > 0 || net.in_flight() == 0 {
-            last_progress = net.now();
-        } else if let Some(limit) = params.watchdog {
-            if net.now().saturating_sub(last_progress) > limit {
-                return Err(SimError::Stalled(Box::new(net.stall_report())));
+        if newly + newly_dropped > 0 || self.net.in_flight() == 0 {
+            self.last_progress = self.net.now();
+        } else if let Some(limit) = self.params.watchdog {
+            if self.net.now().saturating_sub(self.last_progress) > limit {
+                return Err(SimError::Stalled(Box::new(self.net.stall_report())));
             }
         }
 
-        if !measuring && delivered_total >= params.warmup_packets {
-            measuring = true;
-            net.set_measuring(true);
+        if !self.measuring && self.delivered_total >= self.params.warmup_packets {
+            self.measuring = true;
+            self.net.set_measuring(true);
         }
-        if measuring && net.stats().packets_retired >= params.measure_packets {
-            break;
+        if self.measuring && self.net.stats().packets_retired >= self.params.measure_packets {
+            return Ok(false);
         }
         // Saturation bail-out: if queues hold several times the measurement
         // batch, latency is unbounded at this load.
-        if net.now().is_multiple_of(4096)
-            && net.in_flight() as u64 > 4 * params.measure_packets.max(1_000)
+        if self.net.now().is_multiple_of(4096)
+            && self.net.in_flight() as u64 > 4 * self.params.measure_packets.max(1_000)
         {
-            saturated = true;
+            self.saturated = true;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Applies the end-of-run saturation checks and builds the outcome.
+    fn finish(mut self) -> SimOutcome {
+        if self.net.now() >= self.params.max_cycles {
+            self.saturated = true;
+        }
+        // A backlog larger than the measurement batch at the end of the run
+        // means the offered load exceeded the accepted throughput.
+        if self.net.in_flight() as u64 > self.params.measure_packets.max(100) {
+            self.saturated = true;
+        }
+
+        let cycles = self.net.now();
+        let frequency_ghz = self.net.config().frequency_ghz;
+        self.net.finish_trace();
+        let epochs = self.net.take_epochs();
+        let profile = self.net.take_profile();
+        SimOutcome {
+            stats: self.net.stats().clone(),
+            saturated: self.saturated,
+            cycles,
+            frequency_ghz,
+            dropped: self.dropped_total,
+            fault_counters: self.net.fault_counters(),
+            epochs,
+            profile,
+        }
+    }
+
+    /// Captures the complete run state (driver loop + network + traffic
+    /// pattern) and writes it atomically to `path`.
+    fn save_checkpoint(
+        &self,
+        path: &std::path::Path,
+        traffic: &dyn Traffic,
+    ) -> Result<(), CheckpointError> {
+        self.make_checkpoint(traffic).save(path)
+    }
+
+    /// Builds the checkpoint in memory (the on-disk write is
+    /// [`SimCore::save_checkpoint`]).
+    fn make_checkpoint(&self, traffic: &dyn Traffic) -> Checkpoint {
+        let mut e = Enc::new();
+        e.sec(SEC_SIM);
+        e.opt_u64(self.net.trace_bytes_written());
+        for w in self.rng.state() {
+            e.u64(w);
+        }
+        e.usize(self.onoff.len());
+        for s in &self.onoff {
+            e.bool(s.on);
+            e.u64(s.remaining);
+        }
+        e.u64(self.delivered_total);
+        e.u64(self.dropped_total);
+        e.bool(self.measuring);
+        e.bool(self.saturated);
+        e.u64(self.last_progress);
+        self.net.encode_state(&mut e);
+        e.sec(SEC_TRAFFIC);
+        traffic.save_state(&mut e);
+        Checkpoint {
+            config_hash: config_hash(self.net.config()),
+            params_hash: params_hash(&self.params),
+            cycle: self.net.now(),
+            body: e.into_bytes(),
+        }
+    }
+
+    /// Restores the run state from `ckpt` after validating its header
+    /// against this run's configuration and parameters.
+    fn restore(&mut self, ckpt: &Checkpoint, traffic: &mut dyn Traffic) -> Result<(), SimError> {
+        ckpt.check_compat(config_hash(self.net.config()), params_hash(&self.params))
+            .map_err(SimError::from)?;
+        let mut d = Dec::new(&ckpt.body);
+        let mut inner = |d: &mut Dec| -> Result<(), CheckpointError> {
+            d.sec(SEC_SIM, "sim")?;
+            let _trace_cursor = d.opt_u64()?;
+            self.rng = StdRng::from_state([d.u64()?, d.u64()?, d.u64()?, d.u64()?]);
+            let n = d.len(9)?;
+            if n != self.onoff.len() {
+                return Err(CheckpointError::Malformed("onoff count"));
+            }
+            for s in &mut self.onoff {
+                s.on = d.bool()?;
+                s.remaining = d.u64()?;
+            }
+            self.delivered_total = d.u64()?;
+            self.dropped_total = d.u64()?;
+            self.measuring = d.bool()?;
+            self.saturated = d.bool()?;
+            self.last_progress = d.u64()?;
+            self.net.decode_state(d)?;
+            d.sec(SEC_TRAFFIC, "traffic")?;
+            traffic.load_state(d)?;
+            if !d.is_done() {
+                return Err(CheckpointError::Malformed("trailing bytes"));
+            }
+            Ok(())
+        };
+        inner(&mut d).map_err(SimError::from)
+    }
+}
+
+/// The checkpoint-aware outer loop: polls the shutdown flag and writes
+/// periodic checkpoints at iteration boundaries, where [`SimCore::tick`]
+/// has fully settled the cycle (matching what `restore` rebuilds).
+fn drive(
+    mut core: SimCore,
+    traffic: &mut dyn Traffic,
+    checkpoint: Option<(PathBuf, Cycle)>,
+    shutdown: Option<Arc<AtomicBool>>,
+    resumed_at: Option<Cycle>,
+    #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
+) -> Result<SimOutcome, SimError> {
+    let mut last_saved = resumed_at;
+    loop {
+        let now = core.net.now();
+        if shutdown.as_ref().is_some_and(|f| f.load(Ordering::Relaxed)) {
+            let path = match &checkpoint {
+                Some((path, _)) if last_saved != Some(now) => {
+                    core.save_checkpoint(path, traffic)?;
+                    Some(path.clone())
+                }
+                Some((path, _)) => Some(path.clone()),
+                None => None,
+            };
+            return Err(SimError::Interrupted {
+                cycle: now,
+                checkpoint: path,
+            });
+        }
+        if let Some((path, every)) = &checkpoint {
+            if now > 0 && now.is_multiple_of(*every) && last_saved != Some(now) {
+                core.save_checkpoint(path, traffic)?;
+                last_saved = Some(now);
+            }
+        }
+        if now >= core.params.max_cycles {
+            break;
+        }
+        let more = core.tick(
+            traffic,
+            #[cfg(feature = "verify")]
+            observer,
+        )?;
+        if !more {
             break;
         }
     }
-    if net.now() >= params.max_cycles {
-        saturated = true;
+    Ok(core.finish())
+}
+
+/// Deterministic single-stepping harness over the run loop, for replay
+/// tooling: where [`SimRun::run`] drives the loop to completion, a
+/// `Stepper` advances it to arbitrary cycle boundaries
+/// ([`Stepper::run_to`]) and exposes the state fingerprint there
+/// ([`Stepper::digest`]) — the primitive the divergence bisector in
+/// [`crate::replay`] probes trajectories with.
+///
+/// A stepper owns its traffic pattern (checkpoint restore needs to feed
+/// pattern state back into it) and never checkpoints, traces or profiles;
+/// it replays the bare deterministic schedule.
+pub struct Stepper {
+    core: SimCore,
+    traffic: Box<dyn Traffic>,
+    done: bool,
+    #[cfg(feature = "verify")]
+    observer: StrictInvariants,
+}
+
+impl std::fmt::Debug for Stepper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stepper")
+            .field("now", &self.core.net.now())
+            .field("done", &self.done)
+            .finish_non_exhaustive()
     }
-    // A backlog larger than the measurement batch at the end of the run
-    // means the offered load exceeded the accepted throughput.
-    if net.in_flight() as u64 > params.measure_packets.max(100) {
-        saturated = true;
+}
+
+impl Stepper {
+    /// A stepper over a fresh run of `net` (cycle 0) under `params`.
+    pub fn fresh(net: Network, params: SimParams, traffic: Box<dyn Traffic>) -> Self {
+        Self {
+            core: SimCore::new(net, params),
+            traffic,
+            done: false,
+            #[cfg(feature = "verify")]
+            observer: StrictInvariants,
+        }
     }
 
-    let cycles = net.now();
-    let frequency_ghz = net.config().frequency_ghz;
-    net.finish_trace();
-    let epochs = net.take_epochs();
-    let profile = net.take_profile();
-    Ok(SimOutcome {
-        stats: net.stats().clone(),
-        saturated,
-        cycles,
-        frequency_ghz,
-        dropped: dropped_total,
-        fault_counters: net.fault_counters(),
-        epochs,
-        profile,
-    })
+    /// A stepper resuming from `ckpt`; `net` must be freshly built from
+    /// the checkpointed configuration and `params` must match (enforced
+    /// via the header hashes).
+    ///
+    /// # Errors
+    /// [`SimError::Checkpoint`] when the checkpoint does not belong to
+    /// this configuration/parameter pair or fails to decode.
+    pub fn resumed(
+        net: Network,
+        params: SimParams,
+        traffic: Box<dyn Traffic>,
+        ckpt: &Checkpoint,
+    ) -> Result<Self, SimError> {
+        let mut s = Self::fresh(net, params, traffic);
+        s.core.restore(ckpt, s.traffic.as_mut())?;
+        Ok(s)
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.core.net.now()
+    }
+
+    /// True once the run loop has finished (batch retired, saturation
+    /// bail-out, or `max_cycles`); the state then freezes.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The network at the current boundary.
+    pub fn network(&self) -> &Network {
+        &self.core.net
+    }
+
+    /// State fingerprint at the current boundary (see
+    /// [`Network::state_digest`]).
+    pub fn digest(&self) -> u64 {
+        self.core.net.state_digest()
+    }
+
+    /// Captures an in-memory checkpoint at the current boundary,
+    /// equivalent to what [`SimRun::checkpoint_every`] writes to disk.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.core.make_checkpoint(self.traffic.as_ref())
+    }
+
+    /// Advances the loop until `target` (a cycle boundary) or run
+    /// completion, whichever comes first.
+    ///
+    /// # Errors
+    /// Propagates [`SimError::Stalled`] / [`SimError::Unrecoverable`] from
+    /// the underlying run loop.
+    pub fn run_to(&mut self, target: Cycle) -> Result<(), SimError> {
+        while !self.done && self.core.net.now() < target {
+            if self.core.net.now() >= self.core.params.max_cycles {
+                self.done = true;
+                break;
+            }
+            let more = self.core.tick(
+                self.traffic.as_mut(),
+                #[cfg(feature = "verify")]
+                &mut self.observer,
+            )?;
+            if !more {
+                self.done = true;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Uniform-random traffic: every other node equally likely.
@@ -632,6 +1048,205 @@ mod tests {
             )
         };
         assert_eq!(fingerprint(false), fingerprint(true));
+    }
+
+    // --- checkpoint / resume ---------------------------------------------
+
+    fn ckpt_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("heteronoc-sim-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn resumed_run_matches_uninterrupted_run_exactly() {
+        let dir = ckpt_dir("resume");
+        let path = dir.join("run.ckpt");
+        let params = quick_params(0.02);
+
+        let base_buf = crate::trace::SharedBuffer::new();
+        let base = SimRun::new(
+            Network::new(NetworkConfig::paper_baseline()).unwrap(),
+            params,
+        )
+        .trace(Box::new(crate::trace::JsonlSink::new(base_buf.clone())))
+        .epochs(64)
+        .run()
+        .unwrap();
+
+        // Same run, checkpointing along the way; `path` ends up holding the
+        // last periodic checkpoint.
+        let seg1_buf = crate::trace::SharedBuffer::new();
+        let seg1 = SimRun::new(
+            Network::new(NetworkConfig::paper_baseline()).unwrap(),
+            params,
+        )
+        .trace(Box::new(crate::trace::JsonlSink::new(seg1_buf.clone())))
+        .epochs(64)
+        .checkpoint_every(&path, 100)
+        .run()
+        .unwrap();
+        assert_eq!(base.stats, seg1.stats, "checkpointing must not perturb");
+        assert_eq!(base_buf.contents(), seg1_buf.contents());
+
+        // Resume from the mid-run checkpoint and compare everything.
+        let ckpt = Checkpoint::load(&path).unwrap();
+        assert!(ckpt.cycle > 0 && ckpt.cycle < base.cycles);
+        let cursor = checkpoint_trace_cursor(&ckpt).unwrap().unwrap();
+        let seg2_buf = crate::trace::SharedBuffer::new();
+        let resumed = SimRun::new(
+            Network::new(NetworkConfig::paper_baseline()).unwrap(),
+            params,
+        )
+        .trace(Box::new(crate::trace::JsonlSink::resumed(
+            seg2_buf.clone(),
+            cursor,
+        )))
+        .epochs(64)
+        .resume_from(ckpt)
+        .run()
+        .unwrap();
+
+        assert_eq!(base.stats, resumed.stats, "stats must be byte-identical");
+        assert_eq!(base.cycles, resumed.cycles);
+        assert_eq!(base.saturated, resumed.saturated);
+        assert_eq!(base.epochs, resumed.epochs, "epoch series must match");
+        let full = base_buf.contents();
+        assert_eq!(
+            &full[cursor as usize..],
+            &seg2_buf.contents()[..],
+            "resumed trace must continue byte-identically from the cursor"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_flag_interrupts_with_a_final_checkpoint() {
+        let dir = ckpt_dir("interrupt");
+        let path = dir.join("run.ckpt");
+        let params = quick_params(0.02);
+        let flag = Arc::new(AtomicBool::new(true)); // raised before cycle 0
+        let err = SimRun::new(
+            Network::new(NetworkConfig::paper_baseline()).unwrap(),
+            params,
+        )
+        .checkpoint_every(&path, 100)
+        .shutdown_flag(flag)
+        .run()
+        .unwrap_err();
+        match err {
+            SimError::Interrupted { cycle, checkpoint } => {
+                assert_eq!(cycle, 0);
+                let p = checkpoint.expect("final checkpoint must be written");
+                let ckpt = Checkpoint::load(&p).unwrap();
+                assert_eq!(ckpt.cycle, 0);
+                // The interrupted run resumes to the same result as a fresh one.
+                let resumed = SimRun::new(
+                    Network::new(NetworkConfig::paper_baseline()).unwrap(),
+                    params,
+                )
+                .resume_from(ckpt)
+                .run()
+                .unwrap();
+                let fresh = SimRun::new(
+                    Network::new(NetworkConfig::paper_baseline()).unwrap(),
+                    params,
+                )
+                .run()
+                .unwrap();
+                assert_eq!(resumed.stats, fresh.stats);
+            }
+            other => panic!("expected Interrupted, got: {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config_and_params() {
+        let dir = ckpt_dir("mismatch");
+        let path = dir.join("run.ckpt");
+        let params = quick_params(0.02);
+        SimRun::new(
+            Network::new(NetworkConfig::paper_baseline()).unwrap(),
+            params,
+        )
+        .checkpoint_every(&path, 100)
+        .run()
+        .unwrap();
+        let ckpt = Checkpoint::load(&path).unwrap();
+
+        // Different params: same config, different seed.
+        let mut p2 = params;
+        p2.seed = 8;
+        let err = SimRun::new(Network::new(NetworkConfig::paper_baseline()).unwrap(), p2)
+            .resume_from(ckpt.clone())
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, SimError::Checkpoint(e)
+                if matches!(**e, CheckpointError::ParamsMismatch { .. })),
+            "{err}"
+        );
+
+        // Different network configuration.
+        let cfg = NetworkConfig::homogeneous(
+            crate::topology::TopologyKind::Mesh {
+                width: 4,
+                height: 4,
+            },
+            RouterCfg::BASELINE,
+            Bits(192),
+            2.2,
+        );
+        let err = SimRun::new(Network::new(cfg).unwrap(), params)
+            .resume_from(ckpt)
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(&err, SimError::Checkpoint(e)
+                if matches!(**e, CheckpointError::ConfigMismatch { .. })),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulted_run_resumes_identically() {
+        let dir = ckpt_dir("faulted");
+        let path = dir.join("run.ckpt");
+        let params = quick_params(0.02);
+        let plan = || {
+            let mut plan = FaultPlan::transient(1e-5, 99);
+            plan.retry = RetryPolicy {
+                max_attempts: 8,
+                timeout: 64,
+            };
+            plan
+        };
+        let mk = || {
+            let cfg = NetworkConfig::homogeneous(
+                TopologyKind::Mesh {
+                    width: 4,
+                    height: 4,
+                },
+                RouterCfg::BASELINE,
+                Bits(192),
+                2.2,
+            );
+            Network::with_faults(cfg, plan()).unwrap()
+        };
+        let base = SimRun::new(mk(), params).run().unwrap();
+        SimRun::new(mk(), params)
+            .checkpoint_every(&path, 300)
+            .run()
+            .unwrap();
+        let ckpt = Checkpoint::load(&path).unwrap();
+        assert!(ckpt.cycle > 0);
+        let resumed = SimRun::new(mk(), params).resume_from(ckpt).run().unwrap();
+        assert_eq!(base.stats, resumed.stats);
+        assert_eq!(base.fault_counters, resumed.fault_counters);
+        assert_eq!(base.dropped, resumed.dropped);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // --- watchdog & fault propagation -----------------------------------

@@ -37,7 +37,7 @@ pub struct LinkEvents {
 }
 
 /// Completed-packet latency record (kept when detailed records are enabled).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PacketRecord {
     /// Source node.
     pub src: NodeId,
@@ -141,6 +141,12 @@ impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a histogram from bucket counts captured via
+    /// [`LatencyHistogram::buckets`] (checkpoint restore).
+    pub(crate) fn from_parts(buckets: Vec<u64>, count: u64) -> Self {
+        Self { buckets, count }
     }
 
     /// Records one latency sample (in cycles).
@@ -263,7 +269,7 @@ pub struct LatencyPctls {
 }
 
 /// All statistics collected during the measurement window.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Measured cycles.
     pub cycles: u64,

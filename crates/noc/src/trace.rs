@@ -227,6 +227,14 @@ pub trait TraceSink: Send {
 
     /// Called once after the final cycle; write footers/flush here.
     fn finish(&mut self) {}
+
+    /// Bytes this sink has emitted so far, when the sink counts them
+    /// (only [`JsonlSink`] does). Checkpoints store this cursor so a
+    /// resumed run can truncate its trace file back to the cut and append
+    /// a byte-identical suffix.
+    fn bytes_written(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl std::fmt::Debug for dyn TraceSink {
@@ -243,12 +251,20 @@ impl std::fmt::Debug for dyn TraceSink {
 #[derive(Debug)]
 pub struct JsonlSink<W: Write + Send> {
     out: W,
+    written: u64,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps `out`. Consider a `BufWriter` for file targets.
     pub fn new(out: W) -> Self {
-        Self { out }
+        Self { out, written: 0 }
+    }
+
+    /// Wraps `out` continuing a byte count captured from an earlier sink's
+    /// [`TraceSink::bytes_written`] (checkpoint resume: `out` should be the
+    /// original trace file truncated to `written` and opened for append).
+    pub fn resumed(out: W, written: u64) -> Self {
+        Self { out, written }
     }
 }
 
@@ -371,11 +387,16 @@ pub fn jsonl_line(ev: &TraceEvent) -> String {
 impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn event(&mut self, ev: &TraceEvent) {
         let line = jsonl_line(ev);
+        self.written += line.len() as u64 + 1; // + newline
         let _ = writeln!(self.out, "{line}");
     }
 
     fn finish(&mut self) {
         let _ = self.out.flush();
+    }
+
+    fn bytes_written(&self) -> Option<u64> {
+        Some(self.written)
     }
 }
 

@@ -81,11 +81,14 @@ pub enum Code {
     /// `HN-W007` — a fault plan cuts live sources from live destinations
     /// while end-to-end recovery is disabled (losses go unaccounted).
     PartitionWithoutRecovery,
+    /// `HN-W008` — the checkpoint interval exceeds the progress-watchdog
+    /// window, so a watchdog abort can land with no checkpoint to resume.
+    CheckpointExceedsWatchdog,
 }
 
 impl Code {
     /// Every shipped code, in code order (the `--explain` registry).
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 21] = [
         Code::InvalidConfig,
         Code::CyclicDependency,
         Code::CyclicEscape,
@@ -106,6 +109,7 @@ impl Code {
         Code::CreditLimitedLink,
         Code::StrandedTablePath,
         Code::PartitionWithoutRecovery,
+        Code::CheckpointExceedsWatchdog,
     ];
 
     /// The stable code string, e.g. `"HN-E010"`.
@@ -131,6 +135,7 @@ impl Code {
             Code::CreditLimitedLink => "HN-W005",
             Code::StrandedTablePath => "HN-W006",
             Code::PartitionWithoutRecovery => "HN-W007",
+            Code::CheckpointExceedsWatchdog => "HN-W008",
         }
     }
 
@@ -157,6 +162,7 @@ impl Code {
             Code::CreditLimitedLink => "CreditLimitedLink",
             Code::StrandedTablePath => "StrandedTablePath",
             Code::PartitionWithoutRecovery => "PartitionWithoutRecovery",
+            Code::CheckpointExceedsWatchdog => "CheckpointExceedsWatchdog",
         }
     }
 
@@ -169,7 +175,8 @@ impl Code {
             | Code::MissingClassSeparation
             | Code::CreditLimitedLink
             | Code::StrandedTablePath
-            | Code::PartitionWithoutRecovery => Severity::Warning,
+            | Code::PartitionWithoutRecovery
+            | Code::CheckpointExceedsWatchdog => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -212,6 +219,9 @@ impl Code {
             }
             Code::PartitionWithoutRecovery => {
                 "the plan cuts live node pairs while end-to-end recovery is disabled"
+            }
+            Code::CheckpointExceedsWatchdog => {
+                "the checkpoint interval exceeds the progress-watchdog window"
             }
         }
     }
@@ -353,6 +363,16 @@ impl Code {
                  reconfigured network, and records a RecoveryExhausted drop when the \
                  destination is truly unreachable — so delivered + permanent always \
                  equals offered. Enable recovery, or expect an open ledger."
+            }
+            Code::CheckpointExceedsWatchdog => {
+                "The run checkpoints every N cycles but its progress watchdog aborts \
+                 after a smaller window of retire-free cycles. A saturated or wedged \
+                 run therefore dies *between* checkpoints: in the worst case the \
+                 watchdog fires one cycle before the next save, discarding almost a \
+                 full interval of work — and a run wedged from cycle 0 leaves no \
+                 checkpoint at all, so `--resume` has nothing to pick up. Choose a \
+                 checkpoint interval no larger than the watchdog window (a few \
+                 checkpoints per window is a good default), or widen the watchdog."
             }
         }
     }

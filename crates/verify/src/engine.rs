@@ -49,6 +49,12 @@ pub struct LintOptions {
     pub arbiter: ArbiterModel,
     /// Fault plan for the reachability pass (`None` skips).
     pub fault_plan: Option<FaultPlan>,
+    /// Checkpoint interval of the run being gated, in cycles (`None` means
+    /// the run does not checkpoint and the crash-safety pass is skipped).
+    pub checkpoint_every: Option<u64>,
+    /// Progress-watchdog window of the run being gated, in retire-free
+    /// cycles (`None` means the watchdog is disabled).
+    pub watchdog: Option<u64>,
 }
 
 impl Default for LintOptions {
@@ -62,6 +68,8 @@ impl Default for LintOptions {
             rates: vec![0.01, 0.02, 0.03, 0.04, 0.05],
             arbiter: ArbiterModel::RotatingPriority,
             fault_plan: None,
+            checkpoint_every: None,
+            watchdog: None,
         }
     }
 }
@@ -239,6 +247,19 @@ pub fn lint_config(name: &str, cfg: &NetworkConfig, opts: &LintOptions) -> LintR
     if let Some(plan) = &opts.fault_plan {
         diags.extend(analyze_fault_plan(cfg, &graph, plan));
     }
+    if let (Some(every), Some(window)) = (opts.checkpoint_every, opts.watchdog) {
+        if every > window {
+            diags.push(Diagnostic::new(
+                Code::CheckpointExceedsWatchdog,
+                Span::Config,
+                format!(
+                    "checkpoint interval ({every} cycles) exceeds the progress-watchdog \
+                     window ({window} cycles); a watchdog abort can discard up to \
+                     {every} cycles of work with no checkpoint to resume"
+                ),
+            ));
+        }
+    }
     finish(name, diags)
 }
 
@@ -279,6 +300,30 @@ mod tests {
         assert_eq!(report.diagnostics.len(), 1);
         assert_eq!(report.diagnostics[0].code, Code::InvalidConfig);
         assert!(report.has_errors());
+    }
+
+    #[test]
+    fn checkpoint_interval_past_the_watchdog_is_w008() {
+        let cfg = NetworkConfig::paper_baseline();
+        let mut opts = LintOptions {
+            checkpoint_every: Some(250_000),
+            watchdog: Some(100_000),
+            ..LintOptions::default()
+        };
+        let report = lint_config("slow-ckpt", &cfg, &opts);
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, Code::CheckpointExceedsWatchdog);
+        assert_eq!(d.code.as_str(), "HN-W008");
+        assert_eq!(d.severity(), Severity::Warning);
+        assert!(d.message.contains("250000"), "{}", d.message);
+
+        // Interval within the window (or either side unset): clean.
+        opts.checkpoint_every = Some(50_000);
+        assert!(lint_config("ok", &cfg, &opts).diagnostics.is_empty());
+        opts.watchdog = None;
+        opts.checkpoint_every = Some(250_000);
+        assert!(lint_config("nowd", &cfg, &opts).diagnostics.is_empty());
     }
 
     #[test]

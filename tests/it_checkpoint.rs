@@ -1,0 +1,214 @@
+//! Integration: checkpoint/restore is byte-identical across the whole
+//! stack — for random layouts, traffic patterns, seeds, and fault plans,
+//! resuming a run from any periodic checkpoint reproduces the
+//! uninterrupted run's statistics and its JSONL trace byte-for-byte.
+
+use std::fs;
+use std::io::{BufWriter, Read, Seek, SeekFrom};
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use heteronoc::noc::checkpoint::{config_hash, Checkpoint, CheckpointError};
+use heteronoc::noc::fault::FaultPlan;
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sim::{
+    checkpoint_trace_cursor, params_hash, InjectionProcess, SimOutcome, SimParams, SimRun, Traffic,
+};
+use heteronoc::noc::trace::JsonlSink;
+use heteronoc::traffic::{BitComplement, Tornado, Transpose, UniformRandom};
+use heteronoc::{mesh_config, Layout};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("heteronoc_it_ckpt_{}_{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn traffic_by_index(i: usize) -> Box<dyn Traffic> {
+    match i % 4 {
+        0 => Box::new(UniformRandom),
+        1 => Box::new(Transpose::new(8)),
+        2 => Box::new(BitComplement),
+        _ => Box::new(Tornado::new(8, 8)),
+    }
+}
+
+/// Stats fingerprint compared across the reference and resumed runs.
+fn fingerprint(out: &SimOutcome) -> (u64, u64, u64, u64, u64) {
+    (
+        out.cycles,
+        out.stats.packets_retired,
+        out.stats.latency.total,
+        out.stats.latency.blocking,
+        out.dropped,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For a random (layout, traffic, seed, fault plan) and a random
+    /// checkpoint interval, the run's last periodic checkpoint restores to
+    /// an identical outcome: same stats fingerprint and, via the recorded
+    /// trace cursor, a byte-identical JSONL trace.
+    #[test]
+    fn checkpoint_restore_is_byte_identical(
+        layout_idx in 0usize..7,
+        traffic_idx in 0usize..4,
+        seed in 1u64..10_000,
+        ber_idx in 0usize..3,
+        fault_seed in 1u64..1_000,
+        every in 60u64..400,
+    ) {
+        let layout = Layout::all_seven()[layout_idx].clone();
+        let cfg = mesh_config(&layout);
+        let plan = FaultPlan::transient([0.0, 5e-5, 2e-4][ber_idx], fault_seed);
+        let params = SimParams {
+            injection_rate: 0.02,
+            warmup_packets: 30,
+            measure_packets: 250,
+            max_cycles: 200_000,
+            seed,
+            process: InjectionProcess::Bernoulli,
+            watchdog: Some(100_000),
+        };
+        let mk_net = || Network::with_faults(cfg.clone(), plan.clone()).expect("valid config");
+        let dir = scratch(&format!("{layout_idx}_{traffic_idx}_{seed}_{ber_idx}_{every}"));
+
+        // Reference: one uninterrupted traced run.
+        let ref_trace = dir.join("ref.jsonl");
+        let mut traffic = traffic_by_index(traffic_idx);
+        let f = fs::File::create(&ref_trace).expect("create trace");
+        let reference = SimRun::new(mk_net(), params)
+            .traffic(traffic.as_mut())
+            .trace(Box::new(JsonlSink::new(BufWriter::new(f))))
+            .run()
+            .expect("reference run");
+
+        // Same run again, writing a checkpoint every `every` cycles; the
+        // file left behind is the *last* periodic checkpoint.
+        let ckpt_path = dir.join("run.ckpt");
+        let live_trace = dir.join("live.jsonl");
+        let mut traffic = traffic_by_index(traffic_idx);
+        let f = fs::File::create(&live_trace).expect("create trace");
+        let checkpointed = SimRun::new(mk_net(), params)
+            .traffic(traffic.as_mut())
+            .trace(Box::new(JsonlSink::new(BufWriter::new(f))))
+            .checkpoint_every(&ckpt_path, every)
+            .run()
+            .expect("checkpointed run");
+        prop_assert_eq!(fingerprint(&checkpointed), fingerprint(&reference),
+            "periodic checkpointing perturbed the run");
+
+        if reference.cycles < every {
+            // The run finished before the first checkpoint fired; nothing
+            // to resume from in this case.
+            fs::remove_dir_all(&dir).ok();
+            return Ok(());
+        }
+
+        // Restore: truncate the trace to the checkpointed cursor (the
+        // bytes durably emitted by that cycle) and resume to completion.
+        let ckpt = Checkpoint::load(&ckpt_path).expect("load checkpoint");
+        ckpt.check_compat(config_hash(&cfg), params_hash(&params)).expect("compatible");
+        prop_assert!(ckpt.cycle >= every && ckpt.cycle < reference.cycles);
+        let cursor = checkpoint_trace_cursor(&ckpt).expect("run checkpoint").expect("traced run");
+        let mut f = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&live_trace)
+            .expect("reopen trace");
+        f.set_len(cursor).expect("truncate trace");
+        f.seek(SeekFrom::End(0)).expect("seek");
+        let mut traffic = traffic_by_index(traffic_idx);
+        let resumed = SimRun::new(mk_net(), params)
+            .traffic(traffic.as_mut())
+            .trace(Box::new(JsonlSink::resumed(BufWriter::new(f), cursor)))
+            .resume_from(ckpt)
+            .run()
+            .expect("resumed run");
+
+        prop_assert_eq!(fingerprint(&resumed), fingerprint(&reference),
+            "resumed run diverged from the uninterrupted one");
+        let mut a = Vec::new();
+        fs::File::open(&ref_trace).expect("open").read_to_end(&mut a).expect("read");
+        let mut b = Vec::new();
+        fs::File::open(&live_trace).expect("open").read_to_end(&mut b).expect("read");
+        prop_assert_eq!(a.len(), b.len(), "trace lengths differ");
+        prop_assert!(a == b, "resumed trace is not byte-identical");
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Damaged or foreign checkpoint files come back as typed errors, never as
+/// silently wrong state: truncation, header corruption, an unknown schema
+/// version, body corruption (CRC), and a config/params mismatch.
+#[test]
+fn damaged_checkpoints_are_rejected_with_typed_errors() {
+    let dir = scratch("damage");
+    let cfg = mesh_config(&Layout::Baseline);
+    let params = SimParams {
+        injection_rate: 0.02,
+        warmup_packets: 30,
+        measure_packets: 200,
+        max_cycles: 200_000,
+        seed: 11,
+        process: InjectionProcess::Bernoulli,
+        watchdog: Some(100_000),
+    };
+    let path = dir.join("run.ckpt");
+    let net = Network::new(cfg.clone()).expect("valid config");
+    SimRun::new(net, params)
+        .checkpoint_every(&path, 100)
+        .run()
+        .expect("run");
+    let bytes = fs::read(&path).expect("checkpoint written");
+
+    // Truncated: cut mid-body.
+    let cut = &bytes[..bytes.len() - 7];
+    assert!(matches!(
+        Checkpoint::from_bytes(cut),
+        Err(CheckpointError::Truncated)
+    ));
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        Checkpoint::from_bytes(&bad),
+        Err(CheckpointError::BadMagic)
+    ));
+
+    // Unknown schema version.
+    let mut bad = bytes.clone();
+    bad[8] = 0xEE;
+    assert!(matches!(
+        Checkpoint::from_bytes(&bad),
+        Err(CheckpointError::BadVersion { .. })
+    ));
+
+    // Flipped body bit: caught by the CRC.
+    let mut bad = bytes.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    assert!(matches!(
+        Checkpoint::from_bytes(&bad),
+        Err(CheckpointError::BadCrc { .. })
+    ));
+
+    // Wrong configuration / parameters for an intact file.
+    let ckpt = Checkpoint::from_bytes(&bytes).expect("intact");
+    let other_cfg = mesh_config(&Layout::DiagonalBL);
+    assert!(matches!(
+        ckpt.check_compat(config_hash(&other_cfg), params_hash(&params)),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+    let other_params = SimParams { seed: 12, ..params };
+    assert!(matches!(
+        ckpt.check_compat(config_hash(&cfg), params_hash(&other_params)),
+        Err(CheckpointError::ParamsMismatch { .. })
+    ));
+    fs::remove_dir_all(&dir).ok();
+}
