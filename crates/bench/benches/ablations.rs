@@ -10,7 +10,7 @@ use heteronoc::noc::config::{LinkWidths, NetworkConfig, RouterCfg};
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
 use heteronoc::noc::topology::TopologyKind;
-use heteronoc::noc::types::Bits;
+use heteronoc::noc::types::{Bits, Rate};
 
 fn homo(vcs: usize, depth: usize, width: u32) -> NetworkConfig {
     NetworkConfig::homogeneous(
@@ -32,7 +32,7 @@ fn run(cfg: NetworkConfig) -> u64 {
     let out = SimRun::new(
         net,
         SimParams {
-            injection_rate: 0.05,
+            injection_rate: Rate::new(0.05),
             warmup_packets: 100,
             measure_packets: 1_500,
             max_cycles: 200_000,

@@ -8,7 +8,7 @@ use std::hint::black_box;
 use heteronoc::noc::network::Network;
 use heteronoc::noc::packet::PacketClass;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
-use heteronoc::noc::types::{Bits, NodeId};
+use heteronoc::noc::types::{Bits, NodeId, Rate};
 use heteronoc::{mesh_config, Layout};
 
 fn bench_step_throughput(c: &mut Criterion) {
@@ -57,7 +57,7 @@ fn bench_open_loop_batch(c: &mut Criterion) {
                     let out = SimRun::new(
                         net,
                         SimParams {
-                            injection_rate: 0.02,
+                            injection_rate: Rate::new(0.02),
                             warmup_packets: 100,
                             measure_packets: 2_000,
                             max_cycles: 300_000,
@@ -87,7 +87,7 @@ fn bench_observability(c: &mut Criterion) {
         let mut run = SimRun::new(
             net,
             SimParams {
-                injection_rate: 0.02,
+                injection_rate: Rate::new(0.02),
                 warmup_packets: 100,
                 measure_packets: 2_000,
                 max_cycles: 300_000,

@@ -1,0 +1,128 @@
+//! Criterion benches for the active-set scheduler: wall-clock speedup of
+//! the wake-set engine over the walk-everything reference at low injection
+//! rates, where most of an 8×8 mesh is quiescent on any given cycle.
+//!
+//! The binary first runs a hard equivalence-and-speedup gate (used by the
+//! CI `sched-smoke` job): the idle-mesh fast-forward must beat the
+//! reference engine outright, while producing identical statistics. The
+//! criterion groups then quantify the speedup at the paper-scale operating
+//! point of 0.05 flits/node/cycle (8-flit packets → 0.00625 packets/node/
+//! cycle), where the target is ≥5×.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use heteronoc::noc::network::Network;
+use heteronoc::noc::sched::EngineMode;
+use heteronoc::noc::sim::{InjectionProcess, SimOutcome, SimParams, SimRun};
+use heteronoc::noc::types::Rate;
+use heteronoc::{mesh_config, Layout};
+
+/// 0.05 flits/node/cycle with the default 1024-bit packet over 128-bit
+/// flits (8 flits/packet).
+const LOW_RATE: f64 = 0.05 / 8.0;
+
+fn low_rate_params() -> SimParams {
+    SimParams {
+        injection_rate: Rate::new(LOW_RATE),
+        warmup_packets: 200,
+        measure_packets: 2_000,
+        max_cycles: 500_000,
+        seed: 0xBE9C,
+        process: InjectionProcess::Bernoulli,
+        ..SimParams::default()
+    }
+}
+
+fn idle_params() -> SimParams {
+    // Rate zero with a 1-packet target: the run can never complete, so both
+    // engines walk (or jump) the full 500k-cycle horizon.
+    SimParams {
+        injection_rate: Rate::ZERO,
+        warmup_packets: 1,
+        measure_packets: 1,
+        max_cycles: 500_000,
+        seed: 0xBE9C,
+        process: InjectionProcess::Bernoulli,
+        ..SimParams::default()
+    }
+}
+
+fn run(params: SimParams, mode: EngineMode) -> SimOutcome {
+    let net = Network::new(mesh_config(&Layout::Baseline)).expect("valid");
+    SimRun::new(net, params)
+        .engine(mode)
+        .run()
+        .expect("simulation run")
+}
+
+/// CI gate: the active-set engine must fast-forward an idle 8×8 mesh
+/// measurably faster than the walk-everything reference — while both land
+/// on the exact same outcome. Panics (failing `cargo bench`) otherwise.
+fn assert_idle_mesh_speedup() {
+    let time = |mode: EngineMode| {
+        let t = Instant::now();
+        let out = run(idle_params(), mode);
+        (t.elapsed(), (out.cycles, out.stats.packets_retired))
+    };
+    // Warm caches, then take the better of two runs per engine.
+    let _ = time(EngineMode::ActiveSet);
+    let _ = time(EngineMode::PollAll);
+    let (a1, fp_active) = time(EngineMode::ActiveSet);
+    let (r1, fp_ref) = time(EngineMode::PollAll);
+    let (a2, _) = time(EngineMode::ActiveSet);
+    let (r2, _) = time(EngineMode::PollAll);
+    let (active, reference) = (a1.min(a2), r1.min(r2));
+
+    assert_eq!(fp_active, fp_ref, "engines disagree on the idle mesh");
+    assert!(
+        active * 2 < reference,
+        "idle-mesh fast-forward is not measurably faster than the reference \
+         engine: active-set {active:?} vs poll-all {reference:?}"
+    );
+    println!(
+        "sched-smoke gate: idle 8×8 mesh, 500k cycles — active-set {active:?} \
+         vs poll-all {reference:?} ({:.0}×)",
+        reference.as_secs_f64() / active.as_secs_f64().max(1e-9)
+    );
+}
+
+fn bench_low_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_low_rate");
+    g.sample_size(10);
+    for mode in [EngineMode::ActiveSet, EngineMode::PollAll] {
+        g.bench_with_input(
+            BenchmarkId::new("8x8_0.05_flits_per_node_cycle", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    black_box(run(low_rate_params(), mode))
+                        .stats
+                        .packets_retired
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_idle_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_idle_mesh");
+    g.sample_size(10);
+    for mode in [EngineMode::ActiveSet, EngineMode::PollAll] {
+        g.bench_with_input(
+            BenchmarkId::new("8x8_500k_quiet_cycles", format!("{mode:?}")),
+            &mode,
+            |b, &mode| b.iter(|| black_box(run(idle_params(), mode)).cycles),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_low_rate, bench_idle_mesh);
+
+fn main() {
+    assert_idle_mesh_speedup();
+    benches();
+}

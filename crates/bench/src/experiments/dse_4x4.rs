@@ -20,6 +20,7 @@ use heteronoc::noc::routing::RoutingKind;
 use heteronoc::noc::sim::{InjectionProcess, SimParams};
 use heteronoc::noc::topology::TopologyKind;
 use heteronoc::noc::types::Bits;
+use heteronoc::noc::types::Rate;
 use heteronoc::Placement;
 
 fn placement_config(p: &Placement) -> NetworkConfig {
@@ -47,7 +48,7 @@ fn placement_config(p: &Placement) -> NetworkConfig {
 
 fn score_params(packets: u64) -> SimParams {
     SimParams {
-        injection_rate: 0.05,
+        injection_rate: Rate::new(0.05),
         warmup_packets: packets / 10,
         measure_packets: packets,
         max_cycles: 200_000,

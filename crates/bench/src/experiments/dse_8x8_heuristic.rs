@@ -9,7 +9,7 @@ use crate::{full_scale, Report};
 use heteronoc::dse::anneal;
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
-use heteronoc::noc::types::RouterId;
+use heteronoc::noc::types::{Rate, RouterId};
 use heteronoc::{network_config, Layout, Placement};
 use heteronoc_noc::topology::TopologyKind;
 
@@ -30,7 +30,7 @@ fn score(p: &Placement, packets: u64) -> f64 {
     let out = SimRun::new(
         net,
         SimParams {
-            injection_rate: 0.035,
+            injection_rate: Rate::new(0.035),
             warmup_packets: packets / 10,
             measure_packets: packets,
             max_cycles: 300_000,

@@ -10,7 +10,7 @@ use heteronoc::noc::config::{NetworkConfig, RouterCfg};
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{SimParams, SimRun};
 use heteronoc::noc::topology::TopologyKind;
-use heteronoc::noc::types::Bits;
+use heteronoc::noc::types::{Bits, Rate};
 
 fn run_one(kind: TopologyKind, rate: f64) -> heteronoc::noc::stats::NetStats {
     let cfg = NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2);
@@ -18,7 +18,7 @@ fn run_one(kind: TopologyKind, rate: f64) -> heteronoc::noc::stats::NetStats {
     let out = SimRun::new(
         net,
         SimParams {
-            injection_rate: rate,
+            injection_rate: Rate::new(rate),
             warmup_packets: 1_000,
             measure_packets: measure_packets(),
             max_cycles: 2_000_000,

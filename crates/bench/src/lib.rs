@@ -25,6 +25,7 @@ use std::path::PathBuf;
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun, Traffic};
 use heteronoc::noc::stats::NetStats;
+use heteronoc::noc::types::Rate;
 use heteronoc::power::NetworkPower;
 use heteronoc::{mesh_config, Layout};
 
@@ -48,7 +49,7 @@ pub fn measure_packets() -> u64 {
 /// Default simulation parameters at `rate` packets/node/cycle.
 pub fn default_params(rate: f64, seed: u64) -> SimParams {
     SimParams {
-        injection_rate: rate,
+        injection_rate: Rate::new(rate),
         warmup_packets: 1_000,
         measure_packets: measure_packets(),
         max_cycles: 3_000_000,

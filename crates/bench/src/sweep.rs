@@ -832,7 +832,7 @@ fn execute(
                 .total_w();
             Ok(PointMetrics {
                 label: String::new(),
-                rate: params.injection_rate,
+                rate: params.injection_rate.get(),
                 latency_ns: out.latency_ns(),
                 latency_cycles: out.stats.latency.mean_total(),
                 throughput: out.stats.throughput_ppc(nodes),
@@ -1096,6 +1096,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use heteronoc::noc::types::Rate;
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -1159,7 +1160,7 @@ mod tests {
             config: cfg,
             kind: PointKind::OpenLoop {
                 params: SimParams {
-                    injection_rate: 0.01,
+                    injection_rate: Rate::new(0.01),
                     warmup_packets: 10,
                     measure_packets: 10,
                     max_cycles: 1_000,
@@ -1192,7 +1193,7 @@ mod tests {
             config: NetworkConfig::paper_baseline(),
             kind: PointKind::OpenLoop {
                 params: SimParams {
-                    injection_rate: 0.02,
+                    injection_rate: Rate::new(0.02),
                     warmup_packets: 20,
                     measure_packets: 100,
                     max_cycles: 100_000,

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use heteronoc::mesh_config;
 use heteronoc::noc::fault::FaultPlan;
 use heteronoc::noc::sim::{InjectionProcess, SimParams};
+use heteronoc::noc::types::Rate;
 use heteronoc::Layout;
 use heteronoc_bench::sweep::{run_sweep, PointKind, PointSpec, Sweep, SweepOptions, TrafficSpec};
 
@@ -28,7 +29,7 @@ fn scratch_cache_dir(tag: &str) -> PathBuf {
 
 fn tiny_params(rate: f64, seed: u64) -> SimParams {
     SimParams {
-        injection_rate: rate,
+        injection_rate: Rate::new(rate),
         warmup_packets: 20,
         measure_packets: 120,
         max_cycles: 100_000,

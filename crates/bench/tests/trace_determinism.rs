@@ -5,6 +5,7 @@
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
 use heteronoc::noc::trace::{JsonlSink, SharedBuffer};
+use heteronoc::noc::types::Rate;
 use heteronoc::{mesh_config, Layout};
 use heteronoc_bench::sweep::{
     parallel_map, run_sweep, PointKind, PointSpec, Sweep, SweepOptions, TrafficSpec,
@@ -13,7 +14,7 @@ use heteronoc_bench::tracecheck::check_jsonl;
 
 fn tiny_params(seed: u64) -> SimParams {
     SimParams {
-        injection_rate: 0.02,
+        injection_rate: Rate::new(0.02),
         warmup_packets: 50,
         measure_packets: 300,
         max_cycles: 200_000,

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun, Traffic};
+use heteronoc::noc::types::Rate;
 use heteronoc::power::NetworkPower;
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::{
@@ -63,6 +64,14 @@ COMMANDS
                --trace <file>       JSONL flit trace; on --resume the file is
                                     truncated to the checkpointed cursor and
                                     continued byte-identically
+               --profile            print the per-stage wall-time table plus
+                                    active-set scheduler statistics (cycles
+                                    skipped, router visits avoided, wake-set
+                                    size histogram)
+               --no-activity-tracking
+                                    drive the walk-everything reference engine
+                                    instead of the active-set scheduler
+                                    (byte-identical results, slower)
   replay     bisect the first diverging cycle between two trajectories of
              one configured run: two checkpoints, or a checkpoint vs a
              fresh replay from cycle 0 (exits non-zero on divergence and
@@ -229,7 +238,7 @@ fn workload_by_name(name: &str) -> Result<Benchmark, String> {
 
 fn params(rate: f64, packets: u64, seed: u64) -> SimParams {
     SimParams {
-        injection_rate: rate,
+        injection_rate: Rate::new(rate),
         warmup_packets: (packets / 10).max(100),
         measure_packets: packets,
         max_cycles: 5_000_000,
@@ -461,6 +470,12 @@ fn cmd_run(a: &Args) -> Result<(), String> {
         .traffic(traffic.as_mut())
         .checkpoint_every(&ckpt_path, every)
         .shutdown_flag(flag);
+    if a.flag("no-activity-tracking") {
+        run = run.engine(heteronoc::noc::sched::EngineMode::PollAll);
+    }
+    if a.flag("profile") {
+        run = run.profile(true);
+    }
 
     if let Some(trace_path) = a.get("trace") {
         if let Some(parent) = std::path::Path::new(trace_path).parent() {
@@ -514,6 +529,10 @@ fn cmd_run(a: &Args) -> Result<(), String> {
                 out.cycles,
                 out.latency_ns()
             );
+            if let Some(prof) = &out.profile {
+                println!("self-profile:");
+                println!("{prof}");
+            }
             // The run completed; its checkpoint is dead weight now.
             if ckpt_path.exists() {
                 std::fs::remove_file(&ckpt_path).map_err(|e| e.to_string())?;

@@ -31,7 +31,7 @@
 //! let cfg = mesh_config(&Layout::DiagonalBL);
 //! let net = Network::new(cfg)?;
 //! let out = SimRun::new(net, SimParams {
-//!     injection_rate: 0.02, warmup_packets: 100,
+//!     injection_rate: heteronoc::noc::types::Rate::new(0.02), warmup_packets: 100,
 //!     measure_packets: 1_000, ..SimParams::default()
 //! }).run()?;
 //! println!("Diagonal+BL latency: {:.2} ns", out.latency_ns());

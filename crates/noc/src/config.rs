@@ -316,6 +316,10 @@ impl NetworkConfig {
 #[derive(Clone, Debug)]
 pub struct NetworkConfigBuilder {
     cfg: NetworkConfig,
+    /// Per-router overrides, applied (and range-checked) at `build()` so
+    /// the chained setters never panic — errors surface once, typed, at
+    /// the end of the chain like every other configuration problem.
+    overrides: Vec<(usize, RouterCfg)>,
 }
 
 impl NetworkConfigBuilder {
@@ -328,6 +332,7 @@ impl NetworkConfigBuilder {
                 Bits(192),
                 2.2,
             ),
+            overrides: Vec::new(),
         }
     }
 
@@ -335,6 +340,7 @@ impl NetworkConfigBuilder {
     pub fn topology(kind: TopologyKind) -> Self {
         Self {
             cfg: NetworkConfig::homogeneous(kind, RouterCfg::BASELINE, Bits(192), 2.2),
+            overrides: Vec::new(),
         }
     }
 
@@ -346,12 +352,12 @@ impl NetworkConfigBuilder {
         self
     }
 
-    /// Overrides one router's buffer organization.
-    ///
-    /// # Panics
-    /// Panics if `index` is out of range.
+    /// Overrides one router's buffer organization. An out-of-range
+    /// `index` is reported by [`NetworkConfigBuilder::build`] as
+    /// [`ConfigError::RouterIndexOutOfRange`] — the setter itself never
+    /// panics.
     pub fn router(mut self, index: usize, rc: RouterCfg) -> Self {
-        self.cfg.routers[index] = rc;
+        self.overrides.push((index, rc));
         self
     }
 
@@ -389,6 +395,17 @@ impl NetworkConfigBuilder {
     /// # Errors
     /// The first [`ConfigError`] found by [`NetworkConfig::validate`].
     pub fn build(mut self) -> Result<NetworkConfig, ConfigError> {
+        for (index, rc) in self.overrides.drain(..) {
+            match self.cfg.routers.get_mut(index) {
+                Some(slot) => *slot = rc,
+                None => {
+                    return Err(ConfigError::RouterIndexOutOfRange {
+                        router: index,
+                        routers: self.cfg.routers.len(),
+                    })
+                }
+            }
+        }
         if let LinkWidths::Uniform(w) = self.cfg.link_widths {
             if w != self.cfg.flit_width && w == Bits(192) {
                 self.cfg.link_widths = LinkWidths::Uniform(self.cfg.flit_width);
@@ -518,6 +535,23 @@ mod tests {
         // Uniform default links followed the flit width.
         assert!(matches!(cfg.link_widths, LinkWidths::Uniform(Bits(128))));
         assert!(cfg.validate(&cfg.build_graph()).is_ok());
+    }
+
+    #[test]
+    fn builder_defers_out_of_range_override_to_build() {
+        // The setter itself must not panic; the error surfaces typed at
+        // the end of the chain.
+        let err = NetworkConfigBuilder::mesh(4, 4)
+            .router(16, RouterCfg::BIG)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::RouterIndexOutOfRange {
+                router: 16,
+                routers: 16
+            }
+        );
     }
 
     #[test]

@@ -93,6 +93,14 @@ pub enum ConfigError {
         /// Routers in the topology.
         routers: usize,
     },
+    /// A [`crate::config::NetworkConfigBuilder::router`] override names a
+    /// router the topology does not have.
+    RouterIndexOutOfRange {
+        /// The rejected router index.
+        router: usize,
+        /// Routers in the topology.
+        routers: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -152,6 +160,10 @@ impl fmt::Display for ConfigError {
             ConfigError::FaultRouterOutOfRange { router, routers } => write!(
                 f,
                 "fault plan names router {router} but the topology has {routers} routers"
+            ),
+            ConfigError::RouterIndexOutOfRange { router, routers } => write!(
+                f,
+                "builder overrides router {router} but the topology has {routers} routers"
             ),
         }
     }

@@ -12,11 +12,12 @@
 //! use heteronoc_noc::config::NetworkConfig;
 //! use heteronoc_noc::network::Network;
 //! use heteronoc_noc::sim::{SimParams, SimRun};
+//! use heteronoc_noc::types::Rate;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let net = Network::new(NetworkConfig::paper_baseline())?;
 //! let params = SimParams {
-//!     injection_rate: 0.01,
+//!     injection_rate: Rate::new(0.01),
 //!     warmup_packets: 100,
 //!     measure_packets: 1_000,
 //!     ..SimParams::default()
@@ -38,6 +39,8 @@
 //!   escape VCs;
 //! * [`config`] — per-router/per-link heterogeneous configuration;
 //! * [`network`] — the cycle-accurate engine;
+//! * [`sched`] — the active-set scheduler (wake sets, engine modes,
+//!   quiet-gap fast-forwarding);
 //! * [`sim`] — the open-loop synthetic-traffic driver;
 //! * [`stats`] — latency decomposition, utilizations, power-model events;
 //! * [`trace`] — flit-level event tracing (JSONL / Chrome `trace_event`);
@@ -58,6 +61,7 @@ pub mod profile;
 pub mod replay;
 pub mod router;
 pub mod routing;
+pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod topology;
@@ -76,5 +80,6 @@ pub use network::{BlockedChannel, Delivered, Diagnostics, Network, StallReport, 
 pub use packet::{Flit, Packet, PacketClass};
 pub use profile::{ProfileReport, Stage, StageProfiler};
 pub use replay::{DivergenceReport, ReplayDriver, Trajectory};
+pub use sched::{EngineMode, RouterActivity, SchedReport, WakeReason};
 pub use trace::{ChromeTraceSink, JsonlSink, SharedBuffer, TraceEvent, TraceSink};
-pub use types::{Bits, Coord, Cycle, NodeId, PacketId, PortId, RouterId, VcId};
+pub use types::{Bits, Coord, Cycle, NodeId, PacketId, PortId, Rate, RouterId, VcId};

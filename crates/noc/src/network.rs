@@ -46,6 +46,7 @@ use crate::profile::{maybe_now, ProfileReport, Stage, StageProfiler};
 use crate::router::arbiter::RrArbiter;
 use crate::router::{InputVc, OutputPort, OutputTarget, OutputVc, RouterState};
 use crate::routing::{RouteChoice, RoutingKind, VcClass};
+use crate::sched::{EngineMode, RouterActivity, SchedReport, Scheduler, WakeReason};
 use crate::stats::{NetStats, PacketRecord};
 use crate::topology::{PortKind, TopologyGraph};
 use crate::trace::{FaultUnit, TraceEvent, TraceSink};
@@ -251,8 +252,20 @@ pub struct Network {
     /// Per-stage wall-time profiler; `None` means [`std::time::Instant`]
     /// is never consulted on the hot path.
     profiler: Option<Box<StageProfiler>>,
+    /// The active-set scheduler (see [`crate::sched`]): wake-set
+    /// membership, engine mode, and skip counters. Derived state — never
+    /// serialized, rebuilt from buffer occupancy on checkpoint restore.
+    sched: Scheduler,
     // Scratch buffers reused across cycles to avoid per-cycle allocation.
     scratch_winners: Vec<(PortId, VcId)>,
+    scratch_events: Vec<Event>,
+    scratch_primary: Vec<Option<(usize, PortId)>>,
+    scratch_pair: Vec<bool>,
+    scratch_alt: Vec<Option<usize>>,
+    scratch_port_sent: Vec<u8>,
+    /// Spare wheel-slot storage so the per-cycle `mem::take` of the due
+    /// slot does not discard its capacity.
+    wheel_spare: Vec<Event>,
 }
 
 impl Network {
@@ -321,6 +334,7 @@ impl Network {
                 outputs,
                 sa_stage1: rd.ports.iter().map(|_| RrArbiter::new()).collect(),
                 occupancy: 0,
+                port_occ: vec![0; rd.ports.len()],
                 capacity,
                 busy_vcs: 0,
                 total_vcs: (rd.ports.len() * rc.vcs_per_port) as u32,
@@ -352,6 +366,7 @@ impl Network {
 
         let vc_counts: Vec<u32> = routers.iter().map(|r| r.total_vcs).collect();
         let stats = NetStats::new(graph.num_routers(), graph.num_links(), slots, vc_counts);
+        let sched = Scheduler::new(routers.len());
         Ok(Self {
             cfg,
             graph,
@@ -371,7 +386,14 @@ impl Network {
             tracer: None,
             epochs: None,
             profiler: None,
+            sched,
             scratch_winners: Vec::with_capacity(4),
+            scratch_events: Vec::with_capacity(4),
+            scratch_primary: Vec::new(),
+            scratch_pair: Vec::new(),
+            scratch_alt: Vec::new(),
+            scratch_port_sent: Vec::new(),
+            wheel_spare: Vec::new(),
         })
     }
 
@@ -436,28 +458,108 @@ impl Network {
         self.record_packets = on;
     }
 
+    /// Selects how [`Network::step`] walks the network (see
+    /// [`EngineMode`]). Both modes are byte-identical in every observable
+    /// output; [`EngineMode::PollAll`] exists as the reference the
+    /// active-set engine is verified (and benchmarked) against.
+    pub fn set_engine_mode(&mut self, mode: EngineMode) {
+        self.sched.set_mode(mode);
+    }
+
+    /// The engine mode currently in effect.
+    pub fn engine_mode(&self) -> EngineMode {
+        self.sched.mode()
+    }
+
+    /// Active-set scheduler statistics accumulated so far (cycles skipped,
+    /// router visits avoided, wake-set size histogram). Available without
+    /// enabling profiling; also embedded in [`ProfileReport::sched`].
+    pub fn sched_report(&self) -> SchedReport {
+        self.sched.report()
+    }
+
+    /// True when the network can make no progress on its own: no fault
+    /// layer (whose far-event timers could fire), no scheduled events in
+    /// the wheel, no awake router, and every source node idle. A quiescent
+    /// fault-free network necessarily has nothing in flight, so stepping
+    /// it runs the whole pipeline to no effect — the basis for the
+    /// active-set engine's quiet-gap fast-forwarding.
+    pub fn quiescent(&self) -> bool {
+        self.faults.is_none()
+            && self.sched.wake_set_empty()
+            && self.wheel.iter().all(Vec::is_empty)
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.sending.is_none() && n.queue.is_empty())
+            && self.in_flight.is_empty()
+    }
+
+    /// Advances one globally-quiet cycle without running the pipeline.
+    /// Byte-identical to [`Network::step`] on a [`Network::quiescent`]
+    /// network: the only observable effects of a full step in that state
+    /// are the cycle counters, epoch bookkeeping (which accumulates zeros)
+    /// and the profiler step count — all replicated here.
+    pub(crate) fn idle_step(&mut self) {
+        debug_assert!(self.quiescent(), "idle_step on a non-quiescent network");
+        if self.measuring {
+            self.stats.cycles += 1;
+        }
+        if let Some(ep) = self.epochs.as_deref_mut() {
+            ep.maybe_close(self.now);
+        }
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.note_step();
+        }
+        self.sched.note_idle_cycle(self.routers.len());
+        self.now += 1;
+    }
+
+    /// A router's self-reported activity state: [`RouterActivity::Active`]
+    /// while it holds buffered flits (it is in the scheduler's wake set),
+    /// [`RouterActivity::Quiescent`] otherwise. This is the query that
+    /// replaced polling: the active-set engine derives it from wake
+    /// notifications instead of inspecting every buffer every cycle.
+    pub fn router_activity(&self, router: RouterId) -> RouterActivity {
+        self.sched.activity(router.index())
+    }
+
+    /// True when a bulk quiet-gap jump would be observationally identical
+    /// to walking the gap cycle by cycle: no epoch recorder (whose
+    /// boundaries must close on exact cycles) and no trace sink attached.
+    pub(crate) fn can_skip_quiet(&self) -> bool {
+        self.epochs.is_none() && self.tracer.is_none()
+    }
+
+    /// Fast-forwards `delta` globally-quiet cycles in one jump. Callers
+    /// must ensure the network is [`Network::quiescent`] and stays that
+    /// way for the whole gap (no injection can fire, no epoch boundary or
+    /// trace output falls inside it — the driver in [`crate::sim`] checks
+    /// all of this and also replays the per-cycle RNG draws).
+    pub(crate) fn skip_quiet(&mut self, delta: Cycle) {
+        debug_assert!(self.quiescent(), "skip_quiet on a non-quiescent network");
+        debug_assert!(self.epochs.is_none() && self.tracer.is_none());
+        if self.measuring {
+            self.stats.cycles += delta;
+        }
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.note_steps(delta);
+        }
+        self.sched.note_jump(delta, self.routers.len());
+        self.now += delta;
+    }
+
     /// Installs a flit-level [`TraceSink`]; every lifecycle event from the
     /// next [`Network::step`] on is delivered to it. Tracing observes the
     /// engine without touching schedules or RNG draws, so a traced run is
     /// cycle-identical to an untraced one.
-    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+    pub(crate) fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.tracer = Some(sink);
-    }
-
-    /// True when a trace sink is installed.
-    pub fn has_trace_sink(&self) -> bool {
-        self.tracer.is_some()
-    }
-
-    /// Removes and returns the installed trace sink, if any, without
-    /// calling [`TraceSink::finish`].
-    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
-        self.tracer.take()
     }
 
     /// Finalizes and drops the installed trace sink (calls
     /// [`TraceSink::finish`] exactly once). No-op without a sink.
-    pub fn finish_trace(&mut self) {
+    pub(crate) fn finish_trace(&mut self) {
         if let Some(mut sink) = self.tracer.take() {
             sink.finish();
         }
@@ -470,7 +572,7 @@ impl Network {
     ///
     /// # Panics
     /// Panics if `every` is zero.
-    pub fn enable_epochs(&mut self, every: Cycle) {
+    pub(crate) fn enable_epochs(&mut self, every: Cycle) {
         let caps = self.routers.iter().map(|r| u64::from(r.capacity)).collect();
         let vcs = self
             .routers
@@ -484,7 +586,7 @@ impl Network {
     /// Stops epoch sampling, closes the partial epoch in progress (if it
     /// covers at least one cycle) and returns all samples. Empty when
     /// sampling was never enabled.
-    pub fn take_epochs(&mut self) -> Vec<EpochSample> {
+    pub(crate) fn take_epochs(&mut self) -> Vec<EpochSample> {
         match self.epochs.take() {
             Some(mut rec) => {
                 rec.finish(self.now);
@@ -496,16 +598,21 @@ impl Network {
 
     /// Starts accumulating per-pipeline-stage wall time (see
     /// [`crate::profile`]). Idempotent; the existing counters are kept.
-    pub fn enable_profiling(&mut self) {
+    pub(crate) fn enable_profiling(&mut self) {
         if self.profiler.is_none() {
             self.profiler = Some(Box::new(StageProfiler::new()));
         }
     }
 
-    /// Stops profiling and returns the accumulated breakdown, or `None`
-    /// when profiling was never enabled.
-    pub fn take_profile(&mut self) -> Option<ProfileReport> {
-        self.profiler.take().map(|p| p.report())
+    /// Stops profiling and returns the accumulated breakdown (with the
+    /// scheduler counters embedded), or `None` when profiling was never
+    /// enabled.
+    pub(crate) fn take_profile(&mut self) -> Option<ProfileReport> {
+        self.profiler.take().map(|p| {
+            let mut report = p.report();
+            report.sched = self.sched.report();
+            report
+        })
     }
 
     /// Delivers `ev` to the installed sink. Call sites guard with
@@ -858,6 +965,14 @@ impl Network {
     }
 
     /// Advances the simulation by one cycle.
+    ///
+    /// Under [`EngineMode::ActiveSet`] (the default) the allocation phases
+    /// visit only the scheduler's wake set — routers that reported
+    /// [`crate::sched::RouterActivity::Active`] via a flit arrival — in
+    /// ascending index order, so the visit sequence is the exact
+    /// subsequence of the reference walk and every skipped router is a
+    /// no-op. Under [`EngineMode::PollAll`] every live router is walked.
+    /// Both modes produce byte-identical state, statistics and traces.
     pub fn step(&mut self) {
         let t = self.prof_start();
         if self.faults.is_some() {
@@ -866,10 +981,13 @@ impl Network {
         }
         let t = self.prof_lap(t, Stage::LinkTraverse);
         let idx = (self.now % WHEEL as u64) as usize;
-        let events = std::mem::take(&mut self.wheel[idx]);
-        for ev in events {
+        // Swap the due slot against the spare vec so its capacity is kept.
+        let mut events =
+            std::mem::replace(&mut self.wheel[idx], std::mem::take(&mut self.wheel_spare));
+        for ev in events.drain(..) {
             self.deliver(ev);
         }
+        self.wheel_spare = events;
         let t = self.prof_lap(t, Stage::BufferWrite);
         if self.faults.is_some() {
             self.process_absorbing();
@@ -879,18 +997,61 @@ impl Network {
             self.node_inject(n);
         }
         let _ = self.prof_lap(t, Stage::Inject);
-        // Routers holding no flits have nothing to route, allocate or
-        // traverse — skipping them keeps low-load cycles cheap. Dead
-        // routers are frozen entirely (fail-stop).
-        for r in 0..self.routers.len() {
-            if self.routers[r].occupancy > 0 && !self.router_dead(r) {
-                self.rc_and_va(r);
+        // All wake points (flit deliveries) for this cycle have fired;
+        // take the wake set. Dead routers are frozen entirely (fail-stop):
+        // they stay in the set (their occupancy never drains) but are
+        // skipped by both modes.
+        let list = self.sched.begin_cycle();
+        let total = self.routers.len();
+        let mut visits = 0usize;
+        match self.sched.mode() {
+            EngineMode::ActiveSet => {
+                // Routers outside the wake set hold no flits and have
+                // nothing to route, allocate or traverse — skipping them
+                // keeps low-load cycles proportional to traffic.
+                for &r in &list {
+                    if self.routers[r].occupancy > 0 && !self.router_dead(r) {
+                        visits += 1;
+                        self.rc_and_va(r);
+                    }
+                }
+                for &r in &list {
+                    if self.routers[r].occupancy > 0 && !self.router_dead(r) {
+                        self.switch_alloc(r);
+                    }
+                }
+            }
+            EngineMode::PollAll => {
+                // Reference walk: every router, port and VC, every cycle.
+                for r in 0..total {
+                    if !self.router_dead(r) {
+                        visits += 1;
+                        self.rc_and_va(r);
+                    }
+                }
+                for r in 0..total {
+                    if !self.router_dead(r) {
+                        self.switch_alloc(r);
+                    }
+                }
             }
         }
-        for r in 0..self.routers.len() {
-            if self.routers[r].occupancy > 0 && !self.router_dead(r) {
-                self.switch_alloc(r);
-            }
+        self.sched.note_full_cycle(visits, total);
+        // Routers whose buffers drained this cycle go back to sleep; the
+        // rest stay for the next cycle (membership mirrors occupancy).
+        {
+            let mut list = list;
+            let routers = &self.routers;
+            let sched = &mut self.sched;
+            list.retain(|&r| {
+                if routers[r].occupancy > 0 {
+                    true
+                } else {
+                    sched.sleep(r);
+                    false
+                }
+            });
+            sched.end_cycle(list);
         }
         // rc_and_va / switch_alloc charge RC/VA/SA/ST internally.
         let t = self.prof_start();
@@ -952,11 +1113,13 @@ impl Network {
                 }
                 r.inputs[port.index()][vc.index()].fifo.push_back(flit);
                 r.occupancy += 1;
+                r.port_occ[port.index()] += 1;
                 debug_assert!(
                     r.inputs[port.index()][vc.index()].fifo.len()
                         <= self.cfg.routers[router.index()].buffer_depth,
                     "buffer overflow at {router} {port} {vc}: credit protocol violated"
                 );
+                self.sched.wake(router.index(), WakeReason::FlitArrive);
                 if self.measuring {
                     self.stats.routers[router.index()].buffer_writes += 1;
                 }
@@ -1108,11 +1271,13 @@ impl Network {
                 }
                 r.inputs[port.index()][vc.index()].fifo.push_back(flit);
                 r.occupancy += 1;
+                r.port_occ[port.index()] += 1;
                 debug_assert!(
                     r.inputs[port.index()][vc.index()].fifo.len()
                         <= self.cfg.routers[router.index()].buffer_depth,
                     "buffer overflow at {router} {port} {vc}: credit protocol violated"
                 );
+                self.sched.wake(router.index(), WakeReason::LinkArrive);
                 if self.measuring {
                     self.stats.routers[router.index()].buffer_writes += 1;
                 }
@@ -1649,6 +1814,7 @@ impl Network {
                     if !scrubbed.is_empty() {
                         let removed = scrubbed.len() as u32;
                         self.routers[ri].occupancy -= removed;
+                        self.routers[ri].port_occ[p] -= removed;
                         if self.routers[ri].inputs[p][v].fifo.is_empty() {
                             self.routers[ri].busy_vcs -= 1;
                         }
@@ -1731,6 +1897,7 @@ impl Network {
                 .pop_front()
             {
                 self.routers[r].occupancy -= 1;
+                self.routers[r].port_occ[port.index()] -= 1;
                 if self.routers[r].inputs[port.index()][vc.index()]
                     .fifo
                     .is_empty()
@@ -2033,13 +2200,14 @@ impl Network {
             }
         }
         // Send flits of the in-progress packet.
-        let node = &mut self.nodes[n];
-        let Some(sending) = node.sending.as_mut() else {
+        if self.nodes[n].sending.is_none() {
             return;
-        };
+        }
+        let mut events = std::mem::take(&mut self.scratch_events);
+        let node = &mut self.nodes[n];
+        let sending = node.sending.as_mut().expect("checked above");
         let vc = sending.vc;
         let mut sent = 0;
-        let mut events: Vec<Event> = Vec::new();
         while sent < node.lanes && !sending.flits.is_empty() && node.vcs[vc.index()].credits > 0 {
             let flit = sending.flits.pop_front().expect("non-empty");
             node.vcs[vc.index()].credits -= 1;
@@ -2056,9 +2224,10 @@ impl Network {
             node.vcs[vc.index()].owner = None;
             node.sending = None;
         }
-        for ev in events {
+        for ev in events.drain(..) {
             self.schedule(1, ev);
         }
+        self.scratch_events = events;
     }
 
     fn rc_and_va(&mut self, r: usize) {
@@ -2070,7 +2239,19 @@ impl Network {
 
         // --- Route computation & escape diversion -----------------------
         let nports = self.routers[r].inputs.len();
+        let nout = self.routers[r].outputs.len();
+        // Active-set refinement: skip whole input ports with no buffered
+        // flits (nothing to route or age), and record exactly which output
+        // ports have a VC-allocation requester so the VA phase below only
+        // runs the arbiters that can grant. With the mask disabled (`!0`,
+        // reference mode or >64 ports) every output is scanned as before;
+        // scanning an output with no requester is a no-op either way.
+        let gate = self.sched.mode() == EngineMode::ActiveSet && nout <= 64;
+        let mut va_req: u64 = if gate { 0 } else { !0 };
         for p in 0..nports {
+            if gate && self.routers[r].port_occ[p] == 0 {
+                continue;
+            }
             for v in 0..vcs_per_port {
                 let (pkt, is_head, src, dst, class, has_route, _has_grant, sent, wait) = {
                     let vc = &self.routers[r].inputs[p][v];
@@ -2174,6 +2355,14 @@ impl Network {
                 if vc.fifo.front().is_some_and(|f| f.kind.is_head()) && vc.sent_on_grant == 0 {
                     vc.head_wait = vc.head_wait.saturating_add(1);
                 }
+                // Final requester state for the VA phase: an ungranted head
+                // with a computed route bids for its route's output port.
+                if gate && vc.out_vc.is_none() && vc.fifo.front().is_some_and(|f| f.kind.is_head())
+                {
+                    if let Some(rt) = vc.route {
+                        va_req |= 1u64 << rt.port.index();
+                    }
+                }
             }
         }
 
@@ -2181,8 +2370,10 @@ impl Network {
         // Separable output-side allocation: each output port grants free
         // downstream VCs to requesting heads in round-robin order.
         let t = self.prof_lap(t, Stage::RouteCompute);
-        let nout = self.routers[r].outputs.len();
         for o in 0..nout {
+            if va_req & (1u64 << (o & 63)) == 0 {
+                continue; // no requester recorded for this output
+            }
             if self.routers[r].outputs[o].vcs.is_empty() {
                 continue; // sink: no VA needed
             }
@@ -2304,20 +2495,38 @@ impl Network {
     fn switch_alloc(&mut self, r: usize) {
         let mut t = self.prof_start();
         let nports = self.routers[r].inputs.len();
+        let nout = self.routers[r].outputs.len();
         let vcs_per_port = self.cfg.routers[r].vcs_per_port;
+        let gate = self.sched.mode() == EngineMode::ActiveSet && nout <= 64;
 
         // Stage 1: one nomination per input port (plus a possible pair).
         // primary[p] = (vc, out_port); pair[p] = true when the nominated VC
-        // can also supply its next same-packet flit.
-        let mut primary: Vec<Option<(usize, PortId)>> = vec![None; nports];
-        let mut pair: Vec<bool> = vec![false; nports];
-        let mut alt: Vec<Option<usize>> = vec![None; nports]; // second VC, same out port
+        // can also supply its next same-packet flit. The vectors are
+        // crate-level scratch (taken/returned) so the hot loop allocates
+        // nothing; `nominated` records which outputs received a nomination
+        // so stage 2 can skip outputs that cannot have a winner.
+        let mut primary = std::mem::take(&mut self.scratch_primary);
+        let mut pair = std::mem::take(&mut self.scratch_pair);
+        let mut alt = std::mem::take(&mut self.scratch_alt);
+        primary.clear();
+        primary.resize(nports, None);
+        pair.clear();
+        pair.resize(nports, false);
+        alt.clear();
+        alt.resize(nports, None);
+        let mut nominated_outs: u64 = if gate { 0 } else { !0 };
         for p in 0..nports {
+            if gate && self.routers[r].port_occ[p] == 0 {
+                continue; // no buffered flit ⇒ no eligible VC at this port
+            }
             let nominated = self.routers[r].sa_stage1[p]
                 .peek(vcs_per_port, |v| self.sa_eligible(r, p, v).is_some());
             if let Some(v) = nominated {
                 let out = self.sa_eligible(r, p, v).expect("eligible");
                 primary[p] = Some((v, out));
+                if gate {
+                    nominated_outs |= 1u64 << out.index();
+                }
                 pair[p] = self.routers[r].outputs[out.index()].lanes > 1
                     && self.sa_pair_eligible(r, p, v);
                 if self.routers[r].outputs[out.index()].lanes > 1 && !pair[p] {
@@ -2334,9 +2543,17 @@ impl Network {
 
         // Stage 2: per output port, primary + (for wide outputs) secondary.
         // An input port's split datapath supplies at most two flits/cycle.
-        let mut port_sent = vec![0u8; nports];
+        // Only stage-1 nominees can win the primary grant, so outputs
+        // without a nomination are skipped outright (granting there is a
+        // no-op: the arbiter pointer does not move without a winner).
+        let mut port_sent = std::mem::take(&mut self.scratch_port_sent);
+        port_sent.clear();
+        port_sent.resize(nports, 0);
         let mut winners = std::mem::take(&mut self.scratch_winners);
-        for o in 0..self.routers[r].outputs.len() {
+        for o in 0..nout {
+            if nominated_outs & (1u64 << (o & 63)) == 0 {
+                continue;
+            }
             winners.clear();
             let w1 = self.routers[r].outputs[o].sa_primary.grant(nports, |p| {
                 port_sent[p] < 2 && primary[p].is_some_and(|(_, out)| out.index() == o)
@@ -2427,6 +2644,10 @@ impl Network {
             }
         }
         self.scratch_winners = winners;
+        self.scratch_primary = primary;
+        self.scratch_pair = pair;
+        self.scratch_alt = alt;
+        self.scratch_port_sent = port_sent;
         let _ = self.prof_lap(t, Stage::SwitchAlloc);
     }
 
@@ -2447,6 +2668,7 @@ impl Network {
             (flit, out_vc, is_tail, vc.fifo.is_empty())
         };
         self.routers[r].occupancy -= 1;
+        self.routers[r].port_occ[p.index()] -= 1;
         if emptied {
             self.routers[r].busy_vcs -= 1;
         }

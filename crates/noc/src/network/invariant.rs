@@ -106,6 +106,27 @@ pub enum InvariantViolation {
         /// The incremental counter's value.
         cached: u32,
     },
+    /// A router's per-input-port occupancy counter (the active-set
+    /// engine's allocation-phase gate) drifted from that port's FIFOs.
+    PortOccupancyDrift {
+        /// The drifting router.
+        router: RouterId,
+        /// The input port whose counter drifted.
+        port: PortId,
+        /// Flits actually present in the port's FIFOs.
+        counted: u32,
+        /// The incremental counter's value.
+        cached: u32,
+    },
+    /// A router holds buffered flits but reports itself quiescent: the
+    /// active-set engine would never visit it again and the flits would
+    /// wedge. The wake set must always cover every occupied router.
+    AsleepWithFlits {
+        /// The wrongly-sleeping router.
+        router: RouterId,
+        /// Its (non-zero) buffer occupancy.
+        occupancy: u32,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -173,6 +194,21 @@ impl fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "{router}: occupancy counter says {cached}, buffers hold {counted}"
+            ),
+            InvariantViolation::PortOccupancyDrift {
+                router,
+                port,
+                counted,
+                cached,
+            } => write!(
+                f,
+                "{router}.{port}: port-occupancy counter says {cached}, \
+                 FIFOs hold {counted}"
+            ),
+            InvariantViolation::AsleepWithFlits { router, occupancy } => write!(
+                f,
+                "{router} holds {occupancy} buffered flits but is not in \
+                 the scheduler's wake set"
             ),
         }
     }
@@ -257,6 +293,7 @@ impl Network {
             let depth = self.cfg.routers[r].buffer_depth;
             let mut counted = 0u32;
             for (p, port) in router.inputs.iter().enumerate() {
+                let mut port_counted = 0u32;
                 for (v, ivc) in port.iter().enumerate() {
                     if ivc.fifo.len() > depth {
                         return Err(InvariantViolation::BufferOverflow {
@@ -268,6 +305,7 @@ impl Network {
                         });
                     }
                     counted += ivc.fifo.len() as u32;
+                    port_counted += ivc.fifo.len() as u32;
                     let mut last: HashMap<PacketId, u32> = HashMap::new();
                     for flit in &ivc.fifo {
                         *seen.entry(flit.packet).or_insert(0) += 1;
@@ -286,12 +324,31 @@ impl Network {
                         last.insert(flit.packet, flit.seq);
                     }
                 }
+                if port_counted != router.port_occ[p] {
+                    return Err(InvariantViolation::PortOccupancyDrift {
+                        router: RouterId(r),
+                        port: PortId(p),
+                        counted: port_counted,
+                        cached: router.port_occ[p],
+                    });
+                }
             }
             if counted != router.occupancy {
                 return Err(InvariantViolation::OccupancyDrift {
                     router: RouterId(r),
                     counted,
                     cached: router.occupancy,
+                });
+            }
+            // Wake-set coverage: every occupied router must be awake (in
+            // either engine mode — the set is maintained in both so modes
+            // stay switchable mid-run).
+            if router.occupancy > 0
+                && self.sched.activity(r) == crate::sched::RouterActivity::Quiescent
+            {
+                return Err(InvariantViolation::AsleepWithFlits {
+                    router: RouterId(r),
+                    occupancy: router.occupancy,
                 });
             }
         }
@@ -504,6 +561,8 @@ mod tests {
         let flit = Flit::fragment(&ghost, Bits(192), 0).remove(0);
         net.routers[0].inputs[0][0].fifo.push_back(flit);
         net.routers[0].occupancy += 1;
+        net.routers[0].port_occ[0] += 1;
+        net.sched.wake(0, crate::sched::WakeReason::FlitArrive);
         assert!(matches!(
             net.check_invariants(),
             Err(InvariantViolation::OrphanFlit { .. })
@@ -517,6 +576,35 @@ mod tests {
         assert!(matches!(
             net.check_invariants(),
             Err(InvariantViolation::OccupancyDrift { .. })
+        ));
+    }
+
+    #[test]
+    fn port_occupancy_drift_is_detected() {
+        let mut net = fresh();
+        net.routers[5].port_occ[2] += 1;
+        assert!(matches!(
+            net.check_invariants(),
+            Err(InvariantViolation::PortOccupancyDrift { .. })
+        ));
+    }
+
+    #[test]
+    fn asleep_router_with_buffered_flits_is_detected() {
+        let mut net = fresh();
+        load(&mut net, 40);
+        let r = net
+            .routers
+            .iter()
+            .position(|rt| rt.occupancy > 0)
+            .expect("a 40-cycle loaded run leaves flits buffered");
+        net.sched.sleep(r);
+        let list = net.sched.begin_cycle();
+        net.sched
+            .end_cycle(list.into_iter().filter(|&x| x != r).collect());
+        assert!(matches!(
+            net.check_invariants(),
+            Err(InvariantViolation::AsleepWithFlits { .. })
         ));
     }
 

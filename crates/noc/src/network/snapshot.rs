@@ -898,7 +898,7 @@ impl Network {
     /// link lane counts, buffer capacities) is *not* written; the restoring
     /// side rebuilds it via [`Network::new`] and
     /// [`Network::decode_state`] overwrites only what evolves.
-    pub fn encode_state(&self, e: &mut Enc) {
+    pub(crate) fn encode_state(&self, e: &mut Enc) {
         e.sec(SEC_GLOBALS);
         e.u64(self.now);
         e.usize(self.next_packet);
@@ -1107,7 +1107,7 @@ impl Network {
     /// [`CheckpointError::Truncated`] when the stream ends early. The
     /// network is left in an unspecified (but memory-safe) state on error;
     /// discard it.
-    pub fn decode_state(&mut self, d: &mut Dec) -> Result<(), CheckpointError> {
+    pub(crate) fn decode_state(&mut self, d: &mut Dec) -> Result<(), CheckpointError> {
         d.sec(SEC_GLOBALS, "globals")?;
         self.now = d.u64()?;
         self.next_packet = d.usize()?;
@@ -1376,12 +1376,25 @@ impl Network {
             None
         };
 
+        // Rebuild derived scheduler state. Neither the per-port occupancy
+        // counters nor the wake set are serialized — both are functions of
+        // the decoded buffers — which keeps the checkpoint byte format
+        // independent of the engine mode.
+        for router in &mut self.routers {
+            let inputs = &router.inputs;
+            for (p, occ) in router.port_occ.iter_mut().enumerate() {
+                *occ = inputs[p].iter().map(|vc| vc.fifo.len() as u32).sum();
+            }
+        }
+        let routers = &self.routers;
+        self.sched.rebuild(|r| routers[r].occupancy > 0);
+
         Ok(())
     }
 
     /// FNV-1a-64 fingerprint of the encoded engine state — the per-cycle
     /// trajectory hash the divergence bisector compares.
-    pub fn state_digest(&self) -> u64 {
+    pub(crate) fn state_digest(&self) -> u64 {
         let mut e = Enc::new();
         self.encode_state(&mut e);
         fnv1a64(&e.into_bytes())
@@ -1390,7 +1403,7 @@ impl Network {
     /// Bytes the installed trace sink has emitted so far (`None` without a
     /// sink, or when the sink does not count — see
     /// [`crate::trace::TraceSink::bytes_written`]).
-    pub fn trace_bytes_written(&self) -> Option<u64> {
+    pub(crate) fn trace_bytes_written(&self) -> Option<u64> {
         self.tracer.as_deref().and_then(TraceSink::bytes_written)
     }
 
@@ -1400,7 +1413,7 @@ impl Network {
     ///
     /// An empty result means the states are behaviourally identical (their
     /// [`Network::state_digest`]s agree up to hash collisions).
-    pub fn divergences(&self, other: &Network, limit: usize) -> Vec<Divergence> {
+    pub(crate) fn divergences(&self, other: &Network, limit: usize) -> Vec<Divergence> {
         let mut out = Vec::new();
         let mut push = |loc: String, field: &str, exp: String, act: String| {
             if out.len() < limit && exp != act {

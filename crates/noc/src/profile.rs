@@ -15,6 +15,8 @@
 
 use std::time::{Duration, Instant};
 
+use crate::sched::SchedReport;
+
 /// One profiled engine phase.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Stage {
@@ -121,11 +123,22 @@ impl StageProfiler {
         self.steps += 1;
     }
 
-    /// Snapshot of the accumulated breakdown.
+    /// Counts `delta` cycles advanced at once (quiet-gap fast-forward):
+    /// the profiler's cycle count stays equal to the cycles simulated, so
+    /// per-cycle figures remain comparable across engine modes.
+    #[inline]
+    pub fn note_steps(&mut self, delta: u64) {
+        self.steps += delta;
+    }
+
+    /// Snapshot of the accumulated breakdown. The scheduler section is
+    /// zeroed here; [`crate::sim::SimRun`] fills it in from the network's
+    /// scheduler when the run finishes.
     pub fn report(&self) -> ProfileReport {
         ProfileReport {
             steps: self.steps,
             stage_nanos: self.nanos,
+            sched: SchedReport::default(),
         }
     }
 }
@@ -133,10 +146,14 @@ impl StageProfiler {
 /// A finished per-stage wall-time breakdown, printable as a table.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProfileReport {
-    /// `step` calls (simulated cycles) profiled.
+    /// `step` calls (simulated cycles) profiled, including cycles advanced
+    /// by the active-set engine's quiet-gap fast paths.
     pub steps: u64,
     /// Accumulated wall nanoseconds per stage, indexed like [`STAGES`].
     pub stage_nanos: [u64; STAGES.len()],
+    /// Active-set scheduler counters for the profiled span (cycles
+    /// skipped, router visits avoided, wake-set size histogram).
+    pub sched: SchedReport,
 }
 
 impl ProfileReport {
@@ -156,6 +173,7 @@ impl ProfileReport {
         for (a, b) in self.stage_nanos.iter_mut().zip(&other.stage_nanos) {
             *a += b;
         }
+        self.sched.merge(&other.sched);
     }
 }
 
@@ -189,7 +207,11 @@ impl std::fmt::Display for ProfileReport {
             "  total {:.3} ms over {} cycles",
             self.total_nanos() as f64 / 1e6,
             self.steps
-        )
+        )?;
+        if self.sched.cycles > 0 {
+            write!(f, "\n{}", self.sched)?;
+        }
+        Ok(())
     }
 }
 

@@ -216,7 +216,7 @@ mod tests {
 
     fn params() -> SimParams {
         SimParams {
-            injection_rate: 0.02,
+            injection_rate: crate::types::Rate::new(0.02),
             warmup_packets: 50,
             measure_packets: 400,
             max_cycles: 200_000,

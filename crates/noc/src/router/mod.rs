@@ -120,6 +120,10 @@ pub struct RouterState {
     /// Occupied flit slots across all input VCs (kept incrementally for
     /// O(1) utilization sampling).
     pub occupancy: u32,
+    /// Occupied flit slots per input port (`port_occ[p]`), maintained at
+    /// the same points as `occupancy`. Lets the allocation phases skip
+    /// whole empty ports; derived state, rebuilt on checkpoint restore.
+    pub port_occ: Vec<u32>,
     /// Total flit slots across all input VCs.
     pub capacity: u32,
     /// Input VCs currently holding at least one flit (incremental).
@@ -179,6 +183,7 @@ mod tests {
             outputs: Vec::new(),
             sa_stage1: vec![RrArbiter::new()],
             occupancy: 0,
+            port_occ: vec![0],
             capacity: 5,
             busy_vcs: 0,
             total_vcs: 1,

@@ -18,9 +18,10 @@ use crate::metrics::EpochSample;
 use crate::network::{Network, StallReport};
 use crate::packet::PacketClass;
 use crate::profile::ProfileReport;
+use crate::sched::EngineMode;
 use crate::stats::NetStats;
 use crate::trace::TraceSink;
-use crate::types::{Bits, Cycle, NodeId};
+use crate::types::{Bits, Cycle, NodeId, Rate};
 
 /// Per-cycle hook over the live network state (cargo feature `verify`).
 ///
@@ -103,8 +104,10 @@ pub enum InjectionProcess {
 /// Simulation parameters for one load point.
 #[derive(Clone, Copy, Debug)]
 pub struct SimParams {
-    /// Offered load in packets/node/cycle.
-    pub injection_rate: f64,
+    /// Offered load in packets/node/cycle. Validity (a probability in
+    /// `[0, 1]`) is checked by [`SimRun::run`], which returns
+    /// [`SimError::Config`] for out-of-range values.
+    pub injection_rate: Rate,
     /// Packets to deliver before statistics collection starts (paper: 1000).
     pub warmup_packets: u64,
     /// Packets to measure (paper: 100,000).
@@ -126,7 +129,7 @@ pub struct SimParams {
 impl Default for SimParams {
     fn default() -> Self {
         Self {
-            injection_rate: 0.01,
+            injection_rate: Rate::new(0.01),
             warmup_packets: 1_000,
             measure_packets: 100_000,
             max_cycles: 2_000_000,
@@ -158,6 +161,11 @@ pub enum SimError {
     /// Writing a checkpoint failed, or the checkpoint passed to
     /// [`SimRun::resume_from`] could not be restored.
     Checkpoint(Arc<CheckpointError>),
+    /// The run was configured inconsistently (out-of-range injection
+    /// rate, zero epoch or checkpoint interval). Builder methods never
+    /// panic; every configuration error is deferred to [`SimRun::run`]
+    /// and reported through this variant.
+    Config(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -174,6 +182,7 @@ impl std::fmt::Display for SimError {
                 None => write!(f, "interrupted at cycle {cycle} (no checkpoint configured)"),
             },
             SimError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            SimError::Config(msg) => write!(f, "invalid run configuration: {msg}"),
         }
     }
 }
@@ -283,7 +292,7 @@ fn pareto(rng: &mut StdRng, alpha: f64) -> u64 {
 /// use heteronoc_noc::sim::{SimParams, SimRun, UniformRandom};
 /// let net = Network::new(NetworkConfig::paper_baseline())?;
 /// let params = SimParams {
-///     injection_rate: 0.005,
+///     injection_rate: heteronoc_noc::types::Rate::new(0.005),
 ///     warmup_packets: 50,
 ///     measure_packets: 500,
 ///     ..SimParams::default()
@@ -296,6 +305,7 @@ fn pareto(rng: &mut StdRng, alpha: f64) -> u64 {
 pub struct SimRun<'a> {
     net: Network,
     params: SimParams,
+    engine: EngineMode,
     traffic: Option<&'a mut dyn Traffic>,
     trace: Option<Box<dyn TraceSink>>,
     epoch_every: Option<Cycle>,
@@ -311,6 +321,7 @@ impl std::fmt::Debug for SimRun<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimRun")
             .field("params", &self.params)
+            .field("engine", &self.engine)
             .field("traffic", &self.traffic.is_some())
             .field("trace", &self.trace.is_some())
             .field("epoch_every", &self.epoch_every)
@@ -330,6 +341,7 @@ impl<'a> SimRun<'a> {
         Self {
             net,
             params,
+            engine: EngineMode::default(),
             traffic: None,
             trace: None,
             epoch_every: None,
@@ -350,6 +362,18 @@ impl<'a> SimRun<'a> {
         self
     }
 
+    /// Selects the stepping engine (see [`EngineMode`]). The default,
+    /// [`EngineMode::ActiveSet`], walks only routers that can make
+    /// progress and fast-forwards across globally-quiet gaps;
+    /// [`EngineMode::PollAll`] is the walk-everything reference mode.
+    /// Both produce byte-identical results — the mode only changes how
+    /// much work each simulated cycle costs on the host.
+    #[must_use]
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.engine = mode;
+        self
+    }
+
     /// Streams every flit-lifecycle event of the run into `sink`
     /// (see [`crate::trace`]). The sink's `finish` runs before the
     /// [`SimOutcome`] is built, so buffered sinks are complete on return.
@@ -361,10 +385,8 @@ impl<'a> SimRun<'a> {
 
     /// Records an epoch time-series sample every `every` cycles
     /// (see [`crate::metrics`]); the samples come back in
-    /// [`SimOutcome::epochs`].
-    ///
-    /// # Panics
-    /// The run panics if `every` is zero.
+    /// [`SimOutcome::epochs`]. A zero interval is reported as
+    /// [`SimError::Config`] by [`SimRun::run`].
     #[must_use]
     pub fn epochs(mut self, every: Cycle) -> Self {
         self.epoch_every = Some(every);
@@ -385,12 +407,10 @@ impl<'a> SimRun<'a> {
     /// replaced only by a complete new one), and a final one when the
     /// shutdown flag interrupts the run. Resuming from any of these
     /// checkpoints reproduces the uninterrupted run byte-for-byte.
-    ///
-    /// # Panics
-    /// The run panics if `every` is zero.
+    /// A zero interval is reported as [`SimError::Config`] by
+    /// [`SimRun::run`].
     #[must_use]
     pub fn checkpoint_every(mut self, path: impl Into<PathBuf>, every: Cycle) -> Self {
-        assert!(every > 0, "checkpoint interval must be non-zero");
         self.checkpoint = Some((path.into(), every));
         self
     }
@@ -431,15 +451,19 @@ impl<'a> SimRun<'a> {
     /// Executes the run.
     ///
     /// # Errors
-    /// [`SimError::Stalled`] when the progress watchdog fires with packets
-    /// in flight; [`SimError::Unrecoverable`] when a faulty link exhausts
-    /// its retransmission attempts; [`SimError::Interrupted`] when the
-    /// shutdown flag is raised; [`SimError::Checkpoint`] when a
-    /// checkpoint cannot be written or restored.
+    /// [`SimError::Config`] when the parameters or builder calls are
+    /// inconsistent (out-of-range injection rate, zero epoch or
+    /// checkpoint interval); [`SimError::Stalled`] when the progress
+    /// watchdog fires with packets in flight; [`SimError::Unrecoverable`]
+    /// when a faulty link exhausts its retransmission attempts;
+    /// [`SimError::Interrupted`] when the shutdown flag is raised;
+    /// [`SimError::Checkpoint`] when a checkpoint cannot be written or
+    /// restored.
     pub fn run(self) -> Result<SimOutcome, SimError> {
         let SimRun {
             mut net,
             params,
+            engine,
             traffic,
             trace,
             epoch_every,
@@ -450,6 +474,21 @@ impl<'a> SimRun<'a> {
             #[cfg(feature = "verify")]
             observer,
         } = self;
+        if !params.injection_rate.is_valid() {
+            return Err(SimError::Config(format!(
+                "injection rate {} is not a probability in [0, 1]",
+                params.injection_rate
+            )));
+        }
+        if epoch_every == Some(0) {
+            return Err(SimError::Config("epoch interval must be non-zero".into()));
+        }
+        if let Some((_, 0)) = &checkpoint {
+            return Err(SimError::Config(
+                "checkpoint interval must be non-zero".into(),
+            ));
+        }
+        net.set_engine_mode(engine);
         if let Some(sink) = trace {
             net.set_trace_sink(sink);
         }
@@ -520,14 +559,14 @@ impl SimCore {
         // the long-run rate equals `injection_rate`:
         // rate_on = rate * (E[on]+E[off])/E[on].
         let on_prob = match params.process {
-            InjectionProcess::Bernoulli => params.injection_rate,
+            InjectionProcess::Bernoulli => params.injection_rate.get(),
             InjectionProcess::SelfSimilar {
                 alpha_on,
                 alpha_off,
             } => {
                 let e_on = alpha_on / (alpha_on - 1.0);
                 let e_off = alpha_off / (alpha_off - 1.0);
-                (params.injection_rate * (e_on + e_off) / e_on).min(1.0)
+                (params.injection_rate.get() * (e_on + e_off) / e_on).min(1.0)
             }
         };
         Self {
@@ -548,9 +587,21 @@ impl SimCore {
     /// delivery/drop draining, watchdog, warmup transition and the two
     /// early-exit checks. Returns `Ok(false)` when the run is complete
     /// (measurement batch retired, or saturation bail-out).
+    ///
+    /// The cycle itself is a thin dispatch into the engine: normally one
+    /// [`Network::step`], but under [`EngineMode::ActiveSet`] a globally
+    /// quiescent network takes the idle fast path instead — a single
+    /// bookkeeping cycle ([`Network::idle_step`]), or a bulk jump
+    /// ([`Network::skip_quiet`]) when nothing observable distinguishes
+    /// the intermediate cycles. `boundary` is the first cycle the caller
+    /// needs control back at (next checkpoint boundary, `run_to` target
+    /// or `max_cycles`); a jump never crosses it. To keep resumed runs
+    /// byte-identical, a jump burns exactly the per-cycle Bernoulli RNG
+    /// draws the walked loop would have made.
     fn tick(
         &mut self,
         traffic: &mut dyn Traffic,
+        boundary: Cycle,
         #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
     ) -> Result<bool, SimError> {
         let n = self.onoff.len();
@@ -582,7 +633,44 @@ impl SimCore {
                 self.net.enqueue(src, dst, size, class, 0);
             }
         }
-        self.net.step();
+        // A quiescent network (no queued or in-flight packets, no pending
+        // events, no fault machinery) cannot change state this cycle:
+        // enqueues above are already visible through `quiescent()`, so the
+        // active-set engine may replace the full walk with bookkeeping.
+        if self.net.engine_mode() == EngineMode::ActiveSet && self.net.quiescent() {
+            let now = self.net.now();
+            // The post-cycle warmup/measure checks below read counters a
+            // quiet gap cannot change (`delivered_total`, retired packets),
+            // so their verdicts are constant across the gap: if either
+            // predicate already holds, the walked loop would act on it at
+            // the *next* cycle — step singly so it fires at the same cycle;
+            // if neither holds, no check can trip mid-gap and the jump is
+            // exact.
+            let phase_exit_pending = (!self.measuring
+                && self.delivered_total >= self.params.warmup_packets)
+                || (self.measuring
+                    && self.net.stats().packets_retired >= self.params.measure_packets);
+            let can_jump = matches!(self.params.process, InjectionProcess::Bernoulli)
+                && self.on_prob == 0.0
+                && self.net.can_skip_quiet()
+                && !phase_exit_pending
+                && boundary > now + 1;
+            if can_jump {
+                // Nothing observable happens until `boundary`: no node can
+                // ever fire (rate zero), and no epoch recorder or trace
+                // sink is watching. Burn the Bernoulli draws the walked
+                // loop would have made for the remaining cycles, then jump.
+                let delta = boundary - now;
+                for _ in 0..(delta - 1) * n as Cycle {
+                    let _ = self.rng.random::<f64>();
+                }
+                self.net.skip_quiet(delta);
+            } else {
+                self.net.idle_step();
+            }
+        } else {
+            self.net.step();
+        }
         #[cfg(feature = "verify")]
         observer.after_cycle(&self.net);
         if let Some(e) = self.net.fault_error() {
@@ -761,8 +849,17 @@ fn drive(
         if now >= core.params.max_cycles {
             break;
         }
+        // First cycle this loop needs control back at: the next periodic
+        // checkpoint boundary, or the hard cycle limit. A quiet-gap jump
+        // inside `tick` never crosses it.
+        let boundary = match &checkpoint {
+            Some((_, every)) => (now - now % *every).saturating_add(*every),
+            None => Cycle::MAX,
+        }
+        .min(core.params.max_cycles);
         let more = core.tick(
             traffic,
+            boundary,
             #[cfg(feature = "verify")]
             observer,
         )?;
@@ -872,6 +969,7 @@ impl Stepper {
             }
             let more = self.core.tick(
                 self.traffic.as_mut(),
+                target.min(self.core.params.max_cycles),
                 #[cfg(feature = "verify")]
                 &mut self.observer,
             )?;
@@ -905,7 +1003,7 @@ mod tests {
 
     fn quick_params(rate: f64) -> SimParams {
         SimParams {
-            injection_rate: rate,
+            injection_rate: Rate::new(rate),
             warmup_packets: 50,
             measure_packets: 400,
             max_cycles: 200_000,
@@ -953,6 +1051,85 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    // --- engine modes & quiet-gap fast-forward ---------------------------
+
+    #[test]
+    fn poll_all_reference_engine_is_byte_identical() {
+        let fingerprint = |mode| {
+            let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+            let out = SimRun::new(net, quick_params(0.02))
+                .engine(mode)
+                .run()
+                .unwrap();
+            (out.stats, out.cycles, out.saturated)
+        };
+        assert_eq!(
+            fingerprint(EngineMode::ActiveSet),
+            fingerprint(EngineMode::PollAll)
+        );
+    }
+
+    #[test]
+    fn config_errors_are_deferred_to_run() {
+        let mk = || Network::new(NetworkConfig::paper_baseline()).unwrap();
+        for bad_rate in [1.5, -0.1, f64::NAN] {
+            let err = SimRun::new(mk(), quick_params(bad_rate)).run().unwrap_err();
+            assert!(matches!(err, SimError::Config(_)), "{err}");
+        }
+        let err = SimRun::new(mk(), quick_params(0.01))
+            .epochs(0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err}");
+        let err = SimRun::new(mk(), quick_params(0.01))
+            .checkpoint_every("/nonexistent/never-written.ckpt", 0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn idle_run_fast_forwards_and_still_counts_every_cycle() {
+        let net = Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let params = SimParams {
+            injection_rate: Rate::ZERO,
+            max_cycles: 200_000,
+            ..quick_params(0.0)
+        };
+        let out = SimRun::new(net, params).profile(true).run().unwrap();
+        assert!(out.saturated, "no traffic ever retires the batch");
+        assert_eq!(out.cycles, 200_000);
+        let prof = out.profile.expect("profiling was enabled");
+        assert_eq!(prof.steps, 200_000);
+        assert_eq!(prof.sched.cycles, 200_000);
+        assert!(
+            prof.sched.jumped_cycles > 190_000,
+            "an idle mesh must be covered by bulk jumps: {:?}",
+            prof.sched
+        );
+    }
+
+    #[test]
+    fn quiet_gap_jump_matches_single_stepping_exactly() {
+        let params = SimParams {
+            injection_rate: Rate::ZERO,
+            max_cycles: 10_000,
+            ..quick_params(0.0)
+        };
+        let mk = || Network::new(NetworkConfig::paper_baseline()).unwrap();
+        let mut jumped = Stepper::fresh(mk(), params, Box::new(UniformRandom));
+        jumped.run_to(2_500).unwrap();
+        let mut walked = Stepper::fresh(mk(), params, Box::new(UniformRandom));
+        while walked.now() < 2_500 {
+            walked.run_to(walked.now() + 1).unwrap();
+        }
+        assert_eq!(jumped.now(), 2_500);
+        assert_eq!(jumped.now(), walked.now());
+        assert_eq!(jumped.digest(), walked.digest());
+        // RNG stream, loop counters and network state all byte-identical.
+        assert_eq!(jumped.checkpoint().body, walked.checkpoint().body);
     }
 
     #[test]
@@ -1284,7 +1461,7 @@ mod tests {
         let a = net.enqueue(NodeId(0), NodeId(15), Bits(1024), PacketClass::Data, 0);
         let b = net.enqueue(NodeId(3), NodeId(12), Bits(1024), PacketClass::Data, 0);
         let params = SimParams {
-            injection_rate: 0.0,
+            injection_rate: Rate::ZERO,
             watchdog: Some(400),
             ..SimParams::default()
         };

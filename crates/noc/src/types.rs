@@ -92,7 +92,77 @@ id_newtype!(
 );
 
 /// A simulation time-stamp in router clock cycles.
+///
+/// Deliberately a plain alias rather than a newtype: cycles participate in
+/// arithmetic at nearly every line of the engine, and a wrapper would add
+/// ceremony without preventing any observed bug class (unlike the
+/// index-like ids above, cycles are never confused with indices).
 pub type Cycle = u64;
+
+/// A per-node-per-cycle probability or rate (e.g. an injection rate in
+/// packets/node/cycle), replacing bare `f64` where rates cross crate
+/// boundaries.
+///
+/// Construction is infallible; range validation (finite, within
+/// `0.0..=1.0`) is deferred to the consuming entry point — e.g.
+/// [`crate::sim::SimRun::run`] rejects an invalid
+/// [`crate::sim::SimParams::injection_rate`] with a configuration error —
+/// matching the crate-wide builder convention of deferring errors to
+/// `build()`/`run()`.
+///
+/// # Examples
+/// ```
+/// use heteronoc_noc::types::Rate;
+/// let r = Rate::new(0.02);
+/// assert_eq!(r.get(), 0.02);
+/// assert!(r.is_valid());
+/// assert!(!Rate::new(-1.0).is_valid());
+/// assert!(!Rate::new(f64::NAN).is_valid());
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default, Serialize, Deserialize)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// A rate of exactly zero (no events ever fire).
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// Wraps a raw per-cycle probability. Never fails; validity is checked
+    /// by the consuming entry point via [`Rate::is_valid`].
+    #[inline]
+    pub const fn new(v: f64) -> Self {
+        Rate(v)
+    }
+
+    /// Returns the raw probability.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// True when the rate is a finite probability in `0.0..=1.0`.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && (0.0..=1.0).contains(&self.0)
+    }
+}
+
+impl From<f64> for Rate {
+    fn from(v: f64) -> Self {
+        Rate(v)
+    }
+}
+
+impl From<Rate> for f64 {
+    fn from(v: Rate) -> f64 {
+        v.0
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// A bit-width (of a flit, a link or a buffer entry).
 ///
@@ -212,6 +282,16 @@ mod tests {
         let b = Coord::new(7, 1);
         assert_eq!(a.manhattan(b), b.manhattan(a));
         assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn rate_validity_and_conversions() {
+        assert!(Rate::ZERO.is_valid());
+        assert!(Rate::new(1.0).is_valid());
+        assert!(!Rate::new(1.0000001).is_valid());
+        assert!(!Rate::new(f64::INFINITY).is_valid());
+        assert_eq!(f64::from(Rate::from(0.25)), 0.25);
+        assert_eq!(Rate::new(0.5).to_string(), "0.5");
     }
 
     #[test]

@@ -13,11 +13,11 @@ use heteronoc_noc::network::Network;
 use heteronoc_noc::routing::{RouteTable, RoutingKind};
 use heteronoc_noc::sim::{InvariantObserver, SimParams, SimRun};
 use heteronoc_noc::topology::TopologyKind;
-use heteronoc_noc::types::Bits;
+use heteronoc_noc::types::{Bits, Rate};
 
 fn params(rate: f64) -> SimParams {
     SimParams {
-        injection_rate: rate,
+        injection_rate: Rate::new(rate),
         warmup_packets: 50,
         measure_packets: 500,
         max_cycles: 100_000,

@@ -19,7 +19,8 @@
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let net = Network::new(NetworkConfig::paper_baseline())?;
 //! let mut pattern = Transpose::new(8);
-//! let params = SimParams { injection_rate: 0.01, warmup_packets: 50, measure_packets: 300,
+//! let params = SimParams { injection_rate: heteronoc_noc::types::Rate::new(0.01),
+//!     warmup_packets: 50, measure_packets: 300,
 //!                          ..SimParams::default() };
 //! let out = SimRun::new(net, params).traffic(&mut pattern).run()?;
 //! assert!(out.stats.packets_retired >= 300);

@@ -10,10 +10,11 @@
 use heteronoc::{mesh_config, Layout};
 use heteronoc_noc::network::Network;
 use heteronoc_noc::sim::{InjectionProcess, SimParams, SimRun};
+use heteronoc_noc::types::Rate;
 
 fn pin_params() -> SimParams {
     SimParams {
-        injection_rate: 0.02,
+        injection_rate: Rate::new(0.02),
         warmup_packets: 200,
         measure_packets: 2_000,
         max_cycles: 500_000,
@@ -51,6 +52,33 @@ fn diagonal_bl_fingerprint_unchanged() {
     let got = fingerprint(net);
     println!("diagonal-bl fingerprint: {got:?}");
     assert_eq!(got, (2002, 65373, 1051, 1833));
+}
+
+/// The walk-everything reference engine must reproduce the exact pinned
+/// fingerprints of the (default) active-set engine: the scheduler is a pure
+/// scheduling optimization, never a behavioral one.
+#[test]
+fn reference_engine_reproduces_golden_fingerprints() {
+    use heteronoc_noc::sched::EngineMode;
+
+    for (layout, want) in [
+        (Layout::Baseline, (2000, 57748, 626, 1825)),
+        (Layout::DiagonalBL, (2002, 65373, 1051, 1833)),
+    ] {
+        let net = Network::new(mesh_config(&layout)).unwrap();
+        let out = SimRun::new(net, pin_params())
+            .engine(EngineMode::PollAll)
+            .run()
+            .expect("simulation run");
+        assert!(!out.saturated);
+        let got = (
+            out.stats.packets_retired,
+            out.stats.latency.total,
+            out.stats.latency.queuing,
+            out.cycles,
+        );
+        assert_eq!(got, want, "poll-all fingerprint drifted for {layout:?}");
+    }
 }
 
 /// The observability layer (tracing + epoch metrics + self-profiling) must

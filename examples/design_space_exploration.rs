@@ -13,7 +13,7 @@ use heteronoc::noc::network::Network;
 use heteronoc::noc::routing::RoutingKind;
 use heteronoc::noc::sim::{SimParams, SimRun};
 use heteronoc::noc::topology::TopologyKind;
-use heteronoc::noc::types::{Bits, RouterId};
+use heteronoc::noc::types::{Bits, Rate, RouterId};
 use heteronoc::Placement;
 
 fn config_for(p: &Placement) -> NetworkConfig {
@@ -55,7 +55,7 @@ fn main() {
         let out = SimRun::new(
             net,
             SimParams {
-                injection_rate: 0.05,
+                injection_rate: Rate::new(0.05),
                 warmup_packets: 100,
                 measure_packets: 600,
                 max_cycles: 100_000,

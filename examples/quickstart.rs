@@ -8,6 +8,7 @@
 
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{SimParams, SimRun};
+use heteronoc::noc::types::Rate;
 use heteronoc::power::NetworkPower;
 use heteronoc::{audit_mesh_layout, mesh_config, Layout};
 
@@ -26,7 +27,7 @@ fn main() {
         let out = SimRun::new(
             net,
             SimParams {
-                injection_rate: 0.03,
+                injection_rate: Rate::new(0.03),
                 warmup_packets: 500,
                 measure_packets: 8_000,
                 ..SimParams::default()

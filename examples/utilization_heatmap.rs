@@ -9,6 +9,7 @@
 use heteronoc::mesh_config;
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{SimParams, SimRun};
+use heteronoc::noc::types::Rate;
 use heteronoc::Layout;
 
 const SHADES: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
@@ -24,7 +25,7 @@ fn main() {
     let out = SimRun::new(
         net,
         SimParams {
-            injection_rate: rate,
+            injection_rate: Rate::new(rate),
             warmup_packets: 500,
             measure_packets: 10_000,
             ..SimParams::default()

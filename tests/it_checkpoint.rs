@@ -16,6 +16,7 @@ use heteronoc::noc::sim::{
     checkpoint_trace_cursor, params_hash, InjectionProcess, SimOutcome, SimParams, SimRun, Traffic,
 };
 use heteronoc::noc::trace::JsonlSink;
+use heteronoc::noc::types::Rate;
 use heteronoc::traffic::{BitComplement, Tornado, Transpose, UniformRandom};
 use heteronoc::{mesh_config, Layout};
 
@@ -66,7 +67,7 @@ proptest! {
         let cfg = mesh_config(&layout);
         let plan = FaultPlan::transient([0.0, 5e-5, 2e-4][ber_idx], fault_seed);
         let params = SimParams {
-            injection_rate: 0.02,
+            injection_rate: Rate::new(0.02),
             warmup_packets: 30,
             measure_packets: 250,
             max_cycles: 200_000,
@@ -150,7 +151,7 @@ fn damaged_checkpoints_are_rejected_with_typed_errors() {
     let dir = scratch("damage");
     let cfg = mesh_config(&Layout::Baseline);
     let params = SimParams {
-        injection_rate: 0.02,
+        injection_rate: Rate::new(0.02),
         warmup_packets: 30,
         measure_packets: 200,
         max_cycles: 200_000,

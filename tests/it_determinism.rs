@@ -3,6 +3,7 @@
 
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
+use heteronoc::noc::types::Rate;
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc::{mesh_config, Layout};
@@ -10,7 +11,7 @@ use heteronoc_cmp::{run_closed_loop, CmpConfig, CmpSystem, CoreParams};
 
 fn params(seed: u64) -> SimParams {
     SimParams {
-        injection_rate: 0.03,
+        injection_rate: Rate::new(0.03),
         warmup_packets: 200,
         measure_packets: 2_000,
         max_cycles: 300_000,

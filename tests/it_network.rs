@@ -3,13 +3,14 @@
 
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun, Traffic, UniformRandom};
+use heteronoc::noc::types::Rate;
 use heteronoc::traffic::{BitComplement, NearestNeighbor, Transpose};
 use heteronoc::{mesh_config, network_config, Layout};
 use heteronoc_noc::topology::TopologyKind;
 
 fn quick(rate: f64) -> SimParams {
     SimParams {
-        injection_rate: rate,
+        injection_rate: Rate::new(rate),
         warmup_packets: 200,
         measure_packets: 2_000,
         max_cycles: 500_000,

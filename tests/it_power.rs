@@ -2,6 +2,7 @@
 
 use heteronoc::noc::network::Network;
 use heteronoc::noc::sim::{InjectionProcess, SimParams, SimRun};
+use heteronoc::noc::types::Rate;
 use heteronoc::power::netpower::CALIBRATION_ACTIVITY;
 use heteronoc::power::{Activity, NetworkPower};
 use heteronoc::{mesh_config, Layout};
@@ -18,7 +19,7 @@ fn sim(
     let out = SimRun::new(
         net,
         SimParams {
-            injection_rate: rate,
+            injection_rate: Rate::new(rate),
             warmup_packets: 200,
             measure_packets: 3_000,
             max_cycles: 500_000,
