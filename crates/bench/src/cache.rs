@@ -30,7 +30,8 @@ use crate::json::{self, Json};
 /// Bump when the metrics schema or canonical-description format changes;
 /// old cache entries then miss instead of deserializing garbage.
 /// v3: sweep points carry `attempts`; campaign points share the cache.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4: open-loop points carry per-point scheduler counters (`sched`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// 64-bit FNV-1a over `bytes`, from `offset` (lets us derive two
 /// independent 64-bit streams for a 128-bit key).

@@ -30,10 +30,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use heteronoc::noc::config::NetworkConfig;
 use heteronoc::noc::fault::{FaultKind, FaultPlan, HardFault, RecoveryPolicy};
 use heteronoc::noc::types::{Bits, Cycle, LinkId, NodeId};
+use heteronoc_obs::{ProgressSink, Registry, Snapshot};
 use heteronoc_verify::{run_with_degradation, DegradedRunReport, Injection};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -328,6 +330,12 @@ pub struct CampaignOptions {
     /// campaign returns with [`CampaignOutcome::interrupted`] set — a
     /// re-run resumes from the manifest exactly like after a crash.
     pub shutdown: Option<Arc<AtomicBool>>,
+    /// Live-progress sink spec (a path, `-` for stdout, or `fd:N`). When
+    /// set, the campaign streams JSONL snapshots (kind `"campaign"`): one
+    /// after the manifest/cache restore scan, one after every flushed
+    /// batch, and a final `done` snapshot. Purely observational — the
+    /// manifest, cache, and point results are byte-identical either way.
+    pub progress: Option<String>,
 }
 
 /// Outcome of a campaign invocation: where each point's result came from
@@ -419,6 +427,19 @@ pub fn run_campaign(
     let mut doc = manifest_doc(spec, &fingerprint, &points, &keys, &results);
     write_atomic(&manifest_path, &doc)?;
 
+    let mut progress = match &opts.progress {
+        Some(sink) => {
+            let mut p = CampaignProgress::open(sink, &spec.name, points.len())
+                .map_err(|e| format!("progress: {e}"))?;
+            p.from_manifest = from_manifest;
+            p.from_cache = from_cache;
+            p.deferred = deferred;
+            p.emit(false);
+            Some(p)
+        }
+        None => None,
+    };
+
     let stop = opts.shutdown.as_deref();
     let stopped = || stop.is_some_and(|s| s.load(Ordering::SeqCst));
     let mut interrupted = false;
@@ -439,6 +460,12 @@ pub fn run_campaign(
                 continue;
             };
             simulated += 1;
+            if let Some(p) = progress.as_mut() {
+                p.simulated += 1;
+                if m.get("error") != Some(&Json::Null) {
+                    p.failed += 1;
+                }
+            }
             if let Some(c) = &mut cache {
                 // Failed points are never cached: a re-run retries them.
                 if m.get("error") == Some(&Json::Null) {
@@ -452,6 +479,13 @@ pub fn run_campaign(
         // in-flight point must land in the manifest before we return.
         doc = manifest_doc(spec, &fingerprint, &points, &keys, &results);
         write_atomic(&manifest_path, &doc)?;
+        if let Some(p) = progress.as_mut() {
+            p.emit(false);
+        }
+    }
+    if let Some(p) = progress.as_mut() {
+        p.interrupted = interrupted;
+        p.emit(true);
     }
 
     Ok(CampaignOutcome {
@@ -464,6 +498,96 @@ pub fn run_campaign(
         interrupted,
         doc,
     })
+}
+
+/// Coordinator-side progress accounting for one campaign invocation,
+/// behind [`CampaignOptions::progress`]. Mirrors the sweep's pattern:
+/// counts live here, every snapshot rebuilds a fresh registry (absolute
+/// readings) and carries counter deltas against the previous snapshot.
+struct CampaignProgress {
+    sink: ProgressSink,
+    name: String,
+    total: usize,
+    from_manifest: usize,
+    from_cache: usize,
+    deferred: usize,
+    simulated: usize,
+    failed: usize,
+    interrupted: bool,
+    seq: u64,
+    started: Instant,
+    prev: Registry,
+    warned: bool,
+}
+
+impl CampaignProgress {
+    fn open(spec: &str, name: &str, total: usize) -> std::io::Result<CampaignProgress> {
+        Ok(CampaignProgress {
+            sink: ProgressSink::open(spec)?,
+            name: name.to_owned(),
+            total,
+            from_manifest: 0,
+            from_cache: 0,
+            deferred: 0,
+            simulated: 0,
+            failed: 0,
+            interrupted: false,
+            seq: 0,
+            started: Instant::now(),
+            prev: Registry::new(),
+            warned: false,
+        })
+    }
+
+    fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.set_counter("campaign.points.total", self.total as u64);
+        reg.set_counter("campaign.points.from_manifest", self.from_manifest as u64);
+        reg.set_counter("campaign.points.from_cache", self.from_cache as u64);
+        reg.set_counter("campaign.points.simulated", self.simulated as u64);
+        reg.set_counter("campaign.points.failed", self.failed as u64);
+        reg.set_counter("campaign.points.deferred", self.deferred as u64);
+        reg.set_counter("campaign.cache.hits", self.from_cache as u64);
+        reg
+    }
+
+    fn emit(&mut self, done: bool) {
+        let reg = self.registry();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let done_points = self.from_manifest + self.from_cache + self.simulated;
+        let remaining = self
+            .total
+            .saturating_sub(done_points)
+            .saturating_sub(self.deferred);
+        let eta = if done {
+            0.0
+        } else if self.simulated > 0 && elapsed > 0.0 {
+            remaining as f64 / (self.simulated as f64 / elapsed)
+        } else {
+            f64::NAN
+        };
+        let mut snap = Snapshot::new("campaign", self.seq);
+        snap.field_str("name", &self.name)
+            .field_u64("points_total", self.total as u64)
+            .field_u64("points_done", done_points as u64)
+            .field_u64("points_from_manifest", self.from_manifest as u64)
+            .field_u64("points_from_cache", self.from_cache as u64)
+            .field_u64("points_simulated", self.simulated as u64)
+            .field_u64("points_failed", self.failed as u64)
+            .field_u64("points_deferred", self.deferred as u64)
+            .field_f64("elapsed_secs", elapsed)
+            .field_f64("eta_secs", eta)
+            .field_bool("interrupted", self.interrupted)
+            .field_bool("done", done)
+            .deltas("deltas", &reg, &self.prev)
+            .registry("counters", &reg);
+        if self.sink.emit(&snap).is_err() && !self.warned {
+            eprintln!("warning: campaign progress sink write failed; further snapshots dropped");
+            self.warned = true;
+        }
+        self.seq += 1;
+        self.prev = reg;
+    }
 }
 
 /// Loads `key -> metrics` of every `done` point from a manifest, or
@@ -728,7 +852,49 @@ mod tests {
             manifest_dir,
             max_points: None,
             shutdown: None,
+            progress: None,
         }
+    }
+
+    #[test]
+    fn progress_stream_emits_valid_snapshots_and_a_final_done() {
+        let spec = tiny_spec("progress");
+        let shared = opts("progress");
+        let progress_path = shared
+            .manifest_dir
+            .parent()
+            .unwrap()
+            .join("campaign-progress.jsonl");
+        std::fs::create_dir_all(progress_path.parent().unwrap()).unwrap();
+        let with_progress = CampaignOptions {
+            use_cache: false,
+            progress: Some(progress_path.to_string_lossy().into_owned()),
+            ..shared
+        };
+        let outcome = run_campaign(&spec, &with_progress).unwrap();
+        assert_eq!(outcome.simulated, 3);
+
+        let text = std::fs::read_to_string(&progress_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // One restore-scan snapshot, >=1 batch snapshot, one final done.
+        assert!(lines.len() >= 3, "expected >=3 snapshots, got {lines:?}");
+        for (i, line) in lines.iter().enumerate() {
+            let snap = json::parse(line).unwrap();
+            assert_eq!(snap.get("schema").and_then(Json::as_u64), Some(1));
+            assert_eq!(snap.get("kind").and_then(Json::as_str), Some("campaign"));
+            assert_eq!(snap.get("seq").and_then(Json::as_u64), Some(i as u64));
+            assert_eq!(snap.get("points_total").and_then(Json::as_u64), Some(3));
+        }
+        let last = json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("done").and_then(Json::as_bool), Some(true));
+        assert_eq!(last.get("points_done").and_then(Json::as_u64), Some(3));
+        assert_eq!(last.get("eta_secs").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(
+            last.get("counters")
+                .and_then(|c| c.get("campaign.points.simulated"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
     }
 
     #[test]

@@ -230,6 +230,114 @@ pub fn render_campaign(doc: &Json) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders two sweep-results documents (`results/<name>.json`) side by
+/// side: one row per point label present in both, with latency, power and
+/// throughput from each file and the relative deltas, followed by a list
+/// of unmatched labels. Backs `heteronoc report --compare a.json b.json`;
+/// the delta/threshold conventions match [`crate::trajectory::compare`]
+/// (a negative latency/power delta is an improvement).
+///
+/// # Errors
+/// A message when either document has no `points` array or the two sweeps
+/// share no point labels.
+pub fn compare_sweeps(a: &Json, b: &Json) -> Result<String, String> {
+    let points = |doc: &Json, which: &str| -> Result<Vec<Json>, String> {
+        doc.get("points")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .ok_or_else(|| format!("{which} document has no \"points\" array (not a sweep result)"))
+    };
+    let a_name = a.get("name").and_then(Json::as_str).unwrap_or("a");
+    let b_name = b.get("name").and_then(Json::as_str).unwrap_or("b");
+    let a_points = points(a, "first")?;
+    let b_points = points(b, "second")?;
+
+    let label = |p: &Json| p.get("label").and_then(Json::as_str).map(str::to_owned);
+    let metric = |p: &Json, key: &str| -> Option<f64> {
+        p.get(key).and_then(Json::as_f64).filter(|v| v.is_finite())
+    };
+    let pct = |old: Option<f64>, new: Option<f64>| -> String {
+        match (old, new) {
+            (Some(o), Some(n)) if o.abs() > f64::EPSILON => {
+                format!("{:>+8.1}%", 100.0 * (n - o) / o)
+            }
+            _ => format!("{:>9}", "-"),
+        }
+    };
+    let num = |v: Option<f64>, width: usize, prec: usize| -> String {
+        match v {
+            Some(v) => format!("{v:>width$.prec$}"),
+            None => format!("{:>width$}", "-"),
+        }
+    };
+
+    let mut out = format!("sweep compare: {a_name} (old) vs {b_name} (new)\n");
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>9} {:>9}  {:>8} {:>8} {:>9}  {:>8} {:>8} {:>9}\n",
+        "point",
+        "lat_ns A",
+        "lat_ns B",
+        "Δlat",
+        "pwr_w A",
+        "pwr_w B",
+        "Δpwr",
+        "thr A",
+        "thr B",
+        "Δthr"
+    ));
+    let mut matched = 0usize;
+    let mut only_a: Vec<String> = Vec::new();
+    for pa in &a_points {
+        let Some(l) = label(pa) else { continue };
+        let Some(pb) = b_points.iter().find(|p| label(p).as_deref() == Some(&l)) else {
+            only_a.push(l);
+            continue;
+        };
+        matched += 1;
+        let (la, lb) = (metric(pa, "latency_ns"), metric(pb, "latency_ns"));
+        let (wa, wb) = (metric(pa, "power_w"), metric(pb, "power_w"));
+        let (ta, tb) = (metric(pa, "throughput"), metric(pb, "throughput"));
+        let sat = |p: &Json| p.get("saturated").and_then(Json::as_bool) == Some(true);
+        let mark = match (sat(pa), sat(pb)) {
+            (true, true) => " [sat both]",
+            (true, false) => " [sat A]",
+            (false, true) => " [sat B]",
+            (false, false) => "",
+        };
+        out.push_str(&format!(
+            "{l:<28} {} {} {}  {} {} {}  {} {} {}{mark}\n",
+            num(la, 9, 2),
+            num(lb, 9, 2),
+            pct(la, lb),
+            num(wa, 8, 2),
+            num(wb, 8, 2),
+            pct(wa, wb),
+            num(ta, 8, 4),
+            num(tb, 8, 4),
+            pct(ta, tb),
+        ));
+    }
+    if matched == 0 {
+        return Err("the two sweeps share no point labels — nothing to compare".into());
+    }
+    let only_b: Vec<String> = b_points
+        .iter()
+        .filter_map(&label)
+        .filter(|l| !a_points.iter().any(|p| label(p).as_deref() == Some(l)))
+        .collect();
+    for l in &only_a {
+        out.push_str(&format!("{l:<28} (first sweep only)\n"));
+    }
+    for l in &only_b {
+        out.push_str(&format!("{l:<28} (second sweep only)\n"));
+    }
+    out.push_str(&format!(
+        "{matched} matched point(s), {} unmatched\n",
+        only_a.len() + only_b.len()
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +434,66 @@ mod tests {
         )]);
         let text = render_results(&doc, 10).unwrap();
         assert!(text.contains("point a"));
+    }
+    fn sweep_doc(name: &str, pts: Vec<(&str, f64, f64, f64, bool)>) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(name.into())),
+            (
+                "points",
+                Json::Arr(
+                    pts.into_iter()
+                        .map(|(l, lat, pwr, thr, sat)| {
+                            Json::obj(vec![
+                                ("label", Json::Str(l.into())),
+                                ("latency_ns", Json::Num(lat)),
+                                ("power_w", Json::Num(pwr)),
+                                ("throughput", Json::Num(thr)),
+                                ("saturated", Json::Bool(sat)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn compare_sweeps_renders_matched_deltas_and_unmatched_labels() {
+        let a = sweep_doc(
+            "old",
+            vec![
+                ("m|r0.01", 20.0, 10.0, 0.01, false),
+                ("m|r0.05", 80.0, 30.0, 0.05, true),
+                ("gone", 1.0, 1.0, 0.001, false),
+            ],
+        );
+        let b = sweep_doc(
+            "new",
+            vec![
+                ("m|r0.01", 22.0, 9.0, 0.01, false),
+                ("m|r0.05", 80.0, 30.0, 0.05, true),
+                ("fresh", 1.0, 1.0, 0.001, false),
+            ],
+        );
+        let text = compare_sweeps(&a, &b).unwrap();
+        assert!(text.contains("old (old) vs new (new)"), "{text}");
+        // +10% latency, -10% power on the matched low-rate point.
+        assert!(text.contains("+10.0%"), "{text}");
+        assert!(text.contains("-10.0%"), "{text}");
+        assert!(text.contains("[sat both]"), "{text}");
+        assert!(text.contains("gone") && text.contains("(first sweep only)"));
+        assert!(text.contains("fresh") && text.contains("(second sweep only)"));
+        assert!(text.contains("2 matched point(s), 2 unmatched"), "{text}");
+    }
+
+    #[test]
+    fn compare_sweeps_rejects_non_sweeps_and_disjoint_labels() {
+        let a = sweep_doc("a", vec![("x", 1.0, 1.0, 0.01, false)]);
+        let b = sweep_doc("b", vec![("y", 1.0, 1.0, 0.01, false)]);
+        assert!(compare_sweeps(&a, &b)
+            .unwrap_err()
+            .contains("no point labels"));
+        let bad = Json::obj(vec![("name", Json::Str("n".into()))]);
+        assert!(compare_sweeps(&bad, &a).unwrap_err().contains("points"));
     }
 }

@@ -36,6 +36,7 @@ use heteronoc::noc::error::ConfigError;
 use heteronoc::noc::fault::FaultPlan;
 use heteronoc::noc::metrics::EpochSample;
 use heteronoc::noc::network::Network;
+use heteronoc::noc::sched::SchedReport;
 use heteronoc::noc::sim::{params_hash, SimError, SimParams, SimRun, Traffic, UniformRandom};
 use heteronoc::noc::types::{Bits, Cycle, NodeId};
 use heteronoc::power::NetworkPower;
@@ -45,6 +46,7 @@ use heteronoc::traffic::patterns::{
 use heteronoc::traffic::workloads::{Benchmark, SyntheticWorkload};
 use heteronoc::traffic::TraceSource;
 use heteronoc_cmp::{CmpConfig, CmpSystem, CoreParams};
+use heteronoc_obs::{ProgressSink, Registry, Snapshot};
 use heteronoc_verify::{lint_config, run_with_degradation, Injection, LintOptions};
 
 use crate::cache::{content_key, ResultCache, SCHEMA_VERSION};
@@ -238,6 +240,13 @@ pub struct PointMetrics {
     /// it round-trips through the cache and the jobs-independence of the
     /// sweep JSON is preserved.
     pub epochs: Option<Json>,
+    /// Scheduler engine counters (full/idle/jumped cycles, router visits,
+    /// wake histogram) for open-loop and CMP points; `None` for
+    /// degradation points and failures. Deterministic per spec, so it is
+    /// cached and serialized alongside the other metrics. The counters
+    /// are observational and not checkpointed: a point resumed from a
+    /// mid-run checkpoint reports only its post-restore activity.
+    pub sched: Option<SchedReport>,
     /// Wall-clock seconds this point took to simulate. Run-specific by
     /// nature, so it is *not* serialized (cached points report 0.0); the
     /// CLI's `--profile` table reads it from fresh runs only.
@@ -266,6 +275,7 @@ impl PointMetrics {
             cached: false,
             attempts: 1,
             epochs: None,
+            sched: None,
             wall_secs: 0.0,
             error: Some(error),
         }
@@ -292,6 +302,10 @@ impl PointMetrics {
             ("cached", Json::Bool(self.cached)),
             ("attempts", int(self.attempts)),
             ("epochs", self.epochs.clone().unwrap_or(Json::Null)),
+            (
+                "sched",
+                self.sched.as_ref().map_or(Json::Null, sched_to_json),
+            ),
             (
                 "error",
                 match &self.error {
@@ -328,10 +342,60 @@ impl PointMetrics {
                 None | Some(Json::Null) => None,
                 Some(j) => Some(j.clone()),
             },
+            sched: v.get("sched").and_then(sched_from_json),
             wall_secs: 0.0,
             error: v.get("error").and_then(Json::as_str).map(str::to_owned),
         })
     }
+}
+
+/// Serializes scheduler counters to the sweep-JSON schema.
+fn sched_to_json(s: &SchedReport) -> Json {
+    Json::obj(vec![
+        ("cycles", int(s.cycles)),
+        ("full_cycles", int(s.full_cycles)),
+        ("idle_cycles", int(s.idle_cycles)),
+        ("jumped_cycles", int(s.jumped_cycles)),
+        ("router_visits", int(s.router_visits)),
+        ("router_visits_skipped", int(s.router_visits_skipped)),
+        (
+            "wakes",
+            Json::Arr(s.wakes.iter().map(|&w| int(w)).collect()),
+        ),
+        (
+            "wake_hist",
+            Json::Arr(s.wake_hist.iter().map(|&w| int(w)).collect()),
+        ),
+    ])
+}
+
+/// Deserializes scheduler counters (`None` for `null`, a missing member,
+/// or a malformed object).
+fn sched_from_json(v: &Json) -> Option<SchedReport> {
+    if matches!(v, Json::Null) {
+        return None;
+    }
+    let count = |k: &str| -> Option<u64> { v.get(k).and_then(Json::as_u64) };
+    let mut s = SchedReport {
+        cycles: count("cycles")?,
+        full_cycles: count("full_cycles")?,
+        idle_cycles: count("idle_cycles")?,
+        jumped_cycles: count("jumped_cycles")?,
+        router_visits: count("router_visits")?,
+        router_visits_skipped: count("router_visits_skipped")?,
+        ..SchedReport::default()
+    };
+    if let Some(Json::Arr(w)) = v.get("wakes") {
+        for (slot, j) in s.wakes.iter_mut().zip(w.iter()) {
+            *slot = j.as_u64()?;
+        }
+    }
+    if let Some(Json::Arr(h)) = v.get("wake_hist") {
+        for (slot, j) in s.wake_hist.iter_mut().zip(h.iter()) {
+            *slot = j.as_u64()?;
+        }
+    }
+    Some(s)
 }
 
 impl Measured for PointMetrics {
@@ -443,6 +507,13 @@ pub struct SweepOptions {
     /// valid checkpoint resumes from it instead of re-simulating from
     /// cycle 0; completed points delete their checkpoint.
     pub checkpoint_every: Option<Cycle>,
+    /// Stream JSONL progress snapshots (`kind:"sweep"`, see
+    /// [`heteronoc_obs::progress`]) to this sink spec — a file path, `-`
+    /// for stdout, or `fd:N`. One snapshot after the cache scan, one per
+    /// completed point (emitted on the coordinator thread, so the stream
+    /// is totally ordered), and a final one flagged `done`. Observational
+    /// only: results stay byte-identical with or without it.
+    pub progress: Option<String>,
 }
 
 impl Default for SweepOptions {
@@ -453,6 +524,7 @@ impl Default for SweepOptions {
             cache_dir: results_dir().join("cache"),
             shutdown: None,
             checkpoint_every: None,
+            progress: None,
         }
     }
 }
@@ -655,9 +727,40 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
         .iter()
         .map(|&(i, spec)| (i, spec.label.clone()))
         .collect();
-    let computed = parallel_map_until(opts.jobs, pending, stop.as_deref(), |(i, spec)| {
-        (i, run_point_ctx(spec, &point_ctx(&keys[i], opts)))
-    });
+
+    // Progress stream: the coordinator thread owns the sink; workers never
+    // touch it (per-point snapshots ride the result channel's delivery on
+    // the coordinator), so the stream is totally ordered and the workers'
+    // determinism is untouched.
+    let mut progress = match &opts.progress {
+        Some(spec) => {
+            let mut p = SweepProgress::open(spec, &sweep.name, sweep.points.len())
+                .map_err(SweepError::Io)?;
+            p.cached = cache_hits;
+            // Lint-gate failures are already resolved before any worker runs.
+            p.failed = results
+                .iter()
+                .flatten()
+                .filter(|m| m.error.is_some())
+                .count();
+            p.resolved = p.failed;
+            p.emit(false);
+            Some(p)
+        }
+        None => None,
+    };
+    let computed = parallel_map_observed(
+        opts.jobs,
+        pending,
+        stop.as_deref(),
+        |(i, spec)| (i, run_point_ctx(spec, &point_ctx(&keys[i], opts))),
+        |_, (_, m)| {
+            if let Some(p) = progress.as_mut() {
+                p.note_point(m);
+                p.emit(false);
+            }
+        },
+    );
     let mut simulated = 0usize;
     for slot in computed.into_iter().flatten() {
         let (i, metrics) = slot;
@@ -681,6 +784,10 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
             ));
         }
     }
+    if let Some(p) = progress.as_mut() {
+        p.interrupted = interrupted;
+        p.emit(true);
+    }
 
     Ok(SweepOutcome {
         name: sweep.name.clone(),
@@ -694,6 +801,94 @@ pub fn run_sweep(sweep: &Sweep, opts: &SweepOptions) -> Result<SweepOutcome, Swe
         interrupted,
         wall_secs: start.elapsed().as_secs_f64(),
     })
+}
+
+/// Coordinator-side progress accounting for one sweep run, behind
+/// [`SweepOptions::progress`]. Counts live here (not in the registry) so
+/// each snapshot rebuilds a fresh registry — absolute readings, with
+/// counter deltas against the previous snapshot.
+struct SweepProgress {
+    sink: ProgressSink,
+    name: String,
+    total: usize,
+    cached: usize,
+    /// Points resolved without the cache (simulated, lint-gated, failed).
+    resolved: usize,
+    failed: usize,
+    interrupted: usize,
+    seq: u64,
+    started: Instant,
+    prev: Registry,
+    warned: bool,
+}
+
+impl SweepProgress {
+    fn open(spec: &str, name: &str, total: usize) -> std::io::Result<SweepProgress> {
+        Ok(SweepProgress {
+            sink: ProgressSink::open(spec)?,
+            name: name.to_owned(),
+            total,
+            cached: 0,
+            resolved: 0,
+            failed: 0,
+            interrupted: 0,
+            seq: 0,
+            started: Instant::now(),
+            prev: Registry::new(),
+            warned: false,
+        })
+    }
+
+    fn note_point(&mut self, m: &PointMetrics) {
+        self.resolved += 1;
+        if m.error.is_some() {
+            self.failed += 1;
+        }
+    }
+
+    fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.set_counter("sweep.points.total", self.total as u64);
+        reg.set_counter("sweep.points.cached", self.cached as u64);
+        reg.set_counter("sweep.points.resolved", self.resolved as u64);
+        reg.set_counter("sweep.points.failed", self.failed as u64);
+        reg.set_counter("sweep.points.interrupted", self.interrupted as u64);
+        reg.set_counter("sweep.cache.hits", self.cached as u64);
+        reg.set_counter("sweep.cache.misses", (self.total - self.cached) as u64);
+        reg
+    }
+
+    fn emit(&mut self, done: bool) {
+        let reg = self.registry();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let done_points = self.cached + self.resolved;
+        let remaining = self.total.saturating_sub(done_points);
+        let eta = if done {
+            0.0
+        } else if self.resolved > 0 && elapsed > 0.0 {
+            remaining as f64 / (self.resolved as f64 / elapsed)
+        } else {
+            f64::NAN
+        };
+        let mut snap = Snapshot::new("sweep", self.seq);
+        snap.field_str("name", &self.name)
+            .field_u64("points_total", self.total as u64)
+            .field_u64("points_done", done_points as u64)
+            .field_u64("points_cached", self.cached as u64)
+            .field_u64("points_failed", self.failed as u64)
+            .field_u64("points_interrupted", self.interrupted as u64)
+            .field_f64("elapsed_secs", elapsed)
+            .field_f64("eta_secs", eta)
+            .field_bool("done", done)
+            .deltas("deltas", &reg, &self.prev)
+            .registry("counters", &reg);
+        if self.sink.emit(&snap).is_err() && !self.warned {
+            eprintln!("warning: sweep progress sink write failed; further snapshots dropped");
+            self.warned = true;
+        }
+        self.seq += 1;
+        self.prev = reg;
+    }
 }
 
 /// Per-point execution context: where to checkpoint (if anywhere) and the
@@ -852,6 +1047,7 @@ fn execute(
                 } else {
                     Some(epochs_to_json(&out.epochs))
                 },
+                sched: Some(out.sched),
                 wall_secs: 0.0,
                 error: None,
             })
@@ -906,6 +1102,7 @@ fn execute(
                 cached: false,
                 attempts: 1,
                 epochs: None,
+                sched: Some(sys.network().sched_report()),
                 wall_secs: 0.0,
                 error: None,
             })
@@ -965,6 +1162,7 @@ fn execute(
                 cached: false,
                 attempts: 1,
                 epochs: None,
+                sched: None,
                 wall_secs: 0.0,
                 error: None,
             })
@@ -1053,12 +1251,41 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    parallel_map_observed(jobs, items, stop, f, |_, _| {})
+}
+
+/// [`parallel_map_until`] with a completion observer: `on_each(i, &r)`
+/// runs on the *coordinator* thread as each item's result arrives (in
+/// completion order, not input order) — the hook live progress reporting
+/// hangs off. The observer sees each result exactly once and cannot
+/// change it, so the returned vector is identical to
+/// [`parallel_map_until`]'s.
+pub fn parallel_map_observed<T, R, F, O>(
+    jobs: usize,
+    items: Vec<T>,
+    stop: Option<&AtomicBool>,
+    f: F,
+    mut on_each: O,
+) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    O: FnMut(usize, &R),
+{
     let stopped = || stop.is_some_and(|s| s.load(Ordering::SeqCst));
     let n = items.len();
     if jobs <= 1 || n <= 1 {
         return items
             .into_iter()
-            .map(|item| (!stopped()).then(|| f(item)))
+            .enumerate()
+            .map(|(i, item)| {
+                (!stopped()).then(|| {
+                    let r = f(item);
+                    on_each(i, &r);
+                    r
+                })
+            })
             .collect();
     }
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
@@ -1087,6 +1314,7 @@ where
         drop(tx);
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
         for (i, r) in rx {
+            on_each(i, &r);
             out[i] = Some(r);
         }
         out
@@ -1179,6 +1407,7 @@ mod tests {
             cache_dir: std::env::temp_dir(),
             shutdown: None,
             checkpoint_every: None,
+            progress: None,
         };
         let outcome = run_sweep(&sweep, &opts).unwrap();
         assert_eq!(outcome.simulated, 0, "gate must fire before simulation");
@@ -1227,6 +1456,7 @@ mod tests {
             cache_dir: scratch_dir("shutdown"),
             shutdown: Some(Arc::clone(&flag)),
             checkpoint_every: None,
+            progress: None,
         };
         let out = run_sweep(&sweep, &opts).unwrap();
         assert_eq!(out.simulated, 0);
@@ -1263,6 +1493,7 @@ mod tests {
                 cache_dir: scratch_dir("ckpt-fresh"),
                 shutdown: None,
                 checkpoint_every: None,
+                progress: None,
             },
         )
         .unwrap();
@@ -1286,16 +1517,33 @@ mod tests {
                 cache_dir,
                 shutdown: None,
                 checkpoint_every: Some(1_000_000), // periodic saves never fire
+                progress: None,
             },
         )
         .unwrap();
 
-        // Resuming mid-run must not change the measured physics one bit…
+        // Resuming mid-run must not change the measured physics one bit.
+        // Scheduler telemetry is excluded: it is observational and not
+        // part of the checkpoint, so a resumed point only counts its
+        // post-restore scheduler activity.
+        let strip_sched = |out: &SweepOutcome| {
+            let pts: Vec<Json> = out
+                .points
+                .iter()
+                .map(|p| {
+                    let mut p = p.clone();
+                    p.sched = None;
+                    p.to_json()
+                })
+                .collect();
+            Json::Arr(pts).to_string()
+        };
         assert_eq!(
-            fresh_out.points_json().to_string(),
-            resumed_out.points_json().to_string(),
+            strip_sched(&fresh_out),
+            strip_sched(&resumed_out),
             "a resumed point must be byte-identical to a fresh one"
         );
+        assert!(resumed_out.points[0].sched.is_some());
         // …and the completed point cleans its checkpoint up.
         assert!(!ckpt_path.exists(), "completed point must delete its .ckpt");
     }
@@ -1320,6 +1568,13 @@ mod tests {
             cached: false,
             attempts: 1,
             epochs: Some(Json::Arr(vec![])),
+            sched: Some(SchedReport {
+                cycles: 123_456,
+                full_cycles: 100_000,
+                idle_cycles: 23_456,
+                router_visits: 9_999,
+                ..SchedReport::default()
+            }),
             wall_secs: 1.25,
             error: None,
         };

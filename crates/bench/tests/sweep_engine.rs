@@ -123,6 +123,7 @@ fn parallel_sweep_output_is_byte_identical_to_serial() {
             cache_dir: scratch_cache_dir("serial"),
             shutdown: None,
             checkpoint_every: None,
+            progress: None,
         },
     )
     .expect("serial sweep");
@@ -134,6 +135,7 @@ fn parallel_sweep_output_is_byte_identical_to_serial() {
             cache_dir: scratch_cache_dir("parallel"),
             shutdown: None,
             checkpoint_every: None,
+            progress: None,
         },
     )
     .expect("parallel sweep");
@@ -156,6 +158,7 @@ fn second_run_is_fully_cached() {
         cache_dir: cache_dir.clone(),
         shutdown: None,
         checkpoint_every: None,
+        progress: None,
     };
 
     let first = run_sweep(&sweep, &opts).expect("first run");
@@ -195,6 +198,7 @@ fn no_cache_option_forces_resimulation() {
             cache_dir: cache_dir.clone(),
             shutdown: None,
             checkpoint_every: None,
+            progress: None,
         },
     )
     .expect("warm-up run");
@@ -208,6 +212,7 @@ fn no_cache_option_forces_resimulation() {
             cache_dir: cache_dir.clone(),
             shutdown: None,
             checkpoint_every: None,
+            progress: None,
         },
     )
     .expect("bypass run");
@@ -232,6 +237,7 @@ fn invalid_point_fails_fast_before_any_simulation() {
             cache_dir: scratch_cache_dir("invalid"),
             shutdown: None,
             checkpoint_every: None,
+            progress: None,
         },
     );
     assert!(err.is_err(), "invalid configs must be rejected up front");

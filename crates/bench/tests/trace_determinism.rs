@@ -103,3 +103,68 @@ fn sweep_embeds_epochs_and_stays_jobs_independent() {
         assert!(p.wall_secs > 0.0);
     }
 }
+
+/// Tentpole pin: a `--progress` sink is strictly observational. Traces,
+/// stats fingerprints and checkpoint bytes must be byte-identical with
+/// and without progress streaming, even when the progress and checkpoint
+/// boundaries interleave mid-run.
+#[test]
+fn progress_streaming_never_perturbs_traces_stats_or_checkpoints() {
+    use heteronoc_bench::json::Json;
+    use heteronoc_obs::ProgressSink;
+
+    let dir = std::env::temp_dir().join(format!("heteronoc-progress-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // ~350 packets at 0.02/node/cycle over 64 nodes retires in a few
+    // hundred cycles: checkpoint every 100 and progress every 64 give
+    // several interleaved boundaries of each kind.
+    let run = |progress: Option<&std::path::Path>, tag: &str| -> (String, String, Vec<u8>) {
+        let buf = SharedBuffer::new();
+        let ckpt = dir.join(format!("{tag}.ckpt"));
+        let net = Network::new(mesh_config(&Layout::Baseline)).expect("valid config");
+        let mut run = SimRun::new(net, tiny_params(9))
+            .trace(Box::new(JsonlSink::new(buf.clone())))
+            .checkpoint_every(&ckpt, 100);
+        if let Some(p) = progress {
+            let sink = ProgressSink::open(p.to_str().expect("utf8 path")).expect("progress sink");
+            run = run.progress(sink, 64);
+        }
+        let out = run.run().expect("simulation run");
+        let fingerprint = format!("{:?}", (out.cycles, out.sched, out.stats));
+        let ckpt_bytes = std::fs::read(&ckpt).expect("periodic checkpoint written");
+        (buf.to_text(), fingerprint, ckpt_bytes)
+    };
+
+    let progress_path = dir.join("progress.jsonl");
+    let with = run(Some(&progress_path), "with");
+    let without = run(None, "without");
+    assert_eq!(with.0, without.0, "progress sink leaked into trace bytes");
+    assert_eq!(
+        with.1, without.1,
+        "progress sink leaked into the stats fingerprint"
+    );
+    assert_eq!(
+        with.2, without.2,
+        "progress sink leaked into checkpoint bytes"
+    );
+
+    // And the stream itself is real: non-empty, every line a schema-1
+    // "sim" snapshot with contiguous sequence numbers, final line `done`
+    // with the run's final cycle.
+    let text = std::fs::read_to_string(&progress_path).expect("progress file");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "expected interleaved snapshots:\n{text}");
+    for (i, line) in lines.iter().enumerate() {
+        let snap = heteronoc_bench::json::parse(line).expect("snapshot parses");
+        assert_eq!(snap.get("schema").and_then(Json::as_u64), Some(1));
+        assert_eq!(snap.get("kind").and_then(Json::as_str), Some("sim"));
+        assert_eq!(snap.get("seq").and_then(Json::as_u64), Some(i as u64));
+        assert!(snap.get("counters").is_some(), "{line}");
+    }
+    let last = heteronoc_bench::json::parse(lines.last().expect("nonempty")).expect("parses");
+    assert_eq!(last.get("done").and_then(Json::as_bool), Some(true));
+    let final_cycle = last.get("cycle").and_then(Json::as_u64).expect("cycle");
+    assert!(final_cycle > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,6 +8,10 @@ use std::collections::HashMap;
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: Option<String>,
+    /// Positional arguments after the subcommand (e.g. the two files of
+    /// `report --compare a.json b.json`). Commands that take none reject
+    /// leftovers themselves via [`Args::no_rest`].
+    pub rest: Vec<String>,
     opts: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -17,7 +21,7 @@ impl Args {
     ///
     /// # Errors
     /// Returns a message for a dangling `--key` without a value when the
-    /// key is not a known boolean flag, or for stray positionals.
+    /// key is not a known boolean flag.
     pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Result<Args, String> {
         let mut out = Args::default();
         let mut it = items.into_iter().peekable();
@@ -33,10 +37,21 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(a);
             } else {
-                return Err(format!("unexpected positional argument '{a}'"));
+                out.rest.push(a);
             }
         }
         Ok(out)
+    }
+
+    /// Rejects leftover positionals — for commands that take none.
+    ///
+    /// # Errors
+    /// Returns a message naming the first unexpected positional.
+    pub fn no_rest(&self) -> Result<(), String> {
+        match self.rest.first() {
+            None => Ok(()),
+            Some(a) => Err(format!("unexpected positional argument '{a}'")),
+        }
     }
 
     /// String option by key.
@@ -106,6 +121,16 @@ mod tests {
         assert_eq!(a.get_or("packets", 500u64).unwrap(), 500);
         let a = parse("x --packets nope");
         assert!(a.get_or("packets", 1u64).is_err());
-        assert!(Args::parse(vec!["a".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn positionals_collect_into_rest() {
+        let a = parse("report --compare a.json b.json");
+        assert_eq!(a.command.as_deref(), Some("report"));
+        // `--compare a.json` pairs as key/value; the tail is positional.
+        assert_eq!(a.get("compare"), Some("a.json"));
+        assert_eq!(a.rest, vec!["b.json".to_owned()]);
+        assert!(a.no_rest().is_err());
+        assert!(parse("audit").no_rest().is_ok());
     }
 }

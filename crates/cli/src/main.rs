@@ -49,6 +49,8 @@ COMMANDS
                                     interrupted sweep resumes mid-point
                                     (default 200000; 0 disables)
                --profile            print per-point wall-time breakdown
+               --progress <sink>    stream per-point JSONL progress snapshots
+                                    to a file, '-' (stdout) or fd:N
   run        one crash-safe open-loop run with periodic checkpointing and
              cooperative SIGINT/SIGTERM shutdown (exit code 130/143; the
              final checkpoint is flushed first, so `--resume` continues the
@@ -72,6 +74,10 @@ COMMANDS
                                     drive the walk-everything reference engine
                                     instead of the active-set scheduler
                                     (byte-identical results, slower)
+               --progress <sink>    stream live JSONL progress snapshots to a
+                                    file, '-' (stdout) or fd:N; observational
+                                    only — results stay byte-identical
+               --progress-every N   snapshot interval in cycles (default 10000)
   replay     bisect the first diverging cycle between two trajectories of
              one configured run: two checkpoints, or a checkpoint vs a
              fresh replay from cycle 0 (exits non-zero on divergence and
@@ -109,6 +115,8 @@ COMMANDS
                                     results/campaigns/<name>.json (default
                                     cli_sweep)
                --rows N             epochs per point before eliding (default 24)
+               --compare <a> <b>    instead: side-by-side latency/power/
+                                    throughput deltas of two sweep results files
   verify     static deadlock & invariant analysis (channel-dependency graph
              acyclicity + iso-resource lint against the baseline)
                --layout <name>      verify one layout (default: every shipped
@@ -167,6 +175,8 @@ COMMANDS
                                     stop with a resumable manifest
                --name <name>        manifest results/campaigns/<name>.json
                                     (default cli_campaign)
+               --progress <sink>    stream per-batch JSONL progress snapshots
+                                    to a file, '-' (stdout) or fd:N
   cache      result-cache maintenance for results/cache/
                --verify             audit every cache file line by line, CRC-
                                     check every *.ckpt checkpoint, and exit
@@ -176,6 +186,23 @@ COMMANDS
                                     sweep checkpoints: corrupt ones are
                                     quarantined; orphaned (point already
                                     completed) and stale-named ones deleted
+  top        refreshing terminal dashboard over a progress JSONL stream
+             (from run/sweep/campaign --progress); exits when every stream
+             reports done, or immediately with --once
+               <file>               the progress stream to tail
+               --once               render the latest snapshot(s) once and exit
+               --interval-ms N      refresh interval (default 500)
+  bench      perf-trajectory harness: runs a pinned micro-suite (active-set
+             vs poll-all engines, near-idle fast-forwarding, checkpoint
+             round-trip, sweep cache hits) and writes a schema-versioned
+             record to results/bench/BENCH_<git-sha>.json
+               --quick              reduced scale for CI (quick records only
+                                    compare against quick records)
+               --out-dir <dir>      record directory (default results/bench)
+               --compare <a> <b>    instead: diff two records; exit non-zero
+                                    when a gated entry regresses
+               --threshold <t>      relative regression gate (default 0.15)
+               --warn-only          report regressions without failing
 
 LAYOUTS  baseline, center-b, row25-b, diagonal-b, center-bl, row25-bl, diagonal-bl
 WORKLOADS sap, specjbb, tpcc, sjas, ferret, facesim, vips, canneal, dedup,
@@ -335,6 +362,7 @@ fn cmd_sweep(a: &Args) -> Result<(), String> {
         use_cache: !a.flag("no-cache"),
         shutdown: Some(signals::install()),
         checkpoint_every: (ckpt_every > 0).then_some(ckpt_every),
+        progress: a.get("progress").map(str::to_owned),
         ..SweepOptions::default()
     };
     println!(
@@ -475,6 +503,15 @@ fn cmd_run(a: &Args) -> Result<(), String> {
     }
     if a.flag("profile") {
         run = run.profile(true);
+    }
+    if let Some(spec) = a.get("progress") {
+        let every: u64 = a.get_or("progress-every", 10_000u64)?;
+        if every == 0 {
+            return Err("--progress-every must be positive".into());
+        }
+        let sink = heteronoc_obs::ProgressSink::open(spec)
+            .map_err(|e| format!("cannot open progress sink '{spec}': {e}"))?;
+        run = run.progress(sink, every);
     }
 
     if let Some(trace_path) = a.get("trace") {
@@ -771,9 +808,28 @@ fn cmd_trace(a: &Args) -> Result<(), String> {
 /// `results/<name>.json`.
 fn cmd_report(a: &Args) -> Result<(), String> {
     use heteronoc_bench::json::{parse, Json};
-    use heteronoc_bench::report::{render_campaign, render_results};
+    use heteronoc_bench::report::{compare_sweeps, render_campaign, render_results};
     use heteronoc_bench::results_dir;
 
+    // `report --compare a.json b.json`: side-by-side latency/power/
+    // throughput deltas of two sweep results files.
+    if let Some(old_path) = a.get("compare") {
+        let [new_path] = a.rest.as_slice() else {
+            return Err(
+                "report --compare takes exactly two files: --compare old.json new.json".into(),
+            );
+        };
+        let load = |path: &str| -> Result<Json, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            parse(&text).map_err(|e| format!("{path}: {e}"))
+        };
+        let old_doc = load(old_path)?;
+        let new_doc = load(new_path)?;
+        print!("{}", compare_sweeps(&old_doc, &new_doc)?);
+        return Ok(());
+    }
+    a.no_rest()?;
     let name = a.get("name").unwrap_or("cli_sweep");
     // Sweep results live at results/<name>.json, campaign manifests at
     // results/campaigns/<name>.json; take whichever exists.
@@ -795,6 +851,201 @@ fn cmd_report(a: &Args) -> Result<(), String> {
         render_results(&doc, rows)?
     };
     print!("{rendered}");
+    Ok(())
+}
+
+/// Renders one progress snapshot as a dashboard block: a kind-specific
+/// headline, the shared wall-clock line, and the fastest-moving counter
+/// deltas since the previous snapshot.
+fn render_top_block(snap: &heteronoc_bench::json::Json) -> String {
+    use heteronoc_bench::json::Json;
+
+    let kind = snap.get("kind").and_then(Json::as_str).unwrap_or("?");
+    let u = |k: &str| snap.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let f = |k: &str| snap.get(k).and_then(Json::as_f64);
+    let done = snap.get("done").and_then(Json::as_bool) == Some(true);
+    let eta = match f("eta_secs") {
+        Some(v) if v.is_finite() && !done => format!("eta {v:.0}s"),
+        _ if done => "done".to_owned(),
+        _ => "eta ?".to_owned(),
+    };
+    let mut out = format!(
+        "[{kind}] seq {}  elapsed {:.1}s  {eta}\n",
+        u("seq"),
+        f("elapsed_secs").unwrap_or(0.0),
+    );
+    match kind {
+        "sim" => {
+            out.push_str(&format!(
+                "  cycle {:>12} / {}  in-flight {:>6}  retired {:>8} / {}{}\n",
+                u("cycle"),
+                u("max_cycles"),
+                u("in_flight"),
+                u("retired"),
+                u("measure_packets"),
+                if snap.get("measuring").and_then(Json::as_bool) == Some(true) {
+                    "  [measuring]"
+                } else {
+                    ""
+                },
+            ));
+        }
+        "sweep" | "campaign" => {
+            out.push_str(&format!(
+                "  {}  points {:>5} / {}  cached {}  failed {}\n",
+                snap.get("name").and_then(Json::as_str).unwrap_or("?"),
+                u("points_done"),
+                u("points_total"),
+                u(if kind == "sweep" {
+                    "points_cached"
+                } else {
+                    "points_from_cache"
+                }),
+                u("points_failed"),
+            ));
+        }
+        _ => {}
+    }
+    if let Some(Json::Obj(deltas)) = snap.get("deltas") {
+        let mut rows: Vec<(&str, u64)> = deltas
+            .iter()
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k.as_str(), n)))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (k, n) in rows.iter().take(8) {
+            out.push_str(&format!("  {k:<44} +{n}\n"));
+        }
+    }
+    out
+}
+
+/// `heteronoc top`: terminal dashboard tailing a progress JSONL stream
+/// (written by `run --progress`, `sweep --progress` or `campaign
+/// --progress`). Re-reads the file each refresh and renders the latest
+/// snapshot of every stream kind; exits when all streams are done, on
+/// SIGINT/SIGTERM, or after a single render with `--once`.
+fn cmd_top(a: &Args) -> Result<(), String> {
+    use heteronoc_bench::json::{parse, Json};
+    use heteronoc_obs::PROGRESS_SCHEMA;
+
+    let path = a
+        .get("file")
+        .or_else(|| a.rest.first().map(String::as_str))
+        .ok_or("top wants a progress stream: heteronoc top <progress.jsonl>")?
+        .to_owned();
+    let once = a.flag("once");
+    let interval = a.get_or("interval-ms", 500u64)?.max(50);
+    let flag = signals::install();
+
+    let mut rendered_before = false;
+    loop {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+        // Latest snapshot per kind, kinds in first-seen order.
+        let mut kinds: Vec<String> = Vec::new();
+        let mut latest: Vec<Json> = Vec::new();
+        let mut bad = 0usize;
+        for line in text.lines() {
+            let Ok(snap) = parse(line) else {
+                bad += 1;
+                continue;
+            };
+            if snap.get("schema").and_then(Json::as_u64) != Some(u64::from(PROGRESS_SCHEMA)) {
+                bad += 1;
+                continue;
+            }
+            let Some(kind) = snap.get("kind").and_then(Json::as_str).map(str::to_owned) else {
+                bad += 1;
+                continue;
+            };
+            match kinds.iter().position(|k| *k == kind) {
+                Some(i) => latest[i] = snap,
+                None => {
+                    kinds.push(kind);
+                    latest.push(snap);
+                }
+            }
+        }
+        if latest.is_empty() {
+            return Err(format!(
+                "'{path}' contains no valid schema-v{PROGRESS_SCHEMA} progress snapshots"
+            ));
+        }
+        let mut screen = String::new();
+        for snap in &latest {
+            screen.push_str(&render_top_block(snap));
+        }
+        if bad > 0 {
+            screen.push_str(&format!("  ({bad} unparsable line(s) skipped)\n"));
+        }
+        if rendered_before {
+            // Repaint in place: clear screen, home the cursor.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{screen}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        rendered_before = true;
+
+        let all_done = latest
+            .iter()
+            .all(|s| s.get("done").and_then(Json::as_bool) == Some(true));
+        if once || all_done || flag.load(std::sync::atomic::Ordering::SeqCst) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    }
+}
+
+/// `heteronoc bench`: the perf-trajectory harness. Without `--compare`,
+/// runs the pinned micro-suite and writes `results/bench/BENCH_<sha>.json`;
+/// with `--compare old.json new.json`, diffs two records and exits
+/// non-zero when any gated entry regressed beyond `--threshold`.
+fn cmd_bench(a: &Args) -> Result<(), String> {
+    use heteronoc_bench::results_dir;
+    use heteronoc_bench::trajectory::{
+        compare, render_compare, render_record, run_suite, BenchRecord, DEFAULT_THRESHOLD,
+    };
+
+    let threshold = a.get_or("threshold", DEFAULT_THRESHOLD)?;
+    if !(0.0..10.0).contains(&threshold) {
+        return Err("--threshold must be in [0, 10) (a fraction, e.g. 0.15)".into());
+    }
+
+    if let Some(old_path) = a.get("compare") {
+        let [new_path] = a.rest.as_slice() else {
+            return Err(
+                "bench --compare takes exactly two files: --compare old.json new.json".into(),
+            );
+        };
+        let old = BenchRecord::load(std::path::Path::new(old_path))?;
+        let new = BenchRecord::load(std::path::Path::new(new_path))?;
+        let report = compare(&old, &new, threshold)?;
+        print!("{}", render_compare(&report));
+        if !report.passed() && !a.flag("warn-only") {
+            return Err(format!(
+                "{} gated entr(ies) regressed beyond {:.0}%",
+                report.regressions().len(),
+                threshold * 100.0
+            ));
+        }
+        return Ok(());
+    }
+    a.no_rest()?;
+
+    let quick = a.flag("quick");
+    println!(
+        "bench: running the pinned micro-suite ({} scale)…",
+        if quick { "quick" } else { "full" }
+    );
+    let record = run_suite(quick);
+    print!("{}", render_record(&record));
+    let dir = match a.get("out-dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => results_dir().join("bench"),
+    };
+    let path = record.write(&dir)?;
+    println!("record: {}", path.display());
     Ok(())
 }
 
@@ -1372,6 +1623,7 @@ fn cmd_campaign(a: &Args) -> Result<(), String> {
             None => None,
         },
         shutdown: Some(signals::install()),
+        progress: a.get("progress").map(str::to_owned),
     };
     println!(
         "campaign '{}': {} layout(s) x kills {:?} x {} plan(s)/cell · recovery {} · {} worker(s) · cache {}",
@@ -1518,6 +1770,8 @@ fn run() -> Result<(), String> {
         Some("faults") => cmd_faults(&a),
         Some("campaign") => cmd_campaign(&a),
         Some("cache") => cmd_cache(&a),
+        Some("top") => cmd_top(&a),
+        Some("bench") => cmd_bench(&a),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
         None => {
             print!("{USAGE}");

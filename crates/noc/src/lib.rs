@@ -45,7 +45,10 @@
 //! * [`stats`] — latency decomposition, utilizations, power-model events;
 //! * [`trace`] — flit-level event tracing (JSONL / Chrome `trace_event`);
 //! * [`metrics`] — epoch time-series sampling of the live network;
-//! * [`profile`] — per-pipeline-stage wall-time self-profiling.
+//! * [`profile`] — per-pipeline-stage wall-time self-profiling;
+//! * [`telemetry`] — exporters onto the unified `heteronoc-obs` metrics
+//!   registry, and live progress-snapshot streaming via
+//!   [`sim::SimRun::progress`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -64,6 +67,7 @@ pub mod routing;
 pub mod sched;
 pub mod sim;
 pub mod stats;
+pub mod telemetry;
 pub mod topology;
 pub mod trace;
 pub mod types;
@@ -81,5 +85,6 @@ pub use packet::{Flit, Packet, PacketClass};
 pub use profile::{ProfileReport, Stage, StageProfiler};
 pub use replay::{DivergenceReport, ReplayDriver, Trajectory};
 pub use sched::{EngineMode, RouterActivity, SchedReport, WakeReason};
+pub use telemetry::latency_log_hist;
 pub use trace::{ChromeTraceSink, JsonlSink, SharedBuffer, TraceEvent, TraceSink};
 pub use types::{Bits, Coord, Cycle, NodeId, PacketId, PortId, Rate, RouterId, VcId};

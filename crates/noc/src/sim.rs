@@ -8,7 +8,9 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use heteronoc_obs::{ProgressSink, Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -18,7 +20,7 @@ use crate::metrics::EpochSample;
 use crate::network::{Network, StallReport};
 use crate::packet::PacketClass;
 use crate::profile::ProfileReport;
-use crate::sched::EngineMode;
+use crate::sched::{EngineMode, SchedReport};
 use crate::stats::NetStats;
 use crate::trace::TraceSink;
 use crate::types::{Bits, Cycle, NodeId, Rate};
@@ -249,6 +251,10 @@ pub struct SimOutcome {
     /// Per-stage wall-time breakdown (`None` unless [`SimRun::profile`]
     /// enabled it).
     pub profile: Option<ProfileReport>,
+    /// Scheduler engine counters for the whole run (always collected —
+    /// they are observability-only and cost a handful of increments per
+    /// cycle). Deterministic given the engine mode.
+    pub sched: SchedReport,
 }
 
 impl SimOutcome {
@@ -313,6 +319,7 @@ pub struct SimRun<'a> {
     checkpoint: Option<(PathBuf, Cycle)>,
     resume: Option<Checkpoint>,
     shutdown: Option<Arc<AtomicBool>>,
+    progress: Option<(ProgressSink, Cycle)>,
     #[cfg(feature = "verify")]
     observer: Option<&'a mut dyn InvariantObserver>,
 }
@@ -328,6 +335,7 @@ impl std::fmt::Debug for SimRun<'_> {
             .field("profile", &self.profile)
             .field("checkpoint", &self.checkpoint)
             .field("resume", &self.resume.as_ref().map(|c| c.cycle))
+            .field("progress", &self.progress.as_ref().map(|(_, every)| *every))
             .finish_non_exhaustive()
     }
 }
@@ -349,6 +357,7 @@ impl<'a> SimRun<'a> {
             checkpoint: None,
             resume: None,
             shutdown: None,
+            progress: None,
             #[cfg(feature = "verify")]
             observer: None,
         }
@@ -439,6 +448,27 @@ impl<'a> SimRun<'a> {
         self
     }
 
+    /// Streams one progress snapshot line (JSONL, see
+    /// [`heteronoc_obs::progress`]) into `sink` every `every` cycles, plus
+    /// one at the start of the run and a final one flagged `done`. Each
+    /// snapshot carries the cycle, in-flight work, delivered/retired
+    /// counts, a wall-clock ETA for the measurement batch, the full
+    /// `noc.*` telemetry registry and counter deltas since the previous
+    /// snapshot.
+    ///
+    /// Strictly observational: the snapshot boundary folds into the same
+    /// loop-boundary mechanism checkpoints use, so traces, statistics
+    /// fingerprints and checkpoint bytes are byte-identical with or
+    /// without a progress sink (pinned by the trace-determinism suite).
+    /// Sink write failures are reported to stderr once and otherwise
+    /// ignored — a full disk must not kill a long run. A zero interval is
+    /// reported as [`SimError::Config`] by [`SimRun::run`].
+    #[must_use]
+    pub fn progress(mut self, sink: ProgressSink, every: Cycle) -> Self {
+        self.progress = Some((sink, every));
+        self
+    }
+
     /// Installs a caller-supplied [`InvariantObserver`] instead of the
     /// panicking [`StrictInvariants`] default (cargo feature `verify`).
     #[cfg(feature = "verify")]
@@ -471,6 +501,7 @@ impl<'a> SimRun<'a> {
             checkpoint,
             resume,
             shutdown,
+            progress,
             #[cfg(feature = "verify")]
             observer,
         } = self;
@@ -486,6 +517,11 @@ impl<'a> SimRun<'a> {
         if let Some((_, 0)) = &checkpoint {
             return Err(SimError::Config(
                 "checkpoint interval must be non-zero".into(),
+            ));
+        }
+        if let Some((_, 0)) = &progress {
+            return Err(SimError::Config(
+                "progress interval must be non-zero".into(),
             ));
         }
         net.set_engine_mode(engine);
@@ -508,15 +544,18 @@ impl<'a> SimRun<'a> {
             }
             None => None,
         };
+        let progress = progress.map(|(sink, every)| ProgressState::new(sink, every));
         #[cfg(feature = "verify")]
         {
             let mut strict = StrictInvariants;
             let observer = observer.unwrap_or(&mut strict);
-            drive(core, traffic, checkpoint, shutdown, resumed_at, observer)
+            drive(
+                core, traffic, checkpoint, shutdown, resumed_at, progress, observer,
+            )
         }
         #[cfg(not(feature = "verify"))]
         {
-            drive(core, traffic, checkpoint, shutdown, resumed_at)
+            drive(core, traffic, checkpoint, shutdown, resumed_at, progress)
         }
     }
 }
@@ -734,6 +773,7 @@ impl SimCore {
             fault_counters: self.net.fault_counters(),
             epochs,
             profile,
+            sched: self.net.sched_report(),
         }
     }
 
@@ -812,15 +852,99 @@ impl SimCore {
     }
 }
 
+/// Progress-stream state carried across the driver loop: the sink, the
+/// reporting interval, and enough history (previous registry, wall-clock
+/// and retired count) to compute deltas and an ETA. Lives entirely outside
+/// the simulation state — building a snapshot reads the network, never
+/// writes it, and draws no randomness.
+struct ProgressState {
+    sink: ProgressSink,
+    every: Cycle,
+    seq: u64,
+    started: Instant,
+    prev: Registry,
+    prev_elapsed: f64,
+    prev_retired: u64,
+    last_emitted: Option<Cycle>,
+    warned: bool,
+}
+
+impl ProgressState {
+    fn new(sink: ProgressSink, every: Cycle) -> Self {
+        Self {
+            sink,
+            every,
+            seq: 0,
+            started: Instant::now(),
+            prev: Registry::new(),
+            prev_elapsed: 0.0,
+            prev_retired: 0,
+            last_emitted: None,
+            warned: false,
+        }
+    }
+
+    /// Emits one `kind:"sim"` snapshot of the current core state. Write
+    /// failures warn on stderr once and are otherwise swallowed.
+    fn emit(&mut self, core: &SimCore, done: bool) {
+        let now = core.net.now();
+        let mut reg = Registry::new();
+        core.net.export_telemetry(&mut reg);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let retired = core.net.stats().packets_retired;
+
+        // ETA for the measurement batch, from the retirement rate since
+        // the previous snapshot (NaN renders as null while unknown).
+        let eta = if done {
+            0.0
+        } else {
+            let rate = (retired.saturating_sub(self.prev_retired)) as f64
+                / (elapsed - self.prev_elapsed).max(1e-9);
+            let remaining = core.params.measure_packets.saturating_sub(retired);
+            if core.measuring && rate > 0.0 {
+                remaining as f64 / rate
+            } else {
+                f64::NAN
+            }
+        };
+
+        let mut snap = Snapshot::new("sim", self.seq);
+        snap.field_u64("cycle", now)
+            .field_u64("max_cycles", core.params.max_cycles)
+            .field_u64("in_flight", core.net.in_flight() as u64)
+            .field_u64("delivered", core.delivered_total)
+            .field_u64("retired", retired)
+            .field_u64("measure_packets", core.params.measure_packets)
+            .field_u64("dropped", core.dropped_total)
+            .field_bool("measuring", core.measuring)
+            .field_f64("elapsed_secs", elapsed)
+            .field_f64("eta_secs", eta)
+            .field_bool("done", done)
+            .deltas("deltas", &reg, &self.prev)
+            .registry("counters", &reg);
+        if self.sink.emit(&snap).is_err() && !self.warned {
+            eprintln!("warning: progress sink write failed; further snapshots dropped");
+            self.warned = true;
+        }
+        self.seq += 1;
+        self.prev = reg;
+        self.prev_elapsed = elapsed;
+        self.prev_retired = retired;
+        self.last_emitted = Some(now);
+    }
+}
+
 /// The checkpoint-aware outer loop: polls the shutdown flag and writes
-/// periodic checkpoints at iteration boundaries, where [`SimCore::tick`]
-/// has fully settled the cycle (matching what `restore` rebuilds).
+/// periodic checkpoints (and progress snapshots) at iteration boundaries,
+/// where [`SimCore::tick`] has fully settled the cycle (matching what
+/// `restore` rebuilds).
 fn drive(
     mut core: SimCore,
     traffic: &mut dyn Traffic,
     checkpoint: Option<(PathBuf, Cycle)>,
     shutdown: Option<Arc<AtomicBool>>,
     resumed_at: Option<Cycle>,
+    mut progress: Option<ProgressState>,
     #[cfg(feature = "verify")] observer: &mut dyn InvariantObserver,
 ) -> Result<SimOutcome, SimError> {
     let mut last_saved = resumed_at;
@@ -846,16 +970,29 @@ fn drive(
                 last_saved = Some(now);
             }
         }
+        if let Some(p) = progress.as_mut() {
+            let due = p.last_emitted.is_none()
+                || (now > 0 && now.is_multiple_of(p.every) && p.last_emitted != Some(now));
+            if due {
+                p.emit(&core, false);
+            }
+        }
         if now >= core.params.max_cycles {
             break;
         }
         // First cycle this loop needs control back at: the next periodic
-        // checkpoint boundary, or the hard cycle limit. A quiet-gap jump
-        // inside `tick` never crosses it.
+        // checkpoint or progress boundary, or the hard cycle limit. A
+        // quiet-gap jump inside `tick` never crosses it (and burns the
+        // exact per-cycle RNG draws, so the boundary choice is invisible
+        // to the simulation itself).
         let boundary = match &checkpoint {
             Some((_, every)) => (now - now % *every).saturating_add(*every),
             None => Cycle::MAX,
         }
+        .min(match &progress {
+            Some(p) => (now - now % p.every).saturating_add(p.every),
+            None => Cycle::MAX,
+        })
         .min(core.params.max_cycles);
         let more = core.tick(
             traffic,
@@ -866,6 +1003,9 @@ fn drive(
         if !more {
             break;
         }
+    }
+    if let Some(p) = progress.as_mut() {
+        p.emit(&core, true);
     }
     Ok(core.finish())
 }

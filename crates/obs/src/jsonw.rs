@@ -1,0 +1,66 @@
+//! Minimal deterministic JSON writing helpers.
+//!
+//! `heteronoc-obs` sits below `heteronoc-bench` in the dependency graph, so
+//! it cannot reuse `heteronoc_bench::json`; this module provides the two
+//! primitives the registry and progress stream need — string escaping and
+//! float formatting — with the same conventions (shortest round-trip floats
+//! via `{:?}`, non-finite values rendered as `null`).
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` to `out` as a JSON number (`null` for NaN / infinities).
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_of(s: &str) -> String {
+        let mut out = String::new();
+        push_json_str(&mut out, s);
+        out
+    }
+
+    fn f64_of(v: f64) -> String {
+        let mut out = String::new();
+        push_json_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(str_of("plain"), "\"plain\"");
+        assert_eq!(str_of("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(str_of("line\nfeed\ttab"), "\"line\\nfeed\\ttab\"");
+        assert_eq!(str_of("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_is_null() {
+        assert_eq!(f64_of(1.5), "1.5");
+        assert_eq!(f64_of(0.0), "0.0");
+        assert_eq!(f64_of(f64::NAN), "null");
+        assert_eq!(f64_of(f64::INFINITY), "null");
+    }
+}
